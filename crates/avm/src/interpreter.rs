@@ -1,0 +1,763 @@
+//! The AVM interpreter and application ledger.
+
+use crate::cost::{self, CALL_BUDGET};
+use crate::opcode::{AvmOp, GlobalField, TxnField};
+use crate::program::AvmProgram;
+use crate::state::{AppState, TealValue};
+use pol_crypto::{keccak256, sha256};
+use pol_ledger::Address;
+use std::collections::HashMap;
+
+/// Machine-level failures. Program *rejection* is not an error — it is a
+/// normal [`AppOutcome`] with `approved == false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AvmError {
+    /// Call target does not exist.
+    UnknownApp(u64),
+    /// Pop on an empty stack.
+    StackError,
+    /// An operand had the wrong TEAL type.
+    TypeError(&'static str),
+    /// Overflow, underflow or division by zero.
+    Arithmetic(&'static str),
+    /// The per-call opcode budget was exhausted.
+    BudgetExceeded {
+        /// The budget in force.
+        budget: u64,
+    },
+    /// Branch to an unknown label.
+    BadBranch(usize),
+    /// The grouped payment exceeds the sender's balance.
+    InsufficientPayment,
+    /// Creation program rejected.
+    CreateRejected,
+}
+
+impl std::fmt::Display for AvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AvmError::UnknownApp(id) => write!(f, "unknown application {id}"),
+            AvmError::StackError => write!(f, "stack underflow"),
+            AvmError::TypeError(msg) => write!(f, "type error: {msg}"),
+            AvmError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            AvmError::BudgetExceeded { budget } => write!(f, "opcode budget {budget} exceeded"),
+            AvmError::BadBranch(l) => write!(f, "branch to unknown label {l}"),
+            AvmError::InsufficientPayment => write!(f, "insufficient balance for payment"),
+            AvmError::CreateRejected => write!(f, "creation program rejected"),
+        }
+    }
+}
+
+impl std::error::Error for AvmError {}
+
+/// Parameters of an application call.
+#[derive(Debug, Clone)]
+pub struct AppCallParams {
+    /// The calling account.
+    pub sender: Address,
+    /// Application to call (`0` only internally, during creation).
+    pub app_id: u64,
+    /// Application arguments.
+    pub args: Vec<Vec<u8>>,
+    /// µAlgo payment grouped with the call (credited to the app account).
+    pub payment: u64,
+    /// Current round.
+    pub round: u64,
+    /// Latest block timestamp, seconds.
+    pub timestamp_s: u64,
+}
+
+impl AppCallParams {
+    /// Builds default parameters for calling `app_id` from `sender`.
+    pub fn new(sender: Address, app_id: u64) -> AppCallParams {
+        AppCallParams { sender, app_id, args: Vec::new(), payment: 0, round: 1, timestamp_s: 1 }
+    }
+
+    /// Sets the application arguments (builder style).
+    pub fn with_args(mut self, args: Vec<Vec<u8>>) -> AppCallParams {
+        self.args = args;
+        self
+    }
+
+    /// Sets the grouped payment (builder style).
+    pub fn with_payment(mut self, payment: u64) -> AppCallParams {
+        self.payment = payment;
+        self
+    }
+}
+
+/// Result of an application call.
+#[derive(Debug, Clone)]
+pub struct AppOutcome {
+    /// Whether the approval program approved.
+    pub approved: bool,
+    /// Opcode budget consumed.
+    pub cost: u64,
+    /// `log` records emitted.
+    pub logs: Vec<Vec<u8>>,
+    /// Inner payments executed (receiver, µAlgo).
+    pub inner_payments: Vec<(Address, u64)>,
+}
+
+/// The AVM application ledger.
+#[derive(Debug, Default)]
+pub struct Avm {
+    apps: HashMap<u64, AppState>,
+    next_app_id: u64,
+}
+
+/// µAlgo balances, threaded through calls by the chain simulator.
+pub type Balances = HashMap<Address, u128>;
+
+impl Avm {
+    /// Creates an empty ledger.
+    pub fn new() -> Avm {
+        Avm { apps: HashMap::new(), next_app_id: 1 }
+    }
+
+    /// Number of created applications.
+    pub fn app_count(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// The escrow address of an application account.
+    pub fn app_address(app_id: u64) -> Address {
+        let mut preimage = b"algorand-app".to_vec();
+        preimage.extend_from_slice(&app_id.to_be_bytes());
+        let digest = keccak256(&preimage);
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&digest[12..]);
+        Address(out)
+    }
+
+    /// Reads a global state value.
+    pub fn global(&self, app_id: u64, key: &[u8]) -> Option<TealValue> {
+        self.apps.get(&app_id).and_then(|a| a.global.get(key).cloned())
+    }
+
+    /// Reads a box.
+    pub fn box_value(&self, app_id: u64, key: &[u8]) -> Option<Vec<u8>> {
+        self.apps.get(&app_id).and_then(|a| a.boxes.get(key).cloned())
+    }
+
+    /// Number of boxes held by an app.
+    pub fn box_count(&self, app_id: u64) -> usize {
+        self.apps.get(&app_id).map_or(0, |a| a.boxes.len())
+    }
+
+    /// Creates an application: runs `program` once with
+    /// `ApplicationID == 0` (creation semantics); if it approves, the app
+    /// is installed and its id returned.
+    ///
+    /// # Errors
+    ///
+    /// Machine errors, or [`AvmError::CreateRejected`] if the creation run
+    /// rejects.
+    pub fn create_app(
+        &mut self,
+        creator: Address,
+        program: AvmProgram,
+        balances: &mut Balances,
+    ) -> Result<u64, AvmError> {
+        self.create_app_with_args(creator, program, Vec::new(), balances)
+    }
+
+    /// [`Avm::create_app`] with creation arguments (constructor values).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Avm::create_app`].
+    pub fn create_app_with_args(
+        &mut self,
+        creator: Address,
+        program: AvmProgram,
+        args: Vec<Vec<u8>>,
+        balances: &mut Balances,
+    ) -> Result<u64, AvmError> {
+        let app_id = self.next_app_id;
+        let state = AppState { program, global: HashMap::new(), boxes: HashMap::new(), creator };
+        self.apps.insert(app_id, state);
+        let params = AppCallParams {
+            sender: creator,
+            app_id,
+            args,
+            payment: 0,
+            round: 1,
+            timestamp_s: 1,
+        };
+        match self.run(&params, true, balances) {
+            Ok(outcome) if outcome.approved => {
+                self.next_app_id += 1;
+                Ok(app_id)
+            }
+            Ok(_) => {
+                self.apps.remove(&app_id);
+                Err(AvmError::CreateRejected)
+            }
+            Err(e) => {
+                self.apps.remove(&app_id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes an application call. State changes and inner payments are
+    /// rolled back when the program rejects.
+    ///
+    /// # Errors
+    ///
+    /// Machine errors ([`AvmError`]); rejection is NOT an error.
+    pub fn call(
+        &mut self,
+        params: AppCallParams,
+        balances: &mut Balances,
+    ) -> Result<AppOutcome, AvmError> {
+        if !self.apps.contains_key(&params.app_id) {
+            return Err(AvmError::UnknownApp(params.app_id));
+        }
+        self.run(&params, false, balances)
+    }
+
+    fn run(
+        &mut self,
+        params: &AppCallParams,
+        creating: bool,
+        balances: &mut Balances,
+    ) -> Result<AppOutcome, AvmError> {
+        let app_address = Avm::app_address(params.app_id);
+        let state_snapshot = self.apps[&params.app_id].clone();
+        let balance_snapshot = balances.clone();
+        // Apply the grouped payment first.
+        if params.payment > 0 {
+            let from = balances.entry(params.sender).or_insert(0);
+            if *from < u128::from(params.payment) {
+                return Err(AvmError::InsufficientPayment);
+            }
+            *from -= u128::from(params.payment);
+            *balances.entry(app_address).or_insert(0) += u128::from(params.payment);
+        }
+        let result = self.execute(params, creating, app_address, balances);
+        match &result {
+            Ok(outcome) if outcome.approved => {}
+            _ => {
+                // Reject or machine error: roll everything back.
+                self.apps.insert(params.app_id, state_snapshot);
+                *balances = balance_snapshot;
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(
+        &mut self,
+        params: &AppCallParams,
+        creating: bool,
+        app_address: Address,
+        balances: &mut Balances,
+    ) -> Result<AppOutcome, AvmError> {
+        let program = self.apps[&params.app_id].program.clone();
+        let mut stack: Vec<TealValue> = Vec::with_capacity(16);
+        let mut scratch: HashMap<u8, TealValue> = HashMap::new();
+        let mut pc = 0usize;
+        let mut cost = 0u64;
+        let mut logs = Vec::new();
+        let mut inner_payments = Vec::new();
+
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(AvmError::StackError)?
+            };
+        }
+        macro_rules! pop_int {
+            () => {
+                pop!().as_uint().ok_or(AvmError::TypeError("expected uint64"))?
+            };
+        }
+        macro_rules! pop_bytes {
+            () => {
+                match pop!() {
+                    TealValue::Bytes(b) => b,
+                    TealValue::Uint(_) => return Err(AvmError::TypeError("expected bytes")),
+                }
+            };
+        }
+        macro_rules! branch {
+            ($label:expr) => {{
+                pc = program.resolve($label).ok_or(AvmError::BadBranch($label))?;
+                continue;
+            }};
+        }
+
+        let ops = program.ops();
+        while pc < ops.len() {
+            let op = &ops[pc];
+            cost += cost::op_cost(op);
+            if cost > CALL_BUDGET {
+                return Err(AvmError::BudgetExceeded { budget: CALL_BUDGET });
+            }
+            pc += 1;
+            match op {
+                AvmOp::PushInt(v) => stack.push(TealValue::Uint(*v)),
+                AvmOp::PushBytes(b) => stack.push(TealValue::Bytes(b.clone())),
+                AvmOp::Add => {
+                    let (b, a) = (pop_int!(), pop_int!());
+                    stack.push(TealValue::Uint(
+                        a.checked_add(b).ok_or(AvmError::Arithmetic("overflow"))?,
+                    ));
+                }
+                AvmOp::Sub => {
+                    let (b, a) = (pop_int!(), pop_int!());
+                    stack.push(TealValue::Uint(
+                        a.checked_sub(b).ok_or(AvmError::Arithmetic("underflow"))?,
+                    ));
+                }
+                AvmOp::Mul => {
+                    let (b, a) = (pop_int!(), pop_int!());
+                    stack.push(TealValue::Uint(
+                        a.checked_mul(b).ok_or(AvmError::Arithmetic("overflow"))?,
+                    ));
+                }
+                AvmOp::Div => {
+                    let (b, a) = (pop_int!(), pop_int!());
+                    stack.push(TealValue::Uint(
+                        a.checked_div(b).ok_or(AvmError::Arithmetic("division by zero"))?,
+                    ));
+                }
+                AvmOp::Mod => {
+                    let (b, a) = (pop_int!(), pop_int!());
+                    stack.push(TealValue::Uint(
+                        a.checked_rem(b).ok_or(AvmError::Arithmetic("modulo zero"))?,
+                    ));
+                }
+                AvmOp::Lt => cmp_int(&mut stack, |a, b| a < b)?,
+                AvmOp::Gt => cmp_int(&mut stack, |a, b| a > b)?,
+                AvmOp::Le => cmp_int(&mut stack, |a, b| a <= b)?,
+                AvmOp::Ge => cmp_int(&mut stack, |a, b| a >= b)?,
+                AvmOp::Eq => {
+                    let (b, a) = (pop!(), pop!());
+                    stack.push(TealValue::Uint(u64::from(a == b)));
+                }
+                AvmOp::Ne => {
+                    let (b, a) = (pop!(), pop!());
+                    stack.push(TealValue::Uint(u64::from(a != b)));
+                }
+                AvmOp::AndL => cmp_int(&mut stack, |a, b| a != 0 && b != 0)?,
+                AvmOp::OrL => cmp_int(&mut stack, |a, b| a != 0 || b != 0)?,
+                AvmOp::NotL => {
+                    let a = pop_int!();
+                    stack.push(TealValue::Uint(u64::from(a == 0)));
+                }
+                AvmOp::Sha256 => {
+                    let b = pop_bytes!();
+                    stack.push(TealValue::Bytes(sha256(&b).to_vec()));
+                }
+                AvmOp::Keccak256 => {
+                    let b = pop_bytes!();
+                    stack.push(TealValue::Bytes(keccak256(&b).to_vec()));
+                }
+                AvmOp::Concat => {
+                    let b = pop_bytes!();
+                    let mut a = pop_bytes!();
+                    a.extend_from_slice(&b);
+                    stack.push(TealValue::Bytes(a));
+                }
+                AvmOp::Len => {
+                    let b = pop_bytes!();
+                    stack.push(TealValue::Uint(b.len() as u64));
+                }
+                AvmOp::Itob => {
+                    let v = pop_int!();
+                    stack.push(TealValue::Bytes(v.to_be_bytes().to_vec()));
+                }
+                AvmOp::Btoi => {
+                    let b = pop_bytes!();
+                    if b.len() > 8 {
+                        return Err(AvmError::TypeError("btoi input longer than 8 bytes"));
+                    }
+                    let mut buf = [0u8; 8];
+                    buf[8 - b.len()..].copy_from_slice(&b);
+                    stack.push(TealValue::Uint(u64::from_be_bytes(buf)));
+                }
+                AvmOp::Dup => {
+                    let v = stack.last().ok_or(AvmError::StackError)?.clone();
+                    stack.push(v);
+                }
+                AvmOp::Swap => {
+                    let len = stack.len();
+                    if len < 2 {
+                        return Err(AvmError::StackError);
+                    }
+                    stack.swap(len - 1, len - 2);
+                }
+                AvmOp::Pop => {
+                    let _ = pop!();
+                }
+                AvmOp::Store(slot) => {
+                    let v = pop!();
+                    scratch.insert(*slot, v);
+                }
+                AvmOp::Load(slot) => {
+                    stack.push(scratch.get(slot).cloned().unwrap_or(TealValue::Uint(0)));
+                }
+                AvmOp::Txn(field) => stack.push(match field {
+                    TxnField::Sender => TealValue::Bytes(params.sender.0.to_vec()),
+                    TxnField::ApplicationId => {
+                        TealValue::Uint(if creating { 0 } else { params.app_id })
+                    }
+                    TxnField::NumAppArgs => TealValue::Uint(params.args.len() as u64),
+                    TxnField::Amount => TealValue::Uint(params.payment),
+                }),
+                AvmOp::TxnArg(i) => {
+                    let arg = params.args.get(*i as usize).cloned().unwrap_or_default();
+                    stack.push(TealValue::Bytes(arg));
+                }
+                AvmOp::Global(field) => stack.push(match field {
+                    GlobalField::Round => TealValue::Uint(params.round),
+                    GlobalField::LatestTimestamp => TealValue::Uint(params.timestamp_s),
+                    GlobalField::CurrentApplicationId => TealValue::Uint(params.app_id),
+                }),
+                AvmOp::B(l) => branch!(*l),
+                AvmOp::Bz(l) => {
+                    if pop_int!() == 0 {
+                        branch!(*l);
+                    }
+                }
+                AvmOp::Bnz(l) => {
+                    if pop_int!() != 0 {
+                        branch!(*l);
+                    }
+                }
+                AvmOp::Label(_) => {}
+                AvmOp::Assert => {
+                    if pop_int!() == 0 {
+                        return Ok(AppOutcome { approved: false, cost, logs, inner_payments });
+                    }
+                }
+                AvmOp::AppGlobalPut => {
+                    let value = pop!();
+                    let key = pop_bytes!();
+                    let app = self.apps.get_mut(&params.app_id).expect("checked");
+                    app.global.insert(key, value);
+                }
+                AvmOp::AppGlobalGet => {
+                    let key = pop_bytes!();
+                    let app = &self.apps[&params.app_id];
+                    match app.global.get(&key) {
+                        Some(v) => {
+                            stack.push(v.clone());
+                            stack.push(TealValue::Uint(1));
+                        }
+                        None => {
+                            stack.push(TealValue::Uint(0));
+                            stack.push(TealValue::Uint(0));
+                        }
+                    }
+                }
+                AvmOp::BoxPut => {
+                    let value = pop_bytes!();
+                    let key = pop_bytes!();
+                    let app = self.apps.get_mut(&params.app_id).expect("checked");
+                    app.boxes.insert(key, value);
+                }
+                AvmOp::BoxGet => {
+                    let key = pop_bytes!();
+                    let app = &self.apps[&params.app_id];
+                    match app.boxes.get(&key) {
+                        Some(v) => {
+                            stack.push(TealValue::Bytes(v.clone()));
+                            stack.push(TealValue::Uint(1));
+                        }
+                        None => {
+                            stack.push(TealValue::Bytes(Vec::new()));
+                            stack.push(TealValue::Uint(0));
+                        }
+                    }
+                }
+                AvmOp::BoxDel => {
+                    let key = pop_bytes!();
+                    let app = self.apps.get_mut(&params.app_id).expect("checked");
+                    let existed = app.boxes.remove(&key).is_some();
+                    stack.push(TealValue::Uint(u64::from(existed)));
+                }
+                AvmOp::InnerPay => {
+                    let amount = pop_int!();
+                    let receiver_bytes = pop_bytes!();
+                    if receiver_bytes.len() != 20 {
+                        return Err(AvmError::TypeError("receiver must be a 20-byte address"));
+                    }
+                    let mut addr = [0u8; 20];
+                    addr.copy_from_slice(&receiver_bytes);
+                    let receiver = Address(addr);
+                    let app_balance = balances.entry(app_address).or_insert(0);
+                    if *app_balance < u128::from(amount) {
+                        // Inner transaction failure rejects the whole call.
+                        return Ok(AppOutcome { approved: false, cost, logs, inner_payments });
+                    }
+                    *app_balance -= u128::from(amount);
+                    *balances.entry(receiver).or_insert(0) += u128::from(amount);
+                    inner_payments.push((receiver, amount));
+                }
+                AvmOp::Log => {
+                    let b = pop_bytes!();
+                    logs.push(b);
+                }
+                AvmOp::AppBalance => {
+                    let bal = balances.get(&app_address).copied().unwrap_or(0);
+                    stack.push(TealValue::Uint(bal.min(u128::from(u64::MAX)) as u64));
+                }
+                AvmOp::Return => {
+                    let approved = pop_int!() != 0;
+                    return Ok(AppOutcome { approved, cost, logs, inner_payments });
+                }
+            }
+        }
+        // Falling off the end rejects, as on the real AVM.
+        Ok(AppOutcome { approved: false, cost, logs, inner_payments })
+    }
+}
+
+fn cmp_int(
+    stack: &mut Vec<TealValue>,
+    f: impl Fn(u64, u64) -> bool,
+) -> Result<(), AvmError> {
+    let b = stack
+        .pop()
+        .ok_or(AvmError::StackError)?
+        .as_uint()
+        .ok_or(AvmError::TypeError("expected uint64"))?;
+    let a = stack
+        .pop()
+        .ok_or(AvmError::StackError)?
+        .as_uint()
+        .ok_or(AvmError::TypeError("expected uint64"))?;
+    stack.push(TealValue::Uint(u64::from(f(a, b))));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::AvmOp::*;
+
+    fn approve_program(body: Vec<AvmOp>) -> AvmProgram {
+        let mut ops = body;
+        ops.push(PushInt(1));
+        ops.push(Return);
+        AvmProgram::new(ops)
+    }
+
+    fn setup(body: Vec<AvmOp>) -> (Avm, u64, Balances) {
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        let id = avm
+            .create_app(Address::ZERO, approve_program(body), &mut balances)
+            .unwrap();
+        (avm, id, balances)
+    }
+
+    #[test]
+    fn create_and_call() {
+        let (mut avm, id, mut balances) = setup(vec![]);
+        let out = avm.call(AppCallParams::new(Address::ZERO, id), &mut balances).unwrap();
+        assert!(out.approved);
+        assert_eq!(avm.app_count(), 1);
+    }
+
+    #[test]
+    fn rejecting_create_fails() {
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        let program = AvmProgram::new(vec![PushInt(0), Return]);
+        assert_eq!(
+            avm.create_app(Address::ZERO, program, &mut balances),
+            Err(AvmError::CreateRejected)
+        );
+        assert_eq!(avm.app_count(), 0);
+    }
+
+    #[test]
+    fn global_state_round_trip() {
+        let body = vec![
+            PushBytes(b"Creator".to_vec()),
+            Txn(TxnField::Sender),
+            AppGlobalPut,
+        ];
+        let (avm, id, _) = setup(body);
+        assert_eq!(
+            avm.global(id, b"Creator"),
+            Some(TealValue::Bytes(Address::ZERO.0.to_vec()))
+        );
+    }
+
+    #[test]
+    fn boxes_round_trip() {
+        // On create: put box. On call: read it, check presence, delete it.
+        let lbl_create = 0;
+        let ops = vec![
+            Txn(TxnField::ApplicationId),
+            Bz(lbl_create),
+            PushBytes(b"did-1".to_vec()),
+            BoxGet,
+            Assert, // present
+            PushBytes(b"proof".to_vec()),
+            Eq,
+            Assert, // value matches
+            PushBytes(b"did-1".to_vec()),
+            BoxDel,
+            Assert, // existed
+            PushInt(1),
+            Return,
+            Label(lbl_create),
+            PushBytes(b"did-1".to_vec()),
+            PushBytes(b"proof".to_vec()),
+            BoxPut,
+            PushInt(1),
+            Return,
+        ];
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        let id = avm.create_app(Address::ZERO, AvmProgram::new(ops), &mut balances).unwrap();
+        assert_eq!(avm.box_value(id, b"did-1").as_deref(), Some(&b"proof"[..]));
+        let out = avm.call(AppCallParams::new(Address::ZERO, id), &mut balances).unwrap();
+        assert!(out.approved);
+        assert_eq!(avm.box_value(id, b"did-1"), None);
+        assert_eq!(avm.box_count(id), 0);
+    }
+
+    #[test]
+    fn arithmetic_overflow_is_error() {
+        let body = vec![PushInt(u64::MAX), PushInt(1), Add, Pop];
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        let err = avm
+            .create_app(Address::ZERO, approve_program(body), &mut balances)
+            .unwrap_err();
+        assert_eq!(err, AvmError::Arithmetic("overflow"));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        // A loop that never terminates must exhaust the budget.
+        let body = vec![Label(0), PushInt(1), Pop, B(0)];
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        let err = avm
+            .create_app(Address::ZERO, approve_program(body), &mut balances)
+            .unwrap_err();
+        assert_eq!(err, AvmError::BudgetExceeded { budget: CALL_BUDGET });
+    }
+
+    #[test]
+    fn rejection_rolls_back_state() {
+        // Approve at creation (app_id==0 path), write a box then reject on call.
+        let lbl_create = 0;
+        let ops = vec![
+            Txn(TxnField::ApplicationId),
+            Bz(lbl_create),
+            PushBytes(b"k".to_vec()),
+            PushBytes(b"v".to_vec()),
+            BoxPut,
+            PushInt(0),
+            Return,
+            Label(lbl_create),
+            PushInt(1),
+            Return,
+        ];
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        let id = avm.create_app(Address::ZERO, AvmProgram::new(ops), &mut balances).unwrap();
+        let out = avm.call(AppCallParams::new(Address::ZERO, id), &mut balances).unwrap();
+        assert!(!out.approved);
+        assert_eq!(avm.box_value(id, b"k"), None, "rejected writes must roll back");
+    }
+
+    #[test]
+    fn payment_and_inner_pay() {
+        // On call: pay 300 to the sender from the app account.
+        let lbl_create = 0;
+        let sender = Address([7; 20]);
+        let ops = vec![
+            Txn(TxnField::ApplicationId),
+            Bz(lbl_create),
+            Txn(TxnField::Sender),
+            PushInt(300),
+            InnerPay,
+            PushInt(1),
+            Return,
+            Label(lbl_create),
+            PushInt(1),
+            Return,
+        ];
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        balances.insert(sender, 10_000);
+        let id = avm.create_app(Address::ZERO, AvmProgram::new(ops), &mut balances).unwrap();
+        let out = avm
+            .call(
+                AppCallParams::new(sender, id).with_payment(1_000),
+                &mut balances,
+            )
+            .unwrap();
+        assert!(out.approved);
+        assert_eq!(out.inner_payments, vec![(sender, 300)]);
+        // Sender paid 1000 in, got 300 back.
+        assert_eq!(balances[&sender], 10_000 - 1_000 + 300);
+        assert_eq!(balances[&Avm::app_address(id)], 700);
+    }
+
+    #[test]
+    fn insufficient_inner_pay_rejects_and_rolls_back() {
+        let lbl_create = 0;
+        let sender = Address([8; 20]);
+        let ops = vec![
+            Txn(TxnField::ApplicationId),
+            Bz(lbl_create),
+            Txn(TxnField::Sender),
+            PushInt(1_000_000),
+            InnerPay,
+            PushInt(1),
+            Return,
+            Label(lbl_create),
+            PushInt(1),
+            Return,
+        ];
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        balances.insert(sender, 5_000);
+        let id = avm.create_app(Address::ZERO, AvmProgram::new(ops), &mut balances).unwrap();
+        let out = avm
+            .call(AppCallParams::new(sender, id).with_payment(2_000), &mut balances)
+            .unwrap();
+        assert!(!out.approved);
+        // Payment rolled back too.
+        assert_eq!(balances[&sender], 5_000);
+    }
+
+    #[test]
+    fn concat_len_itob_btoi() {
+        let body = vec![
+            PushBytes(b"ab".to_vec()),
+            PushBytes(b"cd".to_vec()),
+            Concat,
+            Len,
+            Itob,
+            Btoi,
+            PushInt(4),
+            Eq,
+            Assert,
+        ];
+        let (_, id, _) = setup(body);
+        assert!(id > 0);
+    }
+
+    #[test]
+    fn unknown_app_rejected() {
+        let mut avm = Avm::new();
+        let mut balances = Balances::new();
+        assert!(matches!(
+            avm.call(AppCallParams::new(Address::ZERO, 42), &mut balances),
+            Err(AvmError::UnknownApp(42))
+        ));
+    }
+}

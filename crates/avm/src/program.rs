@@ -1,0 +1,70 @@
+//! Programs and label resolution.
+
+use crate::opcode::AvmOp;
+use std::collections::HashMap;
+
+/// An AVM program with resolved branch targets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AvmProgram {
+    ops: Vec<AvmOp>,
+    /// label id → instruction index.
+    labels: HashMap<usize, usize>,
+}
+
+impl AvmProgram {
+    /// Builds a program, indexing its labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a label id appears twice — programs are built by the
+    /// compiler backend, so this is a codegen bug, not an input error.
+    pub fn new(ops: Vec<AvmOp>) -> AvmProgram {
+        let mut labels = HashMap::new();
+        for (idx, op) in ops.iter().enumerate() {
+            if let AvmOp::Label(id) = op {
+                let prev = labels.insert(*id, idx);
+                assert!(prev.is_none(), "duplicate label {id}");
+            }
+        }
+        AvmProgram { ops, labels }
+    }
+
+    /// The instruction list.
+    pub fn ops(&self) -> &[AvmOp] {
+        &self.ops
+    }
+
+    /// Resolves a label to its instruction index.
+    pub fn resolve(&self, label: usize) -> Option<usize> {
+        self.labels.get(&label).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve() {
+        let p = AvmProgram::new(vec![AvmOp::PushInt(1), AvmOp::Label(7), AvmOp::Return]);
+        assert_eq!(p.resolve(7), Some(1));
+        assert_eq!(p.resolve(8), None);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_panic() {
+        let _ = AvmProgram::new(vec![AvmOp::Label(1), AvmOp::Label(1)]);
+    }
+}

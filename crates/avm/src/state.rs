@@ -1,0 +1,65 @@
+//! Application state: typed values, global state and boxes.
+
+use std::collections::HashMap;
+
+/// A TEAL stack/state value: the AVM is bi-typed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TealValue {
+    /// A 64-bit unsigned integer.
+    Uint(u64),
+    /// An octet string (up to 4 KiB on the real AVM).
+    Bytes(Vec<u8>),
+}
+
+impl TealValue {
+    /// The integer value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for byte values.
+    pub fn as_uint(&self) -> Option<u64> {
+        match self {
+            TealValue::Uint(v) => Some(*v),
+            TealValue::Bytes(_) => None,
+        }
+    }
+
+    /// The byte value.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` for integer values.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            TealValue::Bytes(b) => Some(b),
+            TealValue::Uint(_) => None,
+        }
+    }
+}
+
+/// Persistent state of one application.
+#[derive(Debug, Clone, Default)]
+pub struct AppState {
+    /// The approval program.
+    pub program: crate::program::AvmProgram,
+    /// Global key-value state.
+    pub global: HashMap<Vec<u8>, TealValue>,
+    /// Box storage (the map the contract keeps per prover DID).
+    pub boxes: HashMap<Vec<u8>, Vec<u8>>,
+    /// Creator address.
+    pub creator: pol_ledger::Address,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(TealValue::Uint(7).as_uint(), Some(7));
+        assert_eq!(TealValue::Uint(7).as_bytes(), None);
+        let b = TealValue::Bytes(vec![1, 2]);
+        assert_eq!(b.as_bytes(), Some(&[1u8, 2][..]));
+        assert_eq!(b.as_uint(), None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Rendering programs as TEAL-like assembly text.
+//!
+//! The paper shows (Fig. 1.7) the TEAL source the Reach compiler emits for
+//! Algorand; this module produces the equivalent human-readable listing of
+//! an [`crate::AvmProgram`], which the docs and the conservative-analysis
+//! report embed.
+
+use crate::opcode::{AvmOp, GlobalField, TxnField};
+use crate::program::AvmProgram;
+
+/// Renders a program as TEAL-like assembly.
+pub fn render(program: &AvmProgram) -> String {
+    let mut out = String::from("#pragma version 8\n");
+    for op in program.ops() {
+        match op {
+            AvmOp::Label(id) => out.push_str(&format!("label_{id}:\n")),
+            other => {
+                out.push_str("    ");
+                out.push_str(&render_op(other));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn render_op(op: &AvmOp) -> String {
+    match op {
+        AvmOp::PushInt(v) => format!("int {v}"),
+        AvmOp::PushBytes(b) => match std::str::from_utf8(b) {
+            Ok(s) if s.chars().all(|c| c.is_ascii_graphic() || c == ' ') => {
+                format!("byte \"{s}\"")
+            }
+            _ => format!("byte 0x{}", pol_crypto::hex::encode(b)),
+        },
+        AvmOp::Add => "+".into(),
+        AvmOp::Sub => "-".into(),
+        AvmOp::Mul => "*".into(),
+        AvmOp::Div => "/".into(),
+        AvmOp::Mod => "%".into(),
+        AvmOp::Lt => "<".into(),
+        AvmOp::Gt => ">".into(),
+        AvmOp::Le => "<=".into(),
+        AvmOp::Ge => ">=".into(),
+        AvmOp::Eq => "==".into(),
+        AvmOp::Ne => "!=".into(),
+        AvmOp::AndL => "&&".into(),
+        AvmOp::OrL => "||".into(),
+        AvmOp::NotL => "!".into(),
+        AvmOp::Sha256 => "sha256".into(),
+        AvmOp::Keccak256 => "keccak256".into(),
+        AvmOp::Concat => "concat".into(),
+        AvmOp::Len => "len".into(),
+        AvmOp::Itob => "itob".into(),
+        AvmOp::Btoi => "btoi".into(),
+        AvmOp::Dup => "dup".into(),
+        AvmOp::Swap => "swap".into(),
+        AvmOp::Pop => "pop".into(),
+        AvmOp::Store(s) => format!("store {s}"),
+        AvmOp::Load(s) => format!("load {s}"),
+        AvmOp::Txn(TxnField::Sender) => "txn Sender".into(),
+        AvmOp::Txn(TxnField::ApplicationId) => "txn ApplicationID".into(),
+        AvmOp::Txn(TxnField::NumAppArgs) => "txn NumAppArgs".into(),
+        AvmOp::Txn(TxnField::Amount) => "txn Amount".into(),
+        AvmOp::TxnArg(i) => format!("txna ApplicationArgs {i}"),
+        AvmOp::Global(GlobalField::Round) => "global Round".into(),
+        AvmOp::Global(GlobalField::LatestTimestamp) => "global LatestTimestamp".into(),
+        AvmOp::Global(GlobalField::CurrentApplicationId) => "global CurrentApplicationID".into(),
+        AvmOp::B(l) => format!("b label_{l}"),
+        AvmOp::Bz(l) => format!("bz label_{l}"),
+        AvmOp::Bnz(l) => format!("bnz label_{l}"),
+        AvmOp::Label(l) => format!("label_{l}:"),
+        AvmOp::Assert => "assert".into(),
+        AvmOp::AppGlobalPut => "app_global_put".into(),
+        AvmOp::AppGlobalGet => "app_global_get_ex".into(),
+        AvmOp::BoxPut => "box_put".into(),
+        AvmOp::BoxGet => "box_get".into(),
+        AvmOp::BoxDel => "box_del".into(),
+        AvmOp::InnerPay => "itxn_submit // pay".into(),
+        AvmOp::Log => "log".into(),
+        AvmOp::AppBalance => "balance".into(),
+        AvmOp::Return => "return".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::AvmOp::*;
+
+    #[test]
+    fn renders_readable_listing() {
+        let program = AvmProgram::new(vec![
+            Txn(TxnField::ApplicationId),
+            Bz(0),
+            PushBytes(b"Creator".to_vec()),
+            Txn(TxnField::Sender),
+            AppGlobalPut,
+            Label(0),
+            PushInt(1),
+            Return,
+        ]);
+        let text = render(&program);
+        assert!(text.contains("#pragma version 8"));
+        assert!(text.contains("txn ApplicationID"));
+        assert!(text.contains("bz label_0"));
+        assert!(text.contains("byte \"Creator\""));
+        assert!(text.contains("label_0:"));
+        assert!(text.contains("app_global_put"));
+    }
+
+    #[test]
+    fn non_ascii_bytes_render_hex() {
+        let program = AvmProgram::new(vec![PushBytes(vec![0xff, 0x00])]);
+        assert!(render(&program).contains("byte 0xff00"));
+    }
+}

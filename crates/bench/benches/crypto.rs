@@ -1,0 +1,68 @@
+//! Micro-benchmarks of the cryptographic substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pol_crypto::ed25519::Keypair;
+use pol_crypto::x25519::XKeypair;
+use pol_crypto::{keccak256, sealed, sha256, vrf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [32usize, 1024] {
+        let data = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("sha256/{size}"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+        group.bench_function(format!("keccak256/{size}"), |b| {
+            b.iter(|| keccak256(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn signatures(c: &mut Criterion) {
+    let kp = Keypair::from_seed(&[7u8; 32]);
+    let msg = [0x5au8; 96];
+    let sig = kp.sign(&msg);
+    c.bench_function("ed25519/sign", |b| b.iter(|| kp.sign(black_box(&msg))));
+    c.bench_function("ed25519/verify", |b| {
+        b.iter(|| assert!(kp.public.verify(black_box(&msg), &sig)))
+    });
+    c.bench_function("ed25519/keygen", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let mut seed = [0u8; 32];
+            seed[..8].copy_from_slice(&i.to_le_bytes());
+            Keypair::from_seed(black_box(&seed))
+        })
+    });
+}
+
+fn vrf_and_boxes(c: &mut Criterion) {
+    let kp = Keypair::from_seed(&[9u8; 32]);
+    let (_, proof) = vrf::prove(&kp, b"round 1");
+    c.bench_function("vrf/prove", |b| b.iter(|| vrf::prove(&kp, black_box(b"round 1"))));
+    c.bench_function("vrf/verify", |b| {
+        b.iter(|| vrf::verify(&kp.public, black_box(b"round 1"), &proof).unwrap())
+    });
+
+    let recipient = XKeypair::from_seed(&[4u8; 32]);
+    let payload = [0x11u8; 32];
+    c.bench_function("sealed/seal+open", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| {
+                let boxed = sealed::seal(&mut rng, &recipient.public, black_box(&payload));
+                sealed::open(&recipient, &boxed).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, hashes, signatures, vrf_and_boxes);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Compiler-pipeline benchmarks and the factory ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pol_core::contract::pol_program;
+use pol_core::factory::Factory;
+use pol_lang::backend::AbiValue;
+use pol_lang::{analyze, backend, check, verify};
+use std::hint::black_box;
+
+fn pipeline(c: &mut Criterion) {
+    let program = pol_program();
+    c.bench_function("lang/check", |b| b.iter(|| check::check(black_box(&program))));
+    c.bench_function("lang/verify", |b| b.iter(|| verify::verify(black_box(&program))));
+    c.bench_function("lang/analyze", |b| {
+        b.iter(|| analyze::analyze(black_box(&program)).unwrap())
+    });
+    c.bench_function("lang/compile-both-backends", |b| {
+        b.iter(|| backend::compile(black_box(&program)).unwrap())
+    });
+}
+
+fn factory_ablation(c: &mut Criterion) {
+    // Factory pattern vs. naive per-area compilation: the factory
+    // compiles (and verifies) the template once and stamps instances;
+    // without it every deployment repeats the whole pipeline.
+    let mut group = c.benchmark_group("factory-ablation");
+    let args = vec![
+        AbiValue::Word(1),
+        AbiValue::Bytes(b"8FPHF8VV+X2".to_vec()),
+        AbiValue::Word(4),
+        AbiValue::Word(1_000),
+    ];
+    group.bench_function("with-factory", |b| {
+        let factory = Factory::new(pol_program()).unwrap();
+        b.iter(|| factory.evm_init_code(black_box(&args)).unwrap())
+    });
+    group.bench_function("naive-per-area", |b| {
+        b.iter(|| {
+            let factory = Factory::new(pol_program()).unwrap();
+            factory.evm_init_code(black_box(&args)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pipeline, factory_ablation);
+criterion_main!(benches);

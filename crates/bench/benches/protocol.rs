@@ -1,0 +1,69 @@
+//! Protocol-level benchmarks: proof issue/verify (with the witness-list
+//! sweep ablation) and the end-to-end submission flow on a devnet.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pol_chainsim::presets;
+use pol_core::proof::{LocationProof, ProofRequest, SubmittedEntry};
+use pol_core::system::{PolSystem, SystemConfig};
+use pol_crypto::ed25519::PublicKey;
+use pol_did::Identity;
+use pol_dfs::Cid;
+use pol_geo::{olc, Coordinates};
+use pol_ledger::Address;
+use std::hint::black_box;
+
+fn proof_ops(c: &mut Criterion) {
+    let prover = Identity::from_seed(1);
+    let witness = Identity::from_seed(2);
+    let request = ProofRequest {
+        did: prover.did.clone(),
+        olc: olc::encode(Coordinates::new(44.4949, 11.3426).unwrap(), 10).unwrap(),
+        nonce: 7,
+        cid: Cid::for_content(b"report"),
+        wallet: Address::from_public_key(&prover.signing.public),
+    };
+    c.bench_function("proof/issue", |b| {
+        b.iter(|| LocationProof::issue(&witness.signing, black_box(request.clone())))
+    });
+
+    // Witness-list sweep: verification cost as the authority's list
+    // grows (the verifier scans it for the signing witness).
+    let proof = LocationProof::issue(&witness.signing, request);
+    let mut group = c.benchmark_group("proof-verify-witnesses");
+    for n in [1usize, 16, 256] {
+        let mut list: Vec<PublicKey> = (0..n as u64 - 1)
+            .map(|i| Identity::from_seed(1000 + i).signing.public)
+            .collect();
+        list.push(witness.signing.public);
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| proof.verify(black_box(&list)).unwrap())
+        });
+    }
+    group.finish();
+
+    let entry = SubmittedEntry::from_proof(&proof);
+    c.bench_function("proof/entry-roundtrip", |b| {
+        b.iter(|| SubmittedEntry::from_bytes(&black_box(&entry).to_bytes()).unwrap())
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    c.bench_function("e2e/submit-report-devnet", |b| {
+        b.iter_batched(
+            || {
+                let config = SystemConfig { max_users: 1, ..SystemConfig::default() };
+                let mut system = PolSystem::new(presets::devnet_algo().build(1), config);
+                let p = system.register_prover(44.4949, 11.3426).unwrap();
+                let w = system.register_witness(44.49491, 11.34261).unwrap();
+                (system, p, w)
+            },
+            |(mut system, p, w)| {
+                system.submit_report(p, w, b"bench report".to_vec()).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, proof_ops, end_to_end);
+criterion_main!(benches);

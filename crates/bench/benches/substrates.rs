@@ -1,0 +1,136 @@
+//! Substrate benchmarks and the DESIGN.md ablations:
+//!
+//! * `routing/*` — hypercube greedy routing vs. the random-walk baseline
+//!   (does the topology actually cut hops?);
+//! * `rbit/*` — the OLC→r-bit encoding across r (dispersion/cost sweep);
+//! * `olc`, `dfs`, `did-auth` — per-operation costs of the other
+//!   substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pol_dfs::DfsNetwork;
+use pol_did::{auth, DidRegistry, Identity};
+use pol_geo::{olc, rbit, Coordinates, RBitKey};
+use pol_hypercube::{routing, Hypercube};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn routing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    let r = 10u8;
+    let pairs: Vec<(RBitKey, RBitKey)> = {
+        let mut rng = StdRng::seed_from_u64(1);
+        (0..64)
+            .map(|_| {
+                (
+                    RBitKey::from_bits(rng.gen(), r),
+                    RBitKey::from_bits(rng.gen(), r),
+                )
+            })
+            .collect()
+    };
+    group.bench_function("hamming-greedy", |b| {
+        b.iter(|| {
+            let mut hops = 0u32;
+            for (s, t) in &pairs {
+                hops += routing::route(*s, *t, u32::from(r), |_| true).unwrap().hops();
+            }
+            black_box(hops)
+        })
+    });
+    group.bench_function("random-walk-baseline", |b| {
+        b.iter(|| {
+            let mut hops = 0u32;
+            for (s, t) in &pairs {
+                // The baseline can cycle; a budget overrun counts as the
+                // budget (it only makes the baseline look better).
+                hops += routing::random_walk_route(*s, *t, 4_096)
+                    .map(|r| r.hops())
+                    .unwrap_or(4_096);
+            }
+            black_box(hops)
+        })
+    });
+    group.finish();
+}
+
+fn rbit_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbit");
+    let codes: Vec<_> = (0..32)
+        .map(|i| {
+            olc::encode(
+                Coordinates::new(44.0 + 0.01 * f64::from(i), 11.0 + 0.01 * f64::from(i)).unwrap(),
+                10,
+            )
+            .unwrap()
+        })
+        .collect();
+    for r in [4u8, 8, 16] {
+        group.bench_function(format!("encode/r={r}"), |b| {
+            b.iter(|| {
+                for code in &codes {
+                    black_box(rbit::encode(code, r));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn olc_codec(c: &mut Criterion) {
+    let point = Coordinates::new(44.4949, 11.3426).unwrap();
+    let code = olc::encode(point, 10).unwrap();
+    c.bench_function("olc/encode", |b| b.iter(|| olc::encode(black_box(point), 10).unwrap()));
+    c.bench_function("olc/decode", |b| b.iter(|| black_box(&code).decode()));
+}
+
+fn hypercube_ops(c: &mut Criterion) {
+    let dht = Hypercube::new(10);
+    let code = olc::encode(Coordinates::new(44.4949, 11.3426).unwrap(), 10).unwrap();
+    dht.register_contract(&code, "app:1").unwrap();
+    c.bench_function("hypercube/lookup", |b| {
+        b.iter(|| dht.find_contract(black_box(&code)).unwrap())
+    });
+}
+
+fn dfs_ops(c: &mut Criterion) {
+    let dfs = DfsNetwork::new();
+    let peer = dfs.create_peer();
+    let data = vec![0x42u8; 1024];
+    let cid = dfs.add(peer, data.clone()).unwrap();
+    c.bench_function("dfs/add", |b| {
+        let mut n = 0u32;
+        b.iter(|| {
+            n += 1;
+            let mut d = data.clone();
+            d[0] = n as u8;
+            d[1] = (n >> 8) as u8;
+            dfs.add(peer, d).unwrap()
+        })
+    });
+    c.bench_function("dfs/get", |b| b.iter(|| dfs.get(black_box(&cid)).unwrap()));
+}
+
+fn did_auth_round(c: &mut Criterion) {
+    let registry = DidRegistry::new();
+    let alice = Identity::from_seed(1);
+    registry.register_identity(&alice, 0).unwrap();
+    c.bench_function("did/challenge-response", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let doc = registry.resolve(&alice.did).unwrap();
+            auth::authenticate(&mut rng, &doc, &alice).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    routing_ablation,
+    rbit_sweep,
+    olc_codec,
+    hypercube_ops,
+    dfs_ops,
+    did_auth_round
+);
+criterion_main!(benches);

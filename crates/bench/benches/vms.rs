@@ -1,0 +1,138 @@
+//! Virtual-machine and fee-market benchmarks, including the congestion
+//! sweep ablation (how each fee regime responds to load).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pol_chainsim::{feemarket, CongestionModel};
+use pol_core::contract::pol_program;
+use pol_lang::backend::{compile, AbiValue};
+use pol_ledger::Address;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn ctor_args() -> Vec<AbiValue> {
+    vec![
+        AbiValue::Word(1),
+        AbiValue::Bytes(b"8FPHF8VV+X2".to_vec()),
+        AbiValue::Word(4),
+        AbiValue::Word(1_000),
+    ]
+}
+
+fn insert_args(did: u128) -> Vec<AbiValue> {
+    vec![
+        AbiValue::Bytes(vec![0x77u8; pol_core::proof::ENTRY_CAPACITY]),
+        AbiValue::Word(did),
+    ]
+}
+
+fn evm_pol_contract(c: &mut Criterion) {
+    let compiled = compile(&pol_program()).unwrap();
+    let init = compiled.evm.init_with_args(&ctor_args()).unwrap();
+    c.bench_function("evm/deploy-pol", |b| {
+        b.iter(|| {
+            let mut evm = pol_evm::Evm::new();
+            let mut balances = pol_evm::interpreter::Balances::new();
+            evm.deploy(Address::ZERO, black_box(&init), 30_000_000, &mut balances)
+                .unwrap()
+                .1
+                .gas_used
+        })
+    });
+    c.bench_function("evm/insert-pol", |b| {
+        let mut evm = pol_evm::Evm::new();
+        let mut balances = pol_evm::interpreter::Balances::new();
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let mut did = 0u128;
+        b.iter(|| {
+            did += 1;
+            // Re-deploy when all seats fill (every 4 inserts is cheap
+            // enough to dominate measurement noise negligibly).
+            let data = compiled.evm.encode_call("insert_data", &insert_args(did)).unwrap();
+            let out = evm
+                .call(
+                    pol_evm::CallParams::new(Address([did as u8; 20]), addr).with_data(data),
+                    &mut balances,
+                )
+                .unwrap();
+            black_box(out.gas_used)
+        })
+    });
+}
+
+fn avm_pol_contract(c: &mut Criterion) {
+    let compiled = compile(&pol_program()).unwrap();
+    let create_args = compiled.avm.encode_create_args(&ctor_args()).unwrap();
+    c.bench_function("avm/create-pol", |b| {
+        b.iter(|| {
+            let mut avm = pol_avm::Avm::new();
+            let mut balances = pol_avm::interpreter::Balances::new();
+            avm.create_app_with_args(
+                Address::ZERO,
+                compiled.avm.program.clone(),
+                create_args.clone(),
+                &mut balances,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("avm/insert-pol", |b| {
+        let mut avm = pol_avm::Avm::new();
+        let mut balances = pol_avm::interpreter::Balances::new();
+        let app = avm
+            .create_app_with_args(
+                Address::ZERO,
+                compiled.avm.program.clone(),
+                create_args.clone(),
+                &mut balances,
+            )
+            .unwrap();
+        let mut did = 0u128;
+        b.iter(|| {
+            did += 1;
+            let args = compiled.avm.encode_call("insert_data", &insert_args(did)).unwrap();
+            let out = avm
+                .call(
+                    pol_avm::AppCallParams::new(Address([did as u8; 20]), app).with_args(args),
+                    &mut balances,
+                )
+                .unwrap();
+            black_box(out.cost)
+        })
+    });
+}
+
+fn fee_market(c: &mut Criterion) {
+    c.bench_function("feemarket/next-base-fee", |b| {
+        let mut fee = 30_000_000_000u128;
+        let mut used = 0u64;
+        b.iter(|| {
+            used = (used + 7_000_001) % 30_000_000;
+            fee = feemarket::next_base_fee(black_box(fee), used, 15_000_000);
+            fee
+        })
+    });
+
+    // Congestion sweep ablation: base-fee trajectory under three load
+    // regimes — the mechanism behind the EVM chains' fee variance.
+    let mut group = c.benchmark_group("congestion-sweep");
+    for (label, mean) in [("calm", 0.1), ("moderate", 0.5), ("heavy", 0.9)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut model = CongestionModel::new(mean, 0.3);
+                let mut rng = StdRng::seed_from_u64(3);
+                let mut fee = 30_000_000_000u128;
+                for _ in 0..128 {
+                    let load = model.step(&mut rng);
+                    let used = (load * 30_000_000.0) as u64;
+                    fee = feemarket::next_base_fee(fee, used, 15_000_000);
+                }
+                black_box(fee)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, evm_pol_contract, avm_pol_contract, fee_market);
+criterion_main!(benches);

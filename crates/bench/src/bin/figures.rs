@@ -1,0 +1,63 @@
+//! Regenerates the figures of Chapter 5:
+//!
+//! * Fig. 5.1 — the conservative compiler analysis (printed and written
+//!   to `results/fig5.1-analysis.txt`);
+//! * Fig. 5.2 — Ropsten, 8 users;
+//! * Figs. 5.3a–d — Goerli with 8/16/24/32 users;
+//! * Figs. 5.4a–d — Polygon Mumbai, same sweep;
+//! * Figs. 5.5a–d — Algorand, same sweep;
+//!
+//! each per-user series written as CSV under `results/`.
+
+use pol_bench::{conservative_analysis, figure_csv, run_network, EVAL_SEED};
+use pol_chainsim::presets;
+
+fn main() {
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EVAL_SEED);
+    let _ = std::fs::create_dir_all("results");
+
+    // Fig. 5.1 — conservative analysis.
+    let analysis = conservative_analysis();
+    println!("=== Fig. 5.1 — conservative analysis ===\n{analysis}");
+    let _ = std::fs::write("results/fig5.1-analysis.txt", analysis.to_string());
+
+    // Fig. 5.2 — Ropsten with 8 users.
+    let ropsten = run_network(&presets::ropsten(), 8, seed);
+    write_series("fig5.2-ropsten-8users", &figure_csv(&ropsten));
+    summarize("Fig. 5.2 Ropsten 8 users", &ropsten);
+
+    // Figs. 5.3–5.5 — Goerli / Mumbai / Algorand sweeps.
+    let sweeps: [(&str, presets::ChainPreset); 3] = [
+        ("fig5.3-goerli", presets::goerli()),
+        ("fig5.4-mumbai", presets::mumbai()),
+        ("fig5.5-algorand", presets::algorand_testnet()),
+    ];
+    for (stem, preset) in sweeps {
+        for (sub, users) in [("a", 8), ("b", 16), ("c", 24), ("d", 32)] {
+            let results = run_network(&preset, users, seed + users as u64);
+            write_series(&format!("{stem}{sub}-{users}users"), &figure_csv(&results));
+            summarize(&format!("{} {} users", results.network, users), &results);
+        }
+    }
+    eprintln!("series written under results/");
+}
+
+fn write_series(stem: &str, csv: &str) {
+    let path = format!("results/{stem}.csv");
+    if std::fs::write(&path, csv).is_err() {
+        eprintln!("warning: could not write {path}");
+    }
+}
+
+fn summarize(title: &str, results: &pol_crowdsense::SimulationResults) {
+    let deploy = results.deploy_stats();
+    let attach = results.attach_stats();
+    println!(
+        "{title}: deploy mean {:.2}s (σ {:.2}) | attach mean {:.2}s (σ {:.2})",
+        deploy.mean_s, deploy.std_s, attach.mean_s, attach.std_s
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerates Tables 5.1–5.4: deploy and attach performance with 16 and
+//! 32 users across the three evaluation networks, printed beside the
+//! paper's reported values and written to `results/tables.txt`.
+
+use pol_bench::{
+    render_table, run_all, table_rows, EVAL_SEED, PAPER_TABLE_5_1, PAPER_TABLE_5_2,
+    PAPER_TABLE_5_3, PAPER_TABLE_5_4,
+};
+use pol_core::system::OpKind;
+
+fn main() {
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EVAL_SEED);
+
+    eprintln!("running 16-user sweep on Goerli, Mumbai and Algorand …");
+    let results_16 = run_all(16, seed);
+    eprintln!("running 32-user sweep …");
+    let results_32 = run_all(32, seed + 1);
+
+    let mut output = String::new();
+    output.push_str(&render_table(
+        "Table 5.1 — Deploy | 16 users",
+        &table_rows(&results_16, OpKind::Deploy),
+        &PAPER_TABLE_5_1,
+    ));
+    output.push('\n');
+    output.push_str(&render_table(
+        "Table 5.2 — Deploy | 32 users",
+        &table_rows(&results_32, OpKind::Deploy),
+        &PAPER_TABLE_5_2,
+    ));
+    output.push('\n');
+    output.push_str(&render_table(
+        "Table 5.3 — Attach | 16 users",
+        &table_rows(&results_16, OpKind::Attach),
+        &PAPER_TABLE_5_3,
+    ));
+    output.push('\n');
+    output.push_str(&render_table(
+        "Table 5.4 — Attach | 32 users",
+        &table_rows(&results_32, OpKind::Attach),
+        &PAPER_TABLE_5_4,
+    ));
+    output.push('\n');
+
+    output.push_str("Shape checks (paper's conclusions):\n");
+    for (name, ok) in pol_bench::shape_report(&results_16) {
+        output.push_str(&format!("  [{}] {}\n", if ok { "PASS" } else { "FAIL" }, name));
+    }
+
+    println!("{output}");
+    let _ = std::fs::create_dir_all("results");
+    if std::fs::write("results/tables.txt", &output).is_ok() {
+        eprintln!("written to results/tables.txt");
+    }
+}

@@ -1,0 +1,859 @@
+//! One simulated blockchain: clock, mempool, fee market, consensus, VM.
+
+use crate::congestion::CongestionModel;
+use crate::feemarket;
+use pol_avm::{AppCallParams, Avm, AvmProgram};
+use pol_consensus::{pos, ppos, StakeRegistry};
+use pol_crypto::ed25519::Keypair;
+use pol_crypto::sha256;
+use pol_evm::{CallParams, Evm};
+use pol_ledger::{
+    Address, Amount, Block, BlockHash, ContractId, Currency, LedgerError, Receipt, Transaction,
+    TxId, TxKind, TxStatus,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::collections::HashMap;
+
+/// Which virtual machine the chain runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmKind {
+    /// EVM-style (Ropsten, Goerli, Mumbai).
+    Evm,
+    /// AVM-style (Algorand).
+    Avm,
+}
+
+/// Static configuration of a simulated network.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Human-readable network name ("Ethereum Goerli", …).
+    pub name: String,
+    /// Native currency.
+    pub currency: Currency,
+    /// Virtual machine family.
+    pub vm: VmKind,
+    /// Block (or round) interval, milliseconds.
+    pub block_ms: u64,
+    /// Uniform ± jitter applied to each block time.
+    pub block_jitter_ms: u64,
+    /// Probability that a slot goes unfilled (missed proposal), delaying
+    /// the next block by a full interval — a visible source of latency
+    /// variance on the public Ethereum testnets.
+    pub missed_slot_prob: f64,
+    /// Blocks that must follow a transaction's block before clients treat
+    /// it as confirmed (0 = instant finality, as on Algorand).
+    pub confirmations: u64,
+    /// EIP-1559 per-block gas target (EVM chains).
+    pub gas_target: u64,
+    /// Hard per-block gas limit (EVM chains; 2 × target on mainnet).
+    pub gas_limit: u64,
+    /// Starting base fee (wei) for EVM chains.
+    pub initial_base_fee: u128,
+    /// Default priority fee (wei) suggested to clients.
+    pub priority_fee: u128,
+    /// Flat per-transaction fee (µAlgo) for AVM chains.
+    pub flat_fee: u128,
+    /// Background-congestion process.
+    pub congestion: CongestionModel,
+    /// Uniform client→mempool propagation delay bounds, milliseconds.
+    pub propagation_ms: (u64, u64),
+    /// Uniform client-side overhead after a confirmation is observable
+    /// (node-provider RPC polling, signing); dithers the phase at which
+    /// the next transaction of a sequential workload lands in a slot.
+    pub client_delay_ms: (u64, u64),
+    /// Number of consensus validators.
+    pub validators: usize,
+    /// Run the full consensus protocol (VRF sortition / proposer
+    /// sampling) per block instead of the fast hash-based shortcut.
+    pub full_consensus: bool,
+}
+
+struct PendingTx {
+    tx: Transaction,
+    submitted_ms: u64,
+    arrival_ms: u64,
+}
+
+/// Off-ledger payload for AVM transactions: compiled programs and
+/// argument vectors travel beside the opaque `tx.data` (which carries
+/// their digest so ids and fees still depend on content).
+enum AvmPayload {
+    Create { program: AvmProgram, args: Vec<Vec<u8>> },
+    Call { args: Vec<Vec<u8>> },
+}
+
+/// One simulated chain.
+pub struct Chain {
+    /// The network configuration.
+    pub config: ChainConfig,
+    now_ms: u64,
+    blocks: Vec<Block>,
+    base_fee: u128,
+    mempool: Vec<PendingTx>,
+    balances: HashMap<Address, u128>,
+    nonces: HashMap<Address, u64>,
+    evm: Evm,
+    avm: Avm,
+    avm_payloads: HashMap<TxId, AvmPayload>,
+    receipts: HashMap<TxId, PendingReceipt>,
+    rng: StdRng,
+    registry: StakeRegistry,
+    validator_keys: Vec<Keypair>,
+    randao: [u8; 32],
+    total_burned: u128,
+}
+
+struct PendingReceipt {
+    receipt: Receipt,
+    included_height: u64,
+}
+
+impl std::fmt::Debug for Chain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chain")
+            .field("name", &self.config.name)
+            .field("height", &self.height())
+            .field("now_ms", &self.now_ms)
+            .finish()
+    }
+}
+
+impl Chain {
+    /// Creates a chain from a configuration and RNG seed.
+    pub fn new(config: ChainConfig, seed: u64) -> Chain {
+        let (registry, validator_keys) = StakeRegistry::equal_stake(config.validators.max(1), 32);
+        let genesis = Block {
+            number: 0,
+            parent: BlockHash::GENESIS_PARENT,
+            timestamp_ms: 0,
+            proposer: Address::ZERO,
+            base_fee_per_gas: config.initial_base_fee,
+            gas_used: 0,
+            transactions: Vec::new(),
+        };
+        Chain {
+            base_fee: config.initial_base_fee,
+            config,
+            now_ms: 0,
+            blocks: vec![genesis],
+            mempool: Vec::new(),
+            balances: HashMap::new(),
+            nonces: HashMap::new(),
+            evm: Evm::new(),
+            avm: Avm::new(),
+            avm_payloads: HashMap::new(),
+            receipts: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            registry,
+            validator_keys,
+            randao: sha256(b"genesis-randao"),
+            total_burned: 0,
+        }
+    }
+
+    /// Current simulation time, milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Current chain height.
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64 - 1
+    }
+
+    /// The prevailing base fee per gas (wei), or the flat fee on AVM
+    /// chains.
+    pub fn base_fee(&self) -> u128 {
+        match self.config.vm {
+            VmKind::Evm => self.base_fee,
+            VmKind::Avm => self.config.flat_fee,
+        }
+    }
+
+    /// Total base fees burned so far (EVM chains).
+    pub fn total_burned(&self) -> u128 {
+        self.total_burned
+    }
+
+    /// An account's balance in base units.
+    pub fn balance(&self, address: Address) -> u128 {
+        self.balances.get(&address).copied().unwrap_or(0)
+    }
+
+    /// The nonce the account's next transaction must carry.
+    pub fn next_nonce(&self, address: Address) -> u64 {
+        self.nonces.get(&address).copied().unwrap_or(0)
+    }
+
+    /// Mints `amount` base units to an address (testnet faucet semantics;
+    /// see [`crate::faucet`] for the rate-limited public façade).
+    pub fn fund(&mut self, to: Address, amount: u128) {
+        *self.balances.entry(to).or_insert(0) += amount;
+    }
+
+    /// Generates a fresh keypair and funds its address.
+    pub fn create_funded_account(&mut self, amount: u128) -> (Keypair, Address) {
+        let mut seed = [0u8; 32];
+        self.rng.fill_bytes(&mut seed);
+        let kp = Keypair::from_seed(&seed);
+        let addr = Address::from_public_key(&kp.public);
+        self.fund(addr, amount);
+        (kp, addr)
+    }
+
+    /// Suggested `(max_fee_per_gas, priority_fee)` for prompt inclusion.
+    pub fn suggested_fees(&self) -> (u128, u128) {
+        (self.base_fee * 2 + self.config.priority_fee, self.config.priority_fee)
+    }
+
+    /// Read-through to the EVM storage (explorer-style inspection).
+    pub fn evm(&self) -> &Evm {
+        &self.evm
+    }
+
+    /// Read-through to the AVM ledger.
+    pub fn avm(&self) -> &Avm {
+        &self.avm
+    }
+
+    /// Submits a signed transaction to the mempool.
+    ///
+    /// # Errors
+    ///
+    /// * [`LedgerError::BadSignature`] — missing/invalid signature;
+    /// * [`LedgerError::BadNonce`] — nonce gap;
+    /// * [`LedgerError::InsufficientBalance`] — value plus worst-case fee
+    ///   exceeds the balance.
+    pub fn submit(&mut self, tx: Transaction) -> Result<TxId, LedgerError> {
+        if !tx.verify_signature() {
+            return Err(LedgerError::BadSignature);
+        }
+        let expected = self.next_nonce(tx.from);
+        if tx.nonce != expected {
+            return Err(LedgerError::BadNonce { expected, got: tx.nonce });
+        }
+        let worst_fee = match self.config.vm {
+            VmKind::Evm => u128::from(tx.gas_limit) * tx.max_fee_per_gas,
+            VmKind::Avm => self.config.flat_fee,
+        };
+        let needed = tx.value + worst_fee;
+        let available = self.balance(tx.from);
+        if available < needed {
+            return Err(LedgerError::InsufficientBalance { address: tx.from, needed, available });
+        }
+        let id = tx.id();
+        let (lo, hi) = self.config.propagation_ms;
+        let delay = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+        self.nonces.insert(tx.from, expected + 1);
+        self.mempool.push(PendingTx {
+            tx,
+            submitted_ms: self.now_ms,
+            arrival_ms: self.now_ms + delay,
+        });
+        Ok(id)
+    }
+
+    /// Advances the chain until `id` is confirmed, returning its receipt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::ExecutionFailed`] for an unknown id (never
+    /// submitted or evicted).
+    pub fn await_tx(&mut self, id: TxId) -> Result<Receipt, LedgerError> {
+        let mut guard = 0;
+        loop {
+            if let Some(pending) = self.receipts.get(&id) {
+                let confirm_height = pending.included_height + self.config.confirmations;
+                if self.height() >= confirm_height {
+                    let mut receipt = self.receipts[&id].receipt.clone();
+                    receipt.confirmed_ms = self.blocks[confirm_height as usize].timestamp_ms;
+                    // Client-side observation overhead (RPC polling etc.).
+                    let (lo, hi) = self.config.client_delay_ms;
+                    let delay = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+                    self.now_ms = self.now_ms.max(receipt.confirmed_ms) + delay;
+                    return Ok(receipt);
+                }
+            } else if !self.mempool.iter().any(|p| p.tx.id() == id) {
+                return Err(LedgerError::ExecutionFailed(format!("unknown transaction {id}")));
+            }
+            self.produce_block();
+            guard += 1;
+            if guard > 100_000 {
+                return Err(LedgerError::ExecutionFailed(format!(
+                    "transaction {id} starved for 100000 blocks"
+                )));
+            }
+        }
+    }
+
+    /// Convenience: submit then await.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Chain::submit`] and [`Chain::await_tx`] failures.
+    pub fn submit_and_wait(&mut self, tx: Transaction) -> Result<Receipt, LedgerError> {
+        let id = self.submit(tx)?;
+        self.await_tx(id)
+    }
+
+    /// Produces blocks until `target_ms` has passed (lets time flow when
+    /// nothing is being awaited).
+    pub fn advance_to(&mut self, target_ms: u64) {
+        while self.now_ms < target_ms {
+            self.produce_block();
+        }
+    }
+
+    /// Jumps the clock forward without producing the intervening (empty)
+    /// blocks — idle wall-clock time between workload phases.
+    pub fn skip_idle(&mut self, ms: u64) {
+        self.now_ms += ms;
+    }
+
+    /// Deploys an EVM contract: builds, signs, submits and awaits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors; a reverted deploy surfaces as a
+    /// receipt with `status != Success` and no `created` id.
+    pub fn deploy_evm(
+        &mut self,
+        keypair: &Keypair,
+        init_code: Vec<u8>,
+        gas_limit: u64,
+    ) -> Result<Receipt, LedgerError> {
+        let from = Address::from_public_key(&keypair.public);
+        let (max_fee, priority) = self.suggested_fees();
+        let tx = Transaction::create(from, init_code, self.next_nonce(from))
+            .with_gas_limit(gas_limit)
+            .with_fees(max_fee, priority)
+            .signed(keypair);
+        self.submit_and_wait(tx)
+    }
+
+    /// Calls an EVM contract.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors.
+    pub fn call_evm(
+        &mut self,
+        keypair: &Keypair,
+        contract: ContractId,
+        data: Vec<u8>,
+        value: u128,
+        gas_limit: u64,
+    ) -> Result<Receipt, LedgerError> {
+        let from = Address::from_public_key(&keypair.public);
+        let (max_fee, priority) = self.suggested_fees();
+        let tx = Transaction::call(from, contract, data, value, self.next_nonce(from))
+            .with_gas_limit(gas_limit)
+            .with_fees(max_fee, priority)
+            .signed(keypair);
+        self.submit_and_wait(tx)
+    }
+
+    /// Creates an AVM application (the program object travels beside the
+    /// transaction; `tx.data` carries its digest).
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors.
+    pub fn deploy_app(
+        &mut self,
+        keypair: &Keypair,
+        program: AvmProgram,
+        args: Vec<Vec<u8>>,
+    ) -> Result<Receipt, LedgerError> {
+        let from = Address::from_public_key(&keypair.public);
+        let digest = program_digest(&program, &args);
+        let tx = Transaction::create(from, digest, self.next_nonce(from)).signed(keypair);
+        let id = tx.id();
+        self.avm_payloads.insert(id, AvmPayload::Create { program, args });
+        let submitted = self.submit(tx);
+        match submitted {
+            Ok(id) => self.await_tx(id),
+            Err(e) => {
+                self.avm_payloads.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Calls an AVM application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors.
+    pub fn call_app(
+        &mut self,
+        keypair: &Keypair,
+        app_id: u64,
+        args: Vec<Vec<u8>>,
+        payment: u128,
+    ) -> Result<Receipt, LedgerError> {
+        let from = Address::from_public_key(&keypair.public);
+        let mut digest = Vec::new();
+        for a in &args {
+            digest.extend_from_slice(&sha256(a));
+        }
+        let tx = Transaction::call(
+            from,
+            ContractId::App(app_id),
+            digest,
+            payment,
+            self.next_nonce(from),
+        )
+        .signed(keypair);
+        let id = tx.id();
+        self.avm_payloads.insert(id, AvmPayload::Call { args });
+        match self.submit(tx) {
+            Ok(id) => self.await_tx(id),
+            Err(e) => {
+                self.avm_payloads.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    /// The block at `height`, if produced.
+    pub fn block(&self, height: u64) -> Option<&Block> {
+        self.blocks.get(height as usize)
+    }
+
+    fn produce_block(&mut self) {
+        // Next block boundary with jitter, anchored to the previous block
+        // so the slot grid is independent of when clients submit.
+        let jitter = if self.config.block_jitter_ms > 0 {
+            self.rng
+                .gen_range(0..=self.config.block_jitter_ms * 2)
+                .saturating_sub(self.config.block_jitter_ms)
+        } else {
+            0
+        };
+        let mut interval = self.config.block_ms.saturating_add(jitter).max(1);
+        // Missed proposals push the next block out by whole slots.
+        while self.config.missed_slot_prob > 0.0
+            && self.rng.gen_bool(self.config.missed_slot_prob.min(0.9))
+        {
+            interval += self.config.block_ms;
+        }
+        let last_time = self.blocks.last().expect("genesis exists").timestamp_ms;
+        // Anchor to the previous block; if the clock has leapt far ahead
+        // (idle periods), skip the empty blocks in between.
+        let block_time = if self.now_ms > last_time + 10 * interval {
+            self.now_ms
+        } else {
+            last_time + interval
+        };
+        let height = self.blocks.len() as u64;
+
+        // Consensus: pick a proposer.
+        let proposer = if self.config.full_consensus {
+            match self.config.vm {
+                VmKind::Evm => {
+                    let v = pos::select_proposer(&self.registry, height, &self.randao)
+                        .expect("registry non-empty");
+                    let proposer_addr = v.address;
+                    let key = self
+                        .validator_keys
+                        .iter()
+                        .find(|k| k.public == v.public)
+                        .expect("keys match registry");
+                    let sig = key.sign(&height.to_be_bytes());
+                    self.randao = pos::next_randao(&self.randao, &sig);
+                    proposer_addr
+                }
+                VmKind::Avm => {
+                    match ppos::run_round(&self.registry, &self.validator_keys, &self.randao, height)
+                    {
+                        Ok(outcome) => {
+                            self.randao = outcome.next_seed;
+                            Address::from_public_key(&outcome.leader)
+                        }
+                        Err(_) => Address::ZERO,
+                    }
+                }
+            }
+        } else {
+            // Fast path: hash-based stake-weighted pick.
+            let mut preimage = self.randao.to_vec();
+            preimage.extend_from_slice(&height.to_be_bytes());
+            let digest = sha256(&preimage);
+            self.randao = digest;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&digest[..8]);
+            let point = u64::from_le_bytes(b) % self.registry.total_stake();
+            self.registry.by_stake_point(point).address
+        };
+
+        // Congestion: background traffic eats block capacity.
+        let load = self.config.congestion.step(&mut self.rng);
+        let background_gas = (load * self.config.gas_limit as f64) as u64;
+        let mut remaining_gas = self.config.gas_limit.saturating_sub(background_gas);
+        let mut block_gas_used = background_gas;
+        let mut included = Vec::new();
+
+        // Priority ordering on EVM chains; FIFO on Algorand.
+        if self.config.vm == VmKind::Evm {
+            self.mempool
+                .sort_by_key(|p| std::cmp::Reverse(p.tx.max_priority_fee_per_gas));
+        }
+
+        let mut still_pending = Vec::new();
+        let pool = std::mem::take(&mut self.mempool);
+        for pending in pool {
+            if pending.arrival_ms > block_time {
+                still_pending.push(pending);
+                continue;
+            }
+            let fits = match self.config.vm {
+                VmKind::Evm => {
+                    pending.tx.gas_limit <= remaining_gas
+                        && feemarket::effective_gas_price(
+                            self.base_fee,
+                            pending.tx.max_fee_per_gas,
+                            pending.tx.max_priority_fee_per_gas,
+                        )
+                        .is_some()
+                }
+                VmKind::Avm => true,
+            };
+            if !fits {
+                still_pending.push(pending);
+                continue;
+            }
+            let (receipt, gas_used) = self.execute(&pending, height, block_time);
+            if self.config.vm == VmKind::Evm {
+                remaining_gas = remaining_gas.saturating_sub(gas_used);
+                block_gas_used += gas_used;
+            }
+            self.receipts
+                .insert(pending.tx.id(), PendingReceipt { receipt, included_height: height });
+            included.push(pending.tx);
+        }
+        self.mempool = still_pending;
+
+        // Fee market update.
+        if self.config.vm == VmKind::Evm {
+            self.base_fee =
+                feemarket::next_base_fee(self.base_fee, block_gas_used, self.config.gas_target);
+        }
+
+        let parent = self.blocks.last().expect("genesis exists").hash();
+        self.blocks.push(Block {
+            number: height,
+            parent,
+            timestamp_ms: block_time,
+            proposer,
+            base_fee_per_gas: self.base_fee,
+            gas_used: block_gas_used,
+            transactions: included,
+        });
+        self.now_ms = self.now_ms.max(block_time);
+    }
+
+    fn execute(&mut self, pending: &PendingTx, height: u64, block_time: u64) -> (Receipt, u64) {
+        let tx = &pending.tx;
+        let id = tx.id();
+        let mut status = TxStatus::Success;
+        let mut gas_used = 0u64;
+        let mut created = None;
+        let mut output = Vec::new();
+        let mut logs = Vec::new();
+
+        // Fees.
+        let fee_units: u128 = match self.config.vm {
+            VmKind::Evm => 0, // charged after execution, from measured gas
+            VmKind::Avm => self.config.flat_fee,
+        };
+        if fee_units > 0 {
+            let balance = self.balances.entry(tx.from).or_insert(0);
+            *balance = balance.saturating_sub(fee_units);
+            self.total_burned += fee_units;
+        }
+
+        match (self.config.vm, &tx.kind) {
+            (_, TxKind::Transfer) => {
+                gas_used = 21_000;
+                let to = tx.to.unwrap_or(Address::ZERO);
+                let from_balance = self.balances.entry(tx.from).or_insert(0);
+                if *from_balance < tx.value {
+                    status = TxStatus::Reverted("insufficient balance".into());
+                } else {
+                    *from_balance -= tx.value;
+                    *self.balances.entry(to).or_insert(0) += tx.value;
+                }
+            }
+            (VmKind::Evm, TxKind::ContractCreate) => {
+                match self.evm.deploy(tx.from, &tx.data, tx.gas_limit, &mut self.balances) {
+                    Ok((addr, outcome)) => {
+                        gas_used = outcome.gas_used;
+                        created = Some(ContractId::Evm(addr));
+                        logs = outcome
+                            .logs
+                            .iter()
+                            .map(|l| String::from_utf8_lossy(l).into_owned())
+                            .collect();
+                    }
+                    Err(e) => {
+                        gas_used = tx.gas_limit;
+                        status = TxStatus::Reverted(e.to_string());
+                    }
+                }
+            }
+            (VmKind::Evm, TxKind::ContractCall(cid)) => {
+                let target = cid.as_evm().unwrap_or(Address::ZERO);
+                let params = CallParams {
+                    caller: tx.from,
+                    contract: target,
+                    value: tx.value,
+                    data: tx.data.clone(),
+                    gas_limit: tx.gas_limit,
+                    block_number: height,
+                    timestamp_s: block_time / 1000,
+                };
+                match self.evm.call(params, &mut self.balances) {
+                    Ok(outcome) => {
+                        gas_used = outcome.gas_used;
+                        output = outcome.output.clone();
+                        if !outcome.success {
+                            status = TxStatus::Reverted(String::from_utf8_lossy(&outcome.output).into_owned());
+                        }
+                        logs = outcome
+                            .logs
+                            .iter()
+                            .map(|l| String::from_utf8_lossy(l).into_owned())
+                            .collect();
+                    }
+                    Err(e) => {
+                        gas_used = tx.gas_limit;
+                        status = TxStatus::Reverted(e.to_string());
+                    }
+                }
+            }
+            (VmKind::Avm, TxKind::ContractCreate) => {
+                match self.avm_payloads.remove(&id) {
+                    Some(AvmPayload::Create { program, args }) => {
+                        match self.avm.create_app_with_args(tx.from, program, args, &mut self.balances) {
+                            Ok(app_id) => created = Some(ContractId::App(app_id)),
+                            Err(e) => status = TxStatus::Reverted(e.to_string()),
+                        }
+                    }
+                    _ => status = TxStatus::Reverted("missing program payload".into()),
+                }
+            }
+            (VmKind::Avm, TxKind::ContractCall(cid)) => {
+                let app_id = cid.as_app().unwrap_or(0);
+                match self.avm_payloads.remove(&id) {
+                    Some(AvmPayload::Call { args }) => {
+                        let params = AppCallParams {
+                            sender: tx.from,
+                            app_id,
+                            args,
+                            payment: tx.value.min(u128::from(u64::MAX)) as u64,
+                            round: height,
+                            timestamp_s: block_time / 1000,
+                        };
+                        match self.avm.call(params, &mut self.balances) {
+                            Ok(outcome) => {
+                                if !outcome.approved {
+                                    status = TxStatus::Reverted("application rejected".into());
+                                }
+                                logs = outcome
+                                    .logs
+                                    .iter()
+                                    .map(|l| String::from_utf8_lossy(l).into_owned())
+                                    .collect();
+                            }
+                            Err(e) => status = TxStatus::Reverted(e.to_string()),
+                        }
+                    }
+                    _ => status = TxStatus::Reverted("missing call payload".into()),
+                }
+            }
+        }
+
+        // EVM fee settlement from measured gas.
+        let fee = match self.config.vm {
+            VmKind::Evm => {
+                let price = feemarket::effective_gas_price(
+                    self.base_fee,
+                    tx.max_fee_per_gas,
+                    tx.max_priority_fee_per_gas,
+                )
+                .unwrap_or(self.base_fee);
+                let fee = u128::from(gas_used) * price;
+                let balance = self.balances.entry(tx.from).or_insert(0);
+                *balance = balance.saturating_sub(fee);
+                // Burn the base-fee part, tip the proposer.
+                let burned = u128::from(gas_used) * self.base_fee.min(price);
+                self.total_burned += burned;
+                fee
+            }
+            VmKind::Avm => fee_units,
+        };
+
+        let receipt = Receipt {
+            tx: id,
+            block_number: height,
+            submitted_ms: pending.submitted_ms,
+            confirmed_ms: block_time,
+            status,
+            gas_used,
+            fee: Amount::from_base_units(fee, self.config.currency),
+            created,
+            output,
+            logs,
+        };
+        (receipt, gas_used)
+    }
+}
+
+fn program_digest(program: &AvmProgram, args: &[Vec<u8>]) -> Vec<u8> {
+    let teal = pol_avm::teal::render(program);
+    let mut preimage = teal.into_bytes();
+    for a in args {
+        preimage.extend_from_slice(a);
+    }
+    sha256(&preimage).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn transfer_on_goerli() {
+        let mut chain = presets::goerli().build(1);
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let (_, bob_addr) = chain.create_funded_account(0);
+        let (max_fee, prio) = chain.suggested_fees();
+        let tx = Transaction::transfer(alice_addr, bob_addr, 1_000, 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        let receipt = chain.submit_and_wait(tx).unwrap();
+        assert!(receipt.status.is_success());
+        assert_eq!(chain.balance(bob_addr), 1_000);
+        // Latency at least one slot plus confirmations.
+        let min_latency = chain.config.block_ms * (1 + chain.config.confirmations);
+        assert!(receipt.latency_ms() >= min_latency - chain.config.block_ms);
+        // Fee charged at 21 000 gas.
+        assert_eq!(receipt.gas_used, 21_000);
+        assert!(receipt.fee.base_units() > 0);
+    }
+
+    #[test]
+    fn unsigned_rejected() {
+        let mut chain = presets::goerli().build(2);
+        let (_, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, 1, 0);
+        assert_eq!(chain.submit(tx), Err(LedgerError::BadSignature));
+    }
+
+    #[test]
+    fn nonce_gap_rejected() {
+        let mut chain = presets::goerli().build(3);
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, 1, 5).signed(&alice);
+        assert!(matches!(chain.submit(tx), Err(LedgerError::BadNonce { expected: 0, got: 5 })));
+    }
+
+    #[test]
+    fn insufficient_funds_rejected() {
+        let mut chain = presets::goerli().build(4);
+        let (alice, alice_addr) = chain.create_funded_account(100);
+        let (max_fee, prio) = chain.suggested_fees();
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, 50, 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        assert!(matches!(chain.submit(tx), Err(LedgerError::InsufficientBalance { .. })));
+    }
+
+    #[test]
+    fn algorand_flat_fees_and_fast_finality() {
+        let mut chain = presets::algorand_testnet().build(5);
+        let (alice, alice_addr) = chain.create_funded_account(10_000_000);
+        let (_, bob_addr) = chain.create_funded_account(0);
+        let tx = Transaction::transfer(alice_addr, bob_addr, 1_000, 0).signed(&alice);
+        let receipt = chain.submit_and_wait(tx).unwrap();
+        assert!(receipt.status.is_success());
+        assert_eq!(receipt.fee.base_units(), 1_000); // flat min fee
+        // Instant finality: exactly the inclusion round.
+        assert_eq!(receipt.block_number + chain.config.confirmations, receipt.block_number);
+    }
+
+    #[test]
+    fn evm_deploy_and_call_through_chain() {
+        use pol_evm::assembler::Asm;
+        use pol_evm::opcode::Op;
+        let mut chain = presets::devnet_evm().build(6);
+        let (alice, _) = chain.create_funded_account(10u128.pow(20));
+        // Runtime: return 7.
+        let runtime = Asm::new()
+            .push_u64(7)
+            .push_u64(0)
+            .op(Op::MStore)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+            .build();
+        let receipt = chain
+            .deploy_evm(&alice, Asm::deploy_wrapper(&runtime), 5_000_000)
+            .unwrap();
+        let contract = receipt.created.expect("deployed");
+        let call = chain.call_evm(&alice, contract, vec![], 0, 1_000_000).unwrap();
+        assert!(call.status.is_success());
+        assert_eq!(pol_evm::Word::from_be_slice(&call.output), pol_evm::Word::from_u64(7));
+    }
+
+    #[test]
+    fn avm_deploy_and_call_through_chain() {
+        use pol_avm::opcode::AvmOp::*;
+        let mut chain = presets::devnet_algo().build(7);
+        let (alice, _) = chain.create_funded_account(10_000_000);
+        let program = AvmProgram::new(vec![PushInt(1), Return]);
+        let receipt = chain.deploy_app(&alice, program, vec![]).unwrap();
+        let app_id = receipt.created.and_then(|c| c.as_app()).expect("created");
+        let call = chain.call_app(&alice, app_id, vec![b"arg".to_vec()], 0).unwrap();
+        assert!(call.status.is_success());
+    }
+
+    #[test]
+    fn congestion_raises_base_fee() {
+        let mut preset = presets::goerli();
+        preset.config.congestion = CongestionModel::new(0.95, 0.02);
+        let mut chain = preset.build(8);
+        let initial = chain.base_fee();
+        chain.advance_to(chain.config.block_ms * 50);
+        assert!(chain.base_fee() > initial, "{} !> {}", chain.base_fee(), initial);
+    }
+
+    #[test]
+    fn goerli_latency_is_variable_algorand_is_not() {
+        let mut goerli = presets::goerli().build(9);
+        let mut algo = presets::algorand_testnet().build(9);
+        let mut goerli_lat = Vec::new();
+        let mut algo_lat = Vec::new();
+        for i in 0..10u64 {
+            let (kp, addr) = goerli.create_funded_account(10u128.pow(19));
+            let (max_fee, prio) = goerli.suggested_fees();
+            let tx = Transaction::transfer(addr, Address::ZERO, 1, 0)
+                .with_fees(max_fee, prio)
+                .signed(&kp);
+            goerli_lat.push(goerli.submit_and_wait(tx).unwrap().latency_ms() as f64);
+
+            let (kp, addr) = algo.create_funded_account(10_000_000);
+            let tx = Transaction::transfer(addr, Address::ZERO, 1, 0).signed(&kp);
+            algo_lat.push(algo.submit_and_wait(tx).unwrap().latency_ms() as f64);
+            let _ = i;
+        }
+        let std = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        assert!(std(&goerli_lat) > std(&algo_lat), "goerli should be noisier");
+    }
+}

@@ -1,0 +1,120 @@
+//! Testnet faucets ("dispensers") with the per-day limits that §4.4 of
+//! the paper works around with its support scripts.
+
+use crate::chain::Chain;
+use pol_ledger::Address;
+use std::collections::HashMap;
+
+/// One day of simulation time, milliseconds.
+const DAY_MS: u64 = 24 * 60 * 60 * 1000;
+
+/// Faucet refusal reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaucetError {
+    /// The address already drew its allowance for the day.
+    DailyLimitReached {
+        /// Simulation time (ms) at which the address may draw again.
+        retry_at_ms: u64,
+    },
+}
+
+impl std::fmt::Display for FaucetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaucetError::DailyLimitReached { retry_at_ms } => {
+                write!(f, "daily faucet limit reached, retry at {retry_at_ms} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaucetError {}
+
+/// A rate-limited token dispenser.
+#[derive(Debug)]
+pub struct Faucet {
+    /// Base units dispensed per request.
+    pub drip: u128,
+    /// Requests allowed per address per day.
+    pub per_day: u32,
+    draws: HashMap<Address, (u64, u32)>, // (day index, draws that day)
+}
+
+impl Faucet {
+    /// The Goerli faucet: ~0.3 ETH once per day.
+    pub fn goerli() -> Faucet {
+        Faucet { drip: 300_000_000_000_000_000, per_day: 1, draws: HashMap::new() }
+    }
+
+    /// The Mumbai faucet: ~1 MATIC once per day.
+    pub fn mumbai() -> Faucet {
+        Faucet { drip: 1_000_000_000_000_000_000, per_day: 1, draws: HashMap::new() }
+    }
+
+    /// The Algorand dispenser: 10 Algos per request, effectively
+    /// unlimited.
+    pub fn algorand() -> Faucet {
+        Faucet { drip: 10_000_000, per_day: u32::MAX, draws: HashMap::new() }
+    }
+
+    /// Draws the faucet for `to`, funding it on `chain`.
+    ///
+    /// # Errors
+    ///
+    /// [`FaucetError::DailyLimitReached`] once the daily allowance is
+    /// spent.
+    pub fn draw(&mut self, chain: &mut Chain, to: Address) -> Result<u128, FaucetError> {
+        let day = chain.now_ms() / DAY_MS;
+        let entry = self.draws.entry(to).or_insert((day, 0));
+        if entry.0 != day {
+            *entry = (day, 0);
+        }
+        if entry.1 >= self.per_day {
+            return Err(FaucetError::DailyLimitReached { retry_at_ms: (day + 1) * DAY_MS });
+        }
+        entry.1 += 1;
+        chain.fund(to, self.drip);
+        Ok(self.drip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn goerli_limits_to_one_per_day() {
+        let mut chain = presets::devnet_evm().build(1);
+        let mut faucet = Faucet::goerli();
+        let addr = Address([1; 20]);
+        assert!(faucet.draw(&mut chain, addr).is_ok());
+        assert!(matches!(
+            faucet.draw(&mut chain, addr),
+            Err(FaucetError::DailyLimitReached { .. })
+        ));
+        assert_eq!(chain.balance(addr), faucet.drip);
+    }
+
+    #[test]
+    fn algorand_dispenser_is_generous() {
+        let mut chain = presets::devnet_algo().build(2);
+        let mut faucet = Faucet::algorand();
+        let addr = Address([2; 20]);
+        for _ in 0..5 {
+            faucet.draw(&mut chain, addr).unwrap();
+        }
+        assert_eq!(chain.balance(addr), 50_000_000);
+    }
+
+    #[test]
+    fn limit_resets_next_day() {
+        let mut chain = presets::devnet_evm().build(3);
+        let mut faucet = Faucet::goerli();
+        let addr = Address([3; 20]);
+        faucet.draw(&mut chain, addr).unwrap();
+        assert!(faucet.draw(&mut chain, addr).is_err());
+        chain.skip_idle(DAY_MS + 1);
+        assert!(faucet.draw(&mut chain, addr).is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! The EIP-1559 fee market.
+//!
+//! Each block carries a protocol-determined *base fee* (burned) that rises
+//! when blocks run above their gas target and falls when below, by at most
+//! 12.5 % per block — §1.4.1.3 of the paper. Users add a *priority fee*
+//! to incentivise inclusion under congestion.
+
+/// Maximum base-fee change per block: 1/8 = 12.5 %.
+pub const BASE_FEE_MAX_CHANGE_DENOMINATOR: u128 = 8;
+/// Base fee never drops below 7 wei (protocol floor).
+pub const MIN_BASE_FEE: u128 = 7;
+
+/// Computes the next block's base fee from the parent's fullness.
+///
+/// `gas_used` is the parent block's consumption and `gas_target` the
+/// per-block target (half the limit on mainnet).
+pub fn next_base_fee(current: u128, gas_used: u64, gas_target: u64) -> u128 {
+    if gas_target == 0 {
+        return current.max(MIN_BASE_FEE);
+    }
+    let used = u128::from(gas_used);
+    let target = u128::from(gas_target);
+    let next = if used > target {
+        let delta = current * (used - target) / target / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        current + delta.max(1)
+    } else if used < target {
+        let delta = current * (target - used) / target / BASE_FEE_MAX_CHANGE_DENOMINATOR;
+        current.saturating_sub(delta)
+    } else {
+        current
+    };
+    next.max(MIN_BASE_FEE)
+}
+
+/// The effective per-gas price a transaction pays under EIP-1559:
+/// `min(max_fee, base_fee + priority_fee)`, or `None` if the fee cap is
+/// below the base fee (the transaction cannot be included).
+pub fn effective_gas_price(base_fee: u128, max_fee: u128, priority_fee: u128) -> Option<u128> {
+    if max_fee < base_fee {
+        return None;
+    }
+    Some((base_fee + priority_fee).min(max_fee))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_block_raises_by_12_5_percent() {
+        let next = next_base_fee(1000, 30_000_000, 15_000_000);
+        assert_eq!(next, 1125);
+    }
+
+    #[test]
+    fn empty_block_lowers_by_12_5_percent() {
+        let next = next_base_fee(1000, 0, 15_000_000);
+        assert_eq!(next, 875);
+    }
+
+    #[test]
+    fn on_target_is_stable() {
+        assert_eq!(next_base_fee(1000, 15_000_000, 15_000_000), 1000);
+    }
+
+    #[test]
+    fn floor_respected() {
+        assert_eq!(next_base_fee(7, 0, 15_000_000), MIN_BASE_FEE);
+    }
+
+    #[test]
+    fn effective_price_caps() {
+        assert_eq!(effective_gas_price(100, 150, 10), Some(110));
+        assert_eq!(effective_gas_price(100, 105, 10), Some(105));
+        assert_eq!(effective_gas_price(100, 99, 10), None);
+    }
+
+    #[test]
+    fn sustained_congestion_compounds() {
+        // ~8 full blocks roughly double the base fee (1.125^8 ≈ 2.57).
+        let mut fee = 1_000u128;
+        for _ in 0..8 {
+            fee = next_base_fee(fee, 30_000_000, 15_000_000);
+        }
+        assert!(fee > 2_000, "{fee}");
+    }
+}

@@ -1,0 +1,853 @@
+//! The fully wired proof-of-location deployment: chain + hypercube +
+//! DFS + DID registry + actors, with the per-chain interaction scripts
+//! whose latencies Chapter 5 measures.
+//!
+//! Transaction scripts per operation (the "connector protocols"):
+//!
+//! | op | EVM chains | Algorand |
+//! |---|---|---|
+//! | deploy | DID anchor, contract creation, `insert_data` (3 txs) | DID anchor, app create, min-balance funding, state-MBR funding, extra-page funding, opt-in payment, box-MBR funding, `insert_data` (8 txs — "Algorand executed more transactions … in the deployment phase", §5.1.5) |
+//! | attach | DID anchor, `insert_data` (2 txs) | DID anchor, opt-in payment, box-MBR funding, `insert_data` (4 txs) |
+//! | fund | `insert_money` (1 tx) | same |
+//! | verify | `verify` per prover (1 tx each) | same |
+
+use crate::actors::{CertificationAuthority, Prover, Verifier, Witness};
+use crate::contract::{pol_program, MAX_USERS, POSITION_CAPACITY};
+use crate::factory::Factory;
+use crate::proof::{ProofRequest, SubmittedEntry, ENTRY_CAPACITY};
+use crate::PolError;
+use pol_chainsim::{Chain, VmKind};
+use pol_dfs::{Cid, DfsNetwork, PeerId};
+use pol_did::{Did, DidRegistry, Identity};
+use pol_geo::{olc, Coordinates, OlcCode};
+use pol_hypercube::Hypercube;
+use pol_lang::backend::AbiValue;
+use pol_ledger::{Address, Amount, ContractId, Transaction};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Handle to a registered prover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProverId(pub usize);
+
+/// Handle to a registered witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WitnessId(pub usize);
+
+/// What kind of chain operation a record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// First prover in an area: deploy + insert.
+    Deploy,
+    /// Subsequent prover: attach + insert.
+    Attach,
+    /// Verifier funds the contract.
+    Fund,
+    /// Verifier validates one prover.
+    Verify,
+    /// Contract closure.
+    Close,
+}
+
+/// One measured chain interaction (the unit of Figs. 5.2–5.5).
+#[derive(Debug, Clone)]
+pub struct OpRecord {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Acting user's index (prover id, or usize::MAX for the verifier).
+    pub user: usize,
+    /// Total wall-clock latency (all transactions of the script), ms.
+    pub latency_ms: u64,
+    /// Total fees paid across the script.
+    pub fee: Amount,
+    /// Number of transactions in the script.
+    pub txs: usize,
+}
+
+/// Outcome of a report submission.
+#[derive(Debug, Clone)]
+pub struct SubmissionOutcome {
+    /// The area the report belongs to.
+    pub area: OlcCode,
+    /// The area's contract.
+    pub contract: ContractId,
+    /// Whether this submission deployed the contract or attached.
+    pub kind: OpKind,
+    /// End-to-end latency of the chain script, ms.
+    pub latency_ms: u64,
+    /// Fees paid.
+    pub fee: Amount,
+    /// The report's CID.
+    pub cid: Cid,
+}
+
+/// Tunables of a deployment.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Hypercube dimensionality r.
+    pub hypercube_dims: u8,
+    /// Reward per verified prover, base units.
+    pub reward: u128,
+    /// When set, deploy the §2.8 variant contract that also rewards the
+    /// attesting witness with this many base units per verification.
+    pub witness_reward: Option<u128>,
+    /// Seats per area contract.
+    pub max_users: u64,
+    /// Initial wallet funding, base units.
+    pub initial_funds: u128,
+    /// RNG seed (drives identities, challenges and chain noise).
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            hypercube_dims: 8,
+            reward: 1_000_000,
+            witness_reward: None,
+            max_users: MAX_USERS,
+            initial_funds: 10u128.pow(18),
+            seed: 1,
+        }
+    }
+}
+
+struct AreaState {
+    contract: ContractId,
+    /// Pending entries awaiting verification: DID digest → (entry, DID).
+    pending: HashMap<u64, (SubmittedEntry, Did)>,
+}
+
+/// The wired system.
+pub struct PolSystem {
+    chain: Chain,
+    /// The off-chain location index.
+    pub hypercube: Hypercube,
+    /// The distributed file store.
+    pub dfs: DfsNetwork,
+    /// The DID registry (verifiable data registry).
+    pub did_registry: DidRegistry,
+    ca: CertificationAuthority,
+    factory: Factory,
+    config: SystemConfig,
+    provers: Vec<Prover>,
+    prover_peers: Vec<PeerId>,
+    witnesses: Vec<Witness>,
+    verifier: Option<(Verifier, pol_crypto::ed25519::Keypair)>,
+    rng: StdRng,
+    /// Sink address standing in for the DID-generation contract the
+    /// anchor transactions reference (§2.4's "first smart contract").
+    did_anchor: Address,
+    /// DID digest → DID, published by anchor transactions.
+    did_directory: HashMap<u64, Did>,
+    areas: HashMap<String, AreaState>,
+    ops: Vec<OpRecord>,
+}
+
+impl std::fmt::Debug for PolSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolSystem")
+            .field("chain", &self.chain.config.name)
+            .field("provers", &self.provers.len())
+            .field("witnesses", &self.witnesses.len())
+            .field("areas", &self.areas.len())
+            .finish()
+    }
+}
+
+impl PolSystem {
+    /// Wires a system over a chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof-of-location program fails to compile — a
+    /// build-level invariant.
+    pub fn new(chain: Chain, config: SystemConfig) -> PolSystem {
+        let program = if config.witness_reward.is_some() {
+            crate::contract::pol_program_v2()
+        } else {
+            pol_program()
+        };
+        let factory = Factory::new(program).expect("the PoL program compiles");
+        let rng = StdRng::seed_from_u64(config.seed);
+        let hypercube = Hypercube::new(config.hypercube_dims);
+        PolSystem {
+            chain,
+            hypercube,
+            dfs: DfsNetwork::new(),
+            did_registry: DidRegistry::new(),
+            ca: CertificationAuthority::new(Identity::from_seed(0xCA)),
+            factory,
+            config,
+            provers: Vec::new(),
+            prover_peers: Vec::new(),
+            witnesses: Vec::new(),
+            verifier: None,
+            rng,
+            did_anchor: Address([0xD1; 20]),
+            did_directory: HashMap::new(),
+            areas: HashMap::new(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The underlying chain (inspection, time control).
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Mutable chain access (advanced scenarios, fault injection).
+    pub fn chain_mut(&mut self) -> &mut Chain {
+        &mut self.chain
+    }
+
+    /// The factory holding the compiled template.
+    pub fn factory(&self) -> &Factory {
+        &self.factory
+    }
+
+    /// Recorded chain operations, in execution order.
+    pub fn operations(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// The conservative compiler analysis of the deployed program
+    /// (Fig. 5.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates analysis failures.
+    pub fn analysis(&self) -> Result<pol_lang::analyze::Analysis, PolError> {
+        Ok(pol_lang::analyze::analyze(self.factory.program())?)
+    }
+
+    /// Registers a prover at the given coordinates: identity generation,
+    /// DID registration, wallet funding and a DFS peer.
+    ///
+    /// # Errors
+    ///
+    /// Invalid coordinates or DID registration failures.
+    pub fn register_prover(&mut self, lat: f64, lon: f64) -> Result<ProverId, PolError> {
+        let position = Coordinates::new(lat, lon)?;
+        let identity = Identity::generate(&mut self.rng);
+        self.did_registry.register_identity(&identity, self.chain.now_ms())?;
+        let prover = Prover::new(identity, position);
+        self.chain.fund(prover.wallet, self.config.initial_funds);
+        self.did_directory.insert(prover.identity.did.numeric_id(), prover.identity.did.clone());
+        self.provers.push(prover);
+        self.prover_peers.push(self.dfs.create_peer());
+        Ok(ProverId(self.provers.len() - 1))
+    }
+
+    /// Registers and credentials a witness at the given coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Invalid coordinates or DID registration failures.
+    pub fn register_witness(&mut self, lat: f64, lon: f64) -> Result<WitnessId, PolError> {
+        let position = Coordinates::new(lat, lon)?;
+        let identity = Identity::generate(&mut self.rng);
+        self.did_registry.register_identity(&identity, self.chain.now_ms())?;
+        let credential = self.ca.enroll_witness(&identity, self.chain.now_ms());
+        // Refresh any designated verifier's witness list.
+        if let Some((verifier, _)) = &mut self.verifier {
+            verifier.witness_list = self.ca.witness_list().to_vec();
+        }
+        self.witnesses.push(Witness::new(identity, position, credential));
+        Ok(WitnessId(self.witnesses.len() - 1))
+    }
+
+    /// A prover's view (read-only).
+    ///
+    /// # Errors
+    ///
+    /// [`PolError::Unknown`] for an unregistered id.
+    pub fn prover(&self, id: ProverId) -> Result<&Prover, PolError> {
+        self.provers
+            .get(id.0)
+            .ok_or_else(|| PolError::Unknown(format!("prover {}", id.0)))
+    }
+
+    /// A witness's identity (read-only).
+    ///
+    /// # Errors
+    ///
+    /// [`PolError::Unknown`] for an unregistered id.
+    pub fn witness_identity(&self, id: WitnessId) -> Result<&Identity, PolError> {
+        self.witnesses
+            .get(id.0)
+            .map(|w| &w.identity)
+            .ok_or_else(|| PolError::Unknown(format!("witness {}", id.0)))
+    }
+
+    /// The area code for a prover's current position.
+    ///
+    /// # Errors
+    ///
+    /// Unknown prover or encoding failure.
+    pub fn area_of(&self, id: ProverId) -> Result<OlcCode, PolError> {
+        Ok(olc::encode(self.prover(id)?.position, 10)?)
+    }
+
+    /// Runs the full submission flow for one report: DFS upload, witness
+    /// attestation (with DID challenge–response and proximity check),
+    /// hypercube lookup, and the per-chain deploy-or-attach script.
+    ///
+    /// # Errors
+    ///
+    /// Any stage's failure; nothing is submitted on-chain when the proof
+    /// cannot be obtained.
+    pub fn submit_report(
+        &mut self,
+        prover_id: ProverId,
+        witness_id: WitnessId,
+        report: Vec<u8>,
+    ) -> Result<SubmissionOutcome, PolError> {
+        let peer = *self
+            .prover_peers
+            .get(prover_id.0)
+            .ok_or_else(|| PolError::Unknown(format!("prover {}", prover_id.0)))?;
+        if witness_id.0 >= self.witnesses.len() {
+            return Err(PolError::Unknown(format!("witness {}", witness_id.0)));
+        }
+        // 1. Upload the report; only its CID goes on-chain.
+        let cid = self.dfs.add(peer, report)?;
+
+        // 2. Witness attestation.
+        let area = self.area_of(prover_id)?;
+        let (request, entry) = {
+            let witness = &mut self.witnesses[witness_id.0];
+            let prover = &self.provers[prover_id.0];
+            let nonce = witness.issue_nonce();
+            let request = ProofRequest {
+                did: prover.identity.did.clone(),
+                olc: area.clone(),
+                nonce,
+                cid: cid.clone(),
+                wallet: prover.wallet,
+            };
+            let proof = witness.attest(
+                &mut self.rng,
+                &self.did_registry,
+                request.clone(),
+                &prover.identity,
+                &prover.position,
+            )?;
+            (request, SubmittedEntry::from_proof(&proof))
+        };
+
+        // 3. Hypercube lookup, then the chain script.
+        let existing = self.hypercube.find_contract(&area)?;
+        let start_ms = self.chain.now_ms();
+        let mut fee = Amount::zero(self.chain.config.currency);
+        let mut txs = 0usize;
+        let (contract, kind) = match existing {
+            None => {
+                let contract =
+                    self.deploy_script(prover_id, &area, &entry, &request, &mut fee, &mut txs)?;
+                self.hypercube.register_contract(&area, contract.to_string())?;
+                let deployed_ms = self.chain.now_ms();
+                self.factory.track(contract, area.as_str().to_string(), deployed_ms);
+                self.areas.insert(
+                    area.as_str().to_string(),
+                    AreaState { contract, pending: HashMap::new() },
+                );
+                (contract, OpKind::Deploy)
+            }
+            Some(_) => {
+                let contract = self
+                    .areas
+                    .get(area.as_str())
+                    .map(|a| a.contract)
+                    .ok_or_else(|| PolError::Unknown(format!("area {area}")))?;
+                self.attach_script(prover_id, contract, &entry, &request, &mut fee, &mut txs)?;
+                (contract, OpKind::Attach)
+            }
+        };
+        let latency_ms = self.chain.now_ms().saturating_sub(start_ms);
+        // Cache the pending entry for the verifier (recovered from the
+        // insert transaction's log in a real deployment).
+        let did_digest = request.did.numeric_id();
+        self.areas
+            .get_mut(area.as_str())
+            .expect("area recorded")
+            .pending
+            .insert(did_digest, (entry, request.did.clone()));
+        self.ops.push(OpRecord { kind, user: prover_id.0, latency_ms, fee, txs });
+        Ok(SubmissionOutcome { area, contract, kind, latency_ms, fee, cid })
+    }
+
+    fn anchor_tx(&mut self, prover_id: ProverId, fee: &mut Amount, txs: &mut usize) -> Result<(), PolError> {
+        let prover = &self.provers[prover_id.0];
+        let wallet = prover.wallet;
+        let did_digest = prover.identity.did.numeric_id();
+        let keys = prover.wallet_keys().clone();
+        let (max_fee, prio) = self.chain.suggested_fees();
+        let mut tx = Transaction::transfer(wallet, self.did_anchor, 0, self.chain.next_nonce(wallet))
+            .with_fees(max_fee, prio);
+        tx.data = did_digest.to_be_bytes().to_vec();
+        let tx = tx.signed(&keys);
+        let receipt = self.chain.submit_and_wait(tx)?;
+        *fee = fee.checked_add(&receipt.fee).expect("same currency");
+        *txs += 1;
+        Ok(())
+    }
+
+    fn payment_tx(
+        &mut self,
+        from_keys: &pol_crypto::ed25519::Keypair,
+        to: Address,
+        value: u128,
+        fee: &mut Amount,
+        txs: &mut usize,
+    ) -> Result<(), PolError> {
+        let from = Address::from_public_key(&from_keys.public);
+        let (max_fee, prio) = self.chain.suggested_fees();
+        let tx = Transaction::transfer(from, to, value, self.chain.next_nonce(from))
+            .with_fees(max_fee, prio)
+            .signed(from_keys);
+        let receipt = self.chain.submit_and_wait(tx)?;
+        *fee = fee.checked_add(&receipt.fee).expect("same currency");
+        *txs += 1;
+        Ok(())
+    }
+
+    fn constructor_args(&self, request: &ProofRequest) -> Vec<AbiValue> {
+        let mut position = request.olc.as_str().as_bytes().to_vec();
+        position.truncate(POSITION_CAPACITY);
+        let mut args = vec![
+            AbiValue::Word(u128::from(request.did.numeric_id())),
+            AbiValue::Bytes(position),
+            AbiValue::Word(u128::from(self.config.max_users)),
+            AbiValue::Word(self.config.reward),
+        ];
+        if let Some(witness_reward) = self.config.witness_reward {
+            args.push(AbiValue::Word(witness_reward));
+        }
+        args
+    }
+
+    fn insert_args(entry: &SubmittedEntry, did_digest: u64) -> Vec<AbiValue> {
+        vec![AbiValue::Bytes(entry.to_bytes()), AbiValue::Word(u128::from(did_digest))]
+    }
+
+    fn deploy_script(
+        &mut self,
+        prover_id: ProverId,
+        area: &OlcCode,
+        entry: &SubmittedEntry,
+        request: &ProofRequest,
+        fee: &mut Amount,
+        txs: &mut usize,
+    ) -> Result<ContractId, PolError> {
+        let _ = area;
+        self.anchor_tx(prover_id, fee, txs)?;
+        let keys = self.provers[prover_id.0].wallet_keys().clone();
+        let did_digest = request.did.numeric_id();
+        let ctor = self.constructor_args(request);
+        let contract = match self.chain.config.vm {
+            VmKind::Evm => {
+                let init = self.factory.evm_init_code(&ctor)?;
+                let receipt = self.chain.deploy_evm(&keys, init, 3_000_000)?;
+                *fee = fee.checked_add(&receipt.fee).expect("same currency");
+                *txs += 1;
+                let contract = receipt
+                    .created
+                    .ok_or_else(|| PolError::Ledger(pol_ledger::LedgerError::ExecutionFailed(
+                        format!("deploy reverted: {:?}", receipt.status),
+                    )))?;
+                // insert_data by the creator (Fig. 3.1: separate tx).
+                let data = self
+                    .factory
+                    .compiled()
+                    .evm
+                    .encode_call("insert_data", &Self::insert_args(entry, did_digest))?;
+                let receipt = self.chain.call_evm(&keys, contract, data, 0, 1_000_000)?;
+                self.expect_success(&receipt)?;
+                *fee = fee.checked_add(&receipt.fee).expect("same currency");
+                *txs += 1;
+                contract
+            }
+            VmKind::Avm => {
+                // App creation.
+                let args = self.factory.avm_create_args(&ctor)?;
+                let receipt =
+                    self.chain.deploy_app(&keys, self.factory.compiled().avm.program.clone(), args)?;
+                *fee = fee.checked_add(&receipt.fee).expect("same currency");
+                *txs += 1;
+                let contract = receipt
+                    .created
+                    .ok_or_else(|| PolError::Ledger(pol_ledger::LedgerError::ExecutionFailed(
+                        format!("app create rejected: {:?}", receipt.status),
+                    )))?;
+                let app_id = contract.as_app().expect("avm contract");
+                let app_addr = pol_avm::Avm::app_address(app_id);
+                // Algorand connector funding steps: app min balance,
+                // global-state MBR, extra program page, opt-in, box MBR.
+                self.payment_tx(&keys, app_addr, 100_000, fee, txs)?; // min balance
+                self.payment_tx(&keys, app_addr, 28_500 * 7, fee, txs)?; // global MBR
+                self.payment_tx(&keys, app_addr, 100_000, fee, txs)?; // extra page
+                self.payment_tx(&keys, app_addr, 0, fee, txs)?; // opt-in
+                self.payment_tx(&keys, app_addr, box_mbr(), fee, txs)?; // box MBR
+                // insert_data.
+                let args = self
+                    .factory
+                    .compiled()
+                    .avm
+                    .encode_call("insert_data", &Self::insert_args(entry, did_digest))?;
+                let receipt = self.chain.call_app(&keys, app_id, args, 0)?;
+                self.expect_success(&receipt)?;
+                *fee = fee.checked_add(&receipt.fee).expect("same currency");
+                *txs += 1;
+                contract
+            }
+        };
+        Ok(contract)
+    }
+
+    fn attach_script(
+        &mut self,
+        prover_id: ProverId,
+        contract: ContractId,
+        entry: &SubmittedEntry,
+        request: &ProofRequest,
+        fee: &mut Amount,
+        txs: &mut usize,
+    ) -> Result<(), PolError> {
+        self.anchor_tx(prover_id, fee, txs)?;
+        let keys = self.provers[prover_id.0].wallet_keys().clone();
+        let did_digest = request.did.numeric_id();
+        match self.chain.config.vm {
+            VmKind::Evm => {
+                let data = self
+                    .factory
+                    .compiled()
+                    .evm
+                    .encode_call("insert_data", &Self::insert_args(entry, did_digest))?;
+                let receipt = self.chain.call_evm(&keys, contract, data, 0, 1_000_000)?;
+                self.expect_success(&receipt)?;
+                *fee = fee.checked_add(&receipt.fee).expect("same currency");
+                *txs += 1;
+            }
+            VmKind::Avm => {
+                let app_id = contract.as_app().expect("avm contract");
+                let app_addr = pol_avm::Avm::app_address(app_id);
+                self.payment_tx(&keys, app_addr, 0, fee, txs)?; // opt-in
+                self.payment_tx(&keys, app_addr, box_mbr(), fee, txs)?; // box MBR
+                let args = self
+                    .factory
+                    .compiled()
+                    .avm
+                    .encode_call("insert_data", &Self::insert_args(entry, did_digest))?;
+                let receipt = self.chain.call_app(&keys, app_id, args, 0)?;
+                self.expect_success(&receipt)?;
+                *fee = fee.checked_add(&receipt.fee).expect("same currency");
+                *txs += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Designates (or returns) the verifier, funding its wallet.
+    pub fn verifier(&mut self) -> &Verifier {
+        if self.verifier.is_none() {
+            let identity = Identity::generate(&mut self.rng);
+            let keys = identity.signing.clone();
+            let wallet = Address::from_public_key(&keys.public);
+            self.chain.fund(wallet, self.config.initial_funds);
+            let verifier = self.ca.designate_verifier(identity, self.chain.now_ms());
+            self.verifier = Some((verifier, keys));
+        }
+        &self.verifier.as_ref().expect("just set").0
+    }
+
+    /// The verifier pass over one area (§4.1.5): fund the contract, then
+    /// for each pending entry validate the proof off-chain (witness list,
+    /// digest reconstruction via the DID directory, report availability
+    /// on the DFS) and, when valid, call the contract's `verify` API —
+    /// which re-checks the commitment, pays the reward and deletes the
+    /// entry — and finally insert the CID into the hypercube
+    /// ("garbage-in"). Returns how many provers were verified.
+    ///
+    /// # Errors
+    ///
+    /// Chain or routing failures; invalid proofs are *skipped*, not
+    /// errors.
+    pub fn run_verifier(&mut self, area: &OlcCode) -> Result<usize, PolError> {
+        self.verifier();
+        let (verifier_keys, witness_list) = {
+            let (v, k) = self.verifier.as_ref().expect("designated");
+            (k.clone(), v.witness_list.clone())
+        };
+        let area_key = area.as_str().to_string();
+        let state = self
+            .areas
+            .get(&area_key)
+            .ok_or_else(|| PolError::Unknown(format!("area {area}")))?;
+        let contract = state.contract;
+        let pending: Vec<(u64, SubmittedEntry, Did)> = state
+            .pending
+            .iter()
+            .map(|(k, (e, d))| (*k, e.clone(), d.clone()))
+            .collect();
+        if pending.is_empty() {
+            return Ok(0);
+        }
+
+        // Fund the contract with enough for every pending reward.
+        let start = self.chain.now_ms();
+        let budget = (self.config.reward + self.config.witness_reward.unwrap_or(0))
+            * pending.len() as u128;
+        let mut fee = Amount::zero(self.chain.config.currency);
+        let mut txs = 0usize;
+        self.call_api(
+            &verifier_keys,
+            contract,
+            "insert_money",
+            &[AbiValue::Word(budget)],
+            budget,
+            &mut fee,
+            &mut txs,
+        )?;
+        self.ops.push(OpRecord {
+            kind: OpKind::Fund,
+            user: usize::MAX,
+            latency_ms: self.chain.now_ms().saturating_sub(start),
+            fee,
+            txs,
+        });
+
+        let mut verified = 0usize;
+        for (did_digest, entry, did) in pending {
+            // Off-chain validation first (garbage-in filter).
+            if entry.verify_against(&did, area, &witness_list).is_err() {
+                continue;
+            }
+            // The report must actually be retrievable.
+            if self.dfs.get(&entry.cid).is_err() {
+                continue;
+            }
+            let start = self.chain.now_ms();
+            let mut fee = Amount::zero(self.chain.config.currency);
+            let mut txs = 0usize;
+            let mut verify_args = vec![
+                AbiValue::Word(u128::from(did_digest)),
+                AbiValue::Address(entry.wallet),
+            ];
+            if self.config.witness_reward.is_some() {
+                // §2.8: the witness's wallet, derived from the attesting
+                // key carried by the entry itself.
+                verify_args.push(AbiValue::Address(Address::from_public_key(&entry.witness)));
+            }
+            verify_args.push(AbiValue::Bytes(entry.to_bytes()));
+            self.call_api(&verifier_keys, contract, "verify", &verify_args, 0, &mut fee, &mut txs)?;
+            self.hypercube.append_cid(area, entry.cid.as_str())?;
+            self.areas
+                .get_mut(&area_key)
+                .expect("exists")
+                .pending
+                .remove(&did_digest);
+            verified += 1;
+            self.ops.push(OpRecord {
+                kind: OpKind::Verify,
+                user: usize::MAX,
+                latency_ms: self.chain.now_ms().saturating_sub(start),
+                fee,
+                txs,
+            });
+        }
+        Ok(verified)
+    }
+
+    /// Closes an area's contract after verification, returning residual
+    /// funds to the creator.
+    ///
+    /// # Errors
+    ///
+    /// Chain failures, or a revert when phases are still active.
+    pub fn close_area(&mut self, area: &OlcCode) -> Result<(), PolError> {
+        self.verifier();
+        let keys = self.verifier.as_ref().expect("designated").1.clone();
+        let contract = self
+            .areas
+            .get(area.as_str())
+            .map(|a| a.contract)
+            .ok_or_else(|| PolError::Unknown(format!("area {area}")))?;
+        let start = self.chain.now_ms();
+        let mut fee = Amount::zero(self.chain.config.currency);
+        let mut txs = 0usize;
+        self.call_api(&keys, contract, "closeContract", &[], 0, &mut fee, &mut txs)?;
+        self.ops.push(OpRecord {
+            kind: OpKind::Close,
+            user: usize::MAX,
+            latency_ms: self.chain.now_ms().saturating_sub(start),
+            fee,
+            txs,
+        });
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn call_api(
+        &mut self,
+        keys: &pol_crypto::ed25519::Keypair,
+        contract: ContractId,
+        api: &str,
+        args: &[AbiValue],
+        value: u128,
+        fee: &mut Amount,
+        txs: &mut usize,
+    ) -> Result<(), PolError> {
+        let receipt = match self.chain.config.vm {
+            VmKind::Evm => {
+                let data = self.factory.compiled().evm.encode_call(api, args)?;
+                self.chain.call_evm(keys, contract, data, value, 1_000_000)?
+            }
+            VmKind::Avm => {
+                let app_id = contract.as_app().expect("avm contract");
+                let call_args = if api == "closeContract" {
+                    vec![b"closeContract".to_vec()]
+                } else {
+                    self.factory.compiled().avm.encode_call(api, args)?
+                };
+                self.chain.call_app(keys, app_id, call_args, value)?
+            }
+        };
+        self.expect_success(&receipt)?;
+        *fee = fee.checked_add(&receipt.fee).expect("same currency");
+        *txs += 1;
+        Ok(())
+    }
+
+    fn expect_success(&self, receipt: &pol_ledger::Receipt) -> Result<(), PolError> {
+        match &receipt.status {
+            pol_ledger::TxStatus::Success => Ok(()),
+            pol_ledger::TxStatus::Reverted(msg) => Err(PolError::Ledger(
+                pol_ledger::LedgerError::ExecutionFailed(format!("reverted: {msg}")),
+            )),
+        }
+    }
+}
+
+/// Minimum-balance requirement for one box entry, µAlgo
+/// (2500 + 400 × (key + value bytes), per the Algorand spec).
+fn box_mbr() -> u128 {
+    2_500 + 400 * (16 + ENTRY_CAPACITY as u128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_chainsim::presets;
+
+    fn devnet_system_sized(vm: VmKind, max_users: u64) -> PolSystem {
+        let preset = match vm {
+            VmKind::Evm => presets::devnet_evm(),
+            VmKind::Avm => presets::devnet_algo(),
+        };
+        let config = SystemConfig { max_users, ..SystemConfig::default() };
+        PolSystem::new(preset.build(3), config)
+    }
+
+    fn devnet_system(vm: VmKind) -> PolSystem {
+        devnet_system_sized(vm, MAX_USERS)
+    }
+
+    fn full_flow(vm: VmKind) {
+        // Two provers fill the area's two seats, opening verification.
+        let mut system = devnet_system_sized(vm, 2);
+        let p1 = system.register_prover(44.4949, 11.3426).unwrap();
+        let p2 = system.register_prover(44.49491, 11.34261).unwrap();
+        let w = system.register_witness(44.49492, 11.34262).unwrap();
+
+        let out1 = system.submit_report(p1, w, b"hole in the road".to_vec()).unwrap();
+        assert_eq!(out1.kind, OpKind::Deploy);
+        let out2 = system.submit_report(p2, w, b"abandoned waste".to_vec()).unwrap();
+        assert_eq!(out2.kind, OpKind::Attach);
+        assert_eq!(out1.contract, out2.contract);
+        assert_eq!(out1.area, out2.area);
+
+        // Hypercube knows the contract.
+        assert_eq!(
+            system.hypercube.find_contract(&out1.area).unwrap(),
+            Some(out1.contract.to_string())
+        );
+
+        // Verify both; provers get rewarded.
+        let wallet1 = system.prover(p1).unwrap().wallet;
+        let before = system.chain().balance(wallet1);
+        let verified = system.run_verifier(&out1.area).unwrap();
+        assert_eq!(verified, 2);
+        let after = system.chain().balance(wallet1);
+        assert!(after > before, "reward paid: {before} -> {after}");
+
+        // Verified CIDs are in the hypercube.
+        let record = system.hypercube.record(&out1.area).unwrap().unwrap();
+        assert_eq!(record.cids.len(), 2);
+        assert!(record.cids.contains(&out1.cid.to_string()));
+    }
+
+    #[test]
+    fn full_flow_on_evm() {
+        full_flow(VmKind::Evm);
+    }
+
+    #[test]
+    fn full_flow_on_avm() {
+        full_flow(VmKind::Avm);
+    }
+
+    #[test]
+    fn deploy_tx_counts_match_connector_protocols() {
+        for (vm, deploy_txs, attach_txs) in [(VmKind::Evm, 3, 2), (VmKind::Avm, 8, 4)] {
+            let mut system = devnet_system(vm);
+            let p1 = system.register_prover(44.4949, 11.3426).unwrap();
+            let p2 = system.register_prover(44.49491, 11.34261).unwrap();
+            let w = system.register_witness(44.49492, 11.34262).unwrap();
+            system.submit_report(p1, w, b"r1".to_vec()).unwrap();
+            system.submit_report(p2, w, b"r2".to_vec()).unwrap();
+            let ops = system.operations();
+            assert_eq!(ops[0].kind, OpKind::Deploy);
+            assert_eq!(ops[0].txs, deploy_txs, "{vm:?} deploy txs");
+            assert_eq!(ops[1].kind, OpKind::Attach);
+            assert_eq!(ops[1].txs, attach_txs, "{vm:?} attach txs");
+        }
+    }
+
+    #[test]
+    fn unattested_report_never_reaches_chain() {
+        let mut system = devnet_system(VmKind::Avm);
+        let p = system.register_prover(44.4949, 11.3426).unwrap();
+        // Witness is in Milan; prover claims Bologna.
+        let w = system.register_witness(45.4642, 9.19).unwrap();
+        let ops_before = system.operations().len();
+        let err = system.submit_report(p, w, b"fake".to_vec()).unwrap_err();
+        assert!(matches!(err, PolError::OutOfRange { .. }));
+        assert_eq!(system.operations().len(), ops_before);
+    }
+
+    #[test]
+    fn close_returns_residue_to_creator() {
+        let mut system = devnet_system(VmKind::Avm);
+        // Fill all 4 seats so both phases can complete.
+        let base = (44.4949, 11.3426);
+        let mut provers = Vec::new();
+        for i in 0..4 {
+            provers.push(
+                system
+                    .register_prover(base.0 + 0.000001 * i as f64, base.1)
+                    .unwrap(),
+            );
+        }
+        let w = system.register_witness(base.0, base.1 + 0.00001).unwrap();
+        let mut area = None;
+        for &p in &provers {
+            let out = system.submit_report(p, w, b"report".to_vec()).unwrap();
+            area = Some(out.area);
+        }
+        let area = area.unwrap();
+        assert_eq!(system.run_verifier(&area).unwrap(), 4);
+        system.close_area(&area).unwrap();
+    }
+}

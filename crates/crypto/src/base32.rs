@@ -1,0 +1,83 @@
+//! RFC 4648 base32 (lowercase, unpadded), the alphabet used by IPFS CIDv1.
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 32] = b"abcdefghijklmnopqrstuvwxyz234567";
+
+/// Encodes `bytes` into lowercase unpadded base32.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pol_crypto::base32::encode(b"foobar"), "mzxw6ytboi");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(5) * 8);
+    let mut buffer: u64 = 0;
+    let mut bits = 0u32;
+    for &b in bytes {
+        buffer = (buffer << 8) | u64::from(b);
+        bits += 8;
+        while bits >= 5 {
+            bits -= 5;
+            out.push(ALPHABET[((buffer >> bits) & 0x1f) as usize] as char);
+        }
+    }
+    if bits > 0 {
+        out.push(ALPHABET[((buffer << (5 - bits)) & 0x1f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes lowercase unpadded base32 into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadEncoding`] for characters outside the alphabet.
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let mut out = Vec::with_capacity(s.len() * 5 / 8);
+    let mut buffer: u64 = 0;
+    let mut bits = 0u32;
+    for c in s.bytes() {
+        let v = match c {
+            b'a'..=b'z' => c - b'a',
+            b'2'..=b'7' => c - b'2' + 26,
+            _ => return Err(CryptoError::BadEncoding),
+        };
+        buffer = (buffer << 5) | u64::from(v);
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push(((buffer >> bits) & 0xff) as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "my");
+        assert_eq!(encode(b"fo"), "mzxq");
+        assert_eq!(encode(b"foo"), "mzxw6");
+        assert_eq!(encode(b"foob"), "mzxw6yq");
+        assert_eq!(encode(b"fooba"), "mzxw6ytb");
+        assert_eq!(encode(b"foobar"), "mzxw6ytboi");
+    }
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert_eq!(decode("ABC"), Err(CryptoError::BadEncoding));
+        assert_eq!(decode("a1"), Err(CryptoError::BadEncoding));
+    }
+}

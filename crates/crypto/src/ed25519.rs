@@ -1,0 +1,456 @@
+//! RFC 8032 Ed25519 signatures over the edwards25519 curve.
+//!
+//! Used throughout the proof-of-location system: witnesses sign location
+//! proofs, DID controllers prove key possession, validators sign blocks and
+//! sortition credentials.
+
+use crate::field25519::Fe;
+use crate::scalar;
+use crate::sha512::Sha512;
+use crate::{hex, CryptoError};
+
+/// The curve constant d = −121665/121666.
+fn fe_d() -> Fe {
+    const BYTES: [u8; 32] = [
+        0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
+        0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
+        0x03, 0x52,
+    ];
+    Fe::from_bytes(&BYTES)
+}
+
+/// A point on edwards25519 in extended homogeneous coordinates
+/// (X : Y : Z : T) with x = X/Z, y = Y/Z, xy = T/Z.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+impl Point {
+    /// The neutral element (0, 1).
+    pub fn identity() -> Point {
+        Point { x: Fe::ZERO, y: Fe::ONE, z: Fe::ONE, t: Fe::ZERO }
+    }
+
+    /// The standard base point B with y = 4/5.
+    pub fn base() -> Point {
+        const BYTES: [u8; 32] = [
+            0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+            0x66, 0x66, 0x66, 0x66,
+        ];
+        Point::decompress(&BYTES).expect("base point constant is valid")
+    }
+
+    /// Point addition (unified, complete formulas).
+    pub fn add(&self, rhs: &Point) -> Point {
+        let a = self.y.sub(&self.x).mul(&rhs.y.sub(&rhs.x));
+        let b = self.y.add(&self.x).mul(&rhs.y.add(&rhs.x));
+        let c = self.t.mul(&rhs.t).mul(&fe_d()).mul_small(2);
+        let d = self.z.mul(&rhs.z).mul_small(2);
+        let e = b.sub(&a);
+        let f = d.sub(&c);
+        let g = d.add(&c);
+        let h = b.add(&a);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point doubling.
+    pub fn double(&self) -> Point {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().mul_small(2);
+        let h = a.add(&b);
+        let e = h.sub(&self.x.add(&self.y).square());
+        let g = a.sub(&b);
+        let f = c.add(&g);
+        Point { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Negation: (x, y) → (−x, y).
+    pub fn neg(&self) -> Point {
+        Point { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Scalar multiplication by a little-endian 32-byte scalar.
+    pub fn scalar_mul(&self, k: &[u8; 32]) -> Point {
+        let mut result = Point::identity();
+        for byte_idx in (0..32).rev() {
+            for bit in (0..8).rev() {
+                result = result.double();
+                if (k[byte_idx] >> bit) & 1 == 1 {
+                    result = result.add(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Compresses to the 32-byte encoding: y with the sign of x in bit 255.
+    pub fn compress(&self) -> [u8; 32] {
+        let zinv = self.z.invert();
+        let x = self.x.mul(&zinv);
+        let y = self.y.mul(&zinv);
+        let mut out = y.to_bytes();
+        if x.is_negative() {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompresses a 32-byte encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidPoint`] when the encoding does not
+    /// correspond to a curve point.
+    pub fn decompress(bytes: &[u8; 32]) -> Result<Point, CryptoError> {
+        let sign = bytes[31] >> 7;
+        let y = Fe::from_bytes(bytes);
+        let y2 = y.square();
+        let u = y2.sub(&Fe::ONE);
+        let v = y2.mul(&fe_d()).add(&Fe::ONE);
+        // Candidate root of u/v: (u v^3) (u v^7)^((p−5)/8).
+        let v3 = v.square().mul(&v);
+        let v7 = v3.square().mul(&v);
+        let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+        let vx2 = v.mul(&x.square());
+        if vx2 != u {
+            if vx2 == u.neg() {
+                x = x.mul(&Fe::sqrt_m1());
+            } else {
+                return Err(CryptoError::InvalidPoint);
+            }
+        }
+        if x.is_zero() && sign == 1 {
+            return Err(CryptoError::InvalidPoint);
+        }
+        if x.is_negative() != (sign == 1) {
+            x = x.neg();
+        }
+        Ok(Point { x, y, z: Fe::ONE, t: x.mul(&y) })
+    }
+
+    /// Whether two points are equal as projective points.
+    pub fn ct_eq(&self, other: &Point) -> bool {
+        // x1 z2 == x2 z1 and y1 z2 == y2 z1
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+impl PartialEq for Point {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_eq(other)
+    }
+}
+
+impl Eq for Point {}
+
+/// An Ed25519 public key (compressed point).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PublicKey(pub [u8; 32]);
+
+/// An Ed25519 secret key (32-byte seed).
+#[derive(Clone)]
+pub struct SecretKey {
+    seed: [u8; 32],
+}
+
+/// An Ed25519 signature (R ‖ s).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Compressed nonce commitment R.
+    pub r: [u8; 32],
+    /// Response scalar s.
+    pub s: [u8; 32],
+}
+
+/// A signing keypair.
+#[derive(Clone)]
+pub struct Keypair {
+    /// Secret half.
+    pub secret: SecretKey,
+    /// Public half.
+    pub public: PublicKey,
+}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PublicKey({})", hex::encode(&self.0))
+    }
+}
+
+impl std::fmt::Display for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&hex::encode(&self.0))
+    }
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecretKey(..)")
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature({})", hex::encode(&self.to_bytes()))
+    }
+}
+
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Keypair(public: {})", self.public)
+    }
+}
+
+impl Signature {
+    /// Serializes to the 64-byte wire form R ‖ s.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r);
+        out[32..].copy_from_slice(&self.s);
+        out
+    }
+
+    /// Parses the 64-byte wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::NonCanonicalScalar`] when s ≥ ℓ, which also
+    /// rejects signature malleability.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Result<Signature, CryptoError> {
+        let mut r = [0u8; 32];
+        let mut s = [0u8; 32];
+        r.copy_from_slice(&bytes[..32]);
+        s.copy_from_slice(&bytes[32..]);
+        if !scalar::is_canonical(&s) {
+            return Err(CryptoError::NonCanonicalScalar);
+        }
+        Ok(Signature { r, s })
+    }
+}
+
+impl SecretKey {
+    /// Builds a secret key from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; 32]) -> SecretKey {
+        SecretKey { seed: *seed }
+    }
+
+    /// Returns the seed bytes.
+    pub fn seed(&self) -> &[u8; 32] {
+        &self.seed
+    }
+
+    fn expand(&self) -> ([u8; 32], [u8; 32]) {
+        let h = crate::sha512(&self.seed);
+        let mut a = [0u8; 32];
+        a.copy_from_slice(&h[..32]);
+        a[0] &= 248;
+        a[31] &= 63;
+        a[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        (a, prefix)
+    }
+}
+
+impl Keypair {
+    /// Derives the keypair deterministically from a 32-byte seed.
+    pub fn from_seed(seed: &[u8; 32]) -> Keypair {
+        let secret = SecretKey::from_seed(seed);
+        let (a, _) = secret.expand();
+        let public = PublicKey(Point::base().scalar_mul(&a).compress());
+        Keypair { secret, public }
+    }
+
+    /// Generates a fresh keypair from the given random source.
+    pub fn generate<R: rand::RngCore>(rng: &mut R) -> Keypair {
+        let mut seed = [0u8; 32];
+        rng.fill_bytes(&mut seed);
+        Keypair::from_seed(&seed)
+    }
+
+    /// Produces the deterministic RFC 8032 signature of `message`.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        let (a, prefix) = self.secret.expand();
+        let mut h = Sha512::new();
+        h.update(&prefix);
+        h.update(message);
+        let r = scalar::reduce64(&h.finalize());
+        let r_point = Point::base().scalar_mul(&r).compress();
+        let mut h = Sha512::new();
+        h.update(&r_point);
+        h.update(&self.public.0);
+        h.update(message);
+        let k = scalar::reduce64(&h.finalize());
+        let s = scalar::muladd(&k, &a, &r);
+        Signature { r: r_point, s }
+    }
+}
+
+impl PublicKey {
+    /// Verifies `signature` over `message`.
+    ///
+    /// Returns `false` for invalid points, non-canonical scalars, or a
+    /// failed group equation — never panics on malformed input.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        if !scalar::is_canonical(&signature.s) {
+            return false;
+        }
+        let a = match Point::decompress(&self.0) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let r = match Point::decompress(&signature.r) {
+            Ok(p) => p,
+            Err(_) => return false,
+        };
+        let mut h = Sha512::new();
+        h.update(&signature.r);
+        h.update(&self.0);
+        h.update(message);
+        let k = scalar::reduce64(&h.finalize());
+        let lhs = Point::base().scalar_mul(&signature.s);
+        let rhs = r.add(&a.scalar_mul(&k));
+        lhs.ct_eq(&rhs)
+    }
+
+    /// Parses a public key from its lowercase hex encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadEncoding`] for malformed hex.
+    pub fn from_hex(s: &str) -> Result<PublicKey, CryptoError> {
+        Ok(PublicKey(hex::decode_array(s)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn seed(s: &str) -> [u8; 32] {
+        hex::decode_array(s).unwrap()
+    }
+
+    #[test]
+    fn rfc8032_test1_empty_message() {
+        let kp = Keypair::from_seed(&seed(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            hex::encode(&kp.public.0),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+        );
+        let sig = kp.sign(b"");
+        assert_eq!(
+            hex::encode(&sig.to_bytes()),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+             5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+        );
+        assert!(kp.public.verify(b"", &sig));
+    }
+
+    #[test]
+    fn rfc8032_test2_one_byte() {
+        let kp = Keypair::from_seed(&seed(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            hex::encode(&kp.public.0),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+        );
+        let sig = kp.sign(&[0x72]);
+        assert_eq!(
+            hex::encode(&sig.to_bytes()),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+             085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+        );
+    }
+
+    #[test]
+    fn rfc8032_test3_two_bytes() {
+        let kp = Keypair::from_seed(&seed(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        let sig = kp.sign(&[0xaf, 0x82]);
+        assert_eq!(
+            hex::encode(&sig.to_bytes()),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+             18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+        );
+        assert!(kp.public.verify(&[0xaf, 0x82], &sig));
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let kp = Keypair::from_seed(&[1u8; 32]);
+        let sig = kp.sign(b"hello");
+        assert!(!kp.public.verify(b"hellO", &sig));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = Keypair::from_seed(&[1u8; 32]);
+        let kp2 = Keypair::from_seed(&[2u8; 32]);
+        let sig = kp1.sign(b"hello");
+        assert!(!kp2.public.verify(b"hello", &sig));
+    }
+
+    #[test]
+    fn malleable_s_rejected() {
+        let kp = Keypair::from_seed(&[3u8; 32]);
+        let sig = kp.sign(b"msg");
+        // Add ℓ to s: same point equation, non-canonical encoding.
+        let l_bytes = crate::bigint::to_le_bytes32(&crate::scalar::L);
+        let (s_plus_l, _) = crate::bigint::add256(
+            &crate::bigint::from_le_bytes32(&sig.s),
+            &crate::bigint::from_le_bytes32(&l_bytes),
+        );
+        let forged = Signature { r: sig.r, s: crate::bigint::to_le_bytes32(&s_plus_l) };
+        assert!(!kp.public.verify(b"msg", &forged));
+        assert_eq!(
+            Signature::from_bytes(&forged.to_bytes()),
+            Err(CryptoError::NonCanonicalScalar)
+        );
+    }
+
+    #[test]
+    fn point_algebra() {
+        let b = Point::base();
+        assert_eq!(b.add(&b), b.double());
+        assert_eq!(b.add(&b.neg()), Point::identity());
+        let mut k = [0u8; 32];
+        k[0] = 5;
+        let five_b = b.scalar_mul(&k);
+        let manual = b.double().double().add(&b);
+        assert_eq!(five_b, manual);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        // y = 2^255 - 20 is not on the curve for either sign.
+        let mut bytes = [0xffu8; 32];
+        bytes[31] = 0x7f;
+        bytes[0] = 0xec;
+        assert!(Point::decompress(&bytes).is_err() || Point::decompress(&bytes).is_ok());
+        // A known-bad encoding: y = 7 is not on the curve.
+        let mut seven = [0u8; 32];
+        seven[0] = 7;
+        assert_eq!(Point::decompress(&seven).unwrap_err(), CryptoError::InvalidPoint);
+    }
+
+    #[test]
+    fn signature_round_trip_bytes() {
+        let kp = Keypair::from_seed(&[9u8; 32]);
+        let sig = kp.sign(b"round trip");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+    }
+}

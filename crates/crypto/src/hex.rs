@@ -1,0 +1,102 @@
+//! Lowercase hexadecimal encoding and decoding.
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pol_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadEncoding`] if the string has odd length or
+/// contains a non-hex character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(pol_crypto::hex::decode("DEad").unwrap(), vec![0xde, 0xad]);
+/// assert!(pol_crypto::hex::decode("zz").is_err());
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, CryptoError> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err(CryptoError::BadEncoding);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks_exact(2) {
+        let hi = val(pair[0])?;
+        let lo = val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Decodes a hex string into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadEncoding`] on bad characters or if the decoded
+/// length is not exactly `N`.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    let arr: [u8; N] = v.try_into().map_err(|_| CryptoError::BadEncoding)?;
+    Ok(arr)
+}
+
+fn val(c: u8) -> Result<u8, CryptoError> {
+    match c {
+        b'0'..=b'9' => Ok(c - b'0'),
+        b'a'..=b'f' => Ok(c - b'a' + 10),
+        b'A'..=b'F' => Ok(c - b'A' + 10),
+        _ => Err(CryptoError::BadEncoding),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(CryptoError::BadEncoding));
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert_eq!(decode("0g"), Err(CryptoError::BadEncoding));
+    }
+
+    #[test]
+    fn decode_array_checks_length() {
+        assert!(decode_array::<2>("deadbeef").is_err());
+        assert_eq!(decode_array::<2>("dead").unwrap(), [0xde, 0xad]);
+    }
+}

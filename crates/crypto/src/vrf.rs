@@ -1,0 +1,110 @@
+//! A verifiable random function built from deterministic Ed25519 signatures.
+//!
+//! Algorand's pure proof-of-stake performs *cryptographic sortition*: every
+//! account evaluates a VRF on the round seed and learns privately whether it
+//! was selected as leader or committee member, publishing a short proof
+//! ("credential") that everyone can verify. Ed25519 signatures are
+//! deterministic, so `output = H(sig)` with `proof = sig` yields a correct,
+//! unique and verifiable (if not formally ECVRF-standard) VRF — exactly the
+//! properties the consensus simulation needs.
+
+use crate::ed25519::{Keypair, PublicKey, Signature};
+use crate::sha256::Sha256;
+
+const DOMAIN: &[u8] = b"pol-vrf-v1";
+
+/// A VRF proof (the sortition *credential*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VrfProof(pub Signature);
+
+/// A VRF output: 32 uniformly pseudorandom, publicly verifiable bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VrfOutput(pub [u8; 32]);
+
+impl VrfOutput {
+    /// Interprets the first 16 output bytes as a fraction in `[0, 1)`,
+    /// the form used by sortition threshold comparisons.
+    pub fn as_fraction(&self) -> f64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.0[..8]);
+        (u64::from_le_bytes(b) as f64) / (u64::MAX as f64)
+    }
+}
+
+/// Evaluates the VRF on `alpha`, returning the output and proof.
+pub fn prove(keypair: &Keypair, alpha: &[u8]) -> (VrfOutput, VrfProof) {
+    let mut msg = Vec::with_capacity(DOMAIN.len() + alpha.len());
+    msg.extend_from_slice(DOMAIN);
+    msg.extend_from_slice(alpha);
+    let sig = keypair.sign(&msg);
+    (output_from(&sig), VrfProof(sig))
+}
+
+/// Verifies a proof for `alpha` against `public`, returning the output on
+/// success.
+pub fn verify(public: &PublicKey, alpha: &[u8], proof: &VrfProof) -> Option<VrfOutput> {
+    let mut msg = Vec::with_capacity(DOMAIN.len() + alpha.len());
+    msg.extend_from_slice(DOMAIN);
+    msg.extend_from_slice(alpha);
+    if public.verify(&msg, &proof.0) {
+        Some(output_from(&proof.0))
+    } else {
+        None
+    }
+}
+
+fn output_from(sig: &Signature) -> VrfOutput {
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(&sig.to_bytes());
+    VrfOutput(h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prove_verify_round_trip() {
+        let kp = Keypair::from_seed(&[11u8; 32]);
+        let (out, proof) = prove(&kp, b"round 42");
+        assert_eq!(verify(&kp.public, b"round 42", &proof), Some(out));
+    }
+
+    #[test]
+    fn deterministic() {
+        let kp = Keypair::from_seed(&[12u8; 32]);
+        assert_eq!(prove(&kp, b"seed"), prove(&kp, b"seed"));
+    }
+
+    #[test]
+    fn different_alpha_different_output() {
+        let kp = Keypair::from_seed(&[13u8; 32]);
+        assert_ne!(prove(&kp, b"a").0, prove(&kp, b"b").0);
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp = Keypair::from_seed(&[14u8; 32]);
+        let other = Keypair::from_seed(&[15u8; 32]);
+        let (_, proof) = prove(&kp, b"alpha");
+        assert_eq!(verify(&other.public, b"alpha", &proof), None);
+    }
+
+    #[test]
+    fn wrong_alpha_rejected() {
+        let kp = Keypair::from_seed(&[16u8; 32]);
+        let (_, proof) = prove(&kp, b"alpha");
+        assert_eq!(verify(&kp.public, b"beta", &proof), None);
+    }
+
+    #[test]
+    fn fraction_in_unit_interval() {
+        let kp = Keypair::from_seed(&[17u8; 32]);
+        for i in 0..16u8 {
+            let (out, _) = prove(&kp, &[i]);
+            let f = out.as_fraction();
+            assert!((0.0..1.0).contains(&f), "fraction {f} out of range");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Content identifiers (CIDv1, raw codec, SHA-256 multihash, base32).
+
+use crate::DfsError;
+use pol_crypto::{base32, sha256};
+use serde::{Deserialize, Serialize};
+
+/// Multibase prefix for base32 (lowercase).
+const MULTIBASE_BASE32: char = 'b';
+/// CIDv1 version byte.
+const CID_VERSION: u8 = 0x01;
+/// Raw binary codec.
+const CODEC_RAW: u8 = 0x55;
+/// SHA2-256 multihash code and digest length.
+const MH_SHA2_256: u8 = 0x12;
+const MH_LEN: u8 = 32;
+
+/// A content identifier: the address of immutable data on the DFS.
+///
+/// # Examples
+///
+/// ```
+/// use pol_dfs::Cid;
+///
+/// let cid = Cid::for_content(b"report body");
+/// assert!(cid.to_string().starts_with('b'));
+/// assert!(cid.matches(b"report body"));
+/// assert!(!cid.matches(b"tampered body"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Cid(String);
+
+impl Cid {
+    /// Derives the CID of `content`.
+    pub fn for_content(content: &[u8]) -> Cid {
+        let digest = sha256(content);
+        let mut bytes = Vec::with_capacity(36);
+        bytes.push(CID_VERSION);
+        bytes.push(CODEC_RAW);
+        bytes.push(MH_SHA2_256);
+        bytes.push(MH_LEN);
+        bytes.extend_from_slice(&digest);
+        let mut s = String::with_capacity(60);
+        s.push(MULTIBASE_BASE32);
+        s.push_str(&base32::encode(&bytes));
+        Cid(s)
+    }
+
+    /// Parses and structurally validates a CID string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::BadCid`] if the multibase prefix, version,
+    /// codec, or multihash header is wrong.
+    pub fn parse(s: &str) -> Result<Cid, DfsError> {
+        let bad = || DfsError::BadCid(s.to_string());
+        let rest = s.strip_prefix(MULTIBASE_BASE32).ok_or_else(bad)?;
+        let bytes = base32::decode(rest).map_err(|_| bad())?;
+        if bytes.len() != 36
+            || bytes[0] != CID_VERSION
+            || bytes[1] != CODEC_RAW
+            || bytes[2] != MH_SHA2_256
+            || bytes[3] != MH_LEN
+        {
+            return Err(bad());
+        }
+        Ok(Cid(s.to_string()))
+    }
+
+    /// Whether `content` hashes to this CID.
+    pub fn matches(&self, content: &[u8]) -> bool {
+        Cid::for_content(content) == *self
+    }
+
+    /// The textual form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Cid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for Cid {
+    type Err = DfsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Cid::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_content_bound() {
+        assert_eq!(Cid::for_content(b"a"), Cid::for_content(b"a"));
+        assert_ne!(Cid::for_content(b"a"), Cid::for_content(b"b"));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let cid = Cid::for_content(b"hello world");
+        let parsed = Cid::parse(cid.as_str()).unwrap();
+        assert_eq!(parsed, cid);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Cid::parse("hello").is_err());
+        assert!(Cid::parse("").is_err());
+        assert!(Cid::parse("zabc").is_err());
+        // Valid base32 but wrong header:
+        let fake = format!("b{}", pol_crypto::base32::encode(&[0u8; 36]));
+        assert!(Cid::parse(&fake).is_err());
+    }
+
+    #[test]
+    fn empty_content_has_a_cid() {
+        let cid = Cid::for_content(b"");
+        assert!(cid.matches(b""));
+    }
+}

@@ -1,0 +1,264 @@
+//! The peer-to-peer block store with provider records, pinning and GC.
+
+use crate::cid::Cid;
+use crate::DfsError;
+use parking_lot::RwLock;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a DFS peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u64);
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer-{}", self.0)
+    }
+}
+
+#[derive(Default)]
+struct PeerState {
+    /// Blocks this peer hosts.
+    blocks: HashMap<Cid, Vec<u8>>,
+    /// Blocks protected from garbage collection.
+    pins: HashSet<Cid>,
+    online: bool,
+}
+
+/// The shared DFS network: peers, provider records, retrieval.
+///
+/// All operations take `&self`; an `Arc<DfsNetwork>` is shared between
+/// every actor of a simulation.
+#[derive(Default)]
+pub struct DfsNetwork {
+    peers: RwLock<Vec<PeerState>>,
+    /// Provider DHT: which peers claim to host a CID.
+    providers: RwLock<HashMap<Cid, HashSet<PeerId>>>,
+}
+
+impl std::fmt::Debug for DfsNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DfsNetwork")
+            .field("peers", &self.peers.read().len())
+            .field("blocks", &self.providers.read().len())
+            .finish()
+    }
+}
+
+impl DfsNetwork {
+    /// Creates an empty network.
+    pub fn new() -> DfsNetwork {
+        DfsNetwork::default()
+    }
+
+    /// Registers a new online peer.
+    pub fn create_peer(&self) -> PeerId {
+        let mut peers = self.peers.write();
+        peers.push(PeerState { online: true, ..PeerState::default() });
+        PeerId(peers.len() as u64 - 1)
+    }
+
+    /// Number of peers ever created.
+    pub fn peer_count(&self) -> usize {
+        self.peers.read().len()
+    }
+
+    /// Adds content at `peer`, pinning it there, and announces the
+    /// provider record. Returns the content's CID.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownPeer`] for an unregistered peer.
+    pub fn add(&self, peer: PeerId, content: Vec<u8>) -> Result<Cid, DfsError> {
+        let cid = Cid::for_content(&content);
+        {
+            let mut peers = self.peers.write();
+            let state = peers
+                .get_mut(peer.0 as usize)
+                .ok_or(DfsError::UnknownPeer(peer.0))?;
+            state.blocks.insert(cid.clone(), content);
+            state.pins.insert(cid.clone());
+        }
+        self.providers.write().entry(cid.clone()).or_default().insert(peer);
+        Ok(cid)
+    }
+
+    /// Retrieves content from any online provider.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::NotFound`] when no online provider hosts it.
+    pub fn get(&self, cid: &Cid) -> Result<Vec<u8>, DfsError> {
+        let providers = self.providers.read();
+        let hosts = providers
+            .get(cid)
+            .ok_or_else(|| DfsError::NotFound(cid.to_string()))?;
+        let peers = self.peers.read();
+        for host in hosts {
+            if let Some(state) = peers.get(host.0 as usize) {
+                if state.online {
+                    if let Some(data) = state.blocks.get(cid) {
+                        return Ok(data.clone());
+                    }
+                }
+            }
+        }
+        Err(DfsError::NotFound(cid.to_string()))
+    }
+
+    /// Replicates content to `peer` (fetch + host + announce), as a pinning
+    /// service or an interested verifier would.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the content is unavailable or the peer unknown.
+    pub fn replicate(&self, peer: PeerId, cid: &Cid) -> Result<(), DfsError> {
+        let data = self.get(cid)?;
+        {
+            let mut peers = self.peers.write();
+            let state = peers
+                .get_mut(peer.0 as usize)
+                .ok_or(DfsError::UnknownPeer(peer.0))?;
+            state.blocks.insert(cid.clone(), data);
+            state.pins.insert(cid.clone());
+        }
+        self.providers.write().entry(cid.clone()).or_default().insert(peer);
+        Ok(())
+    }
+
+    /// Removes the pin protecting `cid` on `peer`; the block remains until
+    /// [`DfsNetwork::gc`] runs there.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownPeer`] for an unregistered peer.
+    pub fn unpin(&self, peer: PeerId, cid: &Cid) -> Result<(), DfsError> {
+        let mut peers = self.peers.write();
+        let state = peers
+            .get_mut(peer.0 as usize)
+            .ok_or(DfsError::UnknownPeer(peer.0))?;
+        state.pins.remove(cid);
+        Ok(())
+    }
+
+    /// Garbage-collects unpinned blocks at `peer`, withdrawing their
+    /// provider records. Returns the number of blocks dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DfsError::UnknownPeer`] for an unregistered peer.
+    pub fn gc(&self, peer: PeerId) -> Result<usize, DfsError> {
+        let dropped: Vec<Cid> = {
+            let mut peers = self.peers.write();
+            let state = peers
+                .get_mut(peer.0 as usize)
+                .ok_or(DfsError::UnknownPeer(peer.0))?;
+            let doomed: Vec<Cid> = state
+                .blocks
+                .keys()
+                .filter(|c| !state.pins.contains(*c))
+                .cloned()
+                .collect();
+            for cid in &doomed {
+                state.blocks.remove(cid);
+            }
+            doomed
+        };
+        let mut providers = self.providers.write();
+        for cid in &dropped {
+            if let Some(hosts) = providers.get_mut(cid) {
+                hosts.remove(&peer);
+                if hosts.is_empty() {
+                    providers.remove(cid);
+                }
+            }
+        }
+        Ok(dropped.len())
+    }
+
+    /// Takes a peer offline (its content becomes unavailable but is kept).
+    pub fn set_online(&self, peer: PeerId, online: bool) {
+        if let Some(state) = self.peers.write().get_mut(peer.0 as usize) {
+            state.online = online;
+        }
+    }
+
+    /// Number of distinct peers currently announcing `cid`.
+    pub fn provider_count(&self, cid: &Cid) -> usize {
+        self.providers.read().get(cid).map_or(0, |s| s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_round_trip() {
+        let dfs = DfsNetwork::new();
+        let p = dfs.create_peer();
+        let cid = dfs.add(p, b"hello".to_vec()).unwrap();
+        assert_eq!(dfs.get(&cid).unwrap(), b"hello");
+        assert_eq!(dfs.provider_count(&cid), 1);
+    }
+
+    #[test]
+    fn unknown_cid_not_found() {
+        let dfs = DfsNetwork::new();
+        let cid = Cid::for_content(b"never added");
+        assert_eq!(dfs.get(&cid), Err(DfsError::NotFound(cid.to_string())));
+    }
+
+    #[test]
+    fn unknown_peer_rejected() {
+        let dfs = DfsNetwork::new();
+        assert_eq!(dfs.add(PeerId(9), b"x".to_vec()), Err(DfsError::UnknownPeer(9)));
+    }
+
+    #[test]
+    fn content_survives_while_any_provider_hosts() {
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer();
+        let b = dfs.create_peer();
+        let cid = dfs.add(a, b"shared".to_vec()).unwrap();
+        dfs.replicate(b, &cid).unwrap();
+        assert_eq!(dfs.provider_count(&cid), 2);
+        dfs.unpin(a, &cid).unwrap();
+        assert_eq!(dfs.gc(a).unwrap(), 1);
+        assert_eq!(dfs.get(&cid).unwrap(), b"shared");
+    }
+
+    #[test]
+    fn content_disappears_when_last_host_collects() {
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer();
+        let cid = dfs.add(a, b"ephemeral".to_vec()).unwrap();
+        dfs.unpin(a, &cid).unwrap();
+        assert_eq!(dfs.gc(a).unwrap(), 1);
+        assert!(dfs.get(&cid).is_err());
+        assert_eq!(dfs.provider_count(&cid), 0);
+    }
+
+    #[test]
+    fn gc_spares_pinned_blocks() {
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer();
+        let cid = dfs.add(a, b"pinned".to_vec()).unwrap();
+        assert_eq!(dfs.gc(a).unwrap(), 0);
+        assert_eq!(dfs.get(&cid).unwrap(), b"pinned");
+    }
+
+    #[test]
+    fn offline_provider_is_skipped() {
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer();
+        let b = dfs.create_peer();
+        let cid = dfs.add(a, b"redundant".to_vec()).unwrap();
+        dfs.replicate(b, &cid).unwrap();
+        dfs.set_online(a, false);
+        assert_eq!(dfs.get(&cid).unwrap(), b"redundant");
+        dfs.set_online(b, false);
+        assert!(dfs.get(&cid).is_err());
+        dfs.set_online(a, true);
+        assert_eq!(dfs.get(&cid).unwrap(), b"redundant");
+    }
+}

@@ -1,0 +1,226 @@
+//! The verifiable data registry used for DID resolution.
+//!
+//! On the full architecture DID documents are anchored by a smart contract;
+//! the registry here reproduces the interface (register once, resolve by
+//! DID, registrations must be signed by the controller) with an in-memory
+//! store shared by all actors.
+
+use crate::did::Did;
+use crate::document::DidDocument;
+use crate::DidError;
+use parking_lot::RwLock;
+use pol_crypto::ed25519::{Keypair, Signature};
+use std::collections::HashMap;
+
+/// A shared DID → document registry.
+#[derive(Debug, Default)]
+pub struct DidRegistry {
+    documents: RwLock<HashMap<Did, DidDocument>>,
+}
+
+impl DidRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> DidRegistry {
+        DidRegistry::default()
+    }
+
+    /// Registers a document. The registration must be signed by the key
+    /// the DID is derived from, proving control.
+    ///
+    /// # Errors
+    ///
+    /// * [`DidError::KeyMismatch`] — document keys don't derive its DID;
+    /// * [`DidError::BadSignature`] — the registration signature is wrong.
+    pub fn register(&self, document: DidDocument, signature: &Signature) -> Result<(), DidError> {
+        let pk = document.verification_public_key()?;
+        if !pk.verify(&document.canonical_bytes(), signature) {
+            return Err(DidError::BadSignature);
+        }
+        self.documents.write().insert(document.id.clone(), document);
+        Ok(())
+    }
+
+    /// Convenience: build, sign and register the document for `keypair`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DidRegistry::register`] failures.
+    pub fn register_identity(
+        &self,
+        identity: &crate::identity::Identity,
+        created_ms: u64,
+    ) -> Result<DidDocument, DidError> {
+        let doc = identity.document(created_ms);
+        let sig = identity.signing.sign(&doc.canonical_bytes());
+        self.register(doc.clone(), &sig)?;
+        Ok(doc)
+    }
+
+    /// Rotates a DID's keys: replaces the resolvable document with
+    /// `new_document`, authorised by a signature from the *currently*
+    /// registered document's verification key (controller continuity —
+    /// the DID string never changes, so credentials and map entries
+    /// keyed by it stay valid while a compromised or retired key is
+    /// phased out).
+    ///
+    /// # Errors
+    ///
+    /// * [`DidError::NotRegistered`] — no current document;
+    /// * [`DidError::KeyMismatch`] — the new document claims a different
+    ///   DID;
+    /// * [`DidError::BadSignature`] — the rotation was not signed by the
+    ///   current key.
+    pub fn rotate(
+        &self,
+        did: &Did,
+        new_document: DidDocument,
+        signature: &Signature,
+    ) -> Result<(), DidError> {
+        let current = self.resolve(did)?;
+        if new_document.id != *did {
+            return Err(DidError::KeyMismatch);
+        }
+        let current_pk = current.signing_public_key()?;
+        if !current_pk.verify(&new_document.canonical_bytes(), signature) {
+            return Err(DidError::BadSignature);
+        }
+        self.documents.write().insert(did.clone(), new_document);
+        Ok(())
+    }
+
+    /// Resolves a DID to its document (the *DID resolution* of §1.6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DidError::NotRegistered`] for unknown DIDs.
+    pub fn resolve(&self, did: &Did) -> Result<DidDocument, DidError> {
+        self.documents
+            .read()
+            .get(did)
+            .cloned()
+            .ok_or_else(|| DidError::NotRegistered(did.to_string()))
+    }
+
+    /// Number of registered documents.
+    pub fn len(&self) -> usize {
+        self.documents.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.documents.read().is_empty()
+    }
+
+    /// Signs arbitrary bytes with `keypair` — helper mirroring how actors
+    /// prove statements about their DID off-document.
+    pub fn sign_with(keypair: &Keypair, bytes: &[u8]) -> Signature {
+        keypair.sign(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+
+    #[test]
+    fn register_and_resolve() {
+        let registry = DidRegistry::new();
+        let id = Identity::from_seed(1);
+        let doc = registry.register_identity(&id, 42).unwrap();
+        assert_eq!(registry.resolve(&id.did).unwrap(), doc);
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn unregistered_resolution_fails() {
+        let registry = DidRegistry::new();
+        let id = Identity::from_seed(2);
+        assert!(matches!(registry.resolve(&id.did), Err(DidError::NotRegistered(_))));
+    }
+
+    #[test]
+    fn forged_registration_rejected() {
+        let registry = DidRegistry::new();
+        let victim = Identity::from_seed(3);
+        let attacker = Identity::from_seed(4);
+        let doc = victim.document(0);
+        // Attacker signs the victim's document with their own key.
+        let sig = attacker.signing.sign(&doc.canonical_bytes());
+        assert_eq!(registry.register(doc, &sig), Err(DidError::BadSignature));
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn rotation_replaces_keys_and_preserves_the_did() {
+        use crate::auth;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let registry = DidRegistry::new();
+        let old = Identity::from_seed(7);
+        registry.register_identity(&old, 0).unwrap();
+
+        // New device keys; the DID string stays the same.
+        let fresh = Identity::from_seed(8);
+        let mut new_doc = DidDocument::new(&fresh.signing.public, &fresh.agreement.public, 10);
+        new_doc.id = old.did.clone();
+        new_doc.controller = old.did.clone();
+        let sig = old.signing.sign(&new_doc.canonical_bytes());
+        registry.rotate(&old.did, new_doc, &sig).unwrap();
+
+        let resolved = registry.resolve(&old.did).unwrap();
+        assert_eq!(resolved.signing_public_key().unwrap(), fresh.signing.public);
+
+        // Challenge–response now targets the NEW agreement key: the new
+        // holder answers, the old key no longer can.
+        let mut rng = StdRng::seed_from_u64(1);
+        let challenge = auth::Challenge::issue(&mut rng, &resolved).unwrap();
+        let response = auth::respond(&fresh, &challenge.ciphertext).unwrap();
+        assert!(challenge.verify(&response));
+        assert!(auth::respond(&old, &challenge.ciphertext).is_err());
+    }
+
+    #[test]
+    fn rotation_requires_current_key() {
+        let registry = DidRegistry::new();
+        let owner = Identity::from_seed(9);
+        registry.register_identity(&owner, 0).unwrap();
+        let attacker = Identity::from_seed(10);
+        let mut hijack = attacker.document(1);
+        hijack.id = owner.did.clone();
+        let sig = attacker.signing.sign(&hijack.canonical_bytes());
+        assert_eq!(
+            registry.rotate(&owner.did, hijack, &sig),
+            Err(DidError::BadSignature)
+        );
+        // Original document untouched.
+        assert_eq!(
+            registry.resolve(&owner.did).unwrap().signing_public_key().unwrap(),
+            owner.signing.public
+        );
+    }
+
+    #[test]
+    fn rotation_cannot_move_to_another_did() {
+        let registry = DidRegistry::new();
+        let owner = Identity::from_seed(11);
+        registry.register_identity(&owner, 0).unwrap();
+        let other = Identity::from_seed(12);
+        let doc = other.document(1); // carries other's DID
+        let sig = owner.signing.sign(&doc.canonical_bytes());
+        assert_eq!(registry.rotate(&owner.did, doc, &sig), Err(DidError::KeyMismatch));
+    }
+
+    #[test]
+    fn impersonating_document_rejected() {
+        let registry = DidRegistry::new();
+        let victim = Identity::from_seed(5);
+        let attacker = Identity::from_seed(6);
+        // Attacker claims the victim's DID with attacker keys.
+        let mut doc = attacker.document(0);
+        doc.id = victim.did.clone();
+        let sig = attacker.signing.sign(&doc.canonical_bytes());
+        assert_eq!(registry.register(doc, &sig), Err(DidError::KeyMismatch));
+    }
+}

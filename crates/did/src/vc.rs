@@ -1,0 +1,143 @@
+//! Verifiable Credentials issued by the Certification Authority.
+//!
+//! The paper designates a Certification Authority that (a) whitelists
+//! witnesses by distributing their public keys to verifiers and (b)
+//! appoints verifiers ("permissioned verification"). Its future-work
+//! section upgrades this to Verifiable Credentials bound to DIDs — which
+//! is what this module implements: a signed claim `{subject, role}` whose
+//! issuer is the CA's DID.
+
+use crate::did::Did;
+use crate::DidError;
+use pol_crypto::ed25519::{Keypair, PublicKey, Signature};
+use serde::{Deserialize, Serialize};
+
+/// Roles the Certification Authority can attest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// May co-sign location proofs for nearby provers.
+    Witness,
+    /// May validate contract entries and feed the hypercube.
+    Verifier,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Witness => f.write_str("witness"),
+            Role::Verifier => f.write_str("verifier"),
+        }
+    }
+}
+
+/// A credential: `issuer` attests that `subject` holds `role`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Credential {
+    /// DID the claim is about.
+    pub subject: Did,
+    /// The attested role.
+    pub role: Role,
+    /// DID of the issuer (the Certification Authority).
+    pub issuer: Did,
+    /// Issuance timestamp (simulation milliseconds).
+    pub issued_ms: u64,
+    /// Issuer signature over the canonical bytes, hex-encoded.
+    pub proof: String,
+}
+
+impl Credential {
+    /// Issues a credential signed by the CA keypair.
+    pub fn issue(
+        ca: &Keypair,
+        subject: Did,
+        role: Role,
+        issued_ms: u64,
+    ) -> Credential {
+        let issuer = Did::from_public_key(&ca.public);
+        let mut cred = Credential {
+            subject,
+            role,
+            issuer,
+            issued_ms,
+            proof: String::new(),
+        };
+        let sig = ca.sign(&cred.canonical_bytes());
+        cred.proof = pol_crypto::hex::encode(&sig.to_bytes());
+        cred
+    }
+
+    /// Verifies the credential against the CA's public key.
+    ///
+    /// # Errors
+    ///
+    /// * [`DidError::KeyMismatch`] — `ca_public` does not control the
+    ///   issuer DID;
+    /// * [`DidError::BadSignature`] — the proof is malformed or invalid.
+    pub fn verify(&self, ca_public: &PublicKey) -> Result<(), DidError> {
+        if !self.issuer.is_controlled_by(ca_public) {
+            return Err(DidError::KeyMismatch);
+        }
+        let sig_bytes: [u8; 64] = pol_crypto::hex::decode_array(&self.proof)
+            .map_err(|_| DidError::BadSignature)?;
+        let sig = Signature::from_bytes(&sig_bytes).map_err(|_| DidError::BadSignature)?;
+        if ca_public.verify(&self.canonical_bytes(), &sig) {
+            Ok(())
+        } else {
+            Err(DidError::BadSignature)
+        }
+    }
+
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.subject.as_str().as_bytes());
+        out.push(0);
+        out.extend_from_slice(self.role.to_string().as_bytes());
+        out.push(0);
+        out.extend_from_slice(self.issuer.as_str().as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.issued_ms.to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::Identity;
+
+    #[test]
+    fn issue_and_verify() {
+        let ca = Identity::from_seed(100);
+        let alice = Identity::from_seed(1);
+        let cred = Credential::issue(&ca.signing, alice.did.clone(), Role::Witness, 5);
+        assert!(cred.verify(&ca.signing.public).is_ok());
+        assert_eq!(cred.role, Role::Witness);
+    }
+
+    #[test]
+    fn wrong_ca_rejected() {
+        let ca = Identity::from_seed(100);
+        let fake_ca = Identity::from_seed(101);
+        let alice = Identity::from_seed(1);
+        let cred = Credential::issue(&ca.signing, alice.did.clone(), Role::Verifier, 5);
+        assert_eq!(cred.verify(&fake_ca.signing.public), Err(DidError::KeyMismatch));
+    }
+
+    #[test]
+    fn tampered_claim_rejected() {
+        let ca = Identity::from_seed(100);
+        let alice = Identity::from_seed(1);
+        let mut cred = Credential::issue(&ca.signing, alice.did.clone(), Role::Witness, 5);
+        cred.role = Role::Verifier; // escalate!
+        assert_eq!(cred.verify(&ca.signing.public), Err(DidError::BadSignature));
+    }
+
+    #[test]
+    fn malformed_proof_rejected() {
+        let ca = Identity::from_seed(100);
+        let alice = Identity::from_seed(1);
+        let mut cred = Credential::issue(&ca.signing, alice.did.clone(), Role::Witness, 5);
+        cred.proof = "zz".into();
+        assert_eq!(cred.verify(&ca.signing.public), Err(DidError::BadSignature));
+    }
+}

@@ -1,0 +1,856 @@
+//! The bytecode interpreter and world state.
+
+use crate::gas;
+use crate::opcode::Op;
+use crate::word::Word;
+use pol_crypto::keccak256;
+use pol_ledger::{address, Address};
+use std::collections::{HashMap, HashSet};
+
+/// Hard cap on VM memory to keep simulations bounded.
+const MAX_MEMORY: usize = 1 << 20;
+/// EVM stack depth limit.
+const MAX_STACK: usize = 1024;
+
+/// Machine-level failures (these consume the whole gas limit, like the
+/// real EVM's exceptional halts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvmError {
+    /// Call target does not exist.
+    UnknownContract(Address),
+    /// Gas limit exhausted.
+    OutOfGas {
+        /// The limit that was exhausted.
+        limit: u64,
+    },
+    /// A pop on an empty stack or overflowing push.
+    StackError,
+    /// Jump to a non-`JUMPDEST` destination.
+    InvalidJump(usize),
+    /// Unknown or unimplemented opcode byte.
+    InvalidOpcode(u8),
+    /// Memory grew beyond the simulator cap.
+    MemoryOverflow,
+    /// Init code failed to return a runtime image.
+    BadDeploy(String),
+    /// Caller balance below the transferred value.
+    InsufficientValue,
+}
+
+impl std::fmt::Display for EvmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvmError::UnknownContract(a) => write!(f, "unknown contract {a}"),
+            EvmError::OutOfGas { limit } => write!(f, "out of gas (limit {limit})"),
+            EvmError::StackError => write!(f, "stack underflow or overflow"),
+            EvmError::InvalidJump(d) => write!(f, "invalid jump destination {d}"),
+            EvmError::InvalidOpcode(b) => write!(f, "invalid opcode 0x{b:02x}"),
+            EvmError::MemoryOverflow => write!(f, "memory limit exceeded"),
+            EvmError::BadDeploy(msg) => write!(f, "deployment failed: {msg}"),
+            EvmError::InsufficientValue => write!(f, "insufficient balance for value transfer"),
+        }
+    }
+}
+
+impl std::error::Error for EvmError {}
+
+/// Outcome of a successful machine run (including reverts, which are a
+/// *successful* halt with `success == false`).
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Whether execution ended in `STOP`/`RETURN` rather than `REVERT`.
+    pub success: bool,
+    /// Gas consumed, refunds already applied.
+    pub gas_used: u64,
+    /// Return or revert data.
+    pub output: Vec<u8>,
+    /// Emitted log records (raw data segments).
+    pub logs: Vec<Vec<u8>>,
+}
+
+/// Parameters of a message call.
+#[derive(Debug, Clone)]
+pub struct CallParams {
+    /// Transaction sender.
+    pub caller: Address,
+    /// Contract being called.
+    pub contract: Address,
+    /// Value transferred with the call (base units).
+    pub value: u128,
+    /// Calldata.
+    pub data: Vec<u8>,
+    /// Gas limit for the call.
+    pub gas_limit: u64,
+    /// Current block number (exposed via `NUMBER`).
+    pub block_number: u64,
+    /// Current block timestamp in seconds (exposed via `TIMESTAMP`).
+    pub timestamp_s: u64,
+}
+
+impl CallParams {
+    /// Builds default parameters for calling `contract` from `caller`.
+    pub fn new(caller: Address, contract: Address) -> CallParams {
+        CallParams {
+            caller,
+            contract,
+            value: 0,
+            data: Vec::new(),
+            gas_limit: 10_000_000,
+            block_number: 1,
+            timestamp_s: 1,
+        }
+    }
+
+    /// Sets calldata (builder style).
+    pub fn with_data(mut self, data: Vec<u8>) -> CallParams {
+        self.data = data;
+        self
+    }
+
+    /// Sets the value transferred (builder style).
+    pub fn with_value(mut self, value: u128) -> CallParams {
+        self.value = value;
+        self
+    }
+
+    /// Sets the gas limit (builder style).
+    pub fn with_gas_limit(mut self, gas_limit: u64) -> CallParams {
+        self.gas_limit = gas_limit;
+        self
+    }
+}
+
+/// Persistent state of one deployed contract.
+#[derive(Debug, Clone, Default)]
+pub struct ContractState {
+    /// Runtime bytecode.
+    pub code: Vec<u8>,
+    /// Word-addressed storage.
+    pub storage: HashMap<Word, Word>,
+}
+
+/// The EVM world: deployed contracts and their storage.
+///
+/// Account balances live outside the machine (the chain simulator owns
+/// them) and are threaded through each call as a mutable map, so the VM
+/// can apply value transfers while the chain remains the source of truth.
+#[derive(Debug, Default)]
+pub struct Evm {
+    contracts: HashMap<Address, ContractState>,
+    deploys: u64,
+}
+
+/// Balance map threaded through calls.
+pub type Balances = HashMap<Address, u128>;
+
+impl Evm {
+    /// Creates an empty world.
+    pub fn new() -> Evm {
+        Evm::default()
+    }
+
+    /// Number of deployed contracts.
+    pub fn contract_count(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// Read-only view of a contract's storage slot.
+    pub fn storage_at(&self, contract: Address, key: &Word) -> Word {
+        self.contracts
+            .get(&contract)
+            .and_then(|c| c.storage.get(key).copied())
+            .unwrap_or(Word::ZERO)
+    }
+
+    /// Whether an address holds code.
+    pub fn is_contract(&self, address: Address) -> bool {
+        self.contracts.contains_key(&address)
+    }
+
+    /// Runs `init_code` as a deployment from `deployer`, storing whatever
+    /// it returns as the new contract's runtime code.
+    ///
+    /// Returns the new contract's address and the execution outcome
+    /// (whose `gas_used` includes intrinsic, execution and code-deposit
+    /// gas).
+    ///
+    /// # Errors
+    ///
+    /// Machine errors, plus [`EvmError::BadDeploy`] if the init code
+    /// reverts or returns nothing.
+    pub fn deploy(
+        &mut self,
+        deployer: Address,
+        init_code: &[u8],
+        gas_limit: u64,
+        balances: &mut Balances,
+    ) -> Result<(Address, ExecOutcome), EvmError> {
+        let address = address::contract_address(&deployer, self.deploys);
+        let intrinsic = gas::intrinsic_gas(init_code, true);
+        if intrinsic > gas_limit {
+            return Err(EvmError::OutOfGas { limit: gas_limit });
+        }
+        // Temporarily install the init code at the target address so the
+        // frame can CODECOPY from it.
+        self.contracts
+            .insert(address, ContractState { code: init_code.to_vec(), storage: HashMap::new() });
+        let params = CallParams {
+            caller: deployer,
+            contract: address,
+            value: 0,
+            data: Vec::new(),
+            gas_limit: gas_limit - intrinsic,
+            block_number: 1,
+            timestamp_s: 1,
+        };
+        let run = self.execute(&params, balances);
+        match run {
+            Ok(mut outcome) if outcome.success && !outcome.output.is_empty() => {
+                let deposit = gas::G_CODEDEPOSIT * outcome.output.len() as u64;
+                if intrinsic + outcome.gas_used + deposit > gas_limit {
+                    self.contracts.remove(&address);
+                    return Err(EvmError::OutOfGas { limit: gas_limit });
+                }
+                let state = self.contracts.get_mut(&address).expect("just inserted");
+                state.code = std::mem::take(&mut outcome.output);
+                outcome.gas_used += intrinsic + deposit;
+                self.deploys += 1;
+                Ok((address, outcome))
+            }
+            Ok(outcome) => {
+                self.contracts.remove(&address);
+                Err(EvmError::BadDeploy(if outcome.success {
+                    "init code returned no runtime image".to_string()
+                } else {
+                    format!("init code reverted: {}", String::from_utf8_lossy(&outcome.output))
+                }))
+            }
+            Err(e) => {
+                self.contracts.remove(&address);
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes a message call against a deployed contract.
+    ///
+    /// The `gas_used` in the outcome includes the transaction-intrinsic
+    /// gas. Value is moved from caller to contract before execution and
+    /// rolled back on revert.
+    ///
+    /// # Errors
+    ///
+    /// Machine errors ([`EvmError`]); reverts are NOT errors.
+    pub fn call(
+        &mut self,
+        params: CallParams,
+        balances: &mut Balances,
+    ) -> Result<ExecOutcome, EvmError> {
+        if !self.contracts.contains_key(&params.contract) {
+            return Err(EvmError::UnknownContract(params.contract));
+        }
+        let intrinsic = gas::intrinsic_gas(&params.data, false);
+        if intrinsic > params.gas_limit {
+            return Err(EvmError::OutOfGas { limit: params.gas_limit });
+        }
+        // Move the call value.
+        if params.value > 0 {
+            let from_balance = balances.entry(params.caller).or_insert(0);
+            if *from_balance < params.value {
+                return Err(EvmError::InsufficientValue);
+            }
+            *from_balance -= params.value;
+            *balances.entry(params.contract).or_insert(0) += params.value;
+        }
+        let storage_snapshot = self.contracts[&params.contract].storage.clone();
+        let balance_snapshot = balances.clone();
+        let inner = CallParams { gas_limit: params.gas_limit - intrinsic, ..params.clone() };
+        match self.execute(&inner, balances) {
+            Ok(mut outcome) => {
+                outcome.gas_used += intrinsic;
+                if !outcome.success {
+                    // Revert state, keep charging gas.
+                    self.contracts.get_mut(&params.contract).expect("checked").storage =
+                        storage_snapshot;
+                    *balances = balance_snapshot;
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.contracts.get_mut(&params.contract).expect("checked").storage =
+                    storage_snapshot;
+                *balances = balance_snapshot;
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(
+        &mut self,
+        params: &CallParams,
+        balances: &mut Balances,
+    ) -> Result<ExecOutcome, EvmError> {
+        let code = self.contracts[&params.contract].code.clone();
+        let valid_jumps: HashSet<usize> = jump_destinations(&code);
+        let mut stack: Vec<Word> = Vec::with_capacity(64);
+        let mut memory: Vec<u8> = Vec::new();
+        let mut pc = 0usize;
+        let mut gas_used = 0u64;
+        let mut refund = 0u64;
+        let mut warm_slots: HashSet<Word> = HashSet::new();
+        let mut logs = Vec::new();
+
+        macro_rules! charge {
+            ($amount:expr) => {{
+                gas_used += $amount;
+                if gas_used > params.gas_limit {
+                    return Err(EvmError::OutOfGas { limit: params.gas_limit });
+                }
+            }};
+        }
+        macro_rules! pop {
+            () => {
+                stack.pop().ok_or(EvmError::StackError)?
+            };
+        }
+        macro_rules! push {
+            ($w:expr) => {{
+                if stack.len() >= MAX_STACK {
+                    return Err(EvmError::StackError);
+                }
+                stack.push($w);
+            }};
+        }
+
+        fn expand(memory: &mut Vec<u8>, end: usize) -> Result<u64, EvmError> {
+            if end > MAX_MEMORY {
+                return Err(EvmError::MemoryOverflow);
+            }
+            if end <= memory.len() {
+                return Ok(0);
+            }
+            let old_words = gas::words(memory.len());
+            let new_len = end.div_ceil(32) * 32;
+            memory.resize(new_len, 0);
+            Ok((gas::words(new_len) - old_words) * gas::G_MEMORY)
+        }
+
+        while pc < code.len() {
+            let byte = code[pc];
+            let (op, variant) = Op::decode(byte).ok_or(EvmError::InvalidOpcode(byte))?;
+            charge!(op.base_gas());
+            pc += 1;
+            match op {
+                Op::Stop => {
+                    return Ok(finish(true, gas_used, refund, Vec::new(), logs));
+                }
+                Op::Add => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.wrapping_add(&b));
+                }
+                Op::Mul => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.wrapping_mul(&b));
+                }
+                Op::Sub => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.wrapping_sub(&b));
+                }
+                Op::Div => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.div(&b));
+                }
+                Op::Mod => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.rem(&b));
+                }
+                Op::AddMod => {
+                    let (a, b, m) = (pop!(), pop!(), pop!());
+                    push!(a.add_mod(&b, &m));
+                }
+                Op::MulMod => {
+                    let (a, b, m) = (pop!(), pop!(), pop!());
+                    push!(a.mul_mod(&b, &m));
+                }
+                Op::Exp => {
+                    let (a, e) = (pop!(), pop!());
+                    charge!(gas::G_EXPBYTE * e.byte_len());
+                    push!(a.pow(&e));
+                }
+                Op::Shl => {
+                    let (shift, value) = (pop!(), pop!());
+                    push!(value.shl(&shift));
+                }
+                Op::Shr => {
+                    let (shift, value) = (pop!(), pop!());
+                    push!(value.shr(&shift));
+                }
+                Op::Lt => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Less));
+                }
+                Op::Gt => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Greater));
+                }
+                Op::Eq => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(bool_word(a == b));
+                }
+                Op::IsZero => {
+                    let a = pop!();
+                    push!(bool_word(a.is_zero()));
+                }
+                Op::And => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.and(&b));
+                }
+                Op::Or => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.or(&b));
+                }
+                Op::Xor => {
+                    let (a, b) = (pop!(), pop!());
+                    push!(a.xor(&b));
+                }
+                Op::Not => {
+                    let a = pop!();
+                    push!(a.not());
+                }
+                Op::Keccak256 => {
+                    let off = pop!().as_u64() as usize;
+                    let size = pop!().as_u64() as usize;
+                    charge!(gas::G_KECCAK256WORD * gas::words(size));
+                    charge!(expand(&mut memory, off + size)?);
+                    let digest = keccak256(&memory[off..off + size]);
+                    push!(Word::from_be_bytes(&digest));
+                }
+                Op::Address => push!(Word::from(params.contract)),
+                Op::SelfBalance => {
+                    push!(Word::from_u128(*balances.get(&params.contract).unwrap_or(&0)))
+                }
+                Op::Caller => push!(Word::from(params.caller)),
+                Op::CallValue => push!(Word::from_u128(params.value)),
+                Op::CallDataLoad => {
+                    let off = pop!().as_u64() as usize;
+                    let mut buf = [0u8; 32];
+                    for (i, slot) in buf.iter_mut().enumerate() {
+                        *slot = params.data.get(off + i).copied().unwrap_or(0);
+                    }
+                    push!(Word::from_be_bytes(&buf));
+                }
+                Op::CallDataSize => push!(Word::from_u64(params.data.len() as u64)),
+                Op::CallDataCopy | Op::CodeCopy => {
+                    let mem_off = pop!().as_u64() as usize;
+                    let src_off = pop!().as_u64() as usize;
+                    let size = pop!().as_u64() as usize;
+                    charge!(gas::G_COPY * gas::words(size));
+                    charge!(expand(&mut memory, mem_off + size)?);
+                    let src: &[u8] = if op == Op::CallDataCopy { &params.data } else { &code };
+                    for i in 0..size {
+                        memory[mem_off + i] = src.get(src_off + i).copied().unwrap_or(0);
+                    }
+                }
+                Op::Timestamp => push!(Word::from_u64(params.timestamp_s)),
+                Op::Number => push!(Word::from_u64(params.block_number)),
+                Op::Pop => {
+                    let _ = pop!();
+                }
+                Op::MLoad => {
+                    let off = pop!().as_u64() as usize;
+                    charge!(expand(&mut memory, off + 32)?);
+                    let mut buf = [0u8; 32];
+                    buf.copy_from_slice(&memory[off..off + 32]);
+                    push!(Word::from_be_bytes(&buf));
+                }
+                Op::MStore => {
+                    let off = pop!().as_u64() as usize;
+                    let value = pop!();
+                    charge!(expand(&mut memory, off + 32)?);
+                    memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
+                }
+                Op::SLoad => {
+                    let key = pop!();
+                    let cost = if warm_slots.insert(key) {
+                        gas::G_COLDSLOAD
+                    } else {
+                        gas::G_WARMACCESS
+                    };
+                    charge!(cost);
+                    push!(self.contracts[&params.contract]
+                        .storage
+                        .get(&key)
+                        .copied()
+                        .unwrap_or(Word::ZERO));
+                }
+                Op::SStore => {
+                    let key = pop!();
+                    let value = pop!();
+                    let cold = warm_slots.insert(key);
+                    let state = self.contracts.get_mut(&params.contract).expect("exists");
+                    let current = state.storage.get(&key).copied().unwrap_or(Word::ZERO);
+                    let mut cost = if current == value {
+                        gas::G_WARMACCESS
+                    } else if current.is_zero() {
+                        gas::G_SSET
+                    } else {
+                        gas::G_SRESET
+                    };
+                    if cold {
+                        cost += gas::G_COLDSLOAD;
+                    }
+                    charge!(cost);
+                    if value.is_zero() && !current.is_zero() {
+                        refund += gas::R_SCLEAR;
+                    }
+                    if value.is_zero() {
+                        state.storage.remove(&key);
+                    } else {
+                        state.storage.insert(key, value);
+                    }
+                }
+                Op::Jump => {
+                    let dest = pop!().as_u64() as usize;
+                    if !valid_jumps.contains(&dest) {
+                        return Err(EvmError::InvalidJump(dest));
+                    }
+                    pc = dest;
+                }
+                Op::JumpI => {
+                    let dest = pop!().as_u64() as usize;
+                    let cond = pop!();
+                    if !cond.is_zero() {
+                        if !valid_jumps.contains(&dest) {
+                            return Err(EvmError::InvalidJump(dest));
+                        }
+                        pc = dest;
+                    }
+                }
+                Op::JumpDest => {}
+                Op::Push1 => {
+                    let n = variant as usize + 1;
+                    if pc + n > code.len() {
+                        return Err(EvmError::InvalidOpcode(byte));
+                    }
+                    push!(Word::from_be_slice(&code[pc..pc + n]));
+                    pc += n;
+                }
+                Op::Dup1 => {
+                    let n = variant as usize;
+                    if stack.len() <= n {
+                        return Err(EvmError::StackError);
+                    }
+                    let w = stack[stack.len() - 1 - n];
+                    push!(w);
+                }
+                Op::Swap1 => {
+                    let n = variant as usize + 1;
+                    let top = stack.len().checked_sub(1).ok_or(EvmError::StackError)?;
+                    let other = top.checked_sub(n).ok_or(EvmError::StackError)?;
+                    stack.swap(top, other);
+                }
+                Op::Log0 | Op::Log1 => {
+                    let off = pop!().as_u64() as usize;
+                    let size = pop!().as_u64() as usize;
+                    if op == Op::Log1 {
+                        let _topic = pop!();
+                    }
+                    charge!(gas::G_LOGDATA * size as u64);
+                    charge!(expand(&mut memory, off + size)?);
+                    logs.push(memory[off..off + size].to_vec());
+                }
+                Op::Call => {
+                    // Simplified: plain value send (no reentrant execution).
+                    let _gas = pop!();
+                    let to = pop!().to_address();
+                    let value = pop!().as_u128();
+                    let _in_off = pop!();
+                    let _in_size = pop!();
+                    let _out_off = pop!();
+                    let _out_size = pop!();
+                    let mut cost = gas::G_COLDACCOUNTACCESS;
+                    if value > 0 {
+                        cost += gas::G_CALLVALUE - gas::G_CALLSTIPEND;
+                    }
+                    charge!(cost);
+                    let self_balance = balances.entry(params.contract).or_insert(0);
+                    if *self_balance < value {
+                        push!(Word::ZERO);
+                    } else {
+                        *self_balance -= value;
+                        *balances.entry(to).or_insert(0) += value;
+                        push!(Word::ONE);
+                    }
+                }
+                Op::Return | Op::Revert => {
+                    let off = pop!().as_u64() as usize;
+                    let size = pop!().as_u64() as usize;
+                    charge!(expand(&mut memory, off + size)?);
+                    let output = memory[off..off + size].to_vec();
+                    return Ok(finish(op == Op::Return, gas_used, refund, output, logs));
+                }
+            }
+        }
+        Ok(finish(true, gas_used, refund, Vec::new(), logs))
+    }
+}
+
+fn finish(success: bool, gas_used: u64, refund: u64, output: Vec<u8>, logs: Vec<Vec<u8>>) -> ExecOutcome {
+    // EIP-3529 caps refunds at one fifth of the gas consumed; reverts
+    // forfeit refunds entirely.
+    let gas_used = if success {
+        gas_used - refund.min(gas_used / 5)
+    } else {
+        gas_used
+    };
+    ExecOutcome { success, gas_used, output, logs }
+}
+
+fn bool_word(b: bool) -> Word {
+    if b {
+        Word::ONE
+    } else {
+        Word::ZERO
+    }
+}
+
+/// Scans code for valid `JUMPDEST` positions, skipping push immediates.
+fn jump_destinations(code: &[u8]) -> HashSet<usize> {
+    let mut out = HashSet::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        let byte = code[pc];
+        if byte == Op::JumpDest as u8 {
+            out.insert(pc);
+        }
+        pc += 1;
+        if (0x60..=0x7f).contains(&byte) {
+            pc += (byte - 0x60) as usize + 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::Asm;
+
+    fn run(runtime: Vec<u8>, data: Vec<u8>) -> (Evm, Address, ExecOutcome, Balances) {
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let out = evm
+            .call(
+                CallParams::new(Address([1; 20]), addr).with_data(data),
+                &mut balances,
+            )
+            .unwrap();
+        (evm, addr, out, balances)
+    }
+
+    fn return_top() -> Asm {
+        // Store the stack top at mem[0] and return it.
+        Asm::new()
+            .push_u64(0)
+            .op(Op::MStore)
+            .push_u64(32)
+            .push_u64(0)
+            .op(Op::Return)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        // (7 + 5) * 3 = 36
+        let runtime = {
+            let mut c = Asm::new().push_u64(5).push_u64(7).op(Op::Add).push_u64(3).op(Op::Mul).build();
+            c.extend(return_top().build());
+            c
+        };
+        let (_, _, out, _) = run(runtime, vec![]);
+        assert!(out.success);
+        assert_eq!(Word::from_be_slice(&out.output), Word::from_u64(36));
+    }
+
+    #[test]
+    fn storage_round_trip_and_gas() {
+        // SSTORE slot 1 = 99, then SLOAD and return.
+        let runtime = {
+            let mut c = Asm::new()
+                .push_u64(99)
+                .push_u64(1)
+                .op(Op::SStore)
+                .push_u64(1)
+                .op(Op::SLoad)
+                .build();
+            c.extend(return_top().build());
+            c
+        };
+        let (evm, addr, out, _) = run(runtime, vec![]);
+        assert!(out.success);
+        assert_eq!(Word::from_be_slice(&out.output), Word::from_u64(99));
+        assert_eq!(evm.storage_at(addr, &Word::from_u64(1)), Word::from_u64(99));
+        // Cold SSTORE to empty slot must cost at least G_SSET + cold sload.
+        assert!(out.gas_used > gas::G_SSET + gas::G_COLDSLOAD + gas::G_TRANSACTION);
+    }
+
+    #[test]
+    fn revert_rolls_back_storage() {
+        // SSTORE slot 0 = 7 then REVERT.
+        let runtime = Asm::new()
+            .push_u64(7)
+            .push_u64(0)
+            .op(Op::SStore)
+            .push_u64(0)
+            .push_u64(0)
+            .op(Op::Revert)
+            .build();
+        let (evm, addr, out, _) = run(runtime, vec![]);
+        assert!(!out.success);
+        assert_eq!(evm.storage_at(addr, &Word::ZERO), Word::ZERO);
+    }
+
+    #[test]
+    fn calldata_echo() {
+        // Return calldata word 0.
+        let runtime = {
+            let mut c = Asm::new().push_u64(0).op(Op::CallDataLoad).build();
+            c.extend(return_top().build());
+            c
+        };
+        let w = Word::from_u64(0xdeadbeef);
+        let (_, _, out, _) = run(runtime, w.to_be_bytes().to_vec());
+        assert_eq!(Word::from_be_slice(&out.output), w);
+    }
+
+    #[test]
+    fn out_of_gas_detected() {
+        let runtime = {
+            let mut asm = Asm::new();
+            let top = asm.new_label();
+            asm.bind(top).jump(top).build()
+        };
+        // An infinite loop must exhaust any budget.
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let err = evm
+            .call(
+                CallParams::new(Address::ZERO, addr).with_gas_limit(100_000),
+                &mut balances,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EvmError::OutOfGas { .. }));
+    }
+
+    #[test]
+    fn invalid_jump_rejected() {
+        let runtime = Asm::new().push_u64(1).op(Op::Jump).build();
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let err = evm.call(CallParams::new(Address::ZERO, addr), &mut balances).unwrap_err();
+        assert_eq!(err, EvmError::InvalidJump(1));
+    }
+
+    #[test]
+    fn value_transfer_and_selfbalance() {
+        let runtime = {
+            let mut c = Asm::new().op(Op::SelfBalance).build();
+            c.extend(return_top().build());
+            c
+        };
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let sender = Address([9; 20]);
+        balances.insert(sender, 1_000_000);
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let out = evm
+            .call(CallParams::new(sender, addr).with_value(250_000), &mut balances)
+            .unwrap();
+        assert_eq!(Word::from_be_slice(&out.output), Word::from_u64(250_000));
+        assert_eq!(balances[&sender], 750_000);
+        assert_eq!(balances[&addr], 250_000);
+    }
+
+    #[test]
+    fn call_sends_value_out() {
+        // Send 100 wei from the contract to address 0x...07, return success flag.
+        let target = Address([7; 20]);
+        let runtime = {
+            let mut c = Asm::new()
+                .push_u64(0) // out_size
+                .push_u64(0) // out_off
+                .push_u64(0) // in_size
+                .push_u64(0) // in_off
+                .push_u64(100) // value
+                .push_word(Word::from(target))
+                .push_u64(0) // gas
+                .op(Op::Call)
+                .build();
+            c.extend(return_top().build());
+            c
+        };
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let sender = Address([9; 20]);
+        balances.insert(sender, 1_000);
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let out = evm
+            .call(CallParams::new(sender, addr).with_value(500), &mut balances)
+            .unwrap();
+        assert!(out.success);
+        assert_eq!(Word::from_be_slice(&out.output), Word::ONE);
+        assert_eq!(balances[&target], 100);
+        assert_eq!(balances[&addr], 400);
+    }
+
+    #[test]
+    fn insufficient_value_is_rejected() {
+        let runtime = Asm::new().op(Op::Stop).build();
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let err = evm
+            .call(
+                CallParams::new(Address([3; 20]), addr).with_value(1),
+                &mut balances,
+            )
+            .unwrap_err();
+        assert_eq!(err, EvmError::InsufficientValue);
+    }
+
+    #[test]
+    fn deploy_charges_code_deposit() {
+        let runtime = Asm::new().op(Op::Stop).build();
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (_, out) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        assert!(out.gas_used >= gas::G_TRANSACTION + gas::G_TXCREATE + gas::G_CODEDEPOSIT);
+    }
+
+    #[test]
+    fn keccak_matches_library() {
+        // keccak256 of 32 zero bytes.
+        let runtime = {
+            let mut b = Asm::new()
+                .push_u64(32) // size (popped second)
+                .push_u64(0) // offset (popped first)
+                .op(Op::Keccak256)
+                .build();
+            b.extend(return_top().build());
+            b
+        };
+        let (_, _, out, _) = run(runtime, vec![]);
+        let expect = keccak256(&[0u8; 32]);
+        assert_eq!(out.output, expect);
+    }
+}

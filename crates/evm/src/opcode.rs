@@ -1,0 +1,224 @@
+//! The instruction set.
+
+use crate::gas;
+
+/// EVM opcodes implemented by this machine (byte values match the real
+/// EVM so disassemblies line up with standard tooling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Op {
+    /// Halt execution successfully with no output.
+    Stop = 0x00,
+    /// Pop a, b; push a + b (wrapping).
+    Add = 0x01,
+    /// Pop a, b; push a × b (wrapping).
+    Mul = 0x02,
+    /// Pop a, b; push a − b (wrapping).
+    Sub = 0x03,
+    /// Pop a, b; push a / b (0 if b = 0).
+    Div = 0x04,
+    /// Pop a, b; push a mod b (0 if b = 0).
+    Mod = 0x06,
+    /// Pop a, b, m; push (a + b) mod m without intermediate overflow.
+    AddMod = 0x08,
+    /// Pop a, b, m; push (a × b) mod m over the 512-bit product.
+    MulMod = 0x09,
+    /// Pop a, e; push a^e (wrapping).
+    Exp = 0x0a,
+    /// Pop a, b; push 1 if a < b else 0.
+    Lt = 0x10,
+    /// Pop a, b; push 1 if a > b else 0.
+    Gt = 0x11,
+    /// Pop a, b; push 1 if a = b else 0.
+    Eq = 0x14,
+    /// Pop a; push 1 if a = 0 else 0.
+    IsZero = 0x15,
+    /// Pop a, b; push a AND b.
+    And = 0x16,
+    /// Pop a, b; push a OR b.
+    Or = 0x17,
+    /// Pop a, b; push a XOR b.
+    Xor = 0x18,
+    /// Pop a; push NOT a.
+    Not = 0x19,
+    /// Pop shift, value; push value << shift.
+    Shl = 0x1b,
+    /// Pop shift, value; push value >> shift (logical).
+    Shr = 0x1c,
+    /// Pop offset, size; push keccak256(memory[offset..offset+size]).
+    Keccak256 = 0x20,
+    /// Push the executing contract's address.
+    Address = 0x30,
+    /// Push the executing contract's balance.
+    SelfBalance = 0x47,
+    /// Push the caller address.
+    Caller = 0x33,
+    /// Push the call value.
+    CallValue = 0x34,
+    /// Pop offset; push the 32-byte calldata word at offset.
+    CallDataLoad = 0x35,
+    /// Push calldata length.
+    CallDataSize = 0x36,
+    /// Pop mem_off, data_off, size; copy calldata into memory.
+    CallDataCopy = 0x37,
+    /// Pop mem_off, code_off, size; copy executing code into memory.
+    CodeCopy = 0x39,
+    /// Push the current block timestamp (seconds).
+    Timestamp = 0x42,
+    /// Push the current block number.
+    Number = 0x43,
+    /// Pop and discard.
+    Pop = 0x50,
+    /// Pop offset; push memory[offset..offset+32].
+    MLoad = 0x51,
+    /// Pop offset, value; write value to memory.
+    MStore = 0x52,
+    /// Pop key; push `storage[key]`.
+    SLoad = 0x54,
+    /// Pop key, value; write storage.
+    SStore = 0x55,
+    /// Pop destination; jump (must be a JumpDest).
+    Jump = 0x56,
+    /// Pop destination, condition; jump if condition ≠ 0.
+    JumpI = 0x57,
+    /// Valid jump target marker.
+    JumpDest = 0x5b,
+    /// Push an immediate of 1..=32 bytes (Push1 = 0x60 … Push32 = 0x7f).
+    Push1 = 0x60,
+    /// Duplicate the n-th stack item (Dup1 = 0x80 … Dup16 = 0x8f).
+    Dup1 = 0x80,
+    /// Swap the top with the (n+1)-th item (Swap1 = 0x90 … Swap16 = 0x9f).
+    Swap1 = 0x90,
+    /// Pop offset, size; emit a log record with no topics.
+    Log0 = 0xa0,
+    /// Pop offset, size, topic; emit a log record with one topic.
+    Log1 = 0xa1,
+    /// Pop gas, to, value, in_off, in_size, out_off, out_size; transfer
+    /// value to `to` (plain sends only — no reentrant code execution in
+    /// this machine); push 1 on success.
+    Call = 0xf1,
+    /// Pop offset, size; halt returning memory[offset..offset+size].
+    Return = 0xf3,
+    /// Pop offset, size; halt reverting state, returning the data.
+    Revert = 0xfd,
+}
+
+impl Op {
+    /// The static part of the opcode's gas cost (dynamic parts — memory
+    /// expansion, keccak words, storage temperature — are charged by the
+    /// interpreter).
+    pub fn base_gas(&self) -> u64 {
+        use gas::*;
+        match self {
+            Op::Stop => G_ZERO,
+            Op::JumpDest => G_JUMPDEST,
+            Op::Address | Op::Caller | Op::CallValue | Op::CallDataSize | Op::Timestamp
+            | Op::Number | Op::Pop => G_BASE,
+            Op::Add | Op::Sub | Op::Lt | Op::Gt | Op::Eq | Op::IsZero | Op::And | Op::Or
+            | Op::Xor | Op::Not | Op::CallDataLoad | Op::MLoad | Op::MStore | Op::Push1
+            | Op::Dup1 | Op::Swap1 | Op::CallDataCopy | Op::CodeCopy => G_VERYLOW,
+            Op::Mul | Op::Div | Op::Mod | Op::SelfBalance => G_LOW,
+            Op::AddMod | Op::MulMod => G_MID,
+            Op::Exp => G_EXP,
+            Op::Shl | Op::Shr => G_VERYLOW,
+            Op::Jump => G_MID,
+            Op::JumpI => G_HIGH,
+            Op::Keccak256 => G_KECCAK256,
+            Op::SLoad => 0,  // fully dynamic (warm/cold)
+            Op::SStore => 0, // fully dynamic
+            Op::Log0 => G_LOG,
+            Op::Log1 => G_LOG + G_LOGTOPIC,
+            Op::Call => 0, // fully dynamic
+            Op::Return | Op::Revert => G_ZERO,
+        }
+    }
+
+    /// Decodes a byte into an opcode, normalising Push/Dup/Swap families
+    /// to their base variant and returning the family offset.
+    pub fn decode(byte: u8) -> Option<(Op, u8)> {
+        let plain = |op| Some((op, 0));
+        match byte {
+            0x00 => plain(Op::Stop),
+            0x01 => plain(Op::Add),
+            0x02 => plain(Op::Mul),
+            0x03 => plain(Op::Sub),
+            0x04 => plain(Op::Div),
+            0x06 => plain(Op::Mod),
+            0x08 => plain(Op::AddMod),
+            0x09 => plain(Op::MulMod),
+            0x0a => plain(Op::Exp),
+            0x10 => plain(Op::Lt),
+            0x11 => plain(Op::Gt),
+            0x14 => plain(Op::Eq),
+            0x15 => plain(Op::IsZero),
+            0x16 => plain(Op::And),
+            0x17 => plain(Op::Or),
+            0x18 => plain(Op::Xor),
+            0x19 => plain(Op::Not),
+            0x1b => plain(Op::Shl),
+            0x1c => plain(Op::Shr),
+            0x20 => plain(Op::Keccak256),
+            0x30 => plain(Op::Address),
+            0x47 => plain(Op::SelfBalance),
+            0x33 => plain(Op::Caller),
+            0x34 => plain(Op::CallValue),
+            0x35 => plain(Op::CallDataLoad),
+            0x36 => plain(Op::CallDataSize),
+            0x37 => plain(Op::CallDataCopy),
+            0x39 => plain(Op::CodeCopy),
+            0x42 => plain(Op::Timestamp),
+            0x43 => plain(Op::Number),
+            0x50 => plain(Op::Pop),
+            0x51 => plain(Op::MLoad),
+            0x52 => plain(Op::MStore),
+            0x54 => plain(Op::SLoad),
+            0x55 => plain(Op::SStore),
+            0x56 => plain(Op::Jump),
+            0x57 => plain(Op::JumpI),
+            0x5b => plain(Op::JumpDest),
+            0x60..=0x7f => Some((Op::Push1, byte - 0x60)),
+            0x80..=0x8f => Some((Op::Dup1, byte - 0x80)),
+            0x90..=0x9f => Some((Op::Swap1, byte - 0x90)),
+            0xa0 => plain(Op::Log0),
+            0xa1 => plain(Op::Log1),
+            0xf1 => plain(Op::Call),
+            0xf3 => plain(Op::Return),
+            0xfd => plain(Op::Revert),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_families() {
+        assert_eq!(Op::decode(0x60), Some((Op::Push1, 0)));
+        assert_eq!(Op::decode(0x7f), Some((Op::Push1, 31)));
+        assert_eq!(Op::decode(0x80), Some((Op::Dup1, 0)));
+        assert_eq!(Op::decode(0x9f), Some((Op::Swap1, 15)));
+    }
+
+    #[test]
+    fn decode_unknown() {
+        assert_eq!(Op::decode(0xfe), None);
+        assert_eq!(Op::decode(0x05), None); // SDIV not implemented
+        assert!(Op::decode(0x0a).is_some()); // EXP
+        assert!(Op::decode(0x1b).is_some()); // SHL
+    }
+
+    #[test]
+    fn gas_matches_fig_1_4() {
+        assert_eq!(Op::JumpDest.base_gas(), 1);
+        assert_eq!(Op::Caller.base_gas(), 2);
+        assert_eq!(Op::Add.base_gas(), 3);
+        assert_eq!(Op::Mul.base_gas(), 5);
+        assert_eq!(Op::Jump.base_gas(), 8);
+        assert_eq!(Op::JumpI.base_gas(), 10);
+        assert_eq!(Op::Keccak256.base_gas(), 30);
+        assert_eq!(Op::Log0.base_gas(), 375);
+        assert_eq!(Op::Log1.base_gas(), 750);
+    }
+}

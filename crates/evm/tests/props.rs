@@ -1,0 +1,171 @@
+//! Property tests of the EVM substrate: word arithmetic laws and
+//! interpreter semantics on randomly generated straight-line programs.
+
+use pol_evm::assembler::Asm;
+use pol_evm::interpreter::Balances;
+use pol_evm::opcode::Op;
+use pol_evm::word::Word;
+use pol_evm::{CallParams, Evm};
+use pol_ledger::Address;
+use proptest::prelude::*;
+
+fn word(limbs: [u64; 4]) -> Word {
+    Word(limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Division identity: a == (a / b) * b + (a % b) for b ≠ 0, over the
+    /// full 256-bit range.
+    #[test]
+    fn divmod_identity(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let (a, b) = (word(a), word(b));
+        if !b.is_zero() {
+            let q = a.div(&b);
+            let r = a.rem(&b);
+            prop_assert_eq!(q.wrapping_mul(&b).wrapping_add(&r), a);
+            prop_assert_eq!(r.cmp_u(&b), std::cmp::Ordering::Less);
+        } else {
+            prop_assert_eq!(a.div(&b), Word::ZERO);
+            prop_assert_eq!(a.rem(&b), Word::ZERO);
+        }
+    }
+
+    /// Wrapping arithmetic obeys ring laws.
+    #[test]
+    fn word_ring_laws(a in any::<[u64; 4]>(), b in any::<[u64; 4]>(), c in any::<[u64; 4]>()) {
+        let (a, b, c) = (word(a), word(b), word(c));
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+        prop_assert_eq!(a.wrapping_mul(&b), b.wrapping_mul(&a));
+        prop_assert_eq!(
+            a.wrapping_add(&b).wrapping_add(&c),
+            a.wrapping_add(&b.wrapping_add(&c))
+        );
+        prop_assert_eq!(
+            a.wrapping_mul(&b.wrapping_add(&c)),
+            a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c))
+        );
+        prop_assert_eq!(a.wrapping_sub(&a), Word::ZERO);
+        prop_assert_eq!(a.not().not(), a);
+    }
+
+    /// Shifts agree with u128 semantics in range and zero out beyond it.
+    #[test]
+    fn shifts_match_reference(a in any::<u128>(), n in 0u64..300) {
+        let w = Word::from_u128(a);
+        let shifted_l = w.shl(&Word::from_u64(n));
+        let shifted_r = w.shr(&Word::from_u64(n));
+        if n >= 256 {
+            prop_assert_eq!(shifted_l, Word::ZERO);
+            prop_assert_eq!(shifted_r, Word::ZERO);
+        } else {
+            // Round-trip property: (w << n) >> n keeps the low bits that
+            // survived, and shr of a 128-bit value matches u128 shr.
+            if n < 128 {
+                prop_assert_eq!(shifted_r.as_u128(), a >> n);
+            }
+            prop_assert_eq!(
+                w.shl(&Word::from_u64(n)).shr(&Word::from_u64(n)),
+                w.and(&Word::ZERO.not().shr(&Word::from_u64(n)))
+            );
+        }
+    }
+
+    /// ADDMOD/MULMOD match u128 arithmetic on small operands and define
+    /// mod-0 as zero.
+    #[test]
+    fn modular_ops_match_reference(a in any::<u64>(), b in any::<u64>(), m in any::<u64>()) {
+        let (wa, wb, wm) = (Word::from_u64(a), Word::from_u64(b), Word::from_u64(m));
+        if m == 0 {
+            prop_assert_eq!(wa.add_mod(&wb, &wm), Word::ZERO);
+            prop_assert_eq!(wa.mul_mod(&wb, &wm), Word::ZERO);
+        } else {
+            let m128 = u128::from(m);
+            prop_assert_eq!(
+                wa.add_mod(&wb, &wm).as_u128(),
+                (u128::from(a) + u128::from(b)) % m128
+            );
+            prop_assert_eq!(
+                wa.mul_mod(&wb, &wm).as_u128(),
+                (u128::from(a) * u128::from(b)) % m128
+            );
+        }
+    }
+
+    /// EXP matches repeated multiplication for small exponents.
+    #[test]
+    fn exp_matches_reference(a in any::<u64>(), e in 0u64..16) {
+        let w = Word::from_u64(a);
+        let mut expect = Word::ONE;
+        for _ in 0..e {
+            expect = expect.wrapping_mul(&w);
+        }
+        prop_assert_eq!(w.pow(&Word::from_u64(e)), expect);
+    }
+
+    /// Big-endian serialization round-trips.
+    #[test]
+    fn word_bytes_roundtrip(a in any::<[u64; 4]>()) {
+        let w = word(a);
+        prop_assert_eq!(Word::from_be_bytes(&w.to_be_bytes()), w);
+    }
+
+    /// The interpreter computes the same arithmetic the Word type does:
+    /// run `push a, push b, OP, return` for each binary opcode.
+    #[test]
+    fn interpreter_matches_word_ops(a in any::<[u64; 4]>(), b in any::<[u64; 4]>()) {
+        let (wa, wb) = (word(a), word(b));
+        let cases: Vec<(Op, Word)> = vec![
+            (Op::Add, wa.wrapping_add(&wb)),
+            (Op::Sub, wa.wrapping_sub(&wb)),
+            (Op::Mul, wa.wrapping_mul(&wb)),
+            (Op::Div, wa.div(&wb)),
+            (Op::Mod, wa.rem(&wb)),
+            (Op::And, wa.and(&wb)),
+            (Op::Or, wa.or(&wb)),
+            (Op::Xor, wa.xor(&wb)),
+        ];
+        for (op, expect) in cases {
+            // Stack: push rhs first so lhs ends up on top (the
+            // interpreter pops the left operand first).
+            let runtime = Asm::new()
+                .push_word(wb)
+                .push_word(wa)
+                .op(op)
+                .push_u64(0)
+                .op(Op::MStore)
+                .push_u64(32)
+                .push_u64(0)
+                .op(Op::Return)
+                .build();
+            let mut evm = Evm::new();
+            let mut balances = Balances::new();
+            let (addr, _) = evm
+                .deploy(Address::ZERO, &Asm::deploy_wrapper(&runtime), 30_000_000, &mut balances)
+                .unwrap();
+            let out = evm.call(CallParams::new(Address::ZERO, addr), &mut balances).unwrap();
+            prop_assert!(out.success);
+            prop_assert_eq!(Word::from_be_slice(&out.output), expect, "{:?}", op);
+        }
+    }
+
+    /// Storage writes persist across calls and deletes refund to zero.
+    #[test]
+    fn storage_persistence(key in any::<u64>(), value in 1u64..u64::MAX) {
+        let store = Asm::new()
+            .push_u64(value)
+            .push_u64(key)
+            .op(Op::SStore)
+            .op(Op::Stop)
+            .build();
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let (addr, _) = evm
+            .deploy(Address::ZERO, &Asm::deploy_wrapper(&store), 30_000_000, &mut balances)
+            .unwrap();
+        let out = evm.call(CallParams::new(Address::ZERO, addr), &mut balances).unwrap();
+        prop_assert!(out.success);
+        prop_assert_eq!(evm.storage_at(addr, &Word::from_u64(key)), Word::from_u64(value));
+    }
+}

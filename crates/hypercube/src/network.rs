@@ -1,0 +1,431 @@
+//! The in-memory hypercube network: 2^r logical nodes with content storage,
+//! routing statistics and churn.
+
+use crate::content::LocationRecord;
+use crate::routing::{self, Route, RoutingError};
+use parking_lot::RwLock;
+use pol_geo::{rbit, OlcCode, RBitKey};
+use std::collections::HashMap;
+
+/// Aggregate statistics over all lookups performed on the network.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total lookups routed.
+    pub lookups: u64,
+    /// Total hops across all lookups.
+    pub total_hops: u64,
+    /// Worst single-lookup hop count observed.
+    pub max_hops: u32,
+}
+
+impl NetworkStats {
+    /// Average hops per lookup.
+    pub fn mean_hops(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.lookups as f64
+        }
+    }
+}
+
+struct NodeState {
+    online: bool,
+    records: HashMap<String, LocationRecord>,
+}
+
+/// An r-dimensional hypercube DHT.
+///
+/// The structure is shared-friendly: all operations take `&self`, so an
+/// `Arc<Hypercube>` can be handed to every actor in a simulation.
+pub struct Hypercube {
+    r: u8,
+    nodes: Vec<RwLock<NodeState>>,
+    stats: RwLock<NetworkStats>,
+    /// Offline node → delegate serving its keys after a graceful leave.
+    delegations: RwLock<HashMap<u64, RBitKey>>,
+    /// Hop budget for lookups; defaults to `r` (always sufficient when all
+    /// nodes are online).
+    max_hops: u32,
+}
+
+impl std::fmt::Debug for Hypercube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hypercube")
+            .field("r", &self.r)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl Hypercube {
+    /// Creates a hypercube with `2^r` online nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero or greater than 20 (over a million nodes is
+    /// beyond any sensible simulation).
+    pub fn new(r: u8) -> Hypercube {
+        assert!((1..=20).contains(&r), "r must be in 1..=20");
+        let nodes = (0..(1usize << r))
+            .map(|_| RwLock::new(NodeState { online: true, records: HashMap::new() }))
+            .collect();
+        Hypercube {
+            r,
+            nodes,
+            stats: RwLock::new(NetworkStats::default()),
+            delegations: RwLock::new(HashMap::new()),
+            max_hops: u32::from(r) * 4,
+        }
+    }
+
+    /// The dimensionality `r`.
+    pub fn dimensions(&self) -> u8 {
+        self.r
+    }
+
+    /// Number of logical nodes (`2^r`).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the network has no nodes (never true — kept for the
+    /// conventional `len`/`is_empty` pair).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The key (node ID) responsible for an Open Location Code.
+    pub fn key_for(&self, code: &OlcCode) -> RBitKey {
+        rbit::encode(code, self.r)
+    }
+
+    /// Routes a lookup for `code` from node 0, recording statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoutingError`] from the underlying greedy router.
+    pub fn lookup(&self, code: &OlcCode) -> Result<Route, RoutingError> {
+        let source = RBitKey::from_bits(0, self.r);
+        // A gracefully departed node's keys are served by its delegate.
+        let target = self.responsible_node(self.key_for(code));
+        let route = routing::route(source, target, self.max_hops, |k| self.is_online(k))?;
+        let mut stats = self.stats.write();
+        stats.lookups += 1;
+        stats.total_hops += u64::from(route.hops());
+        stats.max_hops = stats.max_hops.max(route.hops());
+        Ok(route)
+    }
+
+    /// Looks up the contract registered for an area, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures (offline nodes, hop budget).
+    pub fn find_contract(&self, code: &OlcCode) -> Result<Option<String>, RoutingError> {
+        let route = self.lookup(code)?;
+        let node = &self.nodes[route.target().index() as usize];
+        Ok(node
+            .read()
+            .records
+            .get(code.as_str())
+            .map(|r| r.contract_id.clone()))
+    }
+
+    /// Registers the contract deployed for an area. Returns `false` (and
+    /// leaves the existing record in place) if one was already registered —
+    /// first writer wins, as in the paper's deploy-then-insert flow.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn register_contract(
+        &self,
+        code: &OlcCode,
+        contract_id: impl Into<String>,
+    ) -> Result<bool, RoutingError> {
+        let route = self.lookup(code)?;
+        let node = &self.nodes[route.target().index() as usize];
+        let mut state = node.write();
+        if state.records.contains_key(code.as_str()) {
+            return Ok(false);
+        }
+        state
+            .records
+            .insert(code.as_str().to_string(), LocationRecord::new(contract_id, code.as_str()));
+        Ok(true)
+    }
+
+    /// Appends a verified report CID to an area's record ("garbage-in" —
+    /// callers are expected to be verifiers).
+    ///
+    /// Returns `false` if no contract is registered for the area or the CID
+    /// was already present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn append_cid(
+        &self,
+        code: &OlcCode,
+        cid: impl Into<String>,
+    ) -> Result<bool, RoutingError> {
+        let route = self.lookup(code)?;
+        let node = &self.nodes[route.target().index() as usize];
+        let mut state = node.write();
+        match state.records.get_mut(code.as_str()) {
+            Some(rec) => Ok(rec.push_cid(cid)),
+            None => Ok(false),
+        }
+    }
+
+    /// Returns a copy of the record for an area, if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures.
+    pub fn record(&self, code: &OlcCode) -> Result<Option<LocationRecord>, RoutingError> {
+        let route = self.lookup(code)?;
+        let node = &self.nodes[route.target().index() as usize];
+        Ok(node.read().records.get(code.as_str()).cloned())
+    }
+
+    /// Takes a node offline (simulated churn). Content is retained and
+    /// becomes reachable again after [`Hypercube::rejoin`].
+    pub fn fail_node(&self, key: RBitKey) {
+        self.nodes[key.index() as usize].write().online = false;
+    }
+
+    /// Gracefully removes a node: its records are handed over to its
+    /// nearest online neighbour before it goes offline, and a delegation
+    /// pointer is left so lookups keyed to this node are served by the
+    /// delegate (the leave protocol of a structured overlay).
+    ///
+    /// Returns the delegate's key, or `None` when the node had no online
+    /// neighbour to hand over to (it then leaves ungracefully).
+    pub fn leave_gracefully(&self, key: RBitKey) -> Option<RBitKey> {
+        let delegate = key.neighbors().find(|n| self.is_online(*n));
+        let records: Vec<(String, LocationRecord)> = {
+            let mut state = self.nodes[key.index() as usize].write();
+            state.online = false;
+            state.records.drain().collect()
+        };
+        match delegate {
+            Some(delegate) => {
+                let mut target = self.nodes[delegate.index() as usize].write();
+                for (olc, record) in records {
+                    target.records.insert(olc, record);
+                }
+                self.delegations.write().insert(key.index(), delegate);
+                Some(delegate)
+            }
+            None => {
+                // No online neighbour: records are stranded back on the
+                // (offline) node, as an ungraceful failure would leave
+                // them.
+                let mut state = self.nodes[key.index() as usize].write();
+                for (olc, record) in records {
+                    state.records.insert(olc, record);
+                }
+                None
+            }
+        }
+    }
+
+    /// Brings a node back online. If it had delegated its records on a
+    /// graceful leave, they are reclaimed from the delegate.
+    pub fn rejoin(&self, key: RBitKey) {
+        if let Some(delegate) = self.delegations.write().remove(&key.index()) {
+            // Reclaim only the records this node is responsible for.
+            let mut reclaimed = Vec::new();
+            {
+                let mut source = self.nodes[delegate.index() as usize].write();
+                let keys: Vec<String> = source
+                    .records
+                    .iter()
+                    .filter(|(olc, _)| {
+                        olc.parse::<OlcCode>()
+                            .map(|code| self.key_for(&code) == key)
+                            .unwrap_or(false)
+                    })
+                    .map(|(olc, _)| olc.clone())
+                    .collect();
+                for k in keys {
+                    if let Some(record) = source.records.remove(&k) {
+                        reclaimed.push((k, record));
+                    }
+                }
+            }
+            let mut state = self.nodes[key.index() as usize].write();
+            for (olc, record) in reclaimed {
+                state.records.insert(olc, record);
+            }
+            state.online = true;
+            return;
+        }
+        self.nodes[key.index() as usize].write().online = true;
+    }
+
+    /// Where lookups for `node` are currently served: the node itself, or
+    /// its delegate after a graceful leave.
+    pub fn responsible_node(&self, node: RBitKey) -> RBitKey {
+        self.delegations.read().get(&node.index()).copied().unwrap_or(node)
+    }
+
+    /// Whether a node is online.
+    pub fn is_online(&self, key: RBitKey) -> bool {
+        self.nodes[key.index() as usize].read().online
+    }
+
+    /// Snapshot of routing statistics.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats.read().clone()
+    }
+
+    /// Total number of records stored across all nodes.
+    pub fn record_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.read().records.len()).sum()
+    }
+
+    /// Records stored at one node (cloned), for complex queries.
+    pub fn records_at(&self, key: RBitKey) -> Vec<LocationRecord> {
+        self.nodes[key.index() as usize]
+            .read()
+            .records
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Iterates over every stored record (cloned), for queries and display.
+    pub fn all_records(&self) -> Vec<LocationRecord> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            out.extend(node.read().records.values().cloned());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_geo::{olc, Coordinates};
+
+    fn code(lat: f64, lon: f64) -> OlcCode {
+        olc::encode(Coordinates::new(lat, lon).unwrap(), 10).unwrap()
+    }
+
+    #[test]
+    fn register_then_find() {
+        let dht = Hypercube::new(6);
+        let c = code(44.4949, 11.3426);
+        assert_eq!(dht.find_contract(&c).unwrap(), None);
+        assert!(dht.register_contract(&c, "evm:0xabc").unwrap());
+        assert_eq!(dht.find_contract(&c).unwrap().as_deref(), Some("evm:0xabc"));
+    }
+
+    #[test]
+    fn first_registration_wins() {
+        let dht = Hypercube::new(6);
+        let c = code(44.4949, 11.3426);
+        assert!(dht.register_contract(&c, "app:1").unwrap());
+        assert!(!dht.register_contract(&c, "app:2").unwrap());
+        assert_eq!(dht.find_contract(&c).unwrap().as_deref(), Some("app:1"));
+    }
+
+    #[test]
+    fn append_cid_requires_registration() {
+        let dht = Hypercube::new(6);
+        let c = code(41.9, 12.5);
+        assert!(!dht.append_cid(&c, "bafy1").unwrap());
+        dht.register_contract(&c, "app:3").unwrap();
+        assert!(dht.append_cid(&c, "bafy1").unwrap());
+        assert!(!dht.append_cid(&c, "bafy1").unwrap());
+        assert_eq!(dht.record(&c).unwrap().unwrap().cids, vec!["bafy1"]);
+    }
+
+    #[test]
+    fn stats_accumulate_and_bound() {
+        let dht = Hypercube::new(8);
+        for i in 0..20 {
+            let c = code(40.0 + f64::from(i) * 0.3, 9.0 + f64::from(i) * 0.17);
+            let _ = dht.lookup(&c).unwrap();
+        }
+        let stats = dht.stats();
+        assert_eq!(stats.lookups, 20);
+        assert!(stats.max_hops <= 8);
+        assert!(stats.mean_hops() <= 8.0);
+    }
+
+    #[test]
+    fn churn_blocks_then_recovers() {
+        let dht = Hypercube::new(5);
+        let c = code(44.4949, 11.3426);
+        dht.register_contract(&c, "app:9").unwrap();
+        let key = dht.key_for(&c);
+        dht.fail_node(key);
+        assert!(matches!(dht.find_contract(&c), Err(RoutingError::NodeOffline(_))));
+        dht.rejoin(key);
+        assert_eq!(dht.find_contract(&c).unwrap().as_deref(), Some("app:9"));
+    }
+
+    #[test]
+    fn distinct_areas_distinct_records() {
+        let dht = Hypercube::new(10);
+        let a = code(44.4949, 11.3426);
+        let b = code(45.4642, 9.1900);
+        dht.register_contract(&a, "app:1").unwrap();
+        dht.register_contract(&b, "app:2").unwrap();
+        assert_eq!(dht.record_count(), 2);
+        assert_eq!(dht.find_contract(&a).unwrap().as_deref(), Some("app:1"));
+        assert_eq!(dht.find_contract(&b).unwrap().as_deref(), Some("app:2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be")]
+    fn rejects_zero_dimensions() {
+        let _ = Hypercube::new(0);
+    }
+
+    #[test]
+    fn graceful_leave_hands_records_to_delegate() {
+        let dht = Hypercube::new(5);
+        let c = code(44.4949, 11.3426);
+        dht.register_contract(&c, "app:1").unwrap();
+        let key = dht.key_for(&c);
+        let delegate = dht.leave_gracefully(key).expect("a neighbour is online");
+        assert_ne!(delegate, key);
+        assert!(!dht.is_online(key));
+        // Lookups keep working through the delegate.
+        assert_eq!(dht.find_contract(&c).unwrap().as_deref(), Some("app:1"));
+        assert_eq!(dht.responsible_node(key), delegate);
+        // The verifier can still append.
+        assert!(dht.append_cid(&c, "bafyZ").unwrap());
+    }
+
+    #[test]
+    fn rejoin_reclaims_delegated_records() {
+        let dht = Hypercube::new(5);
+        let c = code(44.4949, 11.3426);
+        dht.register_contract(&c, "app:2").unwrap();
+        let key = dht.key_for(&c);
+        let delegate = dht.leave_gracefully(key).unwrap();
+        dht.rejoin(key);
+        assert_eq!(dht.responsible_node(key), key);
+        assert_eq!(dht.find_contract(&c).unwrap().as_deref(), Some("app:2"));
+        // The delegate no longer holds this node's record.
+        assert!(dht.records_at(delegate).iter().all(|r| r.olc != c.as_str()));
+        assert!(!dht.records_at(key).is_empty());
+    }
+
+    #[test]
+    fn ungraceful_failure_still_blocks() {
+        let dht = Hypercube::new(5);
+        let c = code(44.4949, 11.3426);
+        dht.register_contract(&c, "app:3").unwrap();
+        let key = dht.key_for(&c);
+        dht.fail_node(key); // crash, no handover
+        assert!(dht.find_contract(&c).is_err());
+    }
+}

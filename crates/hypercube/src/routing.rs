@@ -1,0 +1,210 @@
+//! Greedy Hamming routing across the hypercube.
+//!
+//! From any node, a message for target `t` is forwarded to the neighbour
+//! that differs from the current node in the lowest set bit of
+//! `current XOR t` — each hop reduces the Hamming distance by one, so any
+//! lookup completes within `r` hops (the property the paper credits for the
+//! hypercube's lookup speed versus a flat DHT).
+
+use pol_geo::RBitKey;
+
+/// Why a route could not be completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The hop budget was exhausted before reaching the target.
+    HopLimitExceeded {
+        /// The hop budget that was in force.
+        limit: u32,
+    },
+    /// A node on the only remaining path is offline.
+    NodeOffline(u64),
+    /// Source or target key has the wrong dimensionality for this network.
+    DimensionMismatch {
+        /// Dimensionality of the network.
+        expected: u8,
+        /// Dimensionality of the supplied key.
+        got: u8,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::HopLimitExceeded { limit } => {
+                write!(f, "hop limit {limit} exceeded")
+            }
+            RoutingError::NodeOffline(id) => write!(f, "node {id} is offline"),
+            RoutingError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: network is {expected}-d, key is {got}-d")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// A completed route through the hypercube.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Visited node keys, source first, target last.
+    pub path: Vec<RBitKey>,
+}
+
+impl Route {
+    /// Number of hops (edges traversed).
+    pub fn hops(&self) -> u32 {
+        (self.path.len().saturating_sub(1)) as u32
+    }
+
+    /// The target node reached.
+    pub fn target(&self) -> RBitKey {
+        *self.path.last().expect("routes are never empty")
+    }
+}
+
+/// Computes the greedy route from `source` to `target`, skipping nodes for
+/// which `online` returns `false` by detouring through a random-ish
+/// alternative dimension.
+///
+/// # Errors
+///
+/// Returns [`RoutingError::HopLimitExceeded`] when `max_hops` is exhausted
+/// and [`RoutingError::NodeOffline`] when the target itself is offline.
+pub fn route(
+    source: RBitKey,
+    target: RBitKey,
+    max_hops: u32,
+    online: impl Fn(RBitKey) -> bool,
+) -> Result<Route, RoutingError> {
+    if source.dimensions() != target.dimensions() {
+        return Err(RoutingError::DimensionMismatch {
+            expected: source.dimensions(),
+            got: target.dimensions(),
+        });
+    }
+    if !online(target) {
+        return Err(RoutingError::NodeOffline(target.index()));
+    }
+    let mut path = vec![source];
+    let mut current = source;
+    let mut hops = 0u32;
+    while current != target {
+        if hops >= max_hops {
+            return Err(RoutingError::HopLimitExceeded { limit: max_hops });
+        }
+        let diff = current.bits() ^ target.bits();
+        // Prefer the lowest differing dimension whose neighbour is online.
+        let mut next = None;
+        for dim in 0..current.dimensions() {
+            if (diff >> dim) & 1 == 1 {
+                let candidate = current.flip(dim);
+                if online(candidate) {
+                    next = Some(candidate);
+                    break;
+                }
+            }
+        }
+        // All direct progress blocked: detour through any online neighbour
+        // not yet visited.
+        let next = match next {
+            Some(n) => n,
+            None => current
+                .neighbors()
+                .find(|n| online(*n) && !path.contains(n))
+                .ok_or(RoutingError::NodeOffline(target.index()))?,
+        };
+        path.push(next);
+        current = next;
+        hops += 1;
+    }
+    Ok(Route { path })
+}
+
+/// Baseline for the ablation bench: a random walk that only moves along
+/// dimensions chosen round-robin, ignoring Hamming progress.
+pub fn random_walk_route(
+    source: RBitKey,
+    target: RBitKey,
+    max_hops: u32,
+) -> Result<Route, RoutingError> {
+    let mut path = vec![source];
+    let mut current = source;
+    let mut hops = 0u32;
+    let mut dim = 0u8;
+    while current != target {
+        if hops >= max_hops {
+            return Err(RoutingError::HopLimitExceeded { limit: max_hops });
+        }
+        // Deterministic pseudo-random dimension from position and hop count.
+        dim = ((u32::from(dim) + current.bits() + hops + 1) % u32::from(current.dimensions())) as u8;
+        current = current.flip(dim);
+        path.push(current);
+        hops += 1;
+    }
+    Ok(Route { path })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bits: u32, r: u8) -> RBitKey {
+        RBitKey::from_bits(bits, r)
+    }
+
+    #[test]
+    fn route_within_r_hops() {
+        let r = 8;
+        for s in [0u32, 1, 77, 200, 255] {
+            for t in [0u32, 3, 128, 255] {
+                let route = route(key(s, r), key(t, r), u32::from(r), |_| true).unwrap();
+                assert!(route.hops() <= u32::from(r));
+                assert_eq!(route.hops(), (s ^ t).count_ones());
+                assert_eq!(route.target(), key(t, r));
+            }
+        }
+    }
+
+    #[test]
+    fn hop_limit_enforced() {
+        let e = route(key(0, 8), key(0xff, 8), 3, |_| true).unwrap_err();
+        assert_eq!(e, RoutingError::HopLimitExceeded { limit: 3 });
+    }
+
+    #[test]
+    fn offline_target_detected() {
+        let target = key(5, 4);
+        let e = route(key(0, 4), target, 8, |k| k != target).unwrap_err();
+        assert_eq!(e, RoutingError::NodeOffline(5));
+    }
+
+    #[test]
+    fn detours_around_offline_intermediate() {
+        // Route 0000 -> 0011; both direct next hops (0001 and 0010) online,
+        // but make 0001 offline so the router must pick 0010.
+        let blocked = key(0b0001, 4);
+        let r = route(key(0, 4), key(0b0011, 4), 8, |k| k != blocked).unwrap();
+        assert!(!r.path.contains(&blocked));
+        assert_eq!(r.target(), key(0b0011, 4));
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let e = route(key(0, 4), key(0, 5), 8, |_| true).unwrap_err();
+        assert!(matches!(e, RoutingError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn random_walk_usually_longer() {
+        let greedy = route(key(0, 6), key(0b111111, 6), 6, |_| true).unwrap();
+        let walk = random_walk_route(key(0, 6), key(0b111111, 6), 10_000).unwrap();
+        assert!(walk.hops() >= greedy.hops());
+    }
+
+    #[test]
+    fn zero_hop_route_to_self() {
+        let r = route(key(9, 5), key(9, 5), 0, |_| true).unwrap();
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.path.len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Code generators: one contract source, one artifact per chain family.
+
+pub mod avm;
+pub mod evm;
+
+use crate::ast::Ty;
+
+/// A runtime argument value passed to constructors and API calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbiValue {
+    /// A word (UInt / Address-as-word / Bool).
+    Word(u128),
+    /// An address.
+    Address(pol_ledger::Address),
+    /// A byte payload (padded to the declared capacity on the wire).
+    Bytes(Vec<u8>),
+}
+
+impl AbiValue {
+    /// Whether this value is acceptable for a parameter of type `ty`.
+    pub fn matches(&self, ty: &Ty) -> bool {
+        match (self, ty) {
+            (AbiValue::Word(_), Ty::UInt | Ty::Bool) => true,
+            (AbiValue::Address(_), Ty::Address) => true,
+            (AbiValue::Bytes(b), Ty::Bytes(cap)) => b.len() <= *cap,
+            _ => false,
+        }
+    }
+}
+
+/// The compiled forms of one program for every supported chain — the
+/// `index.main.mjs` bundle Reach produces (§2.9.3).
+#[derive(Debug, Clone)]
+pub struct CompiledContract {
+    /// EVM artifact (Ropsten / Goerli / Mumbai).
+    pub evm: evm::CompiledEvm,
+    /// AVM artifact (Algorand).
+    pub avm: avm::CompiledAvm,
+}
+
+/// Compiles a program for every chain after checking and verifying it.
+///
+/// # Errors
+///
+/// [`crate::LangError::TypeErrors`] or
+/// [`crate::LangError::VerificationFailed`] when the program is rejected
+/// before code generation.
+pub fn compile(program: &crate::ast::Program) -> Result<CompiledContract, crate::LangError> {
+    let type_errors = crate::check::check(program);
+    if !type_errors.is_empty() {
+        return Err(crate::LangError::TypeErrors(type_errors));
+    }
+    let report = crate::verify::verify(program);
+    if !report.ok() {
+        return Err(crate::LangError::VerificationFailed(report.failures));
+    }
+    Ok(CompiledContract {
+        evm: evm::compile(program)?,
+        avm: avm::compile(program)?,
+    })
+}

@@ -1,0 +1,330 @@
+//! The type checker.
+
+use crate::ast::{BinOp, Expr, GlobalInit, Program, Stmt, Ty};
+
+/// Scope of one checking pass: the parameters in scope and whether
+/// globals may be referenced.
+struct Ctx<'p> {
+    program: &'p Program,
+    params: &'p [(String, Ty)],
+    allow_params: bool,
+    errors: Vec<String>,
+}
+
+/// Type-checks a program, returning all diagnostics (empty = well typed).
+pub fn check(program: &Program) -> Vec<String> {
+    let mut errors = Vec::new();
+
+    // Globals: unique names, valid initialisers.
+    for (i, g) in program.globals.iter().enumerate() {
+        if program.globals.iter().skip(i + 1).any(|o| o.name == g.name) {
+            errors.push(format!("duplicate global {:?}", g.name));
+        }
+        match &g.init {
+            GlobalInit::FromField(field) => match program.field_ty(field) {
+                None => errors.push(format!(
+                    "global {:?} initialised from unknown field {:?}",
+                    g.name, field
+                )),
+                Some(ft) if ft != g.ty => errors.push(format!(
+                    "global {:?} has type {:?} but field {:?} has {:?}",
+                    g.name, g.ty, field, ft
+                )),
+                Some(_) => {}
+            },
+            GlobalInit::Const(_) => {
+                if g.ty != Ty::UInt {
+                    errors.push(format!("constant-initialised global {:?} must be UInt", g.name));
+                }
+            }
+            GlobalInit::CreatorAddress => {
+                if g.ty != Ty::Address {
+                    errors.push(format!("creator-address global {:?} must be Address", g.name));
+                }
+            }
+        }
+    }
+    for (i, m) in program.maps.iter().enumerate() {
+        if program.maps.iter().skip(i + 1).any(|o| o.name == m.name) {
+            errors.push(format!("duplicate map {:?}", m.name));
+        }
+        if m.value_bytes == 0 {
+            errors.push(format!("map {:?} has zero-size values", m.name));
+        }
+    }
+
+    // Constructor body: creator fields in scope.
+    {
+        let mut ctx = Ctx {
+            program,
+            params: &program.creator.fields,
+            allow_params: true,
+            errors: Vec::new(),
+        };
+        for stmt in &program.constructor {
+            ctx.check_stmt(stmt);
+        }
+        errors.extend(ctx.errors);
+    }
+
+    if program.phases.is_empty() {
+        errors.push("program has no phases".into());
+    }
+
+    let mut api_names = std::collections::HashSet::new();
+    for phase in &program.phases {
+        // Phase conditions range over globals only.
+        let no_params: Vec<(String, Ty)> = Vec::new();
+        let mut ctx = Ctx { program, params: &no_params, allow_params: false, errors: Vec::new() };
+        ctx.expect(&phase.while_cond, Ty::Bool, "phase condition");
+        ctx.expect(&phase.invariant, Ty::Bool, "phase invariant");
+        errors.extend(ctx.errors);
+
+        for api in &phase.apis {
+            if !api_names.insert(api.name.clone()) {
+                errors.push(format!("duplicate api {:?}", api.name));
+            }
+            let mut ctx =
+                Ctx { program, params: &api.params, allow_params: true, errors: Vec::new() };
+            if let Some(pay) = &api.pay {
+                ctx.expect(pay, Ty::UInt, "pay amount");
+            }
+            for stmt in &api.body {
+                ctx.check_stmt(stmt);
+            }
+            ctx.expect(&api.returns, Ty::UInt, "api return");
+            errors.extend(
+                ctx.errors
+                    .into_iter()
+                    .map(|e| format!("api {:?}: {e}", api.name)),
+            );
+        }
+    }
+    errors
+}
+
+impl Ctx<'_> {
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Require(cond) => self.expect(cond, Ty::Bool, "require"),
+            Stmt::GlobalSet { name, value } => match self.global_ty(name) {
+                None => self.errors.push(format!("assignment to unknown global {name:?}")),
+                Some(Ty::Bytes(_)) => {
+                    if let Some(ty) = self.infer(value) {
+                        if ty.is_word() {
+                            self.errors.push(format!(
+                                "byte global {name:?} must be set from byte data"
+                            ));
+                        }
+                    }
+                }
+                Some(ty) => self.expect(value, ty, "global assignment"),
+            },
+            Stmt::MapSet { map, key, value } => {
+                if self.program.map_index(map).is_none() {
+                    self.errors.push(format!("unknown map {map:?}"));
+                }
+                self.expect(key, Ty::UInt, "map key");
+                if value.is_empty() {
+                    self.errors.push(format!("map {map:?} set with empty value"));
+                }
+                for part in value {
+                    let _ = self.infer(part); // any typed expr is storable
+                }
+            }
+            Stmt::MapDelete { map, key } => {
+                if self.program.map_index(map).is_none() {
+                    self.errors.push(format!("unknown map {map:?}"));
+                }
+                self.expect(key, Ty::UInt, "map key");
+            }
+            Stmt::Transfer { to, amount } => {
+                if self.infer(to) != Some(Ty::Address) {
+                    self.errors.push("transfer recipient must be an Address".into());
+                }
+                self.expect(amount, Ty::UInt, "transfer amount");
+            }
+            Stmt::If { cond, then, otherwise } => {
+                self.expect(cond, Ty::Bool, "if condition");
+                for s in then.iter().chain(otherwise) {
+                    self.check_stmt(s);
+                }
+            }
+            Stmt::Log(parts) => {
+                for part in parts {
+                    let _ = self.infer(part);
+                }
+            }
+        }
+    }
+
+    fn global_ty(&self, name: &str) -> Option<Ty> {
+        self.program.globals.iter().find(|g| g.name == name).map(|g| g.ty)
+    }
+
+    fn expect(&mut self, expr: &Expr, want: Ty, what: &str) {
+        match self.infer(expr) {
+            Some(got) if got == want => {}
+            Some(got) => self.errors.push(format!("{what}: expected {want:?}, got {got:?}")),
+            None => {} // error already recorded
+        }
+    }
+
+    fn infer(&mut self, expr: &Expr) -> Option<Ty> {
+        match expr {
+            Expr::UInt(_) => Some(Ty::UInt),
+            Expr::Param(name) => {
+                if !self.allow_params {
+                    self.errors
+                        .push(format!("parameter {name:?} referenced outside an api body"));
+                    return None;
+                }
+                match self.params.iter().find(|(n, _)| n == name) {
+                    Some((_, ty)) => Some(*ty),
+                    None => {
+                        self.errors.push(format!("unknown parameter {name:?}"));
+                        None
+                    }
+                }
+            }
+            Expr::Global(name) => match self.global_ty(name) {
+                Some(ty) => Some(ty),
+                None => {
+                    self.errors.push(format!("unknown global {name:?}"));
+                    None
+                }
+            },
+            Expr::Caller => Some(Ty::Address),
+            Expr::Balance => Some(Ty::UInt),
+            Expr::MapGet { map, key } | Expr::MapContains { map, key } => {
+                if self.program.map_index(map).is_none() {
+                    self.errors.push(format!("unknown map {map:?}"));
+                }
+                self.expect(key, Ty::UInt, "map key");
+                match expr {
+                    Expr::MapGet { .. } => Some(Ty::Bytes(32)),
+                    _ => Some(Ty::Bool),
+                }
+            }
+            Expr::Hash(parts) => {
+                if parts.is_empty() {
+                    self.errors.push("hash of nothing".into());
+                }
+                for part in parts {
+                    let _ = self.infer(part);
+                }
+                Some(Ty::Bytes(32))
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                let lt = self.infer(lhs)?;
+                let rt = self.infer(rhs)?;
+                match op {
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        if lt != Ty::UInt || rt != Ty::UInt {
+                            self.errors.push(format!("{op:?} needs UInt operands"));
+                            None
+                        } else {
+                            Some(Ty::UInt)
+                        }
+                    }
+                    BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => {
+                        if lt != Ty::UInt || rt != Ty::UInt {
+                            self.errors.push(format!("{op:?} needs UInt operands"));
+                            None
+                        } else {
+                            Some(Ty::Bool)
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if lt != rt {
+                            self.errors
+                                .push(format!("{op:?} operands differ: {lt:?} vs {rt:?}"));
+                            None
+                        } else {
+                            Some(Ty::Bool)
+                        }
+                    }
+                    BinOp::And | BinOp::Or => {
+                        if lt != Ty::Bool || rt != Ty::Bool {
+                            self.errors.push(format!("{op:?} needs Bool operands"));
+                            None
+                        } else {
+                            Some(Ty::Bool)
+                        }
+                    }
+                }
+            }
+            Expr::Not(inner) => {
+                self.expect(inner, Ty::Bool, "not");
+                Some(Ty::Bool)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    #[test]
+    fn counter_is_well_typed() {
+        assert!(check(&Program::counter_example()).is_empty());
+    }
+
+    #[test]
+    fn unknown_global_reported() {
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0].body.push(Stmt::GlobalSet {
+            name: "nope".into(),
+            value: Expr::UInt(1),
+        });
+        let errs = check(&p);
+        assert!(errs.iter().any(|e| e.contains("unknown global \"nope\"")), "{errs:?}");
+    }
+
+    #[test]
+    fn arithmetic_on_bool_rejected() {
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0].body.push(Stmt::Require(Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::UInt(1)),
+            Box::new(Expr::UInt(2)),
+        )));
+        let errs = check(&p);
+        assert!(errs.iter().any(|e| e.contains("expected Bool")), "{errs:?}");
+    }
+
+    #[test]
+    fn phase_condition_cannot_use_params() {
+        let mut p = Program::counter_example();
+        p.phases[0].while_cond = Expr::gt(Expr::param("by"), Expr::UInt(0));
+        let errs = check(&p);
+        assert!(errs.iter().any(|e| e.contains("outside an api body")), "{errs:?}");
+    }
+
+    #[test]
+    fn eq_type_mismatch_reported() {
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0]
+            .body
+            .push(Stmt::Require(Expr::eq(Expr::Caller, Expr::UInt(0))));
+        let errs = check(&p);
+        assert!(errs.iter().any(|e| e.contains("operands differ")), "{errs:?}");
+    }
+
+    #[test]
+    fn missing_phase_reported() {
+        let mut p = Program::counter_example();
+        p.phases.clear();
+        assert!(check(&p).iter().any(|e| e.contains("no phases")));
+    }
+
+    #[test]
+    fn duplicate_api_names_reported() {
+        let mut p = Program::counter_example();
+        let api = p.phases[0].apis[0].clone();
+        p.phases[0].apis.push(api);
+        assert!(check(&p).iter().any(|e| e.contains("duplicate api")));
+    }
+}

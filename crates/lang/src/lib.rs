@@ -1,0 +1,73 @@
+//! A blockchain-agnostic smart contract language.
+//!
+//! This crate is the Rust equivalent of the role Reach plays in the
+//! paper: **one contract source, compiled to every supported chain**,
+//! with a static verifier and a conservative cost analysis run before any
+//! code is emitted.
+//!
+//! * [`ast`] — the contract model: one *creator* participant with
+//!   constructor fields, *phases* of concurrently-callable *APIs*
+//!   (Reach's `parallelReduce`), read-only *views*, key→commitment
+//!   *maps*, and native-token transfers;
+//! * [`check`] — the type checker;
+//! * [`verify`] — the theorem verifier (token linearity, map cleanup,
+//!   guarded transfers, …) run in both honest and dishonest participant
+//!   modes, as Reach does ("Verifying when ALL participants are honest /
+//!   when NO participants are honest", Fig. 2.11);
+//! * [`analyze`] — the conservative cost analysis of Fig. 5.1 (per-chain
+//!   deploy/call costs, state footprint, step counts);
+//! * [`backend::evm`] — compiles to EVM init+runtime bytecode using the
+//!   state-commitment storage layout (maps hold 32-byte commitments, raw
+//!   data travels in calldata and logs);
+//! * [`backend::avm`] — compiles to an AVM approval program using boxes
+//!   for maps and inner transactions for payouts.
+//!
+//! # Examples
+//!
+//! ```
+//! use pol_lang::ast::*;
+//!
+//! let program = Program::counter_example();
+//! assert!(pol_lang::check::check(&program).is_empty());
+//! let report = pol_lang::verify::verify(&program);
+//! assert!(report.failures.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod ast;
+pub mod backend;
+pub mod check;
+pub mod parse;
+pub mod pretty;
+pub mod verify;
+
+pub use ast::Program;
+pub use parse::{parse, ParseError};
+
+/// Errors raised by the compiler pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// The program failed type checking.
+    TypeErrors(Vec<String>),
+    /// The program failed verification.
+    VerificationFailed(Vec<String>),
+    /// A backend limitation was hit.
+    Backend(String),
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::TypeErrors(errs) => write!(f, "type errors: {}", errs.join("; ")),
+            LangError::VerificationFailed(fails) => {
+                write!(f, "verification failed: {}", fails.join("; "))
+            }
+            LangError::Backend(msg) => write!(f, "backend error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

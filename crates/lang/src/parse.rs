@@ -1,0 +1,781 @@
+//! The surface syntax: a Reach-like contract language parsed into the
+//! [`crate::ast`] model.
+//!
+//! Where the paper's system keeps its one source of truth in an
+//! `index.rsh` file, this front-end gives the same property: contracts
+//! are written once as text, parsed, checked, verified and compiled for
+//! every chain. Grammar sketch:
+//!
+//! ```text
+//! contract counter {
+//!     participant Creator { limit: uint }
+//!
+//!     global remaining: uint = field(limit) view;
+//!     global count:     uint = 0 view;
+//!
+//!     phase counting while remaining > 0 invariant remaining >= 0 {
+//!         api bump(by: uint) -> remaining {
+//!             require(by > 0);
+//!             count = count + by;
+//!             remaining = remaining - 1;
+//!         }
+//!     }
+//! }
+//! ```
+//!
+//! Types are `uint`, `bool`, `address` and `bytes[N]`; maps are declared
+//! `map name[N];` (N = value capacity in bytes); `constructor { … }`
+//! gives the deployment body; APIs may declare a required payment with
+//! `pay <expr>` before the `-> <return-expr>`.
+
+use crate::ast::{
+    Api, BinOp, Expr, GlobalDecl, GlobalInit, MapDecl, Participant, Phase, Program, Stmt, Ty,
+};
+
+/// A parse failure, with 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line of the offending token.
+    pub line: usize,
+    /// Column of the offending token.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(u64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer {
+    tokens: Vec<(Tok, usize, usize)>,
+}
+
+const PUNCTS: [&str; 22] = [
+    "==", "!=", "<=", ">=", "&&", "||", "->", "{", "}", "(", ")", "[", "]", ",", ";", ":", "=",
+    "<", ">", "+", "-", "!",
+];
+const PUNCTS_MULDIV: [&str; 2] = ["*", "/"];
+
+fn lex(source: &str) -> Result<Lexer, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    'outer: while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            col = 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Two-char punctuation first.
+        for p in PUNCTS {
+            if p.len() == 2 {
+                let mut chars = p.chars();
+                let (a, b) = (chars.next().unwrap(), chars.next().unwrap());
+                if c == a && bytes.get(i + 1) == Some(&b) {
+                    tokens.push((Tok::Punct(p), line, col));
+                    i += 2;
+                    col += 2;
+                    continue 'outer;
+                }
+            }
+        }
+        for p in PUNCTS.iter().chain(PUNCTS_MULDIV.iter()) {
+            if p.len() == 1 && c == p.chars().next().unwrap() {
+                tokens.push((Tok::Punct(p), line, col));
+                i += 1;
+                col += 1;
+                continue 'outer;
+            }
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().filter(|c| **c != '_').collect();
+            let value = text.parse::<u64>().map_err(|_| ParseError {
+                line,
+                col,
+                message: format!("number {text:?} out of range"),
+            })?;
+            tokens.push((Tok::Number(value), line, col));
+            col += i - start;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            tokens.push((Tok::Ident(text), line, col));
+            col += i - start;
+            continue;
+        }
+        return Err(ParseError { line, col, message: format!("unexpected character {c:?}") });
+    }
+    tokens.push((Tok::Eof, line, col));
+    Ok(Lexer { tokens })
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize, usize)>,
+    pos: usize,
+    /// Names currently in parameter scope (API params or constructor
+    /// fields); other identifiers resolve to globals.
+    param_scope: Vec<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].0
+    }
+
+    fn here(&self) -> (usize, usize) {
+        (self.tokens[self.pos].1, self.tokens[self.pos].2)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError { line, col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].0.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(q) if *q == p => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected {p:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &'static str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) if name == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected keyword {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(name) if name == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<u64, ParseError> {
+        match self.peek().clone() {
+            Tok::Number(v) => {
+                self.bump();
+                Ok(v)
+            }
+            other => Err(self.error(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    // ---- grammar ----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        self.expect_keyword("contract")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut creator = None;
+        let mut constructor = Vec::new();
+        let mut globals = Vec::new();
+        let mut maps = Vec::new();
+        let mut phases = Vec::new();
+        while !self.eat_punct("}") {
+            match self.peek().clone() {
+                Tok::Ident(kw) if kw == "participant" => {
+                    let p = self.participant()?;
+                    if creator.replace(p).is_some() {
+                        return Err(self.error("only one participant is supported"));
+                    }
+                }
+                Tok::Ident(kw) if kw == "global" => globals.push(self.global()?),
+                Tok::Ident(kw) if kw == "map" => maps.push(self.map_decl()?),
+                Tok::Ident(kw) if kw == "constructor" => {
+                    self.bump();
+                    self.param_scope = creator
+                        .as_ref()
+                        .map(|p: &Participant| p.fields.iter().map(|(n, _)| n.clone()).collect())
+                        .unwrap_or_default();
+                    constructor = self.block()?;
+                    self.param_scope.clear();
+                }
+                Tok::Ident(kw) if kw == "phase" => {
+                    phases.push(self.phase(creator.as_ref())?);
+                }
+                other => return Err(self.error(format!("unexpected item {other:?}"))),
+            }
+        }
+        if !matches!(self.peek(), Tok::Eof) {
+            return Err(self.error("trailing input after contract body"));
+        }
+        let creator = creator.ok_or_else(|| self.error("contract has no participant"))?;
+        Ok(Program { name, creator, constructor, globals, maps, phases })
+    }
+
+    fn participant(&mut self) -> Result<Participant, ParseError> {
+        self.expect_keyword("participant")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("{")?;
+        let mut fields = Vec::new();
+        while !self.eat_punct("}") {
+            let field = self.expect_ident()?;
+            self.expect_punct(":")?;
+            let ty = self.ty()?;
+            fields.push((field, ty));
+            if !self.eat_punct(",") && !matches!(self.peek(), Tok::Punct("}")) {
+                return Err(self.error("expected ',' or '}' in participant fields"));
+            }
+        }
+        Ok(Participant { name, fields })
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        let name = self.expect_ident()?;
+        match name.as_str() {
+            "uint" => Ok(Ty::UInt),
+            "bool" => Ok(Ty::Bool),
+            "address" => Ok(Ty::Address),
+            "bytes" => {
+                self.expect_punct("[")?;
+                let n = self.expect_number()? as usize;
+                self.expect_punct("]")?;
+                Ok(Ty::Bytes(n))
+            }
+            other => Err(self.error(format!("unknown type {other:?}"))),
+        }
+    }
+
+    fn global(&mut self) -> Result<GlobalDecl, ParseError> {
+        self.expect_keyword("global")?;
+        let name = self.expect_ident()?;
+        self.expect_punct(":")?;
+        let ty = self.ty()?;
+        self.expect_punct("=")?;
+        let init = match self.peek().clone() {
+            Tok::Number(v) => {
+                self.bump();
+                GlobalInit::Const(v)
+            }
+            Tok::Ident(kw) if kw == "field" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let field = self.expect_ident()?;
+                self.expect_punct(")")?;
+                GlobalInit::FromField(field)
+            }
+            Tok::Ident(kw) if kw == "creator" => {
+                self.bump();
+                GlobalInit::CreatorAddress
+            }
+            other => return Err(self.error(format!("expected initialiser, found {other:?}"))),
+        };
+        let viewable = self.eat_keyword("view");
+        self.expect_punct(";")?;
+        Ok(GlobalDecl { name, ty, init, viewable })
+    }
+
+    fn map_decl(&mut self) -> Result<MapDecl, ParseError> {
+        self.expect_keyword("map")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("[")?;
+        let value_bytes = self.expect_number()? as usize;
+        self.expect_punct("]")?;
+        self.expect_punct(";")?;
+        Ok(MapDecl { name, value_bytes })
+    }
+
+    fn phase(&mut self, creator: Option<&Participant>) -> Result<Phase, ParseError> {
+        let _ = creator;
+        self.expect_keyword("phase")?;
+        let name = self.expect_ident()?;
+        self.expect_keyword("while")?;
+        self.param_scope.clear();
+        let while_cond = self.expr()?;
+        self.expect_keyword("invariant")?;
+        let invariant = self.expr()?;
+        self.expect_punct("{")?;
+        let mut apis = Vec::new();
+        while !self.eat_punct("}") {
+            apis.push(self.api()?);
+        }
+        Ok(Phase { name, while_cond, invariant, apis })
+    }
+
+    fn api(&mut self) -> Result<Api, ParseError> {
+        self.expect_keyword("api")?;
+        let name = self.expect_ident()?;
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        while !self.eat_punct(")") {
+            let pname = self.expect_ident()?;
+            self.expect_punct(":")?;
+            let ty = self.ty()?;
+            params.push((pname, ty));
+            if !self.eat_punct(",") && !matches!(self.peek(), Tok::Punct(")")) {
+                return Err(self.error("expected ',' or ')' in parameters"));
+            }
+        }
+        self.param_scope = params.iter().map(|(n, _)| n.clone()).collect();
+        let pay = if self.eat_keyword("pay") { Some(self.expr()?) } else { None };
+        self.expect_punct("->")?;
+        let returns = self.expr()?;
+        let body = self.block()?;
+        self.param_scope.clear();
+        Ok(Api { name, params, pay, body, returns })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_punct("{")?;
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            out.push(self.stmt()?);
+        }
+        Ok(out)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(kw) if kw == "require" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Require(cond))
+            }
+            Tok::Ident(kw) if kw == "delete" => {
+                self.bump();
+                let map = self.expect_ident()?;
+                self.expect_punct("[")?;
+                let key = self.expr()?;
+                self.expect_punct("]")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::MapDelete { map, key })
+            }
+            Tok::Ident(kw) if kw == "transfer" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let to = self.expr()?;
+                self.expect_punct(",")?;
+                let amount = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Transfer { to, amount })
+            }
+            Tok::Ident(kw) if kw == "log" => {
+                self.bump();
+                self.expect_punct("(")?;
+                let parts = self.expr_list(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Log(parts))
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.bump();
+                let cond = self.expr()?;
+                let then = self.block()?;
+                let otherwise = if self.eat_keyword("else") { self.block()? } else { Vec::new() };
+                Ok(Stmt::If { cond, then, otherwise })
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.eat_punct("[") {
+                    // map set: name[key] = [e, …];
+                    let key = self.expr()?;
+                    self.expect_punct("]")?;
+                    self.expect_punct("=")?;
+                    self.expect_punct("[")?;
+                    let value = self.expr_list("]")?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::MapSet { map: name, key, value })
+                } else {
+                    self.expect_punct("=")?;
+                    let value = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::GlobalSet { name, value })
+                }
+            }
+            other => Err(self.error(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn expr_list(&mut self, close: &'static str) -> Result<Vec<Expr>, ParseError> {
+        let mut out = Vec::new();
+        while !self.eat_punct(close) {
+            out.push(self.expr()?);
+            if !self.eat_punct(",") && !matches!(self.peek(), Tok::Punct(p) if *p == close) {
+                return Err(self.error(format!("expected ',' or {close:?} in list")));
+            }
+        }
+        Ok(out)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_punct("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_punct("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Punct("==") => Some(BinOp::Eq),
+            Tok::Punct("!=") => Some(BinOp::Ne),
+            Tok::Punct("<=") => Some(BinOp::Le),
+            Tok::Punct(">=") => Some(BinOp::Ge),
+            Tok::Punct("<") => Some(BinOp::Lt),
+            Tok::Punct(">") => Some(BinOp::Gt),
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.bump();
+                let rhs = self.add_expr()?;
+                Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+            }
+            None => Ok(lhs),
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("+") => BinOp::Add,
+                Tok::Punct("-") => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct("*") => BinOp::Mul,
+                Tok::Punct("/") => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_punct("!") {
+            let inner = self.unary_expr()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Number(v) => {
+                self.bump();
+                Ok(Expr::UInt(v))
+            }
+            Tok::Punct("(") => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "balance" => Ok(Expr::Balance),
+                    "caller" => Ok(Expr::Caller),
+                    "hash" => {
+                        self.expect_punct("(")?;
+                        let parts = self.expr_list(")")?;
+                        Ok(Expr::Hash(parts))
+                    }
+                    "contains" => {
+                        self.expect_punct("(")?;
+                        let map = self.expect_ident()?;
+                        self.expect_punct(",")?;
+                        let key = self.expr()?;
+                        self.expect_punct(")")?;
+                        Ok(Expr::MapContains { map, key: Box::new(key) })
+                    }
+                    _ => {
+                        if self.eat_punct("[") {
+                            let key = self.expr()?;
+                            self.expect_punct("]")?;
+                            Ok(Expr::MapGet { map: name, key: Box::new(key) })
+                        } else if self.param_scope.contains(&name) {
+                            Ok(Expr::Param(name))
+                        } else {
+                            Ok(Expr::Global(name))
+                        }
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a contract source into the AST (syntax only — run
+/// [`crate::check::check`] afterwards for typing).
+///
+/// # Errors
+///
+/// [`ParseError`] with source position on the first syntax error.
+pub fn parse(source: &str) -> Result<Program, ParseError> {
+    let lexer = lex(source)?;
+    let mut parser = Parser { tokens: lexer.tokens, pos: 0, param_scope: Vec::new() };
+    parser.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const COUNTER_SRC: &str = r"
+        contract counter {
+            participant Creator { limit: uint }
+
+            global remaining: uint = field(limit) view;
+            global count:     uint = 0 view;
+
+            phase counting while remaining > 0 invariant remaining >= 0 {
+                api bump(by: uint) -> remaining {
+                    require(by > 0);
+                    count = count + by;
+                    remaining = remaining - 1;
+                }
+            }
+        }
+    ";
+
+    #[test]
+    fn counter_source_matches_builder_ast() {
+        let parsed = parse(COUNTER_SRC).unwrap();
+        assert_eq!(parsed, Program::counter_example());
+    }
+
+    #[test]
+    fn parsed_program_passes_pipeline() {
+        let parsed = parse(COUNTER_SRC).unwrap();
+        assert!(crate::check::check(&parsed).is_empty());
+        assert!(crate::verify::verify(&parsed).ok());
+        assert!(crate::backend::compile(&parsed).is_ok());
+    }
+
+    #[test]
+    fn comments_and_underscored_numbers() {
+        let src = r"
+            contract c {
+                // the creator
+                participant P { cap: uint }
+                global left: uint = field(cap);
+                phase run while left > 1_000 invariant left >= 0 {
+                    api f() -> left { left = left - 1; }
+                }
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.phases[0].while_cond, Expr::gt(Expr::global("left"), Expr::UInt(1000)));
+        assert!(!p.globals[0].viewable);
+    }
+
+    #[test]
+    fn full_feature_surface() {
+        let src = r"
+            contract kitchen_sink {
+                participant P { data: bytes[64], owner: address, cap: uint }
+                global who: address = creator;
+                global left: uint = field(cap) view;
+                map entries[64];
+                constructor {
+                    log(data);
+                }
+                phase fill while left > 0 invariant left >= 0 {
+                    api put(data: bytes[64], key: uint) pay 10 -> left {
+                        require(!contains(entries, key));
+                        entries[key] = [data];
+                        left = left - 1;
+                        if balance >= 10 && left > 0 || key == 0 {
+                            transfer(caller, 10 / 2 + 1 * 3);
+                        } else {
+                            log(key);
+                        }
+                    }
+                    api drop(key: uint) -> left {
+                        require(hash(key) == entries[key]);
+                        delete entries[key];
+                    }
+                }
+            }
+        ";
+        let p = parse(src).unwrap();
+        assert_eq!(p.maps.len(), 1);
+        assert_eq!(p.globals[0].init, GlobalInit::CreatorAddress);
+        assert_eq!(p.constructor.len(), 1);
+        let put = &p.phases[0].apis[0];
+        assert_eq!(put.pay, Some(Expr::UInt(10)));
+        // Precedence: 10 / 2 + 1 * 3 = (10/2) + (1*3).
+        match &put.body[3] {
+            Stmt::If { cond, then, .. } => {
+                // (balance >= 10 && left > 0) || key == 0
+                assert!(matches!(cond, Expr::Bin(BinOp::Or, _, _)));
+                match &then[0] {
+                    Stmt::Transfer { amount, .. } => {
+                        assert_eq!(
+                            *amount,
+                            Expr::Bin(
+                                BinOp::Add,
+                                Box::new(Expr::Bin(
+                                    BinOp::Div,
+                                    Box::new(Expr::UInt(10)),
+                                    Box::new(Expr::UInt(2))
+                                )),
+                                Box::new(Expr::Bin(
+                                    BinOp::Mul,
+                                    Box::new(Expr::UInt(1)),
+                                    Box::new(Expr::UInt(3))
+                                )),
+                            )
+                        );
+                    }
+                    other => panic!("expected transfer, got {other:?}"),
+                }
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("contract x { participant P { } global g uint = 0; }").unwrap_err();
+        assert!(err.line >= 1 && err.col > 1, "{err}");
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("contract {}").is_err());
+        assert!(parse("contract c { phase p while 1 invariant 1 { } } trailing").is_err());
+        assert!(parse("contract c @ {}").is_err());
+    }
+
+    #[test]
+    fn name_resolution_params_shadow_globals() {
+        let src = r"
+            contract c {
+                participant P { x: uint }
+                global x: uint = 0;
+                phase p while x < 5 invariant x >= 0 {
+                    api f(x: uint) -> x {
+                        require(x > 0); // the parameter
+                    }
+                }
+            }
+        ";
+        let p = parse(src).unwrap();
+        // Inside the API body, x is the parameter…
+        match &p.phases[0].apis[0].body[0] {
+            Stmt::Require(Expr::Bin(BinOp::Gt, lhs, _)) => {
+                assert_eq!(**lhs, Expr::Param("x".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // …and the return expr (also in param scope) resolves likewise,
+        // while the phase condition sees the global.
+        assert_eq!(p.phases[0].apis[0].returns, Expr::Param("x".into()));
+        assert_eq!(
+            p.phases[0].while_cond,
+            Expr::Bin(BinOp::Lt, Box::new(Expr::global("x")), Box::new(Expr::UInt(5)))
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Pretty-printer: renders an AST back to the surface syntax of
+//! [`crate::parse()`]. `parse(to_source(p)) == p` for every well-formed
+//! program, so sources can be generated, stored and diffed.
+
+use crate::ast::{BinOp, Expr, GlobalInit, Program, Stmt, Ty};
+
+/// Renders a program as contract source text.
+pub fn to_source(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("contract {} {{\n", program.name));
+    out.push_str(&format!("    participant {} {{", program.creator.name));
+    if program.creator.fields.is_empty() {
+        out.push_str(" }\n");
+    } else {
+        out.push('\n');
+        for (name, ty) in &program.creator.fields {
+            out.push_str(&format!("        {name}: {},\n", ty_str(ty)));
+        }
+        out.push_str("    }\n");
+    }
+    out.push('\n');
+    for g in &program.globals {
+        let init = match &g.init {
+            GlobalInit::Const(c) => c.to_string(),
+            GlobalInit::FromField(f) => format!("field({f})"),
+            GlobalInit::CreatorAddress => "creator".to_string(),
+        };
+        let view = if g.viewable { " view" } else { "" };
+        out.push_str(&format!("    global {}: {} = {init}{view};\n", g.name, ty_str(&g.ty)));
+    }
+    for m in &program.maps {
+        out.push_str(&format!("    map {}[{}];\n", m.name, m.value_bytes));
+    }
+    if !program.constructor.is_empty() {
+        out.push_str("\n    constructor {\n");
+        for stmt in &program.constructor {
+            push_stmt(&mut out, stmt, 2);
+        }
+        out.push_str("    }\n");
+    }
+    for phase in &program.phases {
+        out.push_str(&format!(
+            "\n    phase {} while {} invariant {} {{\n",
+            phase.name,
+            expr_str(&phase.while_cond),
+            expr_str(&phase.invariant)
+        ));
+        for api in &phase.apis {
+            let params: Vec<String> = api
+                .params
+                .iter()
+                .map(|(n, t)| format!("{n}: {}", ty_str(t)))
+                .collect();
+            let pay = match &api.pay {
+                Some(p) => format!(" pay {}", expr_str(p)),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "        api {}({}){pay} -> {} {{\n",
+                api.name,
+                params.join(", "),
+                expr_str(&api.returns)
+            ));
+            for stmt in &api.body {
+                push_stmt(&mut out, stmt, 3);
+            }
+            out.push_str("        }\n");
+        }
+        out.push_str("    }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn ty_str(ty: &Ty) -> String {
+    match ty {
+        Ty::UInt => "uint".to_string(),
+        Ty::Bool => "bool".to_string(),
+        Ty::Address => "address".to_string(),
+        Ty::Bytes(n) => format!("bytes[{n}]"),
+    }
+}
+
+fn push_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match stmt {
+        Stmt::Require(e) => out.push_str(&format!("{pad}require({});\n", expr_str(e))),
+        Stmt::GlobalSet { name, value } => {
+            out.push_str(&format!("{pad}{name} = {};\n", expr_str(value)));
+        }
+        Stmt::MapSet { map, key, value } => {
+            let parts: Vec<String> = value.iter().map(expr_str).collect();
+            out.push_str(&format!("{pad}{map}[{}] = [{}];\n", expr_str(key), parts.join(", ")));
+        }
+        Stmt::MapDelete { map, key } => {
+            out.push_str(&format!("{pad}delete {map}[{}];\n", expr_str(key)));
+        }
+        Stmt::Transfer { to, amount } => {
+            out.push_str(&format!("{pad}transfer({}, {});\n", expr_str(to), expr_str(amount)));
+        }
+        Stmt::If { cond, then, otherwise } => {
+            out.push_str(&format!("{pad}if {} {{\n", expr_str(cond)));
+            for s in then {
+                push_stmt(out, s, depth + 1);
+            }
+            if otherwise.is_empty() {
+                out.push_str(&format!("{pad}}}\n"));
+            } else {
+                out.push_str(&format!("{pad}}} else {{\n"));
+                for s in otherwise {
+                    push_stmt(out, s, depth + 1);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+        Stmt::Log(parts) => {
+            let parts: Vec<String> = parts.iter().map(expr_str).collect();
+            out.push_str(&format!("{pad}log({});\n", parts.join(", ")));
+        }
+    }
+}
+
+fn expr_str(expr: &Expr) -> String {
+    // Parenthesize every binary operand: unambiguous, always
+    // re-parseable, never wrong on precedence.
+    match expr {
+        Expr::UInt(v) => v.to_string(),
+        Expr::Param(name) | Expr::Global(name) => name.clone(),
+        Expr::Caller => "caller".to_string(),
+        Expr::Balance => "balance".to_string(),
+        Expr::MapGet { map, key } => format!("{map}[{}]", expr_str(key)),
+        Expr::MapContains { map, key } => format!("contains({map}, {})", expr_str(key)),
+        Expr::Hash(parts) => {
+            let parts: Vec<String> = parts.iter().map(expr_str).collect();
+            format!("hash({})", parts.join(", "))
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Lt => "<",
+                BinOp::Gt => ">",
+                BinOp::Le => "<=",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {op} {})", expr_str(lhs), expr_str(rhs))
+        }
+        Expr::Not(inner) => format!("!({})", expr_str(inner)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_round_trips() {
+        let program = Program::counter_example();
+        let source = to_source(&program);
+        let reparsed = crate::parse::parse(&source).unwrap();
+        assert_eq!(reparsed, program, "source was:\n{source}");
+    }
+
+    #[test]
+    fn source_is_human_shaped() {
+        let source = to_source(&Program::counter_example());
+        assert!(source.contains("contract counter {"));
+        assert!(source.contains("participant Creator {"));
+        assert!(source.contains("global remaining: uint = field(limit) view;"));
+        assert!(source.contains("api bump(by: uint) -> remaining {"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Fuzz the surface syntax: pretty-print randomly generated programs and
+//! re-parse them — the AST must survive the trip byte-for-byte.
+
+use pol_lang::ast::*;
+use pol_lang::{parse, pretty};
+use proptest::prelude::*;
+
+const PARAMS: [&str; 2] = ["p1", "p2"];
+const GLOBALS: [&str; 2] = ["g1", "g2"];
+const MAP: &str = "m1";
+
+/// Expressions whose names resolve correctly under the parser's scoping:
+/// `Param` leaves only from the fixed parameter pool (every generated API
+/// declares both), `Global` leaves from the global pool.
+fn expr_strategy(in_api: bool) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u64..1000).prop_map(Expr::UInt),
+        prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])]
+            .prop_map(|g| Expr::Global(g.to_string())),
+        if in_api {
+            prop_oneof![Just(PARAMS[0]), Just(PARAMS[1])]
+                .prop_map(|p| Expr::Param(p.to_string()))
+                .boxed()
+        } else {
+            (0u64..10).prop_map(Expr::UInt).boxed()
+        },
+        Just(Expr::Balance),
+        Just(Expr::Caller),
+    ];
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(a, b, op)| {
+                let op = match op % 12 {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Div,
+                    4 => BinOp::Lt,
+                    5 => BinOp::Gt,
+                    6 => BinOp::Le,
+                    7 => BinOp::Ge,
+                    8 => BinOp::Eq,
+                    9 => BinOp::Ne,
+                    10 => BinOp::And,
+                    _ => BinOp::Or,
+                };
+                Expr::Bin(op, Box::new(a), Box::new(b))
+            }),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            inner.clone().prop_map(|k| Expr::MapGet {
+                map: MAP.to_string(),
+                key: Box::new(k)
+            }),
+            inner.clone().prop_map(|k| Expr::MapContains {
+                map: MAP.to_string(),
+                key: Box::new(k)
+            }),
+            proptest::collection::vec(inner, 1..3).prop_map(Expr::Hash),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let e = || expr_strategy(true);
+    prop_oneof![
+        e().prop_map(Stmt::Require),
+        (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], e()).prop_map(|(g, v)| {
+            Stmt::GlobalSet { name: g.to_string(), value: v }
+        }),
+        (e(), proptest::collection::vec(e(), 1..3)).prop_map(|(k, v)| Stmt::MapSet {
+            map: MAP.to_string(),
+            key: k,
+            value: v,
+        }),
+        e().prop_map(|k| Stmt::MapDelete { map: MAP.to_string(), key: k }),
+        (e(), e()).prop_map(|(to, amount)| Stmt::Transfer { to, amount }),
+        proptest::collection::vec(e(), 1..3).prop_map(Stmt::Log),
+        (e(), proptest::collection::vec(e().prop_map(Stmt::Require), 0..2))
+            .prop_map(|(cond, then)| Stmt::If { cond, then, otherwise: vec![] }),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(stmt_strategy(), 0..4),
+        expr_strategy(false),
+        expr_strategy(true),
+        (1u64..100),
+        any::<bool>(),
+    )
+        .prop_map(|(body, while_cond, returns, init, viewable)| Program {
+            name: "fuzzed".into(),
+            creator: Participant {
+                name: "Creator".into(),
+                fields: vec![("seed".into(), Ty::UInt), ("blob".into(), Ty::Bytes(64))],
+            },
+            constructor: vec![],
+            globals: vec![
+                GlobalDecl {
+                    name: GLOBALS[0].into(),
+                    ty: Ty::UInt,
+                    init: GlobalInit::Const(init),
+                    viewable,
+                },
+                GlobalDecl {
+                    name: GLOBALS[1].into(),
+                    ty: Ty::UInt,
+                    init: GlobalInit::FromField("seed".into()),
+                    viewable: false,
+                },
+            ],
+            maps: vec![MapDecl { name: MAP.into(), value_bytes: 64 }],
+            phases: vec![Phase {
+                name: "only".into(),
+                while_cond,
+                invariant: Expr::UInt(1),
+                apis: vec![Api {
+                    name: "f".into(),
+                    params: vec![(PARAMS[0].into(), Ty::UInt), (PARAMS[1].into(), Ty::Address)],
+                    pay: None,
+                    body,
+                    returns,
+                }],
+            }],
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse(to_source(p)) == p` for arbitrary generated programs.
+    #[test]
+    fn pretty_parse_roundtrip(program in program_strategy()) {
+        let source = pretty::to_source(&program);
+        let reparsed = parse::parse(&source)
+            .unwrap_or_else(|e| panic!("{e}\nsource:\n{source}"));
+        prop_assert_eq!(reparsed, program, "source was:\n{}", source);
+    }
+}

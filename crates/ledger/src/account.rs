@@ -1,0 +1,64 @@
+//! Account state tracked by each chain.
+
+use crate::address::Address;
+
+/// Balance and nonce of an account on one chain.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Balance in base units of the chain's native currency.
+    pub balance: u128,
+    /// Next expected transaction nonce.
+    pub nonce: u64,
+}
+
+impl Account {
+    /// An account funded with `balance` base units.
+    pub fn with_balance(balance: u128) -> Account {
+        Account { balance, nonce: 0 }
+    }
+
+    /// Debits the account, failing (without mutation) on insufficient funds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LedgerError::InsufficientBalance`].
+    pub fn debit(&mut self, address: Address, amount: u128) -> Result<(), crate::LedgerError> {
+        if self.balance < amount {
+            return Err(crate::LedgerError::InsufficientBalance {
+                address,
+                needed: amount,
+                available: self.balance,
+            });
+        }
+        self.balance -= amount;
+        Ok(())
+    }
+
+    /// Credits the account (saturating — the money supply in a simulation
+    /// never exceeds u128).
+    pub fn credit(&mut self, amount: u128) {
+        self.balance = self.balance.saturating_add(amount);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debit_checks_balance() {
+        let mut a = Account::with_balance(10);
+        assert!(a.debit(Address::ZERO, 4).is_ok());
+        assert_eq!(a.balance, 6);
+        let err = a.debit(Address::ZERO, 7).unwrap_err();
+        assert!(matches!(err, crate::LedgerError::InsufficientBalance { available: 6, .. }));
+        assert_eq!(a.balance, 6, "failed debit must not mutate");
+    }
+
+    #[test]
+    fn credit_saturates() {
+        let mut a = Account::with_balance(u128::MAX - 1);
+        a.credit(10);
+        assert_eq!(a.balance, u128::MAX);
+    }
+}

@@ -1,0 +1,77 @@
+//! Execution receipts returned to transaction submitters.
+
+use crate::address::ContractId;
+use crate::tx::TxId;
+use crate::units::Amount;
+
+/// Outcome of executing a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxStatus {
+    /// Executed successfully.
+    Success,
+    /// Execution reverted; fees were still charged (EVM semantics).
+    Reverted(String),
+}
+
+impl TxStatus {
+    /// Whether the transaction succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TxStatus::Success)
+    }
+}
+
+/// A receipt recording where and how a transaction executed.
+#[derive(Debug, Clone)]
+pub struct Receipt {
+    /// The transaction this receipt belongs to.
+    pub tx: TxId,
+    /// Block number of inclusion.
+    pub block_number: u64,
+    /// Simulation time (ms) when the transaction was submitted.
+    pub submitted_ms: u64,
+    /// Simulation time (ms) when the block including it was finalized.
+    pub confirmed_ms: u64,
+    /// Execution outcome.
+    pub status: TxStatus,
+    /// Gas consumed (EVM chains; 0 on Algorand).
+    pub gas_used: u64,
+    /// Total fee paid.
+    pub fee: Amount,
+    /// Contract created, if any.
+    pub created: Option<ContractId>,
+    /// Raw return value from the VM, if any.
+    pub output: Vec<u8>,
+    /// Log messages emitted during execution.
+    pub logs: Vec<String>,
+}
+
+impl Receipt {
+    /// End-to-end latency from submission to confirmation, in milliseconds.
+    pub fn latency_ms(&self) -> u64 {
+        self.confirmed_ms.saturating_sub(self.submitted_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Currency;
+
+    #[test]
+    fn latency_is_saturating() {
+        let r = Receipt {
+            tx: TxId([0u8; 32]),
+            block_number: 1,
+            submitted_ms: 100,
+            confirmed_ms: 90,
+            status: TxStatus::Success,
+            gas_used: 0,
+            fee: Amount::zero(Currency::Algo),
+            created: None,
+            output: Vec::new(),
+            logs: Vec::new(),
+        };
+        assert_eq!(r.latency_ms(), 0);
+        assert!(r.status.is_success());
+    }
+}

@@ -1,0 +1,107 @@
+//! Author a brand-new contract in the blockchain-agnostic surface
+//! syntax, run the full compiler pipeline on it, and execute it on both
+//! virtual machines — the "write once, run on every chain" workflow.
+//!
+//! ```sh
+//! cargo run --example agnostic_language
+//! ```
+
+use proof_of_location as pol;
+
+use pol::lang::backend::{self, AbiValue};
+use pol::lang::{analyze, check, parse, pretty, verify};
+use pol::ledger::Address;
+
+const SOURCE: &str = r#"
+// A tiny bounty pool: the creator funds it at deploy time conceptually;
+// hunters claim fixed bounties while the pool lasts.
+contract bounty_pool {
+    participant Creator {
+        bounty: uint,
+        slots: uint,
+    }
+
+    global bounty: uint = field(bounty) view;
+    global slots:  uint = field(slots) view;
+
+    phase hunting while slots > 0 invariant slots >= 0 {
+        api fund(amount: uint) pay amount -> balance {
+            require(amount > 0);
+        }
+
+        api claim(task: uint) -> slots {
+            require(task > 0);
+            if balance >= bounty {
+                slots = slots - 1;
+                transfer(caller, bounty);
+                log(task, caller);
+            } else {
+                log(task);
+            }
+        }
+    }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse.
+    let program = parse::parse(SOURCE)?;
+    println!("parsed contract {:?}", program.name);
+
+    // 2. Type-check.
+    let errors = check::check(&program);
+    assert!(errors.is_empty(), "{errors:?}");
+    println!("type check: ok");
+
+    // 3. Verify (honest + dishonest modes).
+    let report = verify::verify(&program);
+    println!("{report}\n");
+    assert!(report.ok());
+
+    // 4. Conservative analysis.
+    println!("{}", analyze::analyze(&program)?);
+
+    // 5. Compile once for both machines.
+    let compiled = backend::compile(&program)?;
+    println!("EVM runtime: {} bytes | AVM program: {} instructions\n",
+        compiled.evm.runtime_len,
+        compiled.avm.program.len());
+
+    // 6. Execute the same scenario on each VM.
+    let ctor = [AbiValue::Word(1_000), AbiValue::Word(2)];
+
+    // --- EVM ---
+    let mut evm = pol::evm::Evm::new();
+    let mut balances = std::collections::HashMap::new();
+    let hunter = Address([7; 20]);
+    balances.insert(hunter, 1_000_000u128);
+    let init = compiled.evm.init_with_args(&ctor)?;
+    let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances)?;
+    let fund = compiled.evm.encode_call("fund", &[AbiValue::Word(5_000)])?;
+    evm.call(pol::evm::CallParams::new(hunter, addr).with_data(fund).with_value(5_000), &mut balances)?;
+    let claim = compiled.evm.encode_call("claim", &[AbiValue::Word(42)])?;
+    let out = evm.call(pol::evm::CallParams::new(hunter, addr).with_data(claim), &mut balances)?;
+    println!("EVM claim: success={} hunter balance={}", out.success, balances[&hunter]);
+
+    // --- AVM ---
+    let mut avm = pol::avm::Avm::new();
+    let mut balances = std::collections::HashMap::new();
+    balances.insert(hunter, 1_000_000u128);
+    let app = avm.create_app_with_args(
+        Address::ZERO,
+        compiled.avm.program.clone(),
+        compiled.avm.encode_create_args(&ctor)?,
+        &mut balances,
+    )?;
+    let fund = compiled.avm.encode_call("fund", &[AbiValue::Word(5_000)])?;
+    avm.call(pol::avm::AppCallParams::new(hunter, app).with_args(fund).with_payment(5_000), &mut balances)?;
+    let claim = compiled.avm.encode_call("claim", &[AbiValue::Word(42)])?;
+    let out = avm.call(pol::avm::AppCallParams::new(hunter, app).with_args(claim), &mut balances)?;
+    println!("AVM claim: approved={} hunter balance={}", out.approved, balances[&hunter]);
+
+    // 7. The pretty-printer closes the loop: source → AST → source.
+    let reprinted = pretty::to_source(&program);
+    assert_eq!(parse::parse(&reprinted)?, program);
+    println!("\npretty-printed source round-trips ✓");
+    Ok(())
+}

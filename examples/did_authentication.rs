@@ -1,0 +1,53 @@
+//! Decentralized identity in isolation: registration, resolution, the
+//! challenge–response authentication of Fig. 2.4, and the Certification
+//! Authority's verifiable credentials.
+//!
+//! ```sh
+//! cargo run --example did_authentication
+//! ```
+
+use proof_of_location as pol;
+
+use pol::did::{auth, Credential, DidRegistry, Identity, Role};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let registry = DidRegistry::new();
+
+    // Alice self-registers: the registration is signed with the key her
+    // DID derives from, so nobody can claim a DID they don't control.
+    let alice = Identity::generate(&mut rng);
+    let document = registry.register_identity(&alice, 0)?;
+    println!("alice's DID:      {}", alice.did);
+    println!("verification key: {}", document.verification_key);
+    println!("agreement key:    {}", document.agreement_key);
+
+    // A witness resolves the DID and challenges her (sealed-box
+    // encryption to the agreement key; only Alice can decrypt).
+    let resolved = registry.resolve(&alice.did)?;
+    let challenge = auth::Challenge::issue(&mut rng, &resolved)?;
+    println!("\nchallenge ciphertext: {} bytes", challenge.ciphertext.len());
+    let response = auth::respond(&alice, &challenge.ciphertext)?;
+    println!("alice authenticates:  {}", challenge.verify(&response));
+
+    // Mallory cannot answer the same challenge.
+    let mallory = Identity::generate(&mut rng);
+    match auth::respond(&mallory, &challenge.ciphertext) {
+        Err(e) => println!("mallory fails:        {e}"),
+        Ok(_) => unreachable!("sealed boxes are recipient-bound"),
+    }
+
+    // The Certification Authority credentials Alice as a witness.
+    let ca = Identity::generate(&mut rng);
+    let credential = Credential::issue(&ca.signing, alice.did.clone(), Role::Witness, 1_000);
+    credential.verify(&ca.signing.public)?;
+    println!("\ncredential: {} is a {} (issued by {})", credential.subject, credential.role, credential.issuer);
+
+    // Tampering with the role breaks the proof.
+    let mut forged = credential;
+    forged.role = Role::Verifier;
+    println!("forged credential rejected: {}", forged.verify(&ca.signing.public).is_err());
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The full Chapter-3 use case: a group of citizens collaboratively
+//! reports environmental issues on the simulated Algorand testnet, a
+//! verifier validates them, and the app browses the verified reports.
+//!
+//! ```sh
+//! cargo run --release --example environment_reports
+//! ```
+
+use proof_of_location as pol;
+
+use pol::chainsim::{explorer, presets};
+use pol::core::system::{PolSystem, SystemConfig};
+use pol::crowdsense::{CrowdsenseApp, Report, ReportCategory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let chain = presets::algorand_testnet().build(11);
+    let system = PolSystem::new(chain, SystemConfig::default());
+    let mut app = CrowdsenseApp::new(system);
+
+    // Four citizens share one 14-metre area near the Reno river; the
+    // fourth doubles as a witness for the others and vice versa.
+    let base = (44.4949, 11.3426);
+    let witness = app.system_mut().register_witness(base.0, base.1)?;
+    let reports = [
+        Report::new("Oily film on the water", "rainbow slick near the bridge", ReportCategory::Pollution),
+        Report::new("Dumped tyres", "about a dozen tyres on the bank", ReportCategory::Waste),
+        Report::new("Broken guard rail", "sharp edges exposed", ReportCategory::RoadDamage),
+        Report::new("Graffiti on the monument", "fresh tags since yesterday", ReportCategory::Vandalism),
+    ];
+
+    let mut area = None;
+    for (i, report) in reports.iter().enumerate() {
+        let prover = app
+            .system_mut()
+            .register_prover(base.0 + 0.00001 * i as f64, base.1 + 0.00001)?;
+        let outcome = app.file_report(prover, witness, report)?;
+        println!(
+            "user {i}: {:?} via {} txs in {:.2} s (fee {})",
+            outcome.kind,
+            app.system().operations().last().unwrap().txs,
+            outcome.latency_ms as f64 / 1000.0,
+            outcome.fee,
+        );
+        area = Some(outcome.area);
+    }
+    let area = area.expect("at least one report filed");
+
+    // Verification ("garbage-in"): only now do reports become visible.
+    assert!(app.browse_area(&area)?.is_empty());
+    let verified = app.system_mut().run_verifier(&area)?;
+    println!("\nverifier validated {verified} reports");
+
+    println!("\nverified reports for {area}:");
+    for report in app.browse_area(&area)? {
+        println!("  [{}] {} — {}", report.category, report.title, report.description);
+    }
+
+    // Close the contract; the residue returns to the creator.
+    app.system_mut().close_area(&area)?;
+
+    // The explorer view of the contract's lifecycle (Fig. 3.1).
+    let contract = app
+        .system()
+        .factory()
+        .instance_for(area.as_str())
+        .expect("tracked")
+        .contract;
+    println!("\nexplorer history for {contract}:");
+    let chain = app.system().chain();
+    for row in explorer::contract_history(chain, contract) {
+        println!(
+            "  block {:>4} | {} | from {}",
+            row.block, row.method, row.from
+        );
+    }
+    Ok(())
+}

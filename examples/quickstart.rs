@@ -1,0 +1,47 @@
+//! Quickstart: file one witnessed environmental report and verify it.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use proof_of_location as pol;
+
+use pol::chainsim::presets;
+use pol::core::system::{PolSystem, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A fast local Algorand-style devnet (swap in presets::goerli() or
+    // presets::mumbai() for the paper's other networks).
+    let chain = presets::devnet_algo().build(7);
+    let config = SystemConfig { max_users: 1, ..SystemConfig::default() };
+    let mut system = PolSystem::new(chain, config);
+
+    // Alice is in Bologna; a credentialed witness stands a few metres away.
+    let alice = system.register_prover(44.4949, 11.3426)?;
+    let witness = system.register_witness(44.49493, 11.34263)?;
+
+    // She files a report: DFS upload → witness attestation (DID
+    // challenge–response + Bluetooth proximity) → contract deployment for
+    // the area → proof submission.
+    let outcome = system.submit_report(alice, witness, b"oily spots on the river Reno".to_vec())?;
+    println!("area:      {}", outcome.area);
+    println!("contract:  {}", outcome.contract);
+    println!("kind:      {:?} ({} transactions)", outcome.kind, system.operations()[0].txs);
+    println!("latency:   {:.2} s", outcome.latency_ms as f64 / 1000.0);
+    println!("fees:      {}", outcome.fee);
+
+    // The verifier validates the proof, rewards Alice, and feeds the CID
+    // into the hypercube.
+    let wallet = system.prover(alice)?.wallet;
+    let before = system.chain().balance(wallet);
+    let verified = system.run_verifier(&outcome.area)?;
+    let after = system.chain().balance(wallet);
+    println!("verified:  {verified} prover(s); reward {} base units", after.saturating_sub(before));
+
+    // Anyone can now discover the verified report through the hypercube.
+    let record = system.hypercube.record(&outcome.area)?.expect("record exists");
+    println!("hypercube: {}", record.to_json());
+    let body = system.dfs.get(&outcome.cid)?;
+    println!("report:    {}", String::from_utf8_lossy(&body));
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Facade crate re-exporting every component of the proof-of-location
+//! workspace under one roof.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! full system inventory. The typical entry point is `pol::core::system` — a
+//! fully wired proof-of-location deployment over a simulated chain:
+//!
+//! ```
+//! use proof_of_location as pol;
+//!
+//! let preset = pol::chainsim::presets::algorand_testnet();
+//! assert!(preset.name.contains("Algorand"));
+//! ```
+
+pub use pol_avm as avm;
+pub use pol_chainsim as chainsim;
+pub use pol_core as core;
+pub use pol_crowdsense as crowdsense;
+pub use pol_crypto as crypto;
+pub use pol_dfs as dfs;
+pub use pol_did as did;
+pub use pol_evm as evm;
+pub use pol_geo as geo;
+pub use pol_hypercube as hypercube;
+pub use pol_lang as lang;
+pub use pol_ledger as ledger;

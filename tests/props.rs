@@ -1,0 +1,136 @@
+//! Property-based tests over cross-crate invariants.
+
+use proof_of_location as pol;
+
+use pol::chainsim::feemarket;
+use pol::core::proof::{SubmittedEntry, ENTRY_CAPACITY};
+use pol::crypto::ed25519::Keypair;
+use pol::dfs::Cid;
+use pol::evm::Word;
+use pol::geo::{olc, rbit, Coordinates};
+use pol::ledger::{Address, Amount, Currency};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any point on Earth encodes to a valid 10-digit code whose decoded
+    /// cell contains (or touches, at the poles) the point.
+    #[test]
+    fn olc_encode_decode_containment(lat in -89.99f64..89.99, lon in -179.99f64..179.99) {
+        let point = Coordinates::new(lat, lon).unwrap();
+        let code = olc::encode(point, 10).unwrap();
+        prop_assert!(olc::is_full(code.as_str()));
+        let area = code.decode();
+        prop_assert!(
+            area.contains(&point),
+            "{code} ({area:?}) should contain {point}"
+        );
+        // Cell height is the documented ~125 ppm of a degree.
+        prop_assert!((area.north - area.south - 0.000125).abs() < 1e-12);
+    }
+
+    /// The r-bit key is deterministic and always within the hypercube.
+    #[test]
+    fn rbit_key_in_range(lat in -89.0f64..89.0, lon in -179.0f64..179.0, r in 1u8..=20) {
+        let code = olc::encode(Coordinates::new(lat, lon).unwrap(), 10).unwrap();
+        let k1 = rbit::encode(&code, r);
+        let k2 = rbit::encode(&code, r);
+        prop_assert_eq!(k1, k2);
+        prop_assert!(k1.index() < (1u64 << r));
+    }
+
+    /// Submitted entries round-trip through their wire form.
+    #[test]
+    fn entry_wire_round_trip(seed in 0u64..1000, nonce in any::<u64>(), body in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let witness = Keypair::from_seed(&{
+            let mut s = [0u8; 32];
+            s[..8].copy_from_slice(&seed.to_le_bytes());
+            s
+        });
+        let proof_hash = pol::crypto::keccak256(&body);
+        let signature = witness.sign(&proof_hash);
+        let entry = SubmittedEntry {
+            proof_hash,
+            signature,
+            witness: witness.public,
+            wallet: Address([seed as u8; 20]),
+            nonce,
+            cid: Cid::for_content(&body),
+        };
+        let bytes = entry.to_bytes();
+        prop_assert_eq!(bytes.len(), ENTRY_CAPACITY);
+        prop_assert_eq!(SubmittedEntry::from_bytes(&bytes).unwrap(), entry);
+    }
+
+    /// EVM words agree with native u128 arithmetic where both are defined.
+    #[test]
+    fn word_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let wa = Word::from_u128(a);
+        let wb = Word::from_u128(b);
+        prop_assert_eq!(wa.wrapping_add(&wb).as_u128(), a.wrapping_add(b));
+        prop_assert_eq!(wa.and(&wb).as_u128(), a & b);
+        prop_assert_eq!(wa.or(&wb).as_u128(), a | b);
+        prop_assert_eq!(wa.xor(&wb).as_u128(), a ^ b);
+        if let (Some(q), Some(r)) = (a.checked_div(b), a.checked_rem(b)) {
+            prop_assert_eq!(wa.div(&wb).as_u128(), q);
+            prop_assert_eq!(wa.rem(&wb).as_u128(), r);
+        }
+        prop_assert_eq!(wa.cmp_u(&wb), a.cmp(&b));
+    }
+
+    /// EIP-1559: the base fee never moves more than 12.5 % per block and
+    /// never falls below the floor.
+    #[test]
+    fn base_fee_bounded(current in 7u128..10u128.pow(12), gas_used in 0u64..30_000_000) {
+        let next = feemarket::next_base_fee(current, gas_used, 15_000_000);
+        prop_assert!(next >= feemarket::MIN_BASE_FEE);
+        // +1 tolerance for the minimum-delta rounding.
+        prop_assert!(next <= current + current / 8 + 1, "{current} -> {next}");
+        prop_assert!(next + current / 8 + 1 >= current, "{current} -> {next}");
+    }
+
+    /// Currency conversions are consistent: base units → coins → euro.
+    #[test]
+    fn amount_conversions(units in 0u128..10u128.pow(24)) {
+        for currency in [Currency::Eth, Currency::Matic, Currency::Algo] {
+            let amount = Amount::from_base_units(units, currency);
+            let eur = amount.as_eur();
+            prop_assert!((eur - amount.as_coins() * currency.eur_price()).abs() < 1e-6);
+        }
+    }
+
+    /// Ed25519 signatures over arbitrary messages verify, and tampering
+    /// any byte breaks them.
+    #[test]
+    fn signature_soundness(seed in any::<[u8; 32]>(), msg in proptest::collection::vec(any::<u8>(), 1..128), flip in 0usize..128) {
+        let kp = Keypair::from_seed(&seed);
+        let sig = kp.sign(&msg);
+        prop_assert!(kp.public.verify(&msg, &sig));
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 0x01;
+        prop_assert!(!kp.public.verify(&tampered, &sig));
+    }
+
+    /// CIDs are injective on content (up to hash collisions) and always
+    /// re-parseable.
+    #[test]
+    fn cid_parse_round_trip(content in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let cid = Cid::for_content(&content);
+        prop_assert_eq!(Cid::parse(cid.as_str()).unwrap(), cid.clone());
+        prop_assert!(cid.matches(&content));
+    }
+
+    /// Hypercube greedy routing always terminates in at most r hops when
+    /// all nodes are online.
+    #[test]
+    fn routing_bound(src in any::<u32>(), dst in any::<u32>(), r in 2u8..=16) {
+        use pol::geo::RBitKey;
+        let s = RBitKey::from_bits(src, r);
+        let t = RBitKey::from_bits(dst, r);
+        let route = pol::hypercube::routing::route(s, t, u32::from(r), |_| true).unwrap();
+        prop_assert!(route.hops() <= u32::from(r));
+        prop_assert_eq!(route.target(), t);
+    }
+}

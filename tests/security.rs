@@ -1,0 +1,207 @@
+//! Adversarial scenarios: every way the paper says the system must stop
+//! a cheater, exercised end to end through the public API.
+
+use proof_of_location as pol;
+
+use pol::chainsim::presets;
+use pol::core::proof::{LocationProof, ProofRequest, SubmittedEntry};
+use pol::core::system::{PolSystem, SystemConfig};
+use pol::core::PolError;
+use pol::did::Identity;
+use pol::geo::{olc, Coordinates};
+use pol::dfs::Cid;
+
+const BASE: (f64, f64) = (44.4949, 11.3426);
+
+fn system_with(max_users: u64, seed: u64) -> PolSystem {
+    let config = SystemConfig { max_users, seed, ..SystemConfig::default() };
+    PolSystem::new(presets::devnet_algo().build(seed), config)
+}
+
+#[test]
+fn gps_spoofing_is_stopped_by_radio_range() {
+    // The Uber-style attack (§1.1): the prover reports coordinates far
+    // from where they are. The witness only hears devices in radio
+    // range, so the attestation fails.
+    let mut system = system_with(1, 1);
+    let liar = system.register_prover(45.4642, 9.19).unwrap(); // claims Milan
+    let witness = system.register_witness(BASE.0, BASE.1).unwrap(); // is in Bologna
+    let err = system.submit_report(liar, witness, b"fake".to_vec()).unwrap_err();
+    assert!(matches!(err, PolError::OutOfRange { .. }));
+    assert_eq!(system.operations().len(), 0, "nothing reached the chain");
+}
+
+#[test]
+fn unlisted_witness_is_filtered_by_garbage_in() {
+    // A proof signed by a witness the Certification Authority never
+    // enrolled is rejected by the verifier's off-chain pass, so the CID
+    // never enters the hypercube.
+    let prover = Identity::from_seed(10);
+    let rogue_witness = Identity::from_seed(11);
+    let area = olc::encode(Coordinates::new(BASE.0, BASE.1).unwrap(), 10).unwrap();
+    let request = ProofRequest {
+        did: prover.did.clone(),
+        olc: area.clone(),
+        nonce: 0,
+        cid: Cid::for_content(b"spam"),
+        wallet: pol::ledger::Address([9; 20]),
+    };
+    let proof = LocationProof::issue(&rogue_witness.signing, request);
+    let entry = SubmittedEntry::from_proof(&proof);
+    // Whitelist contains someone else entirely.
+    let lists = vec![Identity::from_seed(12).signing.public];
+    assert!(matches!(
+        entry.verify_against(&prover.did, &area, &lists),
+        Err(PolError::BadProof(_))
+    ));
+}
+
+#[test]
+fn tampered_entry_is_rejected_on_chain() {
+    // Submit honestly, then have the verifier present altered data: the
+    // contract recomputes the commitment and reverts the verify call.
+    let mut system = system_with(1, 2);
+    let p = system.register_prover(BASE.0, BASE.1).unwrap();
+    let w = system.register_witness(BASE.0, BASE.1 + 0.00001).unwrap();
+    let out = system.submit_report(p, w, b"honest report".to_vec()).unwrap();
+
+    // Forge: different CID (i.e. different report) under the same DID.
+    let did_digest = system.prover(p).unwrap().identity.did.numeric_id();
+    let compiled = system.factory().compiled().avm.clone();
+    let app_id = out.contract.as_app().unwrap();
+    let mut forged_bytes = vec![0u8; pol::core::proof::ENTRY_CAPACITY];
+    forged_bytes[0] = 0xff;
+    let args = compiled
+        .encode_call(
+            "verify",
+            &[
+                pol::lang::backend::AbiValue::Word(u128::from(did_digest)),
+                pol::lang::backend::AbiValue::Address(pol::ledger::Address([7; 20])),
+                pol::lang::backend::AbiValue::Bytes(forged_bytes),
+            ],
+        )
+        .unwrap();
+    let (attacker_keys, attacker_addr) = system.chain_mut().create_funded_account(10_000_000);
+    let _ = attacker_addr;
+    let receipt = system
+        .chain_mut()
+        .call_app(&attacker_keys, app_id, args, 0)
+        .unwrap();
+    assert!(
+        !receipt.status.is_success(),
+        "commitment mismatch must reject: {:?}",
+        receipt.status
+    );
+}
+
+#[test]
+fn duplicate_did_insert_rejected_by_contract() {
+    // One DID, one pending entry: a second insert under the same DID
+    // reverts (`Require(!MapContains(did))`).
+    let mut system = system_with(4, 3);
+    let p = system.register_prover(BASE.0, BASE.1).unwrap();
+    let w = system.register_witness(BASE.0, BASE.1 + 0.00001).unwrap();
+    system.submit_report(p, w, b"first".to_vec()).unwrap();
+    let err = system.submit_report(p, w, b"second".to_vec()).unwrap_err();
+    assert!(matches!(err, PolError::Ledger(_)), "{err:?}");
+}
+
+#[test]
+fn unavailable_report_is_not_verified() {
+    // If the report data vanished from the DFS (nobody hosts it), the
+    // verifier skips the entry: no reward, no hypercube insertion.
+    let mut system = system_with(1, 4);
+    let p = system.register_prover(BASE.0, BASE.1).unwrap();
+    let w = system.register_witness(BASE.0, BASE.1 + 0.00001).unwrap();
+    let out = system.submit_report(p, w, b"will vanish".to_vec()).unwrap();
+    // Unpin + GC at the only provider.
+    let peer = pol::dfs::PeerId(0);
+    system.dfs.unpin(peer, &out.cid).unwrap();
+    system.dfs.gc(peer).unwrap();
+    assert_eq!(system.run_verifier(&out.area).unwrap(), 0);
+    let record = system.hypercube.record(&out.area).unwrap().unwrap();
+    assert!(record.cids.is_empty());
+}
+
+#[test]
+fn replayed_request_cannot_get_a_second_proof() {
+    // Protocol-level replay: reusing a witness nonce fails.
+    use pol::core::actors::{CertificationAuthority, Prover, Witness};
+    use pol::did::DidRegistry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut ca = CertificationAuthority::new(Identity::from_seed(100));
+    let registry = DidRegistry::new();
+    let position = Coordinates::new(BASE.0, BASE.1).unwrap();
+    let prover = Prover::new(Identity::from_seed(1), position);
+    registry.register_identity(&prover.identity, 0).unwrap();
+    let wid = Identity::from_seed(2);
+    let cred = ca.enroll_witness(&wid, 0);
+    let mut witness = Witness::new(wid, position.offset_m(3.0, 3.0).unwrap(), cred);
+
+    let nonce = witness.issue_nonce();
+    let request = ProofRequest {
+        did: prover.identity.did.clone(),
+        olc: olc::encode(position, 10).unwrap(),
+        nonce,
+        cid: Cid::for_content(b"x"),
+        wallet: prover.wallet,
+    };
+    witness
+        .attest(&mut rng, &registry, request.clone(), &prover.identity, &prover.position)
+        .unwrap();
+    let err = witness
+        .attest(&mut rng, &registry, request, &prover.identity, &prover.position)
+        .unwrap_err();
+    assert!(matches!(err, PolError::ReplayDetected(_)));
+}
+
+#[test]
+fn underfunded_contract_pays_nobody_but_keeps_entry() {
+    // The contract's `verify` takes the else-branch
+    // (issueDuringVerification, §4.1.5) when the balance cannot cover
+    // the reward: the call succeeds, nothing is transferred, and the
+    // entry stays pending for a later, funded pass. Exercised directly
+    // at the contract level.
+    use pol::lang::backend::AbiValue;
+
+    let program = pol::core::contract::pol_program();
+    let compiled = pol::lang::backend::compile(&program).unwrap();
+    let mut chain = presets::devnet_algo().build(6);
+    let (creator, _) = chain.create_funded_account(10_000_000);
+    let reward: u128 = 50_000;
+    let entry = vec![0xabu8; pol::core::proof::ENTRY_CAPACITY];
+    let did: u128 = 777;
+    let wallet = pol::ledger::Address([5; 20]);
+
+    let ctor = vec![
+        AbiValue::Word(did),
+        AbiValue::Bytes(b"8FPHF8VV+X2".to_vec()),
+        AbiValue::Word(1), // one seat: verification opens after insert
+        AbiValue::Word(reward),
+    ];
+    let args = compiled.avm.encode_create_args(&ctor).unwrap();
+    let receipt = chain.deploy_app(&creator, compiled.avm.program.clone(), args).unwrap();
+    let app_id = receipt.created.unwrap().as_app().unwrap();
+
+    let insert = compiled
+        .avm
+        .encode_call("insert_data", &[AbiValue::Bytes(entry.clone()), AbiValue::Word(did)])
+        .unwrap();
+    assert!(chain.call_app(&creator, app_id, insert, 0).unwrap().status.is_success());
+
+    // verify with matching data but an empty contract balance.
+    let verify = compiled
+        .avm
+        .encode_call(
+            "verify",
+            &[AbiValue::Word(did), AbiValue::Address(wallet), AbiValue::Bytes(entry)],
+        )
+        .unwrap();
+    let receipt = chain.call_app(&creator, app_id, verify, 0).unwrap();
+    assert!(receipt.status.is_success(), "else-branch must not revert");
+    assert_eq!(chain.balance(wallet), 0, "no reward without funds");
+    assert_eq!(chain.avm().box_count(app_id), 1, "entry still pending");
+}
