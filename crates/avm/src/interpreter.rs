@@ -177,14 +177,8 @@ impl Avm {
         let app_id = self.next_app_id;
         let state = AppState { program, global: HashMap::new(), boxes: HashMap::new(), creator };
         self.apps.insert(app_id, state);
-        let params = AppCallParams {
-            sender: creator,
-            app_id,
-            args,
-            payment: 0,
-            round: 1,
-            timestamp_s: 1,
-        };
+        let params =
+            AppCallParams { sender: creator, app_id, args, payment: 0, round: 1, timestamp_s: 1 };
         match self.run(&params, true, balances) {
             Ok(outcome) if outcome.approved => {
                 self.next_app_id += 1;
@@ -517,10 +511,7 @@ impl Avm {
     }
 }
 
-fn cmp_int(
-    stack: &mut Vec<TealValue>,
-    f: impl Fn(u64, u64) -> bool,
-) -> Result<(), AvmError> {
+fn cmp_int(stack: &mut Vec<TealValue>, f: impl Fn(u64, u64) -> bool) -> Result<(), AvmError> {
     let b = stack
         .pop()
         .ok_or(AvmError::StackError)?
@@ -550,9 +541,7 @@ mod tests {
     fn setup(body: Vec<AvmOp>) -> (Avm, u64, Balances) {
         let mut avm = Avm::new();
         let mut balances = Balances::new();
-        let id = avm
-            .create_app(Address::ZERO, approve_program(body), &mut balances)
-            .unwrap();
+        let id = avm.create_app(Address::ZERO, approve_program(body), &mut balances).unwrap();
         (avm, id, balances)
     }
 
@@ -578,16 +567,9 @@ mod tests {
 
     #[test]
     fn global_state_round_trip() {
-        let body = vec![
-            PushBytes(b"Creator".to_vec()),
-            Txn(TxnField::Sender),
-            AppGlobalPut,
-        ];
+        let body = vec![PushBytes(b"Creator".to_vec()), Txn(TxnField::Sender), AppGlobalPut];
         let (avm, id, _) = setup(body);
-        assert_eq!(
-            avm.global(id, b"Creator"),
-            Some(TealValue::Bytes(Address::ZERO.0.to_vec()))
-        );
+        assert_eq!(avm.global(id, b"Creator"), Some(TealValue::Bytes(Address::ZERO.0.to_vec())));
     }
 
     #[test]
@@ -630,9 +612,7 @@ mod tests {
         let body = vec![PushInt(u64::MAX), PushInt(1), Add, Pop];
         let mut avm = Avm::new();
         let mut balances = Balances::new();
-        let err = avm
-            .create_app(Address::ZERO, approve_program(body), &mut balances)
-            .unwrap_err();
+        let err = avm.create_app(Address::ZERO, approve_program(body), &mut balances).unwrap_err();
         assert_eq!(err, AvmError::Arithmetic("overflow"));
     }
 
@@ -642,9 +622,7 @@ mod tests {
         let body = vec![Label(0), PushInt(1), Pop, B(0)];
         let mut avm = Avm::new();
         let mut balances = Balances::new();
-        let err = avm
-            .create_app(Address::ZERO, approve_program(body), &mut balances)
-            .unwrap_err();
+        let err = avm.create_app(Address::ZERO, approve_program(body), &mut balances).unwrap_err();
         assert_eq!(err, AvmError::BudgetExceeded { budget: CALL_BUDGET });
     }
 
@@ -693,12 +671,8 @@ mod tests {
         let mut balances = Balances::new();
         balances.insert(sender, 10_000);
         let id = avm.create_app(Address::ZERO, AvmProgram::new(ops), &mut balances).unwrap();
-        let out = avm
-            .call(
-                AppCallParams::new(sender, id).with_payment(1_000),
-                &mut balances,
-            )
-            .unwrap();
+        let out =
+            avm.call(AppCallParams::new(sender, id).with_payment(1_000), &mut balances).unwrap();
         assert!(out.approved);
         assert_eq!(out.inner_payments, vec![(sender, 300)]);
         // Sender paid 1000 in, got 300 back.
@@ -726,9 +700,8 @@ mod tests {
         let mut balances = Balances::new();
         balances.insert(sender, 5_000);
         let id = avm.create_app(Address::ZERO, AvmProgram::new(ops), &mut balances).unwrap();
-        let out = avm
-            .call(AppCallParams::new(sender, id).with_payment(2_000), &mut balances)
-            .unwrap();
+        let out =
+            avm.call(AppCallParams::new(sender, id).with_payment(2_000), &mut balances).unwrap();
         assert!(!out.approved);
         // Payment rolled back too.
         assert_eq!(balances[&sender], 5_000);

@@ -13,9 +13,7 @@ fn hashes(c: &mut Criterion) {
     for size in [32usize, 1024] {
         let data = vec![0xa5u8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("sha256/{size}"), |b| {
-            b.iter(|| sha256(black_box(&data)))
-        });
+        group.bench_function(format!("sha256/{size}"), |b| b.iter(|| sha256(black_box(&data))));
         group.bench_function(format!("keccak256/{size}"), |b| {
             b.iter(|| keccak256(black_box(&data)))
         });

@@ -11,9 +11,7 @@ fn pipeline(c: &mut Criterion) {
     let program = pol_program();
     c.bench_function("lang/check", |b| b.iter(|| check::check(black_box(&program))));
     c.bench_function("lang/verify", |b| b.iter(|| verify::verify(black_box(&program))));
-    c.bench_function("lang/analyze", |b| {
-        b.iter(|| analyze::analyze(black_box(&program)).unwrap())
-    });
+    c.bench_function("lang/analyze", |b| b.iter(|| analyze::analyze(black_box(&program)).unwrap()));
     c.bench_function("lang/compile-both-backends", |b| {
         b.iter(|| backend::compile(black_box(&program)).unwrap())
     });

@@ -6,8 +6,8 @@ use pol_chainsim::presets;
 use pol_core::proof::{LocationProof, ProofRequest, SubmittedEntry};
 use pol_core::system::{PolSystem, SystemConfig};
 use pol_crypto::ed25519::PublicKey;
-use pol_did::Identity;
 use pol_dfs::Cid;
+use pol_did::Identity;
 use pol_geo::{olc, Coordinates};
 use pol_ledger::Address;
 use std::hint::black_box;
@@ -31,9 +31,8 @@ fn proof_ops(c: &mut Criterion) {
     let proof = LocationProof::issue(&witness.signing, request);
     let mut group = c.benchmark_group("proof-verify-witnesses");
     for n in [1usize, 16, 256] {
-        let mut list: Vec<PublicKey> = (0..n as u64 - 1)
-            .map(|i| Identity::from_seed(1000 + i).signing.public)
-            .collect();
+        let mut list: Vec<PublicKey> =
+            (0..n as u64 - 1).map(|i| Identity::from_seed(1000 + i).signing.public).collect();
         list.push(witness.signing.public);
         group.bench_function(format!("n={n}"), |b| {
             b.iter(|| proof.verify(black_box(&list)).unwrap())
@@ -57,9 +56,7 @@ fn end_to_end(c: &mut Criterion) {
                 let w = system.register_witness(44.49491, 11.34261).unwrap();
                 (system, p, w)
             },
-            |(mut system, p, w)| {
-                system.submit_report(p, w, b"bench report".to_vec()).unwrap()
-            },
+            |(mut system, p, w)| system.submit_report(p, w, b"bench report".to_vec()).unwrap(),
             BatchSize::SmallInput,
         )
     });

@@ -21,12 +21,7 @@ fn routing_ablation(c: &mut Criterion) {
     let pairs: Vec<(RBitKey, RBitKey)> = {
         let mut rng = StdRng::seed_from_u64(1);
         (0..64)
-            .map(|_| {
-                (
-                    RBitKey::from_bits(rng.gen(), r),
-                    RBitKey::from_bits(rng.gen(), r),
-                )
-            })
+            .map(|_| (RBitKey::from_bits(rng.gen(), r), RBitKey::from_bits(rng.gen(), r)))
             .collect()
     };
     group.bench_function("hamming-greedy", |b| {
@@ -44,9 +39,8 @@ fn routing_ablation(c: &mut Criterion) {
             for (s, t) in &pairs {
                 // The baseline can cycle; a budget overrun counts as the
                 // budget (it only makes the baseline look better).
-                hops += routing::random_walk_route(*s, *t, 4_096)
-                    .map(|r| r.hops())
-                    .unwrap_or(4_096);
+                hops +=
+                    routing::random_walk_route(*s, *t, 4_096).map(|r| r.hops()).unwrap_or(4_096);
             }
             black_box(hops)
         })

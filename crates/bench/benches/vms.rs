@@ -20,10 +20,7 @@ fn ctor_args() -> Vec<AbiValue> {
 }
 
 fn insert_args(did: u128) -> Vec<AbiValue> {
-    vec![
-        AbiValue::Bytes(vec![0x77u8; pol_core::proof::ENTRY_CAPACITY]),
-        AbiValue::Word(did),
-    ]
+    vec![AbiValue::Bytes(vec![0x77u8; pol_core::proof::ENTRY_CAPACITY]), AbiValue::Word(did)]
 }
 
 fn evm_pol_contract(c: &mut Criterion) {

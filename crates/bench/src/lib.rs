@@ -12,6 +12,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod robustness;
+
 use pol_chainsim::presets::{self, ChainPreset};
 use pol_core::system::OpKind;
 use pol_crowdsense::simulation::{self, SimulationConfig, SimulationResults, Stats};
@@ -49,30 +51,102 @@ pub struct PaperRow {
 
 /// Paper values, Table 5.1 (deploy, 16 users).
 pub const PAPER_TABLE_5_1: [PaperRow; 3] = [
-    PaperRow { network: "Ethereum Goerli", mean_s: 56.15, std_s: 11.52, fee: 0.06, currency: Currency::Eth },
-    PaperRow { network: "Polygon Mumbai", mean_s: 23.44, std_s: 2.4, fee: 0.002, currency: Currency::Matic },
-    PaperRow { network: "Algorand Testnet", mean_s: 28.53, std_s: 0.76, fee: 0.005, currency: Currency::Algo },
+    PaperRow {
+        network: "Ethereum Goerli",
+        mean_s: 56.15,
+        std_s: 11.52,
+        fee: 0.06,
+        currency: Currency::Eth,
+    },
+    PaperRow {
+        network: "Polygon Mumbai",
+        mean_s: 23.44,
+        std_s: 2.4,
+        fee: 0.002,
+        currency: Currency::Matic,
+    },
+    PaperRow {
+        network: "Algorand Testnet",
+        mean_s: 28.53,
+        std_s: 0.76,
+        fee: 0.005,
+        currency: Currency::Algo,
+    },
 ];
 
 /// Paper values, Table 5.2 (deploy, 32 users).
 pub const PAPER_TABLE_5_2: [PaperRow; 3] = [
-    PaperRow { network: "Ethereum Goerli", mean_s: 54.4, std_s: 11.74, fee: 0.019, currency: Currency::Eth },
-    PaperRow { network: "Polygon Mumbai", mean_s: 25.78, std_s: 4.02, fee: 0.002, currency: Currency::Matic },
-    PaperRow { network: "Algorand Testnet", mean_s: 28.93, std_s: 0.64, fee: 0.005, currency: Currency::Algo },
+    PaperRow {
+        network: "Ethereum Goerli",
+        mean_s: 54.4,
+        std_s: 11.74,
+        fee: 0.019,
+        currency: Currency::Eth,
+    },
+    PaperRow {
+        network: "Polygon Mumbai",
+        mean_s: 25.78,
+        std_s: 4.02,
+        fee: 0.002,
+        currency: Currency::Matic,
+    },
+    PaperRow {
+        network: "Algorand Testnet",
+        mean_s: 28.93,
+        std_s: 0.64,
+        fee: 0.005,
+        currency: Currency::Algo,
+    },
 ];
 
 /// Paper values, Table 5.3 (attach, 16 users).
 pub const PAPER_TABLE_5_3: [PaperRow; 3] = [
-    PaperRow { network: "Ethereum Goerli", mean_s: 35.95, std_s: 7.84, fee: 0.0137, currency: Currency::Eth },
-    PaperRow { network: "Polygon Mumbai", mean_s: 20.6, std_s: 1.44, fee: 0.00053, currency: Currency::Matic },
-    PaperRow { network: "Algorand Testnet", mean_s: 14.54, std_s: 0.31, fee: 0.009, currency: Currency::Algo },
+    PaperRow {
+        network: "Ethereum Goerli",
+        mean_s: 35.95,
+        std_s: 7.84,
+        fee: 0.0137,
+        currency: Currency::Eth,
+    },
+    PaperRow {
+        network: "Polygon Mumbai",
+        mean_s: 20.6,
+        std_s: 1.44,
+        fee: 0.00053,
+        currency: Currency::Matic,
+    },
+    PaperRow {
+        network: "Algorand Testnet",
+        mean_s: 14.54,
+        std_s: 0.31,
+        fee: 0.009,
+        currency: Currency::Algo,
+    },
 ];
 
 /// Paper values, Table 5.4 (attach, 32 users).
 pub const PAPER_TABLE_5_4: [PaperRow; 3] = [
-    PaperRow { network: "Ethereum Goerli", mean_s: 25.56, std_s: 4.06, fee: 0.003, currency: Currency::Eth },
-    PaperRow { network: "Polygon Mumbai", mean_s: 19.35, std_s: 2.09, fee: 0.00053, currency: Currency::Matic },
-    PaperRow { network: "Algorand Testnet", mean_s: 14.54, std_s: 0.5, fee: 0.009, currency: Currency::Algo },
+    PaperRow {
+        network: "Ethereum Goerli",
+        mean_s: 25.56,
+        std_s: 4.06,
+        fee: 0.003,
+        currency: Currency::Eth,
+    },
+    PaperRow {
+        network: "Polygon Mumbai",
+        mean_s: 19.35,
+        std_s: 2.09,
+        fee: 0.00053,
+        currency: Currency::Matic,
+    },
+    PaperRow {
+        network: "Algorand Testnet",
+        mean_s: 14.54,
+        std_s: 0.5,
+        fee: 0.009,
+        currency: Currency::Algo,
+    },
 ];
 
 /// Runs the simulation for one network.
@@ -87,10 +161,7 @@ pub fn run_network(preset: &ChainPreset, users: usize, seed: u64) -> SimulationR
 
 /// Runs all three evaluation networks.
 pub fn run_all(users: usize, seed: u64) -> Vec<SimulationResults> {
-    presets::evaluation_networks()
-        .iter()
-        .map(|preset| run_network(preset, users, seed))
-        .collect()
+    presets::evaluation_networks().iter().map(|preset| run_network(preset, users, seed)).collect()
 }
 
 /// Builds the measured rows of one table.
@@ -112,16 +183,21 @@ pub fn table_rows(results: &[SimulationResults], op: OpKind) -> Vec<TableRow> {
 }
 
 /// Renders one table in the paper's layout, measured beside reported.
-pub fn render_table(
-    title: &str,
-    rows: &[TableRow],
-    paper: &[PaperRow],
-) -> String {
+pub fn render_table(title: &str, rows: &[TableRow], paper: &[PaperRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!(
         "{:<18} {:>8} {:>8} {:>8} {:>8} {:>14} {:>10} | {:>10} {:>8} {:>12}\n",
-        "Testnet", "Mean", "Max", "Min", "StdDev", "Fees", "Euro", "paperMean", "paperStd", "paperFees"
+        "Testnet",
+        "Mean",
+        "Max",
+        "Min",
+        "StdDev",
+        "Fees",
+        "Euro",
+        "paperMean",
+        "paperStd",
+        "paperFees"
     ));
     for row in rows {
         let paper_row = paper.iter().find(|p| p.network == row.network);

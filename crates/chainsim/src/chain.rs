@@ -466,8 +466,12 @@ impl Chain {
                     proposer_addr
                 }
                 VmKind::Avm => {
-                    match ppos::run_round(&self.registry, &self.validator_keys, &self.randao, height)
-                    {
+                    match ppos::run_round(
+                        &self.registry,
+                        &self.validator_keys,
+                        &self.randao,
+                        height,
+                    ) {
                         Ok(outcome) => {
                             self.randao = outcome.next_seed;
                             Address::from_public_key(&outcome.leader)
@@ -497,8 +501,7 @@ impl Chain {
 
         // Priority ordering on EVM chains; FIFO on Algorand.
         if self.config.vm == VmKind::Evm {
-            self.mempool
-                .sort_by_key(|p| std::cmp::Reverse(p.tx.max_priority_fee_per_gas));
+            self.mempool.sort_by_key(|p| std::cmp::Reverse(p.tx.max_priority_fee_per_gas));
         }
 
         let mut still_pending = Vec::new();
@@ -619,7 +622,9 @@ impl Chain {
                         gas_used = outcome.gas_used;
                         output = outcome.output.clone();
                         if !outcome.success {
-                            status = TxStatus::Reverted(String::from_utf8_lossy(&outcome.output).into_owned());
+                            status = TxStatus::Reverted(
+                                String::from_utf8_lossy(&outcome.output).into_owned(),
+                            );
                         }
                         logs = outcome
                             .logs
@@ -633,17 +638,16 @@ impl Chain {
                     }
                 }
             }
-            (VmKind::Avm, TxKind::ContractCreate) => {
-                match self.avm_payloads.remove(&id) {
-                    Some(AvmPayload::Create { program, args }) => {
-                        match self.avm.create_app_with_args(tx.from, program, args, &mut self.balances) {
-                            Ok(app_id) => created = Some(ContractId::App(app_id)),
-                            Err(e) => status = TxStatus::Reverted(e.to_string()),
-                        }
+            (VmKind::Avm, TxKind::ContractCreate) => match self.avm_payloads.remove(&id) {
+                Some(AvmPayload::Create { program, args }) => {
+                    match self.avm.create_app_with_args(tx.from, program, args, &mut self.balances)
+                    {
+                        Ok(app_id) => created = Some(ContractId::App(app_id)),
+                        Err(e) => status = TxStatus::Reverted(e.to_string()),
                     }
-                    _ => status = TxStatus::Reverted("missing program payload".into()),
                 }
-            }
+                _ => status = TxStatus::Reverted("missing program payload".into()),
+            },
             (VmKind::Avm, TxKind::ContractCall(cid)) => {
                 let app_id = cid.as_app().unwrap_or(0);
                 match self.avm_payloads.remove(&id) {
@@ -781,7 +785,7 @@ mod tests {
         let receipt = chain.submit_and_wait(tx).unwrap();
         assert!(receipt.status.is_success());
         assert_eq!(receipt.fee.base_units(), 1_000); // flat min fee
-        // Instant finality: exactly the inclusion round.
+                                                     // Instant finality: exactly the inclusion round.
         assert_eq!(receipt.block_number + chain.config.confirmations, receipt.block_number);
     }
 
@@ -800,9 +804,7 @@ mod tests {
             .push_u64(0)
             .op(Op::Return)
             .build();
-        let receipt = chain
-            .deploy_evm(&alice, Asm::deploy_wrapper(&runtime), 5_000_000)
-            .unwrap();
+        let receipt = chain.deploy_evm(&alice, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
         let contract = receipt.created.expect("deployed");
         let call = chain.call_evm(&alice, contract, vec![], 0, 1_000_000).unwrap();
         assert!(call.status.is_success());

@@ -48,11 +48,7 @@ pub fn contract_history(chain: &Chain, contract: ContractId) -> Vec<HistoryRow> 
                         TxKind::ContractCreate => "Contract Creation".to_string(),
                         TxKind::ContractCall(_) => format!(
                             "0x{}",
-                            tx.data
-                                .iter()
-                                .take(4)
-                                .map(|b| format!("{b:02x}"))
-                                .collect::<String>()
+                            tx.data.iter().take(4).map(|b| format!("{b:02x}")).collect::<String>()
                         ),
                         TxKind::Transfer => "Transfer".to_string(),
                     },
@@ -81,9 +77,7 @@ mod tests {
         let mut chain = presets::devnet_evm().build(1);
         let (alice, _) = chain.create_funded_account(10u128.pow(20));
         let runtime = Asm::new().op(Op::Stop).build();
-        let receipt = chain
-            .deploy_evm(&alice, Asm::deploy_wrapper(&runtime), 5_000_000)
-            .unwrap();
+        let receipt = chain.deploy_evm(&alice, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
         let contract = receipt.created.unwrap();
         chain.call_evm(&alice, contract, vec![0xaa, 0xbb, 0xcc, 0xdd], 0, 100_000).unwrap();
         let rows = contract_history(&chain, contract);

@@ -161,7 +161,8 @@ mod tests {
 
     #[test]
     fn presets_build() {
-        for preset in [ropsten(), goerli(), mumbai(), algorand_testnet(), devnet_evm(), devnet_algo()]
+        for preset in
+            [ropsten(), goerli(), mumbai(), algorand_testnet(), devnet_evm(), devnet_algo()]
         {
             let chain = preset.build(1);
             assert_eq!(chain.height(), 0);

@@ -59,7 +59,11 @@ impl NodeProvider {
     ///
     /// [`LedgerError::BadSignature`] for an unknown API key (the provider
     /// rejects unauthenticated requests), or any chain submission error.
-    pub fn send_raw_transaction(&self, api_key: &str, tx: Transaction) -> Result<TxId, LedgerError> {
+    pub fn send_raw_transaction(
+        &self,
+        api_key: &str,
+        tx: Transaction,
+    ) -> Result<TxId, LedgerError> {
         self.check_key(api_key)?;
         self.chain.lock().submit(tx)
     }
@@ -79,10 +83,7 @@ impl NodeProvider {
         if self.api_keys.lock().iter().any(|k| k == api_key) {
             Ok(())
         } else {
-            Err(LedgerError::ExecutionFailed(format!(
-                "{}: unknown API key",
-                self.name
-            )))
+            Err(LedgerError::ExecutionFailed(format!("{}: unknown API key", self.name)))
         }
     }
 }
@@ -98,9 +99,8 @@ mod tests {
         let provider = NodeProvider::new("Infura", presets::devnet_evm().build(1));
         let (kp, addr) = provider.chain().lock().create_funded_account(10u128.pow(18));
         let (max_fee, prio) = provider.chain().lock().suggested_fees();
-        let tx = Transaction::transfer(addr, Address::ZERO, 1, 0)
-            .with_fees(max_fee, prio)
-            .signed(&kp);
+        let tx =
+            Transaction::transfer(addr, Address::ZERO, 1, 0).with_fees(max_fee, prio).signed(&kp);
         assert!(provider.send_raw_transaction("bogus", tx.clone()).is_err());
         let key = provider.register();
         let id = provider.send_raw_transaction(&key, tx).unwrap();

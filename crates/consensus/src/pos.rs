@@ -120,8 +120,7 @@ impl Attestation {
 
     /// Verifies the attestation signature.
     pub fn verify(&self) -> bool {
-        self.validator
-            .verify(&Attestation::message(self.slot, &self.block), &self.signature)
+        self.validator.verify(&Attestation::message(self.slot, &self.block), &self.signature)
     }
 
     fn message(slot: u64, block: &BlockHash) -> Vec<u8> {

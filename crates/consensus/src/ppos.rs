@@ -75,14 +75,7 @@ pub fn sortition(
     if x < p {
         // Scale the margin into an integer weight ≥ 1.
         let weight = ((p - x) / p * stake as f64).ceil().max(1.0) as u64;
-        Some(Credential {
-            public: keypair.public,
-            role,
-            round,
-            output,
-            proof,
-            weight,
-        })
+        Some(Credential { public: keypair.public, role, round, output, proof, weight })
     } else {
         None
     }
@@ -107,8 +100,8 @@ pub fn verify_credential(
         .find(|v| v.public == credential.public)
         .ok_or(ConsensusError::BadCredential)?;
     let msg = alpha(seed, credential.round, credential.role);
-    let output =
-        vrf::verify(&credential.public, &msg, &credential.proof).ok_or(ConsensusError::BadCredential)?;
+    let output = vrf::verify(&credential.public, &msg, &credential.proof)
+        .ok_or(ConsensusError::BadCredential)?;
     if output != credential.output {
         return Err(ConsensusError::BadCredential);
     }
@@ -160,11 +153,7 @@ pub fn run_round(
     }
     let total = registry.total_stake();
     let stake_of = |pk: &PublicKey| {
-        registry
-            .validators()
-            .iter()
-            .find(|v| v.public == *pk)
-            .map_or(0, |v| v.stake)
+        registry.validators().iter().find(|v| v.public == *pk).map_or(0, |v| v.stake)
     };
 
     // Leader selection: retry with a tweaked seed until some key wins
@@ -312,7 +301,10 @@ mod tests {
         // Only 2 of 12 validators participate: certification must fail.
         let result = run_round(&registry, &keys[..2], &[4u8; 32], 0);
         assert!(
-            matches!(result, Err(ConsensusError::NotCertified { .. }) | Err(ConsensusError::EmptyRegistry)),
+            matches!(
+                result,
+                Err(ConsensusError::NotCertified { .. }) | Err(ConsensusError::EmptyRegistry)
+            ),
             "got {result:?}"
         );
     }

@@ -115,11 +115,7 @@ mod tests {
     fn zero_stake_rejected() {
         let (_, keys) = StakeRegistry::equal_stake(1, 1);
         let mut registry = StakeRegistry::new();
-        registry.register(Validator {
-            address: Address::ZERO,
-            public: keys[0].public,
-            stake: 0,
-        });
+        registry.register(Validator { address: Address::ZERO, public: keys[0].public, stake: 0 });
     }
 
     #[test]

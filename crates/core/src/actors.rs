@@ -233,9 +233,8 @@ mod tests {
         let (ca, registry, prover, mut witness, mut rng) = setup();
         let nonce = witness.issue_nonce();
         let req = request(&prover, nonce);
-        let proof = witness
-            .attest(&mut rng, &registry, req, &prover.identity, &prover.position)
-            .unwrap();
+        let proof =
+            witness.attest(&mut rng, &registry, req, &prover.identity, &prover.position).unwrap();
         let verifier = ca.designate_verifier(Identity::from_seed(3), 0);
         assert!(verifier.validate(&proof).is_ok());
     }
@@ -246,9 +245,8 @@ mod tests {
         let nonce = witness.issue_nonce();
         let req = request(&prover, nonce);
         let far_away = Coordinates::new(45.4642, 9.19).unwrap();
-        let err = witness
-            .attest(&mut rng, &registry, req, &prover.identity, &far_away)
-            .unwrap_err();
+        let err =
+            witness.attest(&mut rng, &registry, req, &prover.identity, &far_away).unwrap_err();
         assert!(matches!(err, PolError::OutOfRange { .. }));
     }
 
@@ -258,9 +256,8 @@ mod tests {
         let nonce = witness.issue_nonce();
         let req = request(&prover, nonce);
         let impostor = Identity::from_seed(66);
-        let err = witness
-            .attest(&mut rng, &registry, req, &impostor, &prover.position)
-            .unwrap_err();
+        let err =
+            witness.attest(&mut rng, &registry, req, &impostor, &prover.position).unwrap_err();
         assert!(matches!(err, PolError::Did(_)), "{err:?}");
     }
 

@@ -189,10 +189,7 @@ pub fn pol_program_ast() -> Program {
                                     },
                                     Stmt::GlobalSet {
                                         name: "toVerify".into(),
-                                        value: Expr::sub(
-                                            Expr::global("toVerify"),
-                                            Expr::UInt(1),
-                                        ),
+                                        value: Expr::sub(Expr::global("toVerify"), Expr::UInt(1)),
                                     },
                                     Stmt::Transfer {
                                         to: Expr::param("wallet"),

@@ -116,10 +116,7 @@ mod tests {
         factory.track(ContractId::App(1), "8FPH47Q3+HM".into(), 100);
         factory.track(ContractId::App(2), "8FPH47Q4+22".into(), 200);
         assert_eq!(factory.instances().len(), 2);
-        assert_eq!(
-            factory.instance_for("8FPH47Q3+HM").unwrap().contract,
-            ContractId::App(1)
-        );
+        assert_eq!(factory.instance_for("8FPH47Q3+HM").unwrap().contract, ContractId::App(1));
         assert!(factory.instance_for("nowhere").is_none());
     }
 
@@ -128,9 +125,7 @@ mod tests {
         use pol_lang::ast::*;
         // A program with an unguarded transfer must be refused.
         let mut bad = Program::counter_example();
-        bad.phases[0].apis[0]
-            .body
-            .push(Stmt::Transfer { to: Expr::Caller, amount: Expr::UInt(5) });
+        bad.phases[0].apis[0].body.push(Stmt::Transfer { to: Expr::Caller, amount: Expr::UInt(5) });
         assert!(matches!(Factory::new(bad), Err(PolError::Lang(_))));
     }
 }

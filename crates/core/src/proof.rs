@@ -252,10 +252,7 @@ mod tests {
         let witness = Identity::from_seed(2);
         let other = Identity::from_seed(3);
         let proof = LocationProof::issue(&witness.signing, request(&prover, 7));
-        assert!(matches!(
-            proof.verify(&[other.signing.public]),
-            Err(PolError::BadProof(_))
-        ));
+        assert!(matches!(proof.verify(&[other.signing.public]), Err(PolError::BadProof(_))));
     }
 
     #[test]
@@ -265,10 +262,7 @@ mod tests {
         // keys differ).
         let prover = Identity::from_seed(4);
         let proof = LocationProof::issue(&prover.signing, request(&prover, 1));
-        assert!(matches!(
-            proof.verify(&[prover.signing.public]),
-            Err(PolError::BadProof(_))
-        ));
+        assert!(matches!(proof.verify(&[prover.signing.public]), Err(PolError::BadProof(_))));
     }
 
     #[test]
@@ -277,10 +271,7 @@ mod tests {
         let witness = Identity::from_seed(2);
         let mut proof = LocationProof::issue(&witness.signing, request(&prover, 7));
         proof.request.nonce = 8; // replay with a different nonce
-        assert!(matches!(
-            proof.verify(&[witness.signing.public]),
-            Err(PolError::BadProof(_))
-        ));
+        assert!(matches!(proof.verify(&[witness.signing.public]), Err(PolError::BadProof(_))));
     }
 
     #[test]
@@ -311,9 +302,6 @@ mod tests {
 
     #[test]
     fn truncated_entry_rejected() {
-        assert!(matches!(
-            SubmittedEntry::from_bytes(&[0u8; 50]),
-            Err(PolError::BadProof(_))
-        ));
+        assert!(matches!(SubmittedEntry::from_bytes(&[0u8; 50]), Err(PolError::BadProof(_))));
     }
 }

@@ -264,9 +264,7 @@ impl PolSystem {
     ///
     /// [`PolError::Unknown`] for an unregistered id.
     pub fn prover(&self, id: ProverId) -> Result<&Prover, PolError> {
-        self.provers
-            .get(id.0)
-            .ok_or_else(|| PolError::Unknown(format!("prover {}", id.0)))
+        self.provers.get(id.0).ok_or_else(|| PolError::Unknown(format!("prover {}", id.0)))
     }
 
     /// A witness's identity (read-only).
@@ -378,14 +376,20 @@ impl PolSystem {
         Ok(SubmissionOutcome { area, contract, kind, latency_ms, fee, cid })
     }
 
-    fn anchor_tx(&mut self, prover_id: ProverId, fee: &mut Amount, txs: &mut usize) -> Result<(), PolError> {
+    fn anchor_tx(
+        &mut self,
+        prover_id: ProverId,
+        fee: &mut Amount,
+        txs: &mut usize,
+    ) -> Result<(), PolError> {
         let prover = &self.provers[prover_id.0];
         let wallet = prover.wallet;
         let did_digest = prover.identity.did.numeric_id();
         let keys = prover.wallet_keys().clone();
         let (max_fee, prio) = self.chain.suggested_fees();
-        let mut tx = Transaction::transfer(wallet, self.did_anchor, 0, self.chain.next_nonce(wallet))
-            .with_fees(max_fee, prio);
+        let mut tx =
+            Transaction::transfer(wallet, self.did_anchor, 0, self.chain.next_nonce(wallet))
+                .with_fees(max_fee, prio);
         tx.data = did_digest.to_be_bytes().to_vec();
         let tx = tx.signed(&keys);
         let receipt = self.chain.submit_and_wait(tx)?;
@@ -452,11 +456,12 @@ impl PolSystem {
                 let receipt = self.chain.deploy_evm(&keys, init, 3_000_000)?;
                 *fee = fee.checked_add(&receipt.fee).expect("same currency");
                 *txs += 1;
-                let contract = receipt
-                    .created
-                    .ok_or_else(|| PolError::Ledger(pol_ledger::LedgerError::ExecutionFailed(
-                        format!("deploy reverted: {:?}", receipt.status),
-                    )))?;
+                let contract = receipt.created.ok_or_else(|| {
+                    PolError::Ledger(pol_ledger::LedgerError::ExecutionFailed(format!(
+                        "deploy reverted: {:?}",
+                        receipt.status
+                    )))
+                })?;
                 // insert_data by the creator (Fig. 3.1: separate tx).
                 let data = self
                     .factory
@@ -472,15 +477,19 @@ impl PolSystem {
             VmKind::Avm => {
                 // App creation.
                 let args = self.factory.avm_create_args(&ctor)?;
-                let receipt =
-                    self.chain.deploy_app(&keys, self.factory.compiled().avm.program.clone(), args)?;
+                let receipt = self.chain.deploy_app(
+                    &keys,
+                    self.factory.compiled().avm.program.clone(),
+                    args,
+                )?;
                 *fee = fee.checked_add(&receipt.fee).expect("same currency");
                 *txs += 1;
-                let contract = receipt
-                    .created
-                    .ok_or_else(|| PolError::Ledger(pol_ledger::LedgerError::ExecutionFailed(
-                        format!("app create rejected: {:?}", receipt.status),
-                    )))?;
+                let contract = receipt.created.ok_or_else(|| {
+                    PolError::Ledger(pol_ledger::LedgerError::ExecutionFailed(format!(
+                        "app create rejected: {:?}",
+                        receipt.status
+                    )))
+                })?;
                 let app_id = contract.as_app().expect("avm contract");
                 let app_addr = pol_avm::Avm::app_address(app_id);
                 // Algorand connector funding steps: app min balance,
@@ -490,7 +499,7 @@ impl PolSystem {
                 self.payment_tx(&keys, app_addr, 100_000, fee, txs)?; // extra page
                 self.payment_tx(&keys, app_addr, 0, fee, txs)?; // opt-in
                 self.payment_tx(&keys, app_addr, box_mbr(), fee, txs)?; // box MBR
-                // insert_data.
+                                                                        // insert_data.
                 let args = self
                     .factory
                     .compiled()
@@ -581,24 +590,19 @@ impl PolSystem {
             (k.clone(), v.witness_list.clone())
         };
         let area_key = area.as_str().to_string();
-        let state = self
-            .areas
-            .get(&area_key)
-            .ok_or_else(|| PolError::Unknown(format!("area {area}")))?;
+        let state =
+            self.areas.get(&area_key).ok_or_else(|| PolError::Unknown(format!("area {area}")))?;
         let contract = state.contract;
-        let pending: Vec<(u64, SubmittedEntry, Did)> = state
-            .pending
-            .iter()
-            .map(|(k, (e, d))| (*k, e.clone(), d.clone()))
-            .collect();
+        let pending: Vec<(u64, SubmittedEntry, Did)> =
+            state.pending.iter().map(|(k, (e, d))| (*k, e.clone(), d.clone())).collect();
         if pending.is_empty() {
             return Ok(0);
         }
 
         // Fund the contract with enough for every pending reward.
         let start = self.chain.now_ms();
-        let budget = (self.config.reward + self.config.witness_reward.unwrap_or(0))
-            * pending.len() as u128;
+        let budget =
+            (self.config.reward + self.config.witness_reward.unwrap_or(0)) * pending.len() as u128;
         let mut fee = Amount::zero(self.chain.config.currency);
         let mut txs = 0usize;
         self.call_api(
@@ -631,10 +635,8 @@ impl PolSystem {
             let start = self.chain.now_ms();
             let mut fee = Amount::zero(self.chain.config.currency);
             let mut txs = 0usize;
-            let mut verify_args = vec![
-                AbiValue::Word(u128::from(did_digest)),
-                AbiValue::Address(entry.wallet),
-            ];
+            let mut verify_args =
+                vec![AbiValue::Word(u128::from(did_digest)), AbiValue::Address(entry.wallet)];
             if self.config.witness_reward.is_some() {
                 // §2.8: the witness's wallet, derived from the attesting
                 // key carried by the entry itself.
@@ -643,11 +645,7 @@ impl PolSystem {
             verify_args.push(AbiValue::Bytes(entry.to_bytes()));
             self.call_api(&verifier_keys, contract, "verify", &verify_args, 0, &mut fee, &mut txs)?;
             self.hypercube.append_cid(area, entry.cid.as_str())?;
-            self.areas
-                .get_mut(&area_key)
-                .expect("exists")
-                .pending
-                .remove(&did_digest);
+            self.areas.get_mut(&area_key).expect("exists").pending.remove(&did_digest);
             verified += 1;
             self.ops.push(OpRecord {
                 kind: OpKind::Verify,
@@ -834,11 +832,7 @@ mod tests {
         let base = (44.4949, 11.3426);
         let mut provers = Vec::new();
         for i in 0..4 {
-            provers.push(
-                system
-                    .register_prover(base.0 + 0.000001 * i as f64, base.1)
-                    .unwrap(),
-            );
+            provers.push(system.register_prover(base.0 + 0.000001 * i as f64, base.1).unwrap());
         }
         let w = system.register_witness(base.0, base.1 + 0.00001).unwrap();
         let mut area = None;

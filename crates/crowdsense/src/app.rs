@@ -72,7 +72,11 @@ impl CrowdsenseApp {
     /// # Errors
     ///
     /// Routing failures.
-    pub fn browse_region(&self, area: &OlcCode, node_limit: usize) -> Result<Vec<Report>, PolError> {
+    pub fn browse_region(
+        &self,
+        area: &OlcCode,
+        node_limit: usize,
+    ) -> Result<Vec<Report>, PolError> {
         let key = self.system.hypercube.key_for(area);
         let result = query::superset_search(&self.system.hypercube, key, node_limit);
         let mut reports = Vec::new();
@@ -113,12 +117,8 @@ mod tests {
         // Nothing visible until verified ("garbage-in").
         assert!(app.browse_area(&out.area).unwrap().is_empty());
         app.system_mut().run_verifier(&out.area).unwrap();
-        let mut titles: Vec<String> = app
-            .browse_area(&out.area)
-            .unwrap()
-            .into_iter()
-            .map(|r| r.title)
-            .collect();
+        let mut titles: Vec<String> =
+            app.browse_area(&out.area).unwrap().into_iter().map(|r| r.title).collect();
         titles.sort();
         assert_eq!(titles, vec!["Oily spots".to_string(), "Waste".to_string()]);
 

@@ -128,10 +128,7 @@ impl SimulationResults {
 
     /// Mean fee of one kind of interaction.
     pub fn mean_fee(&self, kind: OpKind) -> Amount {
-        let fees: Vec<u128> = self
-            .of_kind(kind)
-            .map(|m| m.fee.base_units())
-            .collect();
+        let fees: Vec<u128> = self.of_kind(kind).map(|m| m.fee.base_units()).collect();
         if fees.is_empty() {
             return Amount::zero(self.currency);
         }
@@ -140,10 +137,7 @@ impl SimulationResults {
 
     /// Total fees of one kind of interaction.
     pub fn total_fee(&self, kind: OpKind) -> Amount {
-        Amount::from_base_units(
-            self.of_kind(kind).map(|m| m.fee.base_units()).sum(),
-            self.currency,
-        )
+        Amount::from_base_units(self.of_kind(kind).map(|m| m.fee.base_units()).sum(), self.currency)
     }
 
     fn of_kind(&self, kind: OpKind) -> impl Iterator<Item = &UserMeasurement> {
@@ -266,9 +260,7 @@ fn run_on_system(
         let shifted = center
             .offset_m(120.0 * (g / positions.len()) as f64 + north_offset_m, 0.0)
             .expect("offset stays valid");
-        let center = pol_geo::olc::encode(shifted, 10)
-            .expect("valid coordinates")
-            .center();
+        let center = pol_geo::olc::encode(shifted, 10).expect("valid coordinates").center();
         // One witness per group, at the cell centre.
         let witness = system.register_witness(center.latitude(), center.longitude())?;
         for k in 0..GROUP_SIZE {

@@ -137,8 +137,7 @@ impl Point {
     /// Whether two points are equal as projective points.
     pub fn ct_eq(&self, other: &Point) -> bool {
         // x1 z2 == x2 z1 and y1 z2 == y2 z1
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 
@@ -415,10 +414,7 @@ mod tests {
         );
         let forged = Signature { r: sig.r, s: crate::bigint::to_le_bytes32(&s_plus_l) };
         assert!(!kp.public.verify(b"msg", &forged));
-        assert_eq!(
-            Signature::from_bytes(&forged.to_bytes()),
-            Err(CryptoError::NonCanonicalScalar)
-        );
+        assert_eq!(Signature::from_bytes(&forged.to_bytes()), Err(CryptoError::NonCanonicalScalar));
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl Fe {
                 }
             }
         }
-        if started { result } else { Fe::ONE }
+        if started {
+            result
+        } else {
+            Fe::ONE
+        }
     }
 
     /// Multiplicative inverse (x^(p−2)); returns zero for zero.

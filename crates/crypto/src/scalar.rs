@@ -4,12 +4,8 @@
 use crate::bigint::{self, U256};
 
 /// The group order ℓ as little-endian `u64` limbs.
-pub const L: U256 = [
-    0x5812_631a_5cf5_d3ed,
-    0x14de_f9de_a2f7_9cd6,
-    0x0000_0000_0000_0000,
-    0x1000_0000_0000_0000,
-];
+pub const L: U256 =
+    [0x5812_631a_5cf5_d3ed, 0x14de_f9de_a2f7_9cd6, 0x0000_0000_0000_0000, 0x1000_0000_0000_0000];
 
 /// Reduces a 512-bit little-endian value modulo ℓ.
 pub fn reduce64(bytes: &[u8; 64]) -> [u8; 32] {

@@ -99,14 +99,12 @@ mod tests {
 
     #[test]
     fn rfc7748_vector_1() {
-        let k: [u8; 32] = hex::decode_array(
-            "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4",
-        )
-        .unwrap();
-        let u: [u8; 32] = hex::decode_array(
-            "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c",
-        )
-        .unwrap();
+        let k: [u8; 32] =
+            hex::decode_array("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+                .unwrap();
+        let u: [u8; 32] =
+            hex::decode_array("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+                .unwrap();
         assert_eq!(
             hex::encode(&scalar_mult(&clamp(k), &u)),
             "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"

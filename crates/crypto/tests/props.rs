@@ -59,8 +59,8 @@ proptest! {
             &[b as u64, (b >> 64) as u64, 0, 0],
         );
         // Verify by long multiplication through four 64-bit half-products.
-        let (a0, a1) = (a & ((1 << 64) - 1), a >> 64);
-        let (b0, b1) = (b & ((1 << 64) - 1), b >> 64);
+        let a0 = a & ((1 << 64) - 1);
+        let b0 = b & ((1 << 64) - 1);
         let p00 = a0 * b0;
         let lo = p00 as u64;
         prop_assert_eq!(wide[0], lo);

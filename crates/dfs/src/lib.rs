@@ -42,6 +42,15 @@ pub enum DfsError {
     UnknownPeer(u64),
     /// A CID string failed to parse or its digest check failed.
     BadCid(String),
+    /// Providers exist for the content but none answered before the
+    /// transport's retry policy was exhausted — distinct from
+    /// [`DfsError::NotFound`]'s "nobody hosts it".
+    Unreachable {
+        /// The content being fetched.
+        cid: String,
+        /// Distinct providers that were tried and timed out.
+        providers_tried: u32,
+    },
 }
 
 impl std::fmt::Display for DfsError {
@@ -50,6 +59,9 @@ impl std::fmt::Display for DfsError {
             DfsError::NotFound(cid) => write!(f, "content {cid} has no providers"),
             DfsError::UnknownPeer(id) => write!(f, "unknown peer {id}"),
             DfsError::BadCid(s) => write!(f, "malformed cid {s:?}"),
+            DfsError::Unreachable { cid, providers_tried } => {
+                write!(f, "content {cid}: all {providers_tried} providers unreachable")
+            }
         }
     }
 }

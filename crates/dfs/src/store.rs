@@ -3,6 +3,8 @@
 use crate::cid::Cid;
 use crate::DfsError;
 use parking_lot::RwLock;
+use pol_net::transport::Transport;
+use pol_net::{MessageClass, NodeId};
 use std::collections::{HashMap, HashSet};
 
 /// Identifier of a DFS peer.
@@ -72,9 +74,7 @@ impl DfsNetwork {
         let cid = Cid::for_content(&content);
         {
             let mut peers = self.peers.write();
-            let state = peers
-                .get_mut(peer.0 as usize)
-                .ok_or(DfsError::UnknownPeer(peer.0))?;
+            let state = peers.get_mut(peer.0 as usize).ok_or(DfsError::UnknownPeer(peer.0))?;
             state.blocks.insert(cid.clone(), content);
             state.pins.insert(cid.clone());
         }
@@ -89,9 +89,7 @@ impl DfsNetwork {
     /// Returns [`DfsError::NotFound`] when no online provider hosts it.
     pub fn get(&self, cid: &Cid) -> Result<Vec<u8>, DfsError> {
         let providers = self.providers.read();
-        let hosts = providers
-            .get(cid)
-            .ok_or_else(|| DfsError::NotFound(cid.to_string()))?;
+        let hosts = providers.get(cid).ok_or_else(|| DfsError::NotFound(cid.to_string()))?;
         let peers = self.peers.read();
         for host in hosts {
             if let Some(state) = peers.get(host.0 as usize) {
@@ -105,6 +103,61 @@ impl DfsNetwork {
         Err(DfsError::NotFound(cid.to_string()))
     }
 
+    /// Retrieves content for `requester` over `transport`: providers are
+    /// tried in peer-id order (deterministic), each with one
+    /// [`MessageClass::DfsRequest`] to the provider and one
+    /// [`MessageClass::DfsBlock`] back. A provider whose exchange times out
+    /// is skipped and the next is tried.
+    ///
+    /// [`DfsNetwork::get`] is the zero-latency special case of this method.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::NotFound`] when no online provider hosts the content;
+    /// [`DfsError::Unreachable`] when hosts exist but every exchange timed
+    /// out.
+    pub fn get_via(
+        &self,
+        transport: &dyn Transport,
+        requester: PeerId,
+        cid: &Cid,
+    ) -> Result<Vec<u8>, DfsError> {
+        let mut hosts: Vec<PeerId> = self
+            .providers
+            .read()
+            .get(cid)
+            .ok_or_else(|| DfsError::NotFound(cid.to_string()))?
+            .iter()
+            .copied()
+            .collect();
+        hosts.sort_unstable();
+        let peers = self.peers.read();
+        let mut tried = 0u32;
+        for host in hosts {
+            let Some(state) = peers.get(host.0 as usize) else { continue };
+            if !state.online {
+                continue;
+            }
+            let Some(data) = state.blocks.get(cid) else { continue };
+            tried += 1;
+            let request =
+                transport.deliver(NodeId(requester.0), NodeId(host.0), MessageClass::DfsRequest);
+            if request.is_err() {
+                continue;
+            }
+            let block =
+                transport.deliver(NodeId(host.0), NodeId(requester.0), MessageClass::DfsBlock);
+            if block.is_ok() {
+                return Ok(data.clone());
+            }
+        }
+        if tried > 0 {
+            Err(DfsError::Unreachable { cid: cid.to_string(), providers_tried: tried })
+        } else {
+            Err(DfsError::NotFound(cid.to_string()))
+        }
+    }
+
     /// Replicates content to `peer` (fetch + host + announce), as a pinning
     /// service or an interested verifier would.
     ///
@@ -115,9 +168,7 @@ impl DfsNetwork {
         let data = self.get(cid)?;
         {
             let mut peers = self.peers.write();
-            let state = peers
-                .get_mut(peer.0 as usize)
-                .ok_or(DfsError::UnknownPeer(peer.0))?;
+            let state = peers.get_mut(peer.0 as usize).ok_or(DfsError::UnknownPeer(peer.0))?;
             state.blocks.insert(cid.clone(), data);
             state.pins.insert(cid.clone());
         }
@@ -133,9 +184,7 @@ impl DfsNetwork {
     /// Returns [`DfsError::UnknownPeer`] for an unregistered peer.
     pub fn unpin(&self, peer: PeerId, cid: &Cid) -> Result<(), DfsError> {
         let mut peers = self.peers.write();
-        let state = peers
-            .get_mut(peer.0 as usize)
-            .ok_or(DfsError::UnknownPeer(peer.0))?;
+        let state = peers.get_mut(peer.0 as usize).ok_or(DfsError::UnknownPeer(peer.0))?;
         state.pins.remove(cid);
         Ok(())
     }
@@ -149,15 +198,9 @@ impl DfsNetwork {
     pub fn gc(&self, peer: PeerId) -> Result<usize, DfsError> {
         let dropped: Vec<Cid> = {
             let mut peers = self.peers.write();
-            let state = peers
-                .get_mut(peer.0 as usize)
-                .ok_or(DfsError::UnknownPeer(peer.0))?;
-            let doomed: Vec<Cid> = state
-                .blocks
-                .keys()
-                .filter(|c| !state.pins.contains(*c))
-                .cloned()
-                .collect();
+            let state = peers.get_mut(peer.0 as usize).ok_or(DfsError::UnknownPeer(peer.0))?;
+            let doomed: Vec<Cid> =
+                state.blocks.keys().filter(|c| !state.pins.contains(*c)).cloned().collect();
             for cid in &doomed {
                 state.blocks.remove(cid);
             }
@@ -245,6 +288,66 @@ mod tests {
         let cid = dfs.add(a, b"pinned".to_vec()).unwrap();
         assert_eq!(dfs.gc(a).unwrap(), 0);
         assert_eq!(dfs.get(&cid).unwrap(), b"pinned");
+    }
+
+    #[test]
+    fn get_via_direct_matches_get() {
+        use pol_net::transport::DirectTransport;
+
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer();
+        let requester = dfs.create_peer();
+        let cid = dfs.add(a, b"block".to_vec()).unwrap();
+        assert_eq!(dfs.get_via(&DirectTransport, requester, &cid).unwrap(), dfs.get(&cid).unwrap());
+    }
+
+    #[test]
+    fn get_via_times_out_when_links_are_dead() {
+        use pol_net::link::LinkModel;
+        use pol_net::retry::RetryPolicy;
+        use pol_net::transport::SimTransport;
+
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer();
+        let b = dfs.create_peer();
+        let requester = dfs.create_peer();
+        let cid = dfs.add(a, b"unfetchable".to_vec()).unwrap();
+        dfs.replicate(b, &cid).unwrap();
+        let transport = SimTransport::builder(3)
+            .link(LinkModel::ideal().with_drop_prob(1.0))
+            .retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() })
+            .build();
+        assert_eq!(
+            dfs.get_via(&transport, requester, &cid),
+            Err(DfsError::Unreachable { cid: cid.to_string(), providers_tried: 2 })
+        );
+    }
+
+    #[test]
+    fn get_via_falls_back_to_reachable_provider() {
+        use pol_net::link::LinkModel;
+        use pol_net::retry::RetryPolicy;
+        use pol_net::transport::SimTransport;
+
+        let dfs = DfsNetwork::new();
+        let a = dfs.create_peer(); // peer-0: will be cut off
+        let b = dfs.create_peer(); // peer-1: healthy
+        let requester = dfs.create_peer(); // peer-2
+        let cid = dfs.add(a, b"replicated".to_vec()).unwrap();
+        dfs.replicate(b, &cid).unwrap();
+        let transport = SimTransport::builder(9)
+            .retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() })
+            .build();
+        // Sever both directions between the requester and provider a only.
+        transport.set_link_symmetric(
+            NodeId(requester.0),
+            NodeId(a.0),
+            LinkModel::ideal().with_drop_prob(1.0),
+        );
+        assert_eq!(dfs.get_via(&transport, requester, &cid).unwrap(), b"replicated");
+        let stats = transport.stats();
+        assert!(stats.class(MessageClass::DfsRequest).timed_out >= 1);
+        assert_eq!(stats.class(MessageClass::DfsBlock).delivered, 1);
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Challenge {
 /// Returns [`DidError::ChallengeFailed`] when the ciphertext cannot be
 /// decrypted with this identity's agreement key — i.e. the challenge was
 /// not addressed to this DID.
-pub fn respond(identity: &Identity, challenge_ciphertext: &[u8]) -> Result<ChallengeResponse, DidError> {
+pub fn respond(
+    identity: &Identity,
+    challenge_ciphertext: &[u8],
+) -> Result<ChallengeResponse, DidError> {
     let nonce = sealed::open(&identity.agreement, challenge_ciphertext)
         .map_err(|_| DidError::ChallengeFailed)?;
     Ok(ChallengeResponse { nonce })

@@ -190,10 +190,7 @@ mod tests {
         let mut hijack = attacker.document(1);
         hijack.id = owner.did.clone();
         let sig = attacker.signing.sign(&hijack.canonical_bytes());
-        assert_eq!(
-            registry.rotate(&owner.did, hijack, &sig),
-            Err(DidError::BadSignature)
-        );
+        assert_eq!(registry.rotate(&owner.did, hijack, &sig), Err(DidError::BadSignature));
         // Original document untouched.
         assert_eq!(
             registry.resolve(&owner.did).unwrap().signing_public_key().unwrap(),

@@ -47,20 +47,9 @@ pub struct Credential {
 
 impl Credential {
     /// Issues a credential signed by the CA keypair.
-    pub fn issue(
-        ca: &Keypair,
-        subject: Did,
-        role: Role,
-        issued_ms: u64,
-    ) -> Credential {
+    pub fn issue(ca: &Keypair, subject: Did, role: Role, issued_ms: u64) -> Credential {
         let issuer = Did::from_public_key(&ca.public);
-        let mut cred = Credential {
-            subject,
-            role,
-            issuer,
-            issued_ms,
-            proof: String::new(),
-        };
+        let mut cred = Credential { subject, role, issuer, issued_ms, proof: String::new() };
         let sig = ca.sign(&cred.canonical_bytes());
         cred.proof = pol_crypto::hex::encode(&sig.to_bytes());
         cred
@@ -77,8 +66,8 @@ impl Credential {
         if !self.issuer.is_controlled_by(ca_public) {
             return Err(DidError::KeyMismatch);
         }
-        let sig_bytes: [u8; 64] = pol_crypto::hex::decode_array(&self.proof)
-            .map_err(|_| DidError::BadSignature)?;
+        let sig_bytes: [u8; 64] =
+            pol_crypto::hex::decode_array(&self.proof).map_err(|_| DidError::BadSignature)?;
         let sig = Signature::from_bytes(&sig_bytes).map_err(|_| DidError::BadSignature)?;
         if ca_public.verify(&self.canonical_bytes(), &sig) {
             Ok(())

@@ -472,11 +472,8 @@ impl Evm {
                 }
                 Op::SLoad => {
                     let key = pop!();
-                    let cost = if warm_slots.insert(key) {
-                        gas::G_COLDSLOAD
-                    } else {
-                        gas::G_WARMACCESS
-                    };
+                    let cost =
+                        if warm_slots.insert(key) { gas::G_COLDSLOAD } else { gas::G_WARMACCESS };
                     charge!(cost);
                     push!(self.contracts[&params.contract]
                         .storage
@@ -596,14 +593,16 @@ impl Evm {
     }
 }
 
-fn finish(success: bool, gas_used: u64, refund: u64, output: Vec<u8>, logs: Vec<Vec<u8>>) -> ExecOutcome {
+fn finish(
+    success: bool,
+    gas_used: u64,
+    refund: u64,
+    output: Vec<u8>,
+    logs: Vec<Vec<u8>>,
+) -> ExecOutcome {
     // EIP-3529 caps refunds at one fifth of the gas consumed; reverts
     // forfeit refunds entirely.
-    let gas_used = if success {
-        gas_used - refund.min(gas_used / 5)
-    } else {
-        gas_used
-    };
+    let gas_used = if success { gas_used - refund.min(gas_used / 5) } else { gas_used };
     ExecOutcome { success, gas_used, output, logs }
 }
 
@@ -643,29 +642,22 @@ mod tests {
         let init = Asm::deploy_wrapper(&runtime);
         let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
         let out = evm
-            .call(
-                CallParams::new(Address([1; 20]), addr).with_data(data),
-                &mut balances,
-            )
+            .call(CallParams::new(Address([1; 20]), addr).with_data(data), &mut balances)
             .unwrap();
         (evm, addr, out, balances)
     }
 
     fn return_top() -> Asm {
         // Store the stack top at mem[0] and return it.
-        Asm::new()
-            .push_u64(0)
-            .op(Op::MStore)
-            .push_u64(32)
-            .push_u64(0)
-            .op(Op::Return)
+        Asm::new().push_u64(0).op(Op::MStore).push_u64(32).push_u64(0).op(Op::Return)
     }
 
     #[test]
     fn arithmetic_program() {
         // (7 + 5) * 3 = 36
         let runtime = {
-            let mut c = Asm::new().push_u64(5).push_u64(7).op(Op::Add).push_u64(3).op(Op::Mul).build();
+            let mut c =
+                Asm::new().push_u64(5).push_u64(7).op(Op::Add).push_u64(3).op(Op::Mul).build();
             c.extend(return_top().build());
             c
         };
@@ -738,10 +730,7 @@ mod tests {
         let init = Asm::deploy_wrapper(&runtime);
         let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
         let err = evm
-            .call(
-                CallParams::new(Address::ZERO, addr).with_gas_limit(100_000),
-                &mut balances,
-            )
+            .call(CallParams::new(Address::ZERO, addr).with_gas_limit(100_000), &mut balances)
             .unwrap_err();
         assert!(matches!(err, EvmError::OutOfGas { .. }));
     }
@@ -770,9 +759,8 @@ mod tests {
         balances.insert(sender, 1_000_000);
         let init = Asm::deploy_wrapper(&runtime);
         let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
-        let out = evm
-            .call(CallParams::new(sender, addr).with_value(250_000), &mut balances)
-            .unwrap();
+        let out =
+            evm.call(CallParams::new(sender, addr).with_value(250_000), &mut balances).unwrap();
         assert_eq!(Word::from_be_slice(&out.output), Word::from_u64(250_000));
         assert_eq!(balances[&sender], 750_000);
         assert_eq!(balances[&addr], 250_000);
@@ -802,9 +790,7 @@ mod tests {
         balances.insert(sender, 1_000);
         let init = Asm::deploy_wrapper(&runtime);
         let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
-        let out = evm
-            .call(CallParams::new(sender, addr).with_value(500), &mut balances)
-            .unwrap();
+        let out = evm.call(CallParams::new(sender, addr).with_value(500), &mut balances).unwrap();
         assert!(out.success);
         assert_eq!(Word::from_be_slice(&out.output), Word::ONE);
         assert_eq!(balances[&target], 100);
@@ -819,10 +805,7 @@ mod tests {
         let init = Asm::deploy_wrapper(&runtime);
         let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
         let err = evm
-            .call(
-                CallParams::new(Address([3; 20]), addr).with_value(1),
-                &mut balances,
-            )
+            .call(CallParams::new(Address([3; 20]), addr).with_value(1), &mut balances)
             .unwrap_err();
         assert_eq!(err, EvmError::InsufficientValue);
     }

@@ -41,5 +41,5 @@ pub mod interpreter;
 pub mod opcode;
 pub mod word;
 
-pub use interpreter::{CallParams, Evm, ExecOutcome, EvmError};
+pub use interpreter::{CallParams, Evm, EvmError, ExecOutcome};
 pub use word::Word;

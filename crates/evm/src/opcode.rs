@@ -112,11 +112,31 @@ impl Op {
         match self {
             Op::Stop => G_ZERO,
             Op::JumpDest => G_JUMPDEST,
-            Op::Address | Op::Caller | Op::CallValue | Op::CallDataSize | Op::Timestamp
-            | Op::Number | Op::Pop => G_BASE,
-            Op::Add | Op::Sub | Op::Lt | Op::Gt | Op::Eq | Op::IsZero | Op::And | Op::Or
-            | Op::Xor | Op::Not | Op::CallDataLoad | Op::MLoad | Op::MStore | Op::Push1
-            | Op::Dup1 | Op::Swap1 | Op::CallDataCopy | Op::CodeCopy => G_VERYLOW,
+            Op::Address
+            | Op::Caller
+            | Op::CallValue
+            | Op::CallDataSize
+            | Op::Timestamp
+            | Op::Number
+            | Op::Pop => G_BASE,
+            Op::Add
+            | Op::Sub
+            | Op::Lt
+            | Op::Gt
+            | Op::Eq
+            | Op::IsZero
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Not
+            | Op::CallDataLoad
+            | Op::MLoad
+            | Op::MStore
+            | Op::Push1
+            | Op::Dup1
+            | Op::Swap1
+            | Op::CallDataCopy
+            | Op::CodeCopy => G_VERYLOW,
             Op::Mul | Op::Div | Op::Mod | Op::SelfBalance => G_LOW,
             Op::AddMod | Op::MulMod => G_MID,
             Op::Exp => G_EXP,

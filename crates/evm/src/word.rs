@@ -164,13 +164,13 @@ impl Word {
         let n = shift.as_u64() as usize;
         let (limb_shift, bit_shift) = (n / 64, n % 64);
         let mut out = [0u64; 4];
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             if i + limb_shift < 4 {
                 let mut v = self.0[i + limb_shift] >> bit_shift;
                 if bit_shift > 0 && i + limb_shift + 1 < 4 {
                     v |= self.0[i + limb_shift + 1] << (64 - bit_shift);
                 }
-                out[i] = v;
+                *slot = v;
             }
         }
         Word(out)

@@ -71,8 +71,8 @@ impl Coordinates {
         let phi2 = other.latitude.to_radians();
         let dphi = (other.latitude - self.latitude).to_radians();
         let dlambda = (other.longitude - self.longitude).to_radians();
-        let a = (dphi / 2.0).sin().powi(2)
-            + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
+        let a =
+            (dphi / 2.0).sin().powi(2) + phi1.cos() * phi2.cos() * (dlambda / 2.0).sin().powi(2);
         2.0 * EARTH_RADIUS_M * a.sqrt().asin()
     }
 

@@ -58,11 +58,8 @@ pub struct CodeArea {
 impl CodeArea {
     /// The centre of the area.
     pub fn center(&self) -> Coordinates {
-        Coordinates::new(
-            ((self.south + self.north) / 2.0).min(90.0),
-            (self.west + self.east) / 2.0,
-        )
-        .expect("decoded area centre is always valid")
+        Coordinates::new(((self.south + self.north) / 2.0).min(90.0), (self.west + self.east) / 2.0)
+            .expect("decoded area centre is always valid")
     }
 
     /// Whether a point lies within the area.
@@ -87,19 +84,13 @@ impl OlcCode {
 
     /// Number of significant digits (excludes separator and padding).
     pub fn digit_count(&self) -> usize {
-        self.0
-            .chars()
-            .filter(|c| *c != SEPARATOR && *c != PADDING)
-            .count()
+        self.0.chars().filter(|c| *c != SEPARATOR && *c != PADDING).count()
     }
 
     /// The code with separator and padding stripped: the "significant"
     /// digits used by the r-bit hypercube key encoding.
     pub fn significant_digits(&self) -> String {
-        self.0
-            .chars()
-            .filter(|c| *c != SEPARATOR && *c != PADDING)
-            .collect()
+        self.0.chars().filter(|c| *c != SEPARATOR && *c != PADDING).collect()
     }
 
     /// Decodes the code into the area it describes.
@@ -133,13 +124,7 @@ impl OlcCode {
             west += lng_res * (d % GRID_COLUMNS) as f64;
             idx += 1;
         }
-        CodeArea {
-            south,
-            west,
-            north: south + lat_res,
-            east: west + lng_res,
-            digits: digits.len(),
-        }
+        CodeArea { south, west, north: south + lat_res, east: west + lng_res, digits: digits.len() }
     }
 
     /// The area's centre point, a convenience for `decode().center()`.
@@ -282,16 +267,11 @@ pub fn is_valid(code: &str) -> bool {
     if upper.len() - sep_pos == 2 {
         return false; // a single digit after the separator is illegal
     }
-    let digit_count = chars
-        .iter()
-        .filter(|c| **c != SEPARATOR && **c != PADDING)
-        .count();
+    let digit_count = chars.iter().filter(|c| **c != SEPARATOR && **c != PADDING).count();
     if digit_count > MAX_DIGIT_COUNT {
         return false;
     }
-    chars
-        .iter()
-        .all(|&c| c == SEPARATOR || c == PADDING || ALPHABET.contains(&(c as u8)))
+    chars.iter().all(|&c| c == SEPARATOR || c == PADDING || ALPHABET.contains(&(c as u8)))
 }
 
 /// Whether `code` is a valid *full* (non-short) code.
@@ -326,10 +306,7 @@ mod tests {
         assert_eq!(encode(c(20.375, 2.775), 6).unwrap().as_str(), "7FG49Q00+");
         assert_eq!(encode(c(20.3700625, 2.7821875), 10).unwrap().as_str(), "7FG49QCJ+2V");
         assert_eq!(encode(c(20.3701125, 2.782234375), 11).unwrap().as_str(), "7FG49QCJ+2VX");
-        assert_eq!(
-            encode(c(20.3701135, 2.78223535156), 13).unwrap().as_str(),
-            "7FG49QCJ+2VXGJ"
-        );
+        assert_eq!(encode(c(20.3701135, 2.78223535156), 13).unwrap().as_str(), "7FG49QCJ+2VXGJ");
         assert_eq!(encode(c(47.0000625, 8.0000625), 10).unwrap().as_str(), "8FVC2222+22");
         assert_eq!(encode(c(-41.2730625, 174.7859375), 10).unwrap().as_str(), "4VCPPQGP+Q9");
         assert_eq!(encode(c(0.5, -179.5), 4).unwrap().as_str(), "62G20000+");

@@ -33,5 +33,5 @@ pub mod query;
 pub mod routing;
 
 pub use content::LocationRecord;
-pub use network::{Hypercube, NetworkStats};
+pub use network::{Hypercube, NetworkStats, HOP_BUCKETS};
 pub use routing::{Route, RoutingError};

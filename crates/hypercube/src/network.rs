@@ -5,10 +5,18 @@ use crate::content::LocationRecord;
 use crate::routing::{self, Route, RoutingError};
 use parking_lot::RwLock;
 use pol_geo::{rbit, OlcCode, RBitKey};
+use pol_net::transport::{DirectTransport, Transport, TransportError};
+use pol_net::{MessageClass, NodeId};
 use std::collections::HashMap;
 
+/// Number of fixed hop-count buckets in [`NetworkStats`]: hop counts
+/// `0..=31` each get a bucket, anything larger lands in the last one
+/// (greedy routing never exceeds `r ≤ 20` hops while all nodes are
+/// online, so the clamp bucket only fills under heavy detouring).
+pub const HOP_BUCKETS: usize = 33;
+
 /// Aggregate statistics over all lookups performed on the network.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkStats {
     /// Total lookups routed.
     pub lookups: u64,
@@ -16,6 +24,15 @@ pub struct NetworkStats {
     pub total_hops: u64,
     /// Worst single-lookup hop count observed.
     pub max_hops: u32,
+    /// Fixed-bucket histogram of per-lookup hop counts: bucket `h` counts
+    /// lookups that took exactly `h` hops (last bucket clamps).
+    pub hop_histogram: [u64; HOP_BUCKETS],
+}
+
+impl Default for NetworkStats {
+    fn default() -> NetworkStats {
+        NetworkStats { lookups: 0, total_hops: 0, max_hops: 0, hop_histogram: [0; HOP_BUCKETS] }
+    }
 }
 
 impl NetworkStats {
@@ -26,6 +43,40 @@ impl NetworkStats {
         } else {
             self.total_hops as f64 / self.lookups as f64
         }
+    }
+
+    fn record(&mut self, hops: u32) {
+        self.lookups += 1;
+        self.total_hops += u64::from(hops);
+        self.max_hops = self.max_hops.max(hops);
+        self.hop_histogram[(hops as usize).min(HOP_BUCKETS - 1)] += 1;
+    }
+
+    /// The hop count at quantile `q` (`0 < q ≤ 1`), from the histogram.
+    /// Returns 0 when no lookups were recorded.
+    pub fn quantile_hops(&self, q: f64) -> u32 {
+        if self.lookups == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.lookups as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (hops, &n) in self.hop_histogram.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return hops as u32;
+            }
+        }
+        self.max_hops
+    }
+
+    /// Median hop count.
+    pub fn p50_hops(&self) -> u32 {
+        self.quantile_hops(0.50)
+    }
+
+    /// 99th-percentile hop count.
+    pub fn p99_hops(&self) -> u32 {
+        self.quantile_hops(0.99)
     }
 }
 
@@ -51,10 +102,7 @@ pub struct Hypercube {
 
 impl std::fmt::Debug for Hypercube {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Hypercube")
-            .field("r", &self.r)
-            .field("nodes", &self.nodes.len())
-            .finish()
+        f.debug_struct("Hypercube").field("r", &self.r).field("nodes", &self.nodes.len()).finish()
     }
 }
 
@@ -102,19 +150,54 @@ impl Hypercube {
 
     /// Routes a lookup for `code` from node 0, recording statistics.
     ///
+    /// Equivalent to [`Hypercube::lookup_via`] over a zero-latency
+    /// [`DirectTransport`].
+    ///
     /// # Errors
     ///
     /// Propagates [`RoutingError`] from the underlying greedy router.
     pub fn lookup(&self, code: &OlcCode) -> Result<Route, RoutingError> {
+        self.lookup_via(&DirectTransport, code)
+    }
+
+    /// Routes a lookup for `code` from node 0, charging every hop to
+    /// `transport` and recording statistics on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoutingError`] from the greedy router, and returns
+    /// [`RoutingError::Timeout`] when the transport exhausts its retries
+    /// on any hop of the route.
+    pub fn lookup_via(
+        &self,
+        transport: &dyn Transport,
+        code: &OlcCode,
+    ) -> Result<Route, RoutingError> {
         let source = RBitKey::from_bits(0, self.r);
         // A gracefully departed node's keys are served by its delegate.
         let target = self.responsible_node(self.key_for(code));
         let route = routing::route(source, target, self.max_hops, |k| self.is_online(k))?;
-        let mut stats = self.stats.write();
-        stats.lookups += 1;
-        stats.total_hops += u64::from(route.hops());
-        stats.max_hops = stats.max_hops.max(route.hops());
+        self.charge_route(transport, &route, MessageClass::DhtLookup)?;
+        self.stats.write().record(route.hops());
         Ok(route)
+    }
+
+    /// Delivers one message per edge of `route` through `transport`.
+    fn charge_route(
+        &self,
+        transport: &dyn Transport,
+        route: &Route,
+        class: MessageClass,
+    ) -> Result<(), RoutingError> {
+        for pair in route.path.windows(2) {
+            transport.deliver(NodeId(pair[0].index()), NodeId(pair[1].index()), class).map_err(
+                |TransportError::Timeout { to, attempts, .. }| RoutingError::Timeout {
+                    node: to.0,
+                    attempts,
+                },
+            )?;
+        }
+        Ok(())
     }
 
     /// Looks up the contract registered for an area, if any.
@@ -123,13 +206,22 @@ impl Hypercube {
     ///
     /// Propagates routing failures (offline nodes, hop budget).
     pub fn find_contract(&self, code: &OlcCode) -> Result<Option<String>, RoutingError> {
-        let route = self.lookup(code)?;
+        self.find_contract_via(&DirectTransport, code)
+    }
+
+    /// [`Hypercube::find_contract`] with every hop charged to `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures, including transport timeouts.
+    pub fn find_contract_via(
+        &self,
+        transport: &dyn Transport,
+        code: &OlcCode,
+    ) -> Result<Option<String>, RoutingError> {
+        let route = self.lookup_via(transport, code)?;
         let node = &self.nodes[route.target().index() as usize];
-        Ok(node
-            .read()
-            .records
-            .get(code.as_str())
-            .map(|r| r.contract_id.clone()))
+        Ok(node.read().records.get(code.as_str()).map(|r| r.contract_id.clone()))
     }
 
     /// Registers the contract deployed for an area. Returns `false` (and
@@ -144,7 +236,22 @@ impl Hypercube {
         code: &OlcCode,
         contract_id: impl Into<String>,
     ) -> Result<bool, RoutingError> {
-        let route = self.lookup(code)?;
+        self.register_contract_via(&DirectTransport, code, contract_id)
+    }
+
+    /// [`Hypercube::register_contract`] with the store routed through
+    /// `transport` (one [`MessageClass::DhtStore`] exchange per hop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures, including transport timeouts.
+    pub fn register_contract_via(
+        &self,
+        transport: &dyn Transport,
+        code: &OlcCode,
+        contract_id: impl Into<String>,
+    ) -> Result<bool, RoutingError> {
+        let route = self.route_store(transport, code)?;
         let node = &self.nodes[route.target().index() as usize];
         let mut state = node.write();
         if state.records.contains_key(code.as_str()) {
@@ -165,12 +272,22 @@ impl Hypercube {
     /// # Errors
     ///
     /// Propagates routing failures.
-    pub fn append_cid(
+    pub fn append_cid(&self, code: &OlcCode, cid: impl Into<String>) -> Result<bool, RoutingError> {
+        self.append_cid_via(&DirectTransport, code, cid)
+    }
+
+    /// [`Hypercube::append_cid`] with the store routed through `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures, including transport timeouts.
+    pub fn append_cid_via(
         &self,
+        transport: &dyn Transport,
         code: &OlcCode,
         cid: impl Into<String>,
     ) -> Result<bool, RoutingError> {
-        let route = self.lookup(code)?;
+        let route = self.route_store(transport, code)?;
         let node = &self.nodes[route.target().index() as usize];
         let mut state = node.write();
         match state.records.get_mut(code.as_str()) {
@@ -179,13 +296,41 @@ impl Hypercube {
         }
     }
 
+    /// Routes a store operation: same path as a lookup, but hops are
+    /// charged as [`MessageClass::DhtStore`].
+    fn route_store(
+        &self,
+        transport: &dyn Transport,
+        code: &OlcCode,
+    ) -> Result<Route, RoutingError> {
+        let source = RBitKey::from_bits(0, self.r);
+        let target = self.responsible_node(self.key_for(code));
+        let route = routing::route(source, target, self.max_hops, |k| self.is_online(k))?;
+        self.charge_route(transport, &route, MessageClass::DhtStore)?;
+        self.stats.write().record(route.hops());
+        Ok(route)
+    }
+
     /// Returns a copy of the record for an area, if present.
     ///
     /// # Errors
     ///
     /// Propagates routing failures.
     pub fn record(&self, code: &OlcCode) -> Result<Option<LocationRecord>, RoutingError> {
-        let route = self.lookup(code)?;
+        self.record_via(&DirectTransport, code)
+    }
+
+    /// [`Hypercube::record`] with every hop charged to `transport`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures, including transport timeouts.
+    pub fn record_via(
+        &self,
+        transport: &dyn Transport,
+        code: &OlcCode,
+    ) -> Result<Option<LocationRecord>, RoutingError> {
+        let route = self.lookup_via(transport, code)?;
         let node = &self.nodes[route.target().index() as usize];
         Ok(node.read().records.get(code.as_str()).cloned())
     }
@@ -289,12 +434,7 @@ impl Hypercube {
 
     /// Records stored at one node (cloned), for complex queries.
     pub fn records_at(&self, key: RBitKey) -> Vec<LocationRecord> {
-        self.nodes[key.index() as usize]
-            .read()
-            .records
-            .values()
-            .cloned()
-            .collect()
+        self.nodes[key.index() as usize].read().records.values().cloned().collect()
     }
 
     /// Iterates over every stored record (cloned), for queries and display.
@@ -427,5 +567,68 @@ mod tests {
         let key = dht.key_for(&c);
         dht.fail_node(key); // crash, no handover
         assert!(dht.find_contract(&c).is_err());
+    }
+
+    #[test]
+    fn hop_histogram_tracks_quantiles() {
+        let dht = Hypercube::new(8);
+        for i in 0..40 {
+            let c = code(35.0 + f64::from(i) * 0.41, -3.0 + f64::from(i) * 0.73);
+            let _ = dht.lookup(&c).unwrap();
+        }
+        let stats = dht.stats();
+        assert_eq!(stats.hop_histogram.iter().sum::<u64>(), stats.lookups);
+        assert!(stats.p50_hops() <= stats.p99_hops());
+        assert!(stats.p99_hops() <= stats.max_hops);
+        assert!(u64::from(stats.p50_hops()) <= stats.total_hops);
+    }
+
+    #[test]
+    fn quantiles_on_empty_stats_are_zero() {
+        let stats = NetworkStats::default();
+        assert_eq!(stats.p50_hops(), 0);
+        assert_eq!(stats.p99_hops(), 0);
+    }
+
+    #[test]
+    fn lossy_transport_surfaces_typed_timeout() {
+        use pol_net::link::LinkModel;
+        use pol_net::retry::RetryPolicy;
+        use pol_net::transport::SimTransport;
+
+        let dht = Hypercube::new(6);
+        let c = code(44.4949, 11.3426);
+        dht.register_contract(&c, "app:1").unwrap();
+        let transport = SimTransport::builder(11)
+            .link(LinkModel::ideal().with_drop_prob(1.0))
+            .retry(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() })
+            .build();
+        match dht.find_contract_via(&transport, &c) {
+            Err(RoutingError::Timeout { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected a transport timeout, got {other:?}"),
+        }
+        // The same lookup through the default transport still succeeds:
+        // the DHT itself is healthy, only the faulty network was in the way.
+        assert_eq!(dht.find_contract(&c).unwrap().as_deref(), Some("app:1"));
+    }
+
+    #[test]
+    fn reliable_sim_transport_matches_direct_results() {
+        use pol_net::transport::SimTransport;
+
+        let direct = Hypercube::new(6);
+        let simulated = Hypercube::new(6);
+        let transport = SimTransport::builder(5).build();
+        for i in 0..10 {
+            let c = code(40.0 + f64::from(i) * 0.29, 9.0 + f64::from(i) * 0.31);
+            assert!(direct.register_contract(&c, format!("app:{i}")).unwrap());
+            assert!(simulated.register_contract_via(&transport, &c, format!("app:{i}")).unwrap());
+            assert_eq!(
+                direct.find_contract(&c).unwrap(),
+                simulated.find_contract_via(&transport, &c).unwrap()
+            );
+        }
+        assert_eq!(direct.stats(), simulated.stats());
+        assert!(transport.stats().total_delivered() > 0);
     }
 }

@@ -8,8 +8,8 @@
 //! nodes, the operation the paper's DApp uses to gather reports over a
 //! region of nearby areas.
 
-use crate::network::Hypercube;
 use crate::content::LocationRecord;
+use crate::network::Hypercube;
 use pol_geo::RBitKey;
 
 /// Result of a superset search.

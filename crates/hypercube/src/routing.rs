@@ -25,6 +25,16 @@ pub enum RoutingError {
         /// Dimensionality of the supplied key.
         got: u8,
     },
+    /// The transport gave up on a hop after exhausting its retry policy:
+    /// the next node is *unreachable* (loss, partition or churn), which is
+    /// a different failure from [`RoutingError::HopLimitExceeded`]'s "the
+    /// target is too far within the budget".
+    Timeout {
+        /// The node the hop was addressed to.
+        node: u64,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for RoutingError {
@@ -36,6 +46,9 @@ impl std::fmt::Display for RoutingError {
             RoutingError::NodeOffline(id) => write!(f, "node {id} is offline"),
             RoutingError::DimensionMismatch { expected, got } => {
                 write!(f, "dimension mismatch: network is {expected}-d, key is {got}-d")
+            }
+            RoutingError::Timeout { node, attempts } => {
+                write!(f, "hop to node {node} timed out after {attempts} attempts")
             }
         }
     }
@@ -136,7 +149,8 @@ pub fn random_walk_route(
             return Err(RoutingError::HopLimitExceeded { limit: max_hops });
         }
         // Deterministic pseudo-random dimension from position and hop count.
-        dim = ((u32::from(dim) + current.bits() + hops + 1) % u32::from(current.dimensions())) as u8;
+        dim =
+            ((u32::from(dim) + current.bits() + hops + 1) % u32::from(current.dimensions())) as u8;
         current = current.flip(dim);
         path.push(current);
         hops += 1;

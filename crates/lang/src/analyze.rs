@@ -81,7 +81,11 @@ impl std::fmt::Display for Analysis {
         writeln!(f, "  state: {} slots, {} map(s)", self.state_slots, self.maps)?;
         writeln!(f, "  blockchain-agnostic steps: {}", self.agnostic_steps)?;
         writeln!(f, "  EVM connector (Ethereum / Polygon):")?;
-        writeln!(f, "    deployment: {} gas ({} runtime bytes)", self.evm_deploy_gas, self.evm_runtime_bytes)?;
+        writeln!(
+            f,
+            "    deployment: {} gas ({} runtime bytes)",
+            self.evm_deploy_gas, self.evm_runtime_bytes
+        )?;
         for api in &self.apis {
             writeln!(f, "    {}: {} gas", api.name, api.evm_gas)?;
         }
@@ -92,7 +96,13 @@ impl std::fmt::Display for Analysis {
             self.avm_create_cost, self.avm_min_fee
         )?;
         for api in &self.apis {
-            writeln!(f, "    {}: {} / {} budget", api.name, api.avm_cost, pol_avm::cost::CALL_BUDGET)?;
+            writeln!(
+                f,
+                "    {}: {} / {} budget",
+                api.name,
+                api.avm_cost,
+                pol_avm::cost::CALL_BUDGET
+            )?;
         }
         Ok(())
     }
@@ -120,7 +130,8 @@ pub fn analyze(program: &Program) -> Result<Analysis, LangError> {
             _ => 32,
         })
         .sum();
-    let constructor_len = compiled_evm.init_code.len() - compiled_evm.runtime_len
+    let constructor_len = compiled_evm.init_code.len()
+        - compiled_evm.runtime_len
         - pol_evm::assembler::DEPLOY_WRAPPER_LEN;
     let constructor_gas =
         straight_line_gas(&compiled_evm.init_code[..constructor_len], arg_bytes as u64);
@@ -138,11 +149,11 @@ pub fn analyze(program: &Program) -> Result<Analysis, LangError> {
         agnostic_steps += count_steps(&api.body) + 1;
         let fragment = evm_backend::api_fragment(program, phase_idx, api)?;
         let payload = evm_backend::params_width(api) as u64;
-        let call_intrinsic = gas::G_TRANSACTION + 4 * gas::G_TXDATANONZERO
+        let call_intrinsic = gas::G_TRANSACTION
+            + 4 * gas::G_TXDATANONZERO
             + payload * (gas::G_TXDATANONZERO + gas::G_TXDATAZERO) / 2;
-        let evm_gas = call_intrinsic
-            + straight_line_gas(&fragment, payload)
-            + EVM_RUNTIME_CALL_OVERHEAD;
+        let evm_gas =
+            call_intrinsic + straight_line_gas(&fragment, payload) + EVM_RUNTIME_CALL_OVERHEAD;
         let avm_ops = avm_backend::api_fragment(program, phase_idx, api)?;
         apis.push(ApiCost {
             name: api.name.clone(),
@@ -235,8 +246,7 @@ mod tests {
         let a = analyze(&program).unwrap();
         // The default pad contributes 200 gas per byte of dead code.
         assert!(
-            a.evm_deploy_gas
-                > gas::G_CODEDEPOSIT * crate::backend::evm::DEFAULT_RUNTIME_PAD as u64
+            a.evm_deploy_gas > gas::G_CODEDEPOSIT * crate::backend::evm::DEFAULT_RUNTIME_PAD as u64
         );
     }
 }

@@ -282,19 +282,12 @@ impl Program {
 
     /// Finds a constructor field's type.
     pub fn field_ty(&self, name: &str) -> Option<Ty> {
-        self.creator
-            .fields
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, t)| *t)
+        self.creator.fields.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 
     /// All APIs across phases, with their phase index.
     pub fn all_apis(&self) -> impl Iterator<Item = (usize, &Api)> {
-        self.phases
-            .iter()
-            .enumerate()
-            .flat_map(|(i, p)| p.apis.iter().map(move |a| (i, a)))
+        self.phases.iter().enumerate().flat_map(|(i, p)| p.apis.iter().map(move |a| (i, a)))
     }
 
     /// A tiny sample program used by documentation and smoke tests: a

@@ -85,9 +85,7 @@ fn encode_args(params: &[(String, Ty)], args: &[AbiValue]) -> Result<Vec<Vec<u8>
     let mut out = Vec::with_capacity(args.len());
     for ((name, ty), value) in params.iter().zip(args) {
         if !value.matches(ty) {
-            return Err(LangError::Backend(format!(
-                "argument {name:?} does not match {ty:?}"
-            )));
+            return Err(LangError::Backend(format!("argument {name:?} does not match {ty:?}")));
         }
         out.push(match value {
             AbiValue::Word(w) => (*w as u64).to_be_bytes().to_vec(),
@@ -509,7 +507,10 @@ mod tests {
     use pol_avm::{AppCallParams, Avm, TealValue};
     use pol_ledger::Address;
 
-    fn create(program: &Program, args: &[AbiValue]) -> (Avm, u64, CompiledAvm, pol_avm::interpreter::Balances) {
+    fn create(
+        program: &Program,
+        args: &[AbiValue],
+    ) -> (Avm, u64, CompiledAvm, pol_avm::interpreter::Balances) {
         let compiled = compile(program).unwrap();
         let mut avm = Avm::new();
         let mut balances = pol_avm::interpreter::Balances::new();
@@ -599,8 +600,7 @@ mod tests {
         let (mut avm, app_id, _, mut balances) = create(&program, &[AbiValue::Word(1)]);
         let out = avm
             .call(
-                AppCallParams::new(Address([1; 20]), app_id)
-                    .with_args(vec![b"nonsense".to_vec()]),
+                AppCallParams::new(Address([1; 20]), app_id).with_args(vec![b"nonsense".to_vec()]),
                 &mut balances,
             )
             .unwrap();

@@ -111,9 +111,7 @@ fn encode_values(
     let mut out = vec![0u8; total];
     for ((name, ty, off, len), value) in layout.iter().zip(args) {
         if !value.matches(ty) {
-            return Err(LangError::Backend(format!(
-                "argument {name:?} does not match {ty:?}"
-            )));
+            return Err(LangError::Backend(format!("argument {name:?} does not match {ty:?}")));
         }
         match value {
             AbiValue::Word(w) => {
@@ -306,7 +304,8 @@ pub fn compile_with_pad(program: &Program, runtime_pad: usize) -> Result<Compile
                     .op(Op::Stop);
             }
             DispatchKind::Api { phase, api } => {
-                let mut ctx = Ctx::new(program, ParamSource::CallData, &api.params, asm, revert_label);
+                let mut ctx =
+                    Ctx::new(program, ParamSource::CallData, &api.params, asm, revert_label);
                 ctx.compile_api(phase, &api)?;
                 asm = ctx.asm;
             }
@@ -340,12 +339,8 @@ fn emit_constructor(
     let revert_label = asm.new_label();
     // _creator = CALLER
     asm = asm.op(Op::Caller).push_u64(SLOT_CREATOR).op(Op::SStore);
-    let fields: Vec<(String, Ty)> = program
-        .creator
-        .fields
-        .iter()
-        .map(|(n, t)| (n.clone(), *t))
-        .collect();
+    let fields: Vec<(String, Ty)> =
+        program.creator.fields.iter().map(|(n, t)| (n.clone(), *t)).collect();
     let mut ctx = Ctx::new(program, ParamSource::Code(args_off), &fields, asm, revert_label);
     let _ = field_layout;
 
@@ -379,11 +374,8 @@ fn emit_constructor(
     // Jump over the terminal revert into the deploy wrapper that follows.
     let done = ctx.asm.new_label();
     ctx.asm = std::mem::take(&mut ctx.asm).jump(done);
-    ctx.asm = std::mem::take(&mut ctx.asm)
-        .bind(revert_label)
-        .push_u64(0)
-        .push_u64(0)
-        .op(Op::Revert);
+    ctx.asm =
+        std::mem::take(&mut ctx.asm).bind(revert_label).push_u64(0).push_u64(0).op(Op::Revert);
     ctx.asm = std::mem::take(&mut ctx.asm).bind(done);
     Ok(ctx.asm.build())
 }
@@ -485,19 +477,14 @@ impl<'p> Ctx<'p> {
             Stmt::MapSet { map, key, value } => {
                 // commitment = keccak(staged value)
                 let (base, len) = self.stage(value)?;
-                self.asm = std::mem::take(&mut self.asm)
-                    .push_u64(len)
-                    .push_u64(base)
-                    .op(Op::Keccak256);
+                self.asm =
+                    std::mem::take(&mut self.asm).push_u64(len).push_u64(base).op(Op::Keccak256);
                 self.emit_map_slot(map, key)?;
                 self.asm = std::mem::take(&mut self.asm).op(Op::SStore);
                 // LOG1 raw payload with the key as topic (stack top-down:
                 // offset, size, topic — the interpreter's pop order).
                 self.emit_expr(key)?;
-                self.asm = std::mem::take(&mut self.asm)
-                    .push_u64(len)
-                    .push_u64(base)
-                    .op(Op::Log1);
+                self.asm = std::mem::take(&mut self.asm).push_u64(len).push_u64(base).op(Op::Log1);
                 Ok(())
             }
             Stmt::MapDelete { map, key } => {
@@ -507,11 +494,8 @@ impl<'p> Ctx<'p> {
                 Ok(())
             }
             Stmt::Transfer { to, amount } => {
-                self.asm = std::mem::take(&mut self.asm)
-                    .push_u64(0)
-                    .push_u64(0)
-                    .push_u64(0)
-                    .push_u64(0);
+                self.asm =
+                    std::mem::take(&mut self.asm).push_u64(0).push_u64(0).push_u64(0).push_u64(0);
                 self.emit_expr(amount)?;
                 self.emit_expr(to)?;
                 self.asm = std::mem::take(&mut self.asm).push_u64(0).op(Op::Call).op(Op::Pop);
@@ -537,10 +521,7 @@ impl<'p> Ctx<'p> {
             }
             Stmt::Log(parts) => {
                 let (base, len) = self.stage(parts)?;
-                self.asm = std::mem::take(&mut self.asm)
-                    .push_u64(len)
-                    .push_u64(base)
-                    .op(Op::Log0);
+                self.asm = std::mem::take(&mut self.asm).push_u64(len).push_u64(base).op(Op::Log0);
                 Ok(())
             }
         }
@@ -666,18 +647,14 @@ impl<'p> Ctx<'p> {
             }
             Expr::MapContains { map, key } => {
                 self.emit_map_slot(map, key)?;
-                self.asm = std::mem::take(&mut self.asm)
-                    .op(Op::SLoad)
-                    .op(Op::IsZero)
-                    .op(Op::IsZero);
+                self.asm =
+                    std::mem::take(&mut self.asm).op(Op::SLoad).op(Op::IsZero).op(Op::IsZero);
                 Ok(())
             }
             Expr::Hash(parts) => {
                 let (base, len) = self.stage(parts)?;
-                self.asm = std::mem::take(&mut self.asm)
-                    .push_u64(len)
-                    .push_u64(base)
-                    .op(Op::Keccak256);
+                self.asm =
+                    std::mem::take(&mut self.asm).push_u64(len).push_u64(base).op(Op::Keccak256);
                 Ok(())
             }
             Expr::Bin(op, lhs, rhs) => {
@@ -722,11 +699,8 @@ pub fn api_fragment(program: &Program, phase_idx: usize, api: &Api) -> Result<Ve
     let revert_label = asm.new_label();
     let mut ctx = Ctx::new(program, ParamSource::CallData, &api.params, asm, revert_label);
     ctx.compile_api(phase_idx, api)?;
-    ctx.asm = std::mem::take(&mut ctx.asm)
-        .bind(revert_label)
-        .push_u64(0)
-        .push_u64(0)
-        .op(Op::Revert);
+    ctx.asm =
+        std::mem::take(&mut ctx.asm).bind(revert_label).push_u64(0).push_u64(0).op(Op::Revert);
     Ok(ctx.asm.build())
 }
 
@@ -757,7 +731,10 @@ mod tests {
     use super::*;
     use pol_evm::{CallParams, Evm};
 
-    fn deploy(program: &Program, args: &[AbiValue]) -> (Evm, Address, CompiledEvm, pol_evm::interpreter::Balances) {
+    fn deploy(
+        program: &Program,
+        args: &[AbiValue],
+    ) -> (Evm, Address, CompiledEvm, pol_evm::interpreter::Balances) {
         let compiled = compile_with_pad(program, 0).unwrap();
         let init = compiled.init_with_args(args).unwrap();
         let mut evm = Evm::new();
@@ -780,23 +757,17 @@ mod tests {
         value: u128,
     ) -> pol_evm::ExecOutcome {
         let data = compiled.encode_call(api, args).unwrap();
-        evm.call(
-            CallParams::new(caller, addr).with_data(data).with_value(value),
-            balances,
-        )
-        .unwrap()
+        evm.call(CallParams::new(caller, addr).with_data(data).with_value(value), balances).unwrap()
     }
 
     #[test]
     fn counter_constructor_and_views() {
         let program = Program::counter_example();
-        let (mut evm, addr, compiled, mut balances) =
-            deploy(&program, &[AbiValue::Word(3)]);
+        let (mut evm, addr, compiled, mut balances) = deploy(&program, &[AbiValue::Word(3)]);
         // view_remaining == 3
         let data = compiled.encode_call("view_remaining", &[]).unwrap();
-        let out = evm
-            .call(CallParams::new(Address::ZERO, addr).with_data(data), &mut balances)
-            .unwrap();
+        let out =
+            evm.call(CallParams::new(Address::ZERO, addr).with_data(data), &mut balances).unwrap();
         assert!(out.success);
         assert_eq!(decode_word(&out.output), Word::from_u64(3));
     }
@@ -806,20 +777,22 @@ mod tests {
         let program = Program::counter_example();
         let (mut evm, addr, compiled, mut balances) = deploy(&program, &[AbiValue::Word(2)]);
         let caller = Address([1; 20]);
-        let out = call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(5)], caller, 0);
+        let out =
+            call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(5)], caller, 0);
         assert!(out.success, "{:?}", out);
         assert_eq!(decode_word(&out.output), Word::from_u64(1)); // remaining
-        let out = call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(7)], caller, 0);
+        let out =
+            call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(7)], caller, 0);
         assert!(out.success);
         assert_eq!(decode_word(&out.output), Word::from_u64(0));
         // Phase over: next bump reverts.
-        let out = call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(1)], caller, 0);
+        let out =
+            call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(1)], caller, 0);
         assert!(!out.success);
         // count == 12 via view
         let data = compiled.encode_call("view_count", &[]).unwrap();
-        let out = evm
-            .call(CallParams::new(Address::ZERO, addr).with_data(data), &mut balances)
-            .unwrap();
+        let out =
+            evm.call(CallParams::new(Address::ZERO, addr).with_data(data), &mut balances).unwrap();
         assert_eq!(decode_word(&out.output), Word::from_u64(12));
     }
 
@@ -829,7 +802,8 @@ mod tests {
         let (mut evm, addr, compiled, mut balances) = deploy(&program, &[AbiValue::Word(1)]);
         let caller = Address([1; 20]);
         // Exhaust the phase.
-        let out = call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(1)], caller, 0);
+        let out =
+            call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(1)], caller, 0);
         assert!(out.success);
         // Give the contract a balance, then close.
         balances.insert(addr, 777);
@@ -844,7 +818,16 @@ mod tests {
     fn close_before_phases_end_reverts() {
         let program = Program::counter_example();
         let (mut evm, addr, compiled, mut balances) = deploy(&program, &[AbiValue::Word(5)]);
-        let out = call(&mut evm, &mut balances, addr, &compiled, "closeContract", &[], Address([1; 20]), 0);
+        let out = call(
+            &mut evm,
+            &mut balances,
+            addr,
+            &compiled,
+            "closeContract",
+            &[],
+            Address([1; 20]),
+            0,
+        );
         assert!(!out.success);
     }
 
@@ -853,10 +836,7 @@ mod tests {
         let program = Program::counter_example();
         let (mut evm, addr, _, mut balances) = deploy(&program, &[AbiValue::Word(5)]);
         let out = evm
-            .call(
-                CallParams::new(Address::ZERO, addr).with_data(vec![1, 2, 3, 4]),
-                &mut balances,
-            )
+            .call(CallParams::new(Address::ZERO, addr).with_data(vec![1, 2, 3, 4]), &mut balances)
             .unwrap();
         assert!(!out.success);
     }
@@ -867,7 +847,16 @@ mod tests {
         let (mut evm, addr, compiled, mut balances) = deploy(&program, &[AbiValue::Word(5)]);
         let caller = Address([1; 20]);
         balances.insert(caller, 1_000);
-        let out = call(&mut evm, &mut balances, addr, &compiled, "bump", &[AbiValue::Word(1)], caller, 100);
+        let out = call(
+            &mut evm,
+            &mut balances,
+            addr,
+            &compiled,
+            "bump",
+            &[AbiValue::Word(1)],
+            caller,
+            100,
+        );
         assert!(!out.success, "paying a non-payable api must revert");
     }
 

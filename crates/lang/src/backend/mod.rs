@@ -54,8 +54,5 @@ pub fn compile(program: &crate::ast::Program) -> Result<CompiledContract, crate:
     if !report.ok() {
         return Err(crate::LangError::VerificationFailed(report.failures));
     }
-    Ok(CompiledContract {
-        evm: evm::compile(program)?,
-        avm: avm::compile(program)?,
-    })
+    Ok(CompiledContract { evm: evm::compile(program)?, avm: avm::compile(program)? })
 }

@@ -93,11 +93,7 @@ pub fn check(program: &Program) -> Vec<String> {
                 ctx.check_stmt(stmt);
             }
             ctx.expect(&api.returns, Ty::UInt, "api return");
-            errors.extend(
-                ctx.errors
-                    .into_iter()
-                    .map(|e| format!("api {:?}: {e}", api.name)),
-            );
+            errors.extend(ctx.errors.into_iter().map(|e| format!("api {:?}: {e}", api.name)));
         }
     }
     errors
@@ -112,9 +108,8 @@ impl Ctx<'_> {
                 Some(Ty::Bytes(_)) => {
                     if let Some(ty) = self.infer(value) {
                         if ty.is_word() {
-                            self.errors.push(format!(
-                                "byte global {name:?} must be set from byte data"
-                            ));
+                            self.errors
+                                .push(format!("byte global {name:?} must be set from byte data"));
                         }
                     }
                 }
@@ -175,8 +170,7 @@ impl Ctx<'_> {
             Expr::UInt(_) => Some(Ty::UInt),
             Expr::Param(name) => {
                 if !self.allow_params {
-                    self.errors
-                        .push(format!("parameter {name:?} referenced outside an api body"));
+                    self.errors.push(format!("parameter {name:?} referenced outside an api body"));
                     return None;
                 }
                 match self.params.iter().find(|(n, _)| n == name) {
@@ -237,8 +231,7 @@ impl Ctx<'_> {
                     }
                     BinOp::Eq | BinOp::Ne => {
                         if lt != rt {
-                            self.errors
-                                .push(format!("{op:?} operands differ: {lt:?} vs {rt:?}"));
+                            self.errors.push(format!("{op:?} operands differ: {lt:?} vs {rt:?}"));
                             None
                         } else {
                             Some(Ty::Bool)
@@ -275,10 +268,9 @@ mod tests {
     #[test]
     fn unknown_global_reported() {
         let mut p = Program::counter_example();
-        p.phases[0].apis[0].body.push(Stmt::GlobalSet {
-            name: "nope".into(),
-            value: Expr::UInt(1),
-        });
+        p.phases[0].apis[0]
+            .body
+            .push(Stmt::GlobalSet { name: "nope".into(), value: Expr::UInt(1) });
         let errs = check(&p);
         assert!(errs.iter().any(|e| e.contains("unknown global \"nope\"")), "{errs:?}");
     }
@@ -306,9 +298,7 @@ mod tests {
     #[test]
     fn eq_type_mismatch_reported() {
         let mut p = Program::counter_example();
-        p.phases[0].apis[0]
-            .body
-            .push(Stmt::Require(Expr::eq(Expr::Caller, Expr::UInt(0))));
+        p.phases[0].apis[0].body.push(Stmt::Require(Expr::eq(Expr::Caller, Expr::UInt(0))));
         let errs = check(&p);
         assert!(errs.iter().any(|e| e.contains("operands differ")), "{errs:?}");
     }

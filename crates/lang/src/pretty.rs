@@ -46,11 +46,8 @@ pub fn to_source(program: &Program) -> String {
             expr_str(&phase.invariant)
         ));
         for api in &phase.apis {
-            let params: Vec<String> = api
-                .params
-                .iter()
-                .map(|(n, t)| format!("{n}: {}", ty_str(t)))
-                .collect();
+            let params: Vec<String> =
+                api.params.iter().map(|(n, t)| format!("{n}: {}", ty_str(t))).collect();
             let pay = match &api.pay {
                 Some(p) => format!(" pay {}", expr_str(p)),
                 None => String::new(),

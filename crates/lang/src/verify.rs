@@ -57,7 +57,12 @@ impl std::fmt::Display for VerifyReport {
         if self.failures.is_empty() {
             write!(f, "Checked {} theorems; No failures!", self.theorems_checked)
         } else {
-            writeln!(f, "Checked {} theorems; {} FAILURES:", self.theorems_checked, self.failures.len())?;
+            writeln!(
+                f,
+                "Checked {} theorems; {} FAILURES:",
+                self.theorems_checked,
+                self.failures.len()
+            )?;
             for failure in &self.failures {
                 writeln!(f, "  ✗ {failure}")?;
             }
@@ -82,11 +87,8 @@ pub fn verify(program: &Program) -> VerifyReport {
         });
         // One theorem per byte-typed parameter: its raw content never
         // enters persistent state (commitment discipline).
-        theorems += api
-            .params
-            .iter()
-            .filter(|(_, ty)| matches!(ty, crate::ast::Ty::Bytes(_)))
-            .count();
+        theorems +=
+            api.params.iter().filter(|(_, ty)| matches!(ty, crate::ast::Ty::Bytes(_))).count();
     }
     // Byte-typed constructor fields are likewise committed, one theorem
     // each.
@@ -173,9 +175,8 @@ fn verify_api(api: &Api, entry_guards: &[Expr], mode: Mode) -> (usize, Vec<Strin
         Stmt::Transfer { amount, .. } => {
             theorems += 1;
             if !guards_cover_balance(guards, amount) {
-                failures.push(format!(
-                    "transfer of {amount:?} is not dominated by a balance guard"
-                ));
+                failures
+                    .push(format!("transfer of {amount:?} is not dominated by a balance guard"));
             }
             transferred = true;
         }
@@ -183,9 +184,8 @@ fn verify_api(api: &Api, entry_guards: &[Expr], mode: Mode) -> (usize, Vec<Strin
             for_each_sub(value, &mut |minuend, subtrahend| {
                 theorems += 1;
                 if !guards_bound_minuend(guards, minuend, subtrahend) {
-                    failures.push(format!(
-                        "subtraction {minuend:?} - {subtrahend:?} may underflow"
-                    ));
+                    failures
+                        .push(format!("subtraction {minuend:?} - {subtrahend:?} may underflow"));
                 }
             });
             if transferred {
@@ -218,11 +218,7 @@ fn for_each_stmt(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
 
 /// Visits statements with the dominating guard set (phase conditions,
 /// earlier `Require`s, enclosing `If` conditions).
-fn walk_guarded(
-    stmts: &[Stmt],
-    guards: &mut Vec<Expr>,
-    f: &mut impl FnMut(&Stmt, &[Expr]),
-) {
+fn walk_guarded(stmts: &[Stmt], guards: &mut Vec<Expr>, f: &mut impl FnMut(&Stmt, &[Expr])) {
     for stmt in stmts {
         f(stmt, guards);
         match stmt {
@@ -327,10 +323,7 @@ mod tests {
     #[test]
     fn unguarded_transfer_fails() {
         let mut p = Program::counter_example();
-        p.phases[0].apis[0].body.push(Stmt::Transfer {
-            to: Expr::Caller,
-            amount: Expr::UInt(100),
-        });
+        p.phases[0].apis[0].body.push(Stmt::Transfer { to: Expr::Caller, amount: Expr::UInt(100) });
         let report = verify(&p);
         assert!(!report.ok());
         assert!(report.failures.iter().any(|f| f.contains("balance guard")), "{report}");
@@ -374,10 +367,7 @@ mod tests {
         );
         // The counter updates now happen *after* the transfer.
         let report = verify(&p);
-        assert!(
-            report.failures.iter().any(|f| f.contains("effect ordering")),
-            "{report}"
-        );
+        assert!(report.failures.iter().any(|f| f.contains("effect ordering")), "{report}");
     }
 
     #[test]
@@ -402,10 +392,7 @@ mod tests {
             key: Expr::param("by"),
             value: vec![Expr::param("by")],
         });
-        p.phases[0].apis[0].body.push(Stmt::MapDelete {
-            map: "m".into(),
-            key: Expr::param("by"),
-        });
+        p.phases[0].apis[0].body.push(Stmt::MapDelete { map: "m".into(), key: Expr::param("by") });
         let report = verify(&p);
         assert!(report.ok(), "{report}");
     }

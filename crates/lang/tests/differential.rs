@@ -31,10 +31,16 @@ fn uexpr(depth: u32) -> BoxedStrategy<Expr> {
     let inner = uexpr(depth - 1);
     prop_oneof![
         leaf,
-        (inner.clone(), inner.clone())
-            .prop_map(|(x, y)| Expr::Bin(BinOp::Add, Box::new(x), Box::new(y))),
-        (inner, 1u64..8)
-            .prop_map(|(x, k)| Expr::Bin(BinOp::Mul, Box::new(x), Box::new(Expr::UInt(k)))),
+        (inner.clone(), inner.clone()).prop_map(|(x, y)| Expr::Bin(
+            BinOp::Add,
+            Box::new(x),
+            Box::new(y)
+        )),
+        (inner, 1u64..8).prop_map(|(x, k)| Expr::Bin(
+            BinOp::Mul,
+            Box::new(x),
+            Box::new(Expr::UInt(k))
+        )),
     ]
     .boxed()
 }
@@ -65,30 +71,29 @@ fn bexpr() -> impl Strategy<Value = Expr> {
 
 fn stmt() -> impl Strategy<Value = Stmt> {
     prop_oneof![
-        (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], uexpr(2)).prop_map(|(g, v)| {
-            Stmt::GlobalSet { name: g.to_string(), value: v }
-        }),
+        (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], uexpr(2))
+            .prop_map(|(g, v)| { Stmt::GlobalSet { name: g.to_string(), value: v } }),
         bexpr().prop_map(Stmt::Require),
-        (bexpr(), proptest::collection::vec(
-            (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], uexpr(1))
-                .prop_map(|(g, v)| Stmt::GlobalSet { name: g.to_string(), value: v }),
-            0..2,
-        ), proptest::collection::vec(
-            (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], uexpr(1))
-                .prop_map(|(g, v)| Stmt::GlobalSet { name: g.to_string(), value: v }),
-            0..2,
-        ))
+        (
+            bexpr(),
+            proptest::collection::vec(
+                (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], uexpr(1))
+                    .prop_map(|(g, v)| Stmt::GlobalSet { name: g.to_string(), value: v }),
+                0..2,
+            ),
+            proptest::collection::vec(
+                (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], uexpr(1))
+                    .prop_map(|(g, v)| Stmt::GlobalSet { name: g.to_string(), value: v }),
+                0..2,
+            )
+        )
             .prop_map(|(cond, then, otherwise)| Stmt::If { cond, then, otherwise }),
     ]
 }
 
 fn program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(stmt(), 1..5),
-        uexpr(2),
-        0u64..256,
-    )
-        .prop_map(|(body, returns, g1_init)| Program {
+    (proptest::collection::vec(stmt(), 1..5), uexpr(2), 0u64..256).prop_map(
+        |(body, returns, g1_init)| Program {
             name: "diff".into(),
             creator: Participant {
                 name: "Creator".into(),
@@ -113,11 +118,7 @@ fn program() -> impl Strategy<Value = Program> {
             phases: vec![Phase {
                 name: "p".into(),
                 // Run effectively forever (bounded call sequences).
-                while_cond: Expr::Bin(
-                    BinOp::Lt,
-                    Box::new(Expr::UInt(0)),
-                    Box::new(Expr::UInt(1)),
-                ),
+                while_cond: Expr::Bin(BinOp::Lt, Box::new(Expr::UInt(0)), Box::new(Expr::UInt(1))),
                 invariant: Expr::Bin(
                     BinOp::Ge,
                     Box::new(Expr::global(GLOBALS[0])),
@@ -131,7 +132,8 @@ fn program() -> impl Strategy<Value = Program> {
                     returns,
                 }],
             }],
-        })
+        },
+    )
 }
 
 /// One observable step: whether the call was accepted, the returned
@@ -148,9 +150,7 @@ fn run_evm(program: &Program, seed: u64, calls: &[(u64, u64)]) -> Vec<Observatio
     let mut evm = pol_evm::Evm::new();
     let mut balances = pol_evm::interpreter::Balances::new();
     let init = compiled.init_with_args(&[AbiValue::Word(u128::from(seed))]).unwrap();
-    let (addr, _) = evm
-        .deploy(Address::ZERO, &init, 50_000_000, &mut balances)
-        .expect("deploys");
+    let (addr, _) = evm.deploy(Address::ZERO, &init, 50_000_000, &mut balances).expect("deploys");
     let caller = Address([1; 20]);
     let mut out = Vec::new();
     for &(a, b) in calls {
@@ -158,10 +158,7 @@ fn run_evm(program: &Program, seed: u64, calls: &[(u64, u64)]) -> Vec<Observatio
             .encode_call("f", &[AbiValue::Word(u128::from(a)), AbiValue::Word(u128::from(b))])
             .unwrap();
         let result = evm
-            .call(
-                pol_evm::CallParams::new(caller, addr).with_data(data),
-                &mut balances,
-            )
+            .call(pol_evm::CallParams::new(caller, addr).with_data(data), &mut balances)
             .expect("no machine faults");
         let mut read_global = |name: &str| {
             let data = compiled.encode_call(&format!("view_{name}"), &[]).unwrap();
@@ -173,9 +170,7 @@ fn run_evm(program: &Program, seed: u64, calls: &[(u64, u64)]) -> Vec<Observatio
         let globals = [read_global(GLOBALS[0]), read_global(GLOBALS[1])];
         out.push(Observation {
             accepted: result.success,
-            returned: result
-                .success
-                .then(|| pol_evm::Word::from_be_slice(&result.output).as_u64()),
+            returned: result.success.then(|| pol_evm::Word::from_be_slice(&result.output).as_u64()),
             globals,
         });
     }
@@ -197,10 +192,7 @@ fn run_avm(program: &Program, seed: u64, calls: &[(u64, u64)]) -> Vec<Observatio
             .encode_call("f", &[AbiValue::Word(u128::from(a)), AbiValue::Word(u128::from(b))])
             .unwrap();
         let result = avm
-            .call(
-                pol_avm::AppCallParams::new(caller, app).with_args(args),
-                &mut balances,
-            )
+            .call(pol_avm::AppCallParams::new(caller, app).with_args(args), &mut balances)
             .expect("no machine faults");
         let read_global = |name: &str| match avm.global(app, name.as_bytes()) {
             Some(pol_avm::TealValue::Uint(v)) => v,

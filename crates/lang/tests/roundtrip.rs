@@ -15,8 +15,7 @@ const MAP: &str = "m1";
 fn expr_strategy(in_api: bool) -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         (0u64..1000).prop_map(Expr::UInt),
-        prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])]
-            .prop_map(|g| Expr::Global(g.to_string())),
+        prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])].prop_map(|g| Expr::Global(g.to_string())),
         if in_api {
             prop_oneof![Just(PARAMS[0]), Just(PARAMS[1])]
                 .prop_map(|p| Expr::Param(p.to_string()))
@@ -47,14 +46,10 @@ fn expr_strategy(in_api: bool) -> impl Strategy<Value = Expr> {
                 Expr::Bin(op, Box::new(a), Box::new(b))
             }),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            inner.clone().prop_map(|k| Expr::MapGet {
-                map: MAP.to_string(),
-                key: Box::new(k)
-            }),
-            inner.clone().prop_map(|k| Expr::MapContains {
-                map: MAP.to_string(),
-                key: Box::new(k)
-            }),
+            inner.clone().prop_map(|k| Expr::MapGet { map: MAP.to_string(), key: Box::new(k) }),
+            inner
+                .clone()
+                .prop_map(|k| Expr::MapContains { map: MAP.to_string(), key: Box::new(k) }),
             proptest::collection::vec(inner, 1..3).prop_map(Expr::Hash),
         ]
     })
@@ -64,9 +59,8 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let e = || expr_strategy(true);
     prop_oneof![
         e().prop_map(Stmt::Require),
-        (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], e()).prop_map(|(g, v)| {
-            Stmt::GlobalSet { name: g.to_string(), value: v }
-        }),
+        (prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])], e())
+            .prop_map(|(g, v)| { Stmt::GlobalSet { name: g.to_string(), value: v } }),
         (e(), proptest::collection::vec(e(), 1..3)).prop_map(|(k, v)| Stmt::MapSet {
             map: MAP.to_string(),
             key: k,

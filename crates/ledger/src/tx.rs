@@ -192,8 +192,7 @@ impl Transaction {
     pub fn verify_signature(&self) -> bool {
         match &self.authorization {
             Some((pk, sig)) => {
-                Address::from_public_key(pk) == self.from
-                    && pk.verify(&self.signing_bytes(), sig)
+                Address::from_public_key(pk) == self.from && pk.verify(&self.signing_bytes(), sig)
             }
             None => false,
         }

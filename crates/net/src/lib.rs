@@ -1,0 +1,115 @@
+//! A deterministic simulated network transport with fault injection.
+//!
+//! The paper's PoL architecture is a P2P overlay — a hypercube DHT keyed
+//! by location codes plus an IPFS-like file store — but the sibling crates
+//! model those layers as zero-latency in-memory calls. This crate supplies
+//! the missing instrument: a discrete-event message transport with a
+//! virtual clock, per-link FIFO queues and pluggable fault models, so the
+//! overlay's behaviour under loss, churn and partitions can be measured
+//! instead of assumed.
+//!
+//! * [`clock::VirtualClock`] — simulated time in microseconds; nothing here
+//!   reads the wall clock, so every run is reproducible from its seed.
+//! * [`link::LinkModel`] — per-link latency distributions (fixed, uniform,
+//!   log-normal), jitter, drop probability and duplication.
+//! * [`sim::NetSim`] — the event queue: schedules message arrivals in
+//!   virtual time, never lets a message overtake an earlier one on the
+//!   same link, and applies partitions and node churn.
+//! * [`retry::RetryPolicy`] — timeout + exponential backoff with
+//!   deterministic seeded jitter.
+//! * [`stats::TransportStats`] — per-peer and per-message-class counters
+//!   with latency histograms (p50/p95/p99).
+//! * [`transport::Transport`] — the seam the DHT and DFS layers call
+//!   through: [`transport::DirectTransport`] preserves the historical
+//!   zero-latency behaviour bit-for-bit, while [`transport::SimTransport`]
+//!   routes every hop through the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use pol_net::link::LinkModel;
+//! use pol_net::retry::RetryPolicy;
+//! use pol_net::transport::{SimTransport, Transport};
+//! use pol_net::{MessageClass, NodeId};
+//!
+//! let net = SimTransport::builder(7)
+//!     .link(LinkModel::wan().with_drop_prob(0.05))
+//!     .retry(RetryPolicy::default())
+//!     .build();
+//! let latency = net.deliver(NodeId(0), NodeId(1), MessageClass::DhtLookup)?;
+//! assert!(latency > 0);
+//! # Ok::<(), pol_net::TransportError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod link;
+pub mod retry;
+pub mod sim;
+pub mod stats;
+pub mod transport;
+
+pub use link::LinkModel;
+pub use retry::RetryPolicy;
+pub use sim::NetSim;
+pub use stats::TransportStats;
+pub use transport::{DirectTransport, SimTransport, Transport, TransportError};
+
+/// Identifier of a simulated network endpoint.
+///
+/// The DHT maps hypercube keys to `NodeId(key.index())`; the DFS maps
+/// `PeerId(n)` to `NodeId(n)`. The spaces only meet when a caller chooses
+/// to share one simulator between layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// The protocol role of a message, used to key transport statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MessageClass {
+    /// One hop of a DHT lookup.
+    DhtLookup,
+    /// One hop of a DHT store/registration.
+    DhtStore,
+    /// A DFS block request.
+    DfsRequest,
+    /// A DFS block response.
+    DfsBlock,
+    /// Anything else (control traffic, tests).
+    Control,
+}
+
+impl MessageClass {
+    /// Stable lowercase name, used in CSV output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MessageClass::DhtLookup => "dht_lookup",
+            MessageClass::DhtStore => "dht_store",
+            MessageClass::DfsRequest => "dfs_request",
+            MessageClass::DfsBlock => "dfs_block",
+            MessageClass::Control => "control",
+        }
+    }
+
+    /// Every class, in stats/CSV order.
+    pub const ALL: [MessageClass; 5] = [
+        MessageClass::DhtLookup,
+        MessageClass::DhtStore,
+        MessageClass::DfsRequest,
+        MessageClass::DfsBlock,
+        MessageClass::Control,
+    ];
+}
+
+impl std::fmt::Display for MessageClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}

@@ -1,0 +1,220 @@
+//! Per-link behaviour: latency distributions and fault injection knobs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One-way propagation delay distribution of a link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Latency {
+    /// Every message takes exactly this long, microseconds.
+    Fixed(u64),
+    /// Uniform in `[lo_us, hi_us]`.
+    Uniform {
+        /// Lower bound, microseconds.
+        lo_us: u64,
+        /// Upper bound, microseconds.
+        hi_us: u64,
+    },
+    /// Log-normal around a median — the classic heavy-tailed WAN shape.
+    LogNormal {
+        /// Median latency, microseconds.
+        median_us: u64,
+        /// Dispersion (σ of the underlying normal); 0.5 is a mild tail,
+        /// 1.0 a heavy one.
+        sigma: f64,
+    },
+}
+
+/// Full per-link model: latency plus fault-injection knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Base one-way delay distribution.
+    pub latency: Latency,
+    /// Additional uniform jitter in `[0, jitter_us]` added per message.
+    pub jitter_us: u64,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a delivered message is also delivered a second time.
+    pub duplicate_prob: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> LinkModel {
+        LinkModel::lan()
+    }
+}
+
+impl LinkModel {
+    /// An ideal link: zero latency, no faults.
+    pub fn ideal() -> LinkModel {
+        LinkModel { latency: Latency::Fixed(0), jitter_us: 0, drop_prob: 0.0, duplicate_prob: 0.0 }
+    }
+
+    /// A datacenter-ish link: 200–500 µs, lossless.
+    pub fn lan() -> LinkModel {
+        LinkModel {
+            latency: Latency::Uniform { lo_us: 200, hi_us: 500 },
+            jitter_us: 50,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    /// A wide-area link: log-normal around 40 ms with a moderate tail —
+    /// the regime the paper's P2P overlay would really run in.
+    pub fn wan() -> LinkModel {
+        LinkModel {
+            latency: Latency::LogNormal { median_us: 40_000, sigma: 0.5 },
+            jitter_us: 2_000,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    /// Returns the model with the drop probability replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_drop_prob(mut self, p: f64) -> LinkModel {
+        assert!((0.0..=1.0).contains(&p), "drop_prob {p} not a probability");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Returns the model with the duplication probability replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p ≤ 1`.
+    pub fn with_duplicate_prob(mut self, p: f64) -> LinkModel {
+        assert!((0.0..=1.0).contains(&p), "duplicate_prob {p} not a probability");
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Returns the model with the jitter bound replaced.
+    pub fn with_jitter_us(mut self, jitter_us: u64) -> LinkModel {
+        self.jitter_us = jitter_us;
+        self
+    }
+
+    /// Samples one message's propagation delay.
+    pub fn sample_latency_us(&self, rng: &mut StdRng) -> u64 {
+        let base = match self.latency {
+            Latency::Fixed(us) => us,
+            Latency::Uniform { lo_us, hi_us } => {
+                if hi_us > lo_us {
+                    rng.gen_range(lo_us..=hi_us)
+                } else {
+                    lo_us
+                }
+            }
+            Latency::LogNormal { median_us, sigma } => {
+                let z = standard_normal(rng);
+                let scaled = (median_us as f64) * (sigma * z).exp();
+                // Clamp the tail at 100× the median so one sample cannot
+                // freeze a sweep.
+                scaled.min(median_us as f64 * 100.0).max(0.0) as u64
+            }
+        };
+        let jitter = if self.jitter_us > 0 { rng.gen_range(0..=self.jitter_us) } else { 0 };
+        base.saturating_add(jitter)
+    }
+
+    /// Samples whether a message is dropped.
+    pub fn sample_drop(&self, rng: &mut StdRng) -> bool {
+        self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob)
+    }
+
+    /// Samples whether a delivered message is duplicated.
+    pub fn sample_duplicate(&self, rng: &mut StdRng) -> bool {
+        self.duplicate_prob > 0.0 && rng.gen_bool(self.duplicate_prob)
+    }
+}
+
+/// A standard normal draw via Box–Muller (deterministic given the RNG).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_latency_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let link = LinkModel {
+            latency: Latency::Fixed(777),
+            jitter_us: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        };
+        for _ in 0..10 {
+            assert_eq!(link.sample_latency_us(&mut rng), 777);
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let link = LinkModel {
+            latency: Latency::Uniform { lo_us: 100, hi_us: 200 },
+            jitter_us: 10,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        };
+        for _ in 0..1000 {
+            let l = link.sample_latency_us(&mut rng);
+            assert!((100..=210).contains(&l), "latency {l} out of bounds");
+        }
+    }
+
+    #[test]
+    fn log_normal_median_roughly_holds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let link = LinkModel {
+            latency: Latency::LogNormal { median_us: 40_000, sigma: 0.5 },
+            jitter_us: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+        };
+        let mut samples: Vec<u64> = (0..2001).map(|_| link.sample_latency_us(&mut rng)).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!(
+            (20_000..=80_000).contains(&median),
+            "empirical median {median} too far from 40000"
+        );
+    }
+
+    #[test]
+    fn drop_probability_respected_at_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let lossless = LinkModel::lan();
+        let lossy = LinkModel::lan().with_drop_prob(1.0);
+        assert!(!(0..100).any(|_| lossless.sample_drop(&mut rng)));
+        assert!((0..100).all(|_| lossy.sample_drop(&mut rng)));
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let link = LinkModel::wan().with_drop_prob(0.3);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(link.sample_latency_us(&mut a), link.sample_latency_us(&mut b));
+            assert_eq!(link.sample_drop(&mut a), link.sample_drop(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn rejects_bad_probability() {
+        let _ = LinkModel::lan().with_drop_prob(1.5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Request retry: timeout, exponential backoff, deterministic jitter.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// When and how often a sender retries an unacknowledged message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// How long the sender waits for a response before declaring an
+    /// attempt lost, microseconds.
+    pub timeout_us: u64,
+    /// Backoff before the second attempt, microseconds; each further
+    /// attempt multiplies it by `multiplier`.
+    pub base_backoff_us: u64,
+    /// Exponential growth factor between attempts.
+    pub multiplier: f64,
+    /// Upper bound on a single backoff, microseconds.
+    pub max_backoff_us: u64,
+    /// Total attempts (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Fraction of each backoff added as uniform jitter in
+    /// `[0, jitter_frac × backoff]`, decorrelating synchronized retries.
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            timeout_us: 250_000,
+            base_backoff_us: 50_000,
+            multiplier: 2.0,
+            max_backoff_us: 1_600_000,
+            max_attempts: 4,
+            jitter_frac: 0.25,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: one attempt, no backoff.
+    pub fn no_retry(timeout_us: u64) -> RetryPolicy {
+        RetryPolicy {
+            timeout_us,
+            base_backoff_us: 0,
+            multiplier: 1.0,
+            max_backoff_us: 0,
+            max_attempts: 1,
+            jitter_frac: 0.0,
+        }
+    }
+
+    /// The deterministic (jitter-free) backoff before attempt number
+    /// `attempt` (2-based: the first retry is attempt 2).
+    pub fn base_backoff_for(&self, attempt: u32) -> u64 {
+        if attempt < 2 || self.base_backoff_us == 0 {
+            return 0;
+        }
+        let factor = self.multiplier.max(1.0).powi(attempt as i32 - 2);
+        ((self.base_backoff_us as f64) * factor).min(self.max_backoff_us as f64) as u64
+    }
+
+    /// Samples the jittered backoff before attempt `attempt`.
+    pub fn backoff_for(&self, attempt: u32, rng: &mut StdRng) -> u64 {
+        let base = self.base_backoff_for(attempt);
+        if base == 0 || self.jitter_frac <= 0.0 {
+            return base;
+        }
+        let jitter_cap = ((base as f64) * self.jitter_frac) as u64;
+        base + if jitter_cap > 0 { rng.gen_range(0..=jitter_cap) } else { 0 }
+    }
+
+    /// The full jittered wait schedule of one exchange: for each attempt,
+    /// the backoff slept before sending it. Useful for tests and for
+    /// reasoning about worst-case lookup time.
+    pub fn schedule(&self, rng: &mut StdRng) -> Vec<u64> {
+        (1..=self.max_attempts).map(|attempt| self.backoff_for(attempt, rng)).collect()
+    }
+
+    /// Worst-case total wall-clock time of one exchange that fails every
+    /// attempt (all timeouts plus all maximal backoffs), microseconds.
+    pub fn worst_case_us(&self) -> u64 {
+        let mut total = 0u64;
+        for attempt in 1..=self.max_attempts {
+            let base = self.base_backoff_for(attempt);
+            let jitter = ((base as f64) * self.jitter_frac.max(0.0)) as u64;
+            total =
+                total.saturating_add(self.timeout_us).saturating_add(base).saturating_add(jitter);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        let policy = RetryPolicy {
+            timeout_us: 1000,
+            base_backoff_us: 100,
+            multiplier: 2.0,
+            max_backoff_us: 350,
+            max_attempts: 5,
+            jitter_frac: 0.0,
+        };
+        assert_eq!(policy.base_backoff_for(1), 0, "first attempt is immediate");
+        assert_eq!(policy.base_backoff_for(2), 100);
+        assert_eq!(policy.base_backoff_for(3), 200);
+        assert_eq!(policy.base_backoff_for(4), 350, "capped");
+        assert_eq!(policy.base_backoff_for(5), 350, "stays capped");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let policy = RetryPolicy { jitter_frac: 0.5, ..RetryPolicy::default() };
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let sched_a = policy.schedule(&mut a);
+        let sched_b = policy.schedule(&mut b);
+        assert_eq!(sched_a, sched_b, "same seed, same schedule");
+        for (attempt, &waited) in sched_a.iter().enumerate() {
+            let base = policy.base_backoff_for(attempt as u32 + 1);
+            assert!(waited >= base);
+            assert!(waited <= base + base / 2, "jitter beyond 50% of base");
+        }
+    }
+
+    #[test]
+    fn no_retry_schedule_is_single_zero() {
+        let policy = RetryPolicy::no_retry(9);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(policy.schedule(&mut rng), vec![0]);
+        assert_eq!(policy.worst_case_us(), 9);
+    }
+
+    #[test]
+    fn worst_case_covers_all_attempts() {
+        let policy = RetryPolicy {
+            timeout_us: 10,
+            base_backoff_us: 5,
+            multiplier: 2.0,
+            max_backoff_us: 100,
+            max_attempts: 3,
+            jitter_frac: 0.0,
+        };
+        // attempts: t=10 + (5+10) + (10+10)
+        assert_eq!(policy.worst_case_us(), 10 + 15 + 20);
+    }
+}

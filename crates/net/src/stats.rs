@@ -1,0 +1,258 @@
+//! Transport observability: per-peer and per-class counters with latency
+//! histograms.
+
+use crate::{MessageClass, NodeId};
+use std::collections::BTreeMap;
+
+/// Number of power-of-two latency buckets (covers up to ~2^39 µs ≈ 6 days).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ histogram of latencies in microseconds.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs (bucket 0 also takes
+/// zero). Quantiles are resolved to a bucket's upper edge, so they are
+/// conservative (never under-reported) and the histogram needs no
+/// allocation or sorting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_us: u128,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram { buckets: [0; LATENCY_BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency_us: u64) {
+        let bucket = if latency_us <= 1 { 0 } else { (63 - latency_us.leading_zeros()) as usize }
+            .min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_us += u128::from(latency_us);
+        self.max_us = self.max_us.max(latency_us);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency, microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample, microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// The latency at quantile `q` (`0 < q ≤ 1`), resolved to the upper
+    /// edge of the bucket holding that rank (and clamped to the observed
+    /// maximum). Returns 0 when empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                if i + 1 >= LATENCY_BUCKETS {
+                    // The clamp bucket has no meaningful upper edge.
+                    return self.max_us;
+                }
+                return ((1u64 << (i + 1)) - 1).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// Median latency, microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 95th percentile latency, microseconds.
+    pub fn p95_us(&self) -> u64 {
+        self.quantile_us(0.95)
+    }
+
+    /// 99th percentile latency, microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+}
+
+/// Counters for one message class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassCounters {
+    /// Send attempts (each retry counts).
+    pub sent: u64,
+    /// Messages that reached their destination.
+    pub delivered: u64,
+    /// Messages lost to the link, a partition or an offline node.
+    pub dropped: u64,
+    /// Extra copies delivered by link duplication.
+    pub duplicated: u64,
+    /// Retransmissions performed after a timeout.
+    pub retried: u64,
+    /// Exchanges abandoned after the final attempt timed out.
+    pub timed_out: u64,
+    /// End-to-end exchange latencies (including backoff waits).
+    pub latency: LatencyHistogram,
+}
+
+/// Per-peer send/receive totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerCounters {
+    /// Attempts originating at this peer.
+    pub sent: u64,
+    /// Messages delivered to this peer.
+    pub received: u64,
+    /// Messages lost on links out of this peer.
+    pub dropped: u64,
+}
+
+/// Aggregate transport statistics.
+///
+/// Maps are ordered (`BTreeMap`) so iteration — and therefore every report
+/// generated from them — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Counters keyed by message class.
+    pub per_class: BTreeMap<MessageClass, ClassCounters>,
+    /// Counters keyed by peer.
+    pub per_peer: BTreeMap<NodeId, PeerCounters>,
+}
+
+impl TransportStats {
+    /// Mutable counters for `class`, created on first use.
+    pub fn class_mut(&mut self, class: MessageClass) -> &mut ClassCounters {
+        self.per_class.entry(class).or_default()
+    }
+
+    /// Mutable counters for `peer`, created on first use.
+    pub fn peer_mut(&mut self, peer: NodeId) -> &mut PeerCounters {
+        self.per_peer.entry(peer).or_default()
+    }
+
+    /// Counters for `class` (zeroes if the class was never used).
+    pub fn class(&self, class: MessageClass) -> ClassCounters {
+        self.per_class.get(&class).cloned().unwrap_or_default()
+    }
+
+    /// Total send attempts across classes.
+    pub fn total_sent(&self) -> u64 {
+        self.per_class.values().map(|c| c.sent).sum()
+    }
+
+    /// Total deliveries across classes.
+    pub fn total_delivered(&self) -> u64 {
+        self.per_class.values().map(|c| c.delivered).sum()
+    }
+
+    /// Total drops across classes.
+    pub fn total_dropped(&self) -> u64 {
+        self.per_class.values().map(|c| c.dropped).sum()
+    }
+
+    /// Total retries across classes.
+    pub fn total_retried(&self) -> u64 {
+        self.per_class.values().map(|c| c.retried).sum()
+    }
+
+    /// A latency histogram merging every class.
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::default();
+        for counters in self.per_class.values() {
+            for (i, &n) in counters.latency.buckets.iter().enumerate() {
+                merged.buckets[i] += n;
+            }
+            merged.count += counters.latency.count;
+            merged.sum_us += counters.latency.sum_us;
+            merged.max_us = merged.max_us.max(counters.latency.max_us);
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        let mut h = LatencyHistogram::default();
+        // 90 fast samples (~100 µs), 10 slow (~100 ms).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert!(h.p50_us() < 200, "median in the fast bucket, got {}", h.p50_us());
+        assert!(h.p95_us() >= 65_536, "p95 in the slow bucket, got {}", h.p95_us());
+        assert_eq!(h.max_us(), 100_000);
+        assert!(h.p99_us() <= h.max_us());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.p50_us(), 0);
+        assert_eq!(h.p99_us(), 0);
+        assert_eq!(h.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn zero_and_one_fall_in_first_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(), 2);
+        assert!(h.p50_us() <= 1);
+    }
+
+    #[test]
+    fn huge_sample_clamps_to_last_bucket() {
+        let mut h = LatencyHistogram::default();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p99_us(), u64::MAX);
+    }
+
+    #[test]
+    fn stats_totals_accumulate() {
+        let mut stats = TransportStats::default();
+        stats.class_mut(MessageClass::DhtLookup).sent += 3;
+        stats.class_mut(MessageClass::DhtLookup).delivered += 2;
+        stats.class_mut(MessageClass::DfsRequest).sent += 1;
+        stats.peer_mut(NodeId(4)).sent += 4;
+        assert_eq!(stats.total_sent(), 4);
+        assert_eq!(stats.total_delivered(), 2);
+        assert_eq!(stats.per_peer[&NodeId(4)].sent, 4);
+    }
+
+    #[test]
+    fn merged_latency_combines_classes() {
+        let mut stats = TransportStats::default();
+        stats.class_mut(MessageClass::DhtLookup).latency.record(10);
+        stats.class_mut(MessageClass::DfsBlock).latency.record(1_000_000);
+        let merged = stats.merged_latency();
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.max_us(), 1_000_000);
+    }
+}

@@ -63,9 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Compile once for both machines.
     let compiled = backend::compile(&program)?;
-    println!("EVM runtime: {} bytes | AVM program: {} instructions\n",
+    println!(
+        "EVM runtime: {} bytes | AVM program: {} instructions\n",
         compiled.evm.runtime_len,
-        compiled.avm.program.len());
+        compiled.avm.program.len()
+    );
 
     // 6. Execute the same scenario on each VM.
     let ctor = [AbiValue::Word(1_000), AbiValue::Word(2)];
@@ -78,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let init = compiled.evm.init_with_args(&ctor)?;
     let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances)?;
     let fund = compiled.evm.encode_call("fund", &[AbiValue::Word(5_000)])?;
-    evm.call(pol::evm::CallParams::new(hunter, addr).with_data(fund).with_value(5_000), &mut balances)?;
+    evm.call(
+        pol::evm::CallParams::new(hunter, addr).with_data(fund).with_value(5_000),
+        &mut balances,
+    )?;
     let claim = compiled.evm.encode_call("claim", &[AbiValue::Word(42)])?;
     let out = evm.call(pol::evm::CallParams::new(hunter, addr).with_data(claim), &mut balances)?;
     println!("EVM claim: success={} hunter balance={}", out.success, balances[&hunter]);
@@ -94,9 +99,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut balances,
     )?;
     let fund = compiled.avm.encode_call("fund", &[AbiValue::Word(5_000)])?;
-    avm.call(pol::avm::AppCallParams::new(hunter, app).with_args(fund).with_payment(5_000), &mut balances)?;
+    avm.call(
+        pol::avm::AppCallParams::new(hunter, app).with_args(fund).with_payment(5_000),
+        &mut balances,
+    )?;
     let claim = compiled.avm.encode_call("claim", &[AbiValue::Word(42)])?;
-    let out = avm.call(pol::avm::AppCallParams::new(hunter, app).with_args(claim), &mut balances)?;
+    let out =
+        avm.call(pol::avm::AppCallParams::new(hunter, app).with_args(claim), &mut balances)?;
     println!("AVM claim: approved={} hunter balance={}", out.approved, balances[&hunter]);
 
     // 7. The pretty-printer closes the loop: source → AST → source.

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ca = Identity::generate(&mut rng);
     let credential = Credential::issue(&ca.signing, alice.did.clone(), Role::Witness, 1_000);
     credential.verify(&ca.signing.public)?;
-    println!("\ncredential: {} is a {} (issued by {})", credential.subject, credential.role, credential.issuer);
+    println!(
+        "\ncredential: {} is a {} (issued by {})",
+        credential.subject, credential.role, credential.issuer
+    );
 
     // Tampering with the role breaks the proof.
     let mut forged = credential;

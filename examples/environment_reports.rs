@@ -22,17 +22,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = (44.4949, 11.3426);
     let witness = app.system_mut().register_witness(base.0, base.1)?;
     let reports = [
-        Report::new("Oily film on the water", "rainbow slick near the bridge", ReportCategory::Pollution),
+        Report::new(
+            "Oily film on the water",
+            "rainbow slick near the bridge",
+            ReportCategory::Pollution,
+        ),
         Report::new("Dumped tyres", "about a dozen tyres on the bank", ReportCategory::Waste),
         Report::new("Broken guard rail", "sharp edges exposed", ReportCategory::RoadDamage),
-        Report::new("Graffiti on the monument", "fresh tags since yesterday", ReportCategory::Vandalism),
+        Report::new(
+            "Graffiti on the monument",
+            "fresh tags since yesterday",
+            ReportCategory::Vandalism,
+        ),
     ];
 
     let mut area = None;
     for (i, report) in reports.iter().enumerate() {
-        let prover = app
-            .system_mut()
-            .register_prover(base.0 + 0.00001 * i as f64, base.1 + 0.00001)?;
+        let prover =
+            app.system_mut().register_prover(base.0 + 0.00001 * i as f64, base.1 + 0.00001)?;
         let outcome = app.file_report(prover, witness, report)?;
         println!(
             "user {i}: {:?} via {} txs in {:.2} s (fee {})",
@@ -59,19 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     app.system_mut().close_area(&area)?;
 
     // The explorer view of the contract's lifecycle (Fig. 3.1).
-    let contract = app
-        .system()
-        .factory()
-        .instance_for(area.as_str())
-        .expect("tracked")
-        .contract;
+    let contract = app.system().factory().instance_for(area.as_str()).expect("tracked").contract;
     println!("\nexplorer history for {contract}:");
     let chain = app.system().chain();
     for row in explorer::contract_history(chain, contract) {
-        println!(
-            "  block {:>4} | {} | from {}",
-            row.block, row.method, row.from
-        );
+        println!("  block {:>4} | {} | from {}", row.block, row.method, row.from);
     }
     Ok(())
 }

@@ -36,9 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let stats = dht.stats();
     println!(
-        "routing: {} lookups, mean {:.2} hops, max {} (bound: r = {})",
+        "routing: {} lookups, mean {:.2} hops, p50 {}, p99 {}, max {} (bound: r = {})",
         stats.lookups,
         stats.mean_hops(),
+        stats.p50_hops(),
+        stats.p99_hops(),
         stats.max_hops,
         dht.dimensions()
     );

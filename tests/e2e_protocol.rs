@@ -25,16 +25,12 @@ fn run_scenario(vm: VmKind) -> (Vec<u128>, usize, bool) {
     let witness = system.register_witness(BASE.0, BASE.1).unwrap();
     let mut provers = Vec::new();
     for i in 0..4 {
-        let p = system
-            .register_prover(BASE.0 + 0.00001 * i as f64, BASE.1)
-            .unwrap();
+        let p = system.register_prover(BASE.0 + 0.00001 * i as f64, BASE.1).unwrap();
         provers.push(p);
     }
     let mut area = None;
     for (i, &p) in provers.iter().enumerate() {
-        let out = system
-            .submit_report(p, witness, format!("report {i}").into_bytes())
-            .unwrap();
+        let out = system.submit_report(p, witness, format!("report {i}").into_bytes()).unwrap();
         if i == 0 {
             assert_eq!(out.kind, OpKind::Deploy);
         } else {
@@ -44,17 +40,13 @@ fn run_scenario(vm: VmKind) -> (Vec<u128>, usize, bool) {
     }
     let area = area.unwrap();
 
-    let balances_before: Vec<u128> = provers
-        .iter()
-        .map(|&p| system.chain().balance(system.prover(p).unwrap().wallet))
-        .collect();
+    let balances_before: Vec<u128> =
+        provers.iter().map(|&p| system.chain().balance(system.prover(p).unwrap().wallet)).collect();
     assert_eq!(system.run_verifier(&area).unwrap(), 4);
     let rewards: Vec<u128> = provers
         .iter()
         .zip(&balances_before)
-        .map(|(&p, before)| {
-            system.chain().balance(system.prover(p).unwrap().wallet) - before
-        })
+        .map(|(&p, before)| system.chain().balance(system.prover(p).unwrap().wallet) - before)
         .collect();
 
     let cids = system.hypercube.record(&area).unwrap().unwrap().cids.len();
@@ -111,9 +103,7 @@ fn fifth_user_rejected_when_seats_full() {
     let mut system = build(VmKind::Avm, 4, 6);
     let witness = system.register_witness(BASE.0, BASE.1).unwrap();
     for i in 0..4 {
-        let p = system
-            .register_prover(BASE.0 + 0.00001 * i as f64, BASE.1)
-            .unwrap();
+        let p = system.register_prover(BASE.0 + 0.00001 * i as f64, BASE.1).unwrap();
         system.submit_report(p, witness, b"r".to_vec()).unwrap();
     }
     let fifth = system.register_prover(BASE.0, BASE.1 + 0.00002).unwrap();
@@ -164,20 +154,16 @@ fn report_latencies_follow_chain_cadence() {
 #[test]
 fn witness_reward_extension_pays_both_parties() {
     // The §2.8 future-work variant: prover AND witness are rewarded.
-    let config = SystemConfig {
-        max_users: 1,
-        witness_reward: Some(250_000),
-        ..SystemConfig::default()
-    };
+    let config =
+        SystemConfig { max_users: 1, witness_reward: Some(250_000), ..SystemConfig::default() };
     let mut system = PolSystem::new(presets::devnet_algo().build(13), config);
     let p = system.register_prover(BASE.0, BASE.1).unwrap();
     let w = system.register_witness(BASE.0, BASE.1 + 0.00001).unwrap();
     let out = system.submit_report(p, w, b"report".to_vec()).unwrap();
 
     let prover_wallet = system.prover(p).unwrap().wallet;
-    let witness_wallet = pol::ledger::Address::from_public_key(
-        &system.witness_identity(w).unwrap().signing.public,
-    );
+    let witness_wallet =
+        pol::ledger::Address::from_public_key(&system.witness_identity(w).unwrap().signing.public);
     let prover_before = system.chain().balance(prover_wallet);
     let witness_before = system.chain().balance(witness_wallet);
     assert_eq!(system.run_verifier(&out.area).unwrap(), 1);

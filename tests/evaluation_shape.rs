@@ -11,11 +11,7 @@ use pol_crowdsense::simulation::{self, SimulationConfig};
 fn figure_5_1_values_are_exact() {
     let analysis = bench::conservative_analysis();
     assert_eq!(analysis.evm_deploy_gas, 1_440_385, "paper §5.1.1 deploy gas");
-    assert_eq!(
-        analysis.api("insert_data").unwrap().evm_gas,
-        82_437,
-        "paper §5.1.1 attach gas"
-    );
+    assert_eq!(analysis.api("insert_data").unwrap().evm_gas, 82_437, "paper §5.1.1 attach gas");
     assert_eq!(analysis.theorems, 42, "Fig. 2.11: 42 theorems");
     assert!(analysis.verified);
 }
@@ -36,10 +32,7 @@ fn eight_user_shape_holds_across_networks() {
         goerli.attach_stats().mean_s > algo.attach_stats().mean_s,
         "Goerli attaches slower than Algorand"
     );
-    assert!(
-        algo.attach_stats().mean_s < mumbai.attach_stats().mean_s,
-        "Algorand attach fastest"
-    );
+    assert!(algo.attach_stats().mean_s < mumbai.attach_stats().mean_s, "Algorand attach fastest");
     // Stability: Algorand's dispersion is an order of magnitude below
     // Goerli's.
     assert!(algo.deploy_stats().std_s * 5.0 < goerli.deploy_stats().std_s + 1.0);

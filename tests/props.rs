@@ -1,4 +1,8 @@
 //! Property-based tests over cross-crate invariants.
+//!
+//! Gated behind the (default-on) `proptest` cargo feature so a
+//! `--no-default-features` build skips the property harness entirely.
+#![cfg(feature = "proptest")]
 
 use proof_of_location as pol;
 

@@ -7,9 +7,9 @@ use pol::chainsim::presets;
 use pol::core::proof::{LocationProof, ProofRequest, SubmittedEntry};
 use pol::core::system::{PolSystem, SystemConfig};
 use pol::core::PolError;
+use pol::dfs::Cid;
 use pol::did::Identity;
 use pol::geo::{olc, Coordinates};
-use pol::dfs::Cid;
 
 const BASE: (f64, f64) = (44.4949, 11.3426);
 
@@ -50,10 +50,7 @@ fn unlisted_witness_is_filtered_by_garbage_in() {
     let entry = SubmittedEntry::from_proof(&proof);
     // Whitelist contains someone else entirely.
     let lists = vec![Identity::from_seed(12).signing.public];
-    assert!(matches!(
-        entry.verify_against(&prover.did, &area, &lists),
-        Err(PolError::BadProof(_))
-    ));
+    assert!(matches!(entry.verify_against(&prover.did, &area, &lists), Err(PolError::BadProof(_))));
 }
 
 #[test]
@@ -83,15 +80,8 @@ fn tampered_entry_is_rejected_on_chain() {
         .unwrap();
     let (attacker_keys, attacker_addr) = system.chain_mut().create_funded_account(10_000_000);
     let _ = attacker_addr;
-    let receipt = system
-        .chain_mut()
-        .call_app(&attacker_keys, app_id, args, 0)
-        .unwrap();
-    assert!(
-        !receipt.status.is_success(),
-        "commitment mismatch must reject: {:?}",
-        receipt.status
-    );
+    let receipt = system.chain_mut().call_app(&attacker_keys, app_id, args, 0).unwrap();
+    assert!(!receipt.status.is_success(), "commitment mismatch must reject: {:?}", receipt.status);
 }
 
 #[test]

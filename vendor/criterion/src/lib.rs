@@ -1,0 +1,209 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], `bench_function`, `iter`, `iter_batched`,
+//! [`Throughput`], [`BatchSize`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a simple measurement loop: warm up briefly,
+//! then time a fixed batch of iterations and print the mean. No statistics,
+//! plots or comparison against saved baselines; swap in real criterion for
+//! publication-grade numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized (accepted, not interpreted).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, printed beside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Elements per iteration.
+    Elements(u64),
+}
+
+/// Passed to every benchmark closure; runs the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` product per iteration; only the
+    /// routine is measured.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    iters: Option<u64>,
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark iteration count (default: adaptive).
+    pub fn sample_size(mut self, iters: usize) -> Criterion {
+        self.iters = Some(iters as u64);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        run_one(&id.into(), None, self.iters, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, self.criterion.iters, f);
+        self
+    }
+
+    /// Ends the group (output is already flushed; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    iters: Option<u64>,
+    mut f: F,
+) {
+    // Calibration pass: find an iteration count that runs ≥ ~50 ms.
+    let iters = iters.unwrap_or_else(|| {
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(20));
+        (Duration::from_millis(50).as_nanos() / per_iter.as_nanos()).clamp(1, 100_000) as u64
+    });
+    let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map_or(String::new(), |t| match t {
+        Throughput::Bytes(n) => {
+            format!("  {:.1} MiB/s", n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0))
+        }
+        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / (mean_ns / 1e9)),
+    });
+    println!("{id:<45} {:>12}/iter  ({iters} iters){rate}", format_ns(mean_ns));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().sample_size(8);
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 8);
+    }
+
+    #[test]
+    fn groups_and_batches_run() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(128));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 128], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) facade.
+//!
+//! The workspace's wire-facing types carry `#[derive(Serialize,
+//! Deserialize)]` to mark them as serializable, but nothing in the tree
+//! links a real serializer. This crate provides the names those
+//! annotations need — marker traits and no-op derive macros — so the
+//! workspace builds without crates.io access. Swap it for real serde (plus
+//! a data format crate) when an actual wire format is introduced.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types declared serializable. The derive generates no code.
+pub trait Serialize {}
+
+/// Marker for types declared deserializable. The derive generates no code.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

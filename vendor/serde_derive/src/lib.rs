@@ -1,0 +1,22 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The workspace annotates wire-facing types with
+//! `#[derive(Serialize, Deserialize)]` (and `#[serde(...)]` attributes) to
+//! document intent, but never links a serializer — there is no `serde_json`
+//! in the tree. These derives therefore accept the syntax, register the
+//! `serde` helper attribute, and expand to nothing, which keeps the
+//! annotations compiling with no crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]`; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]`; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
