@@ -37,6 +37,7 @@ pub mod opcode;
 pub mod program;
 pub mod state;
 pub mod teal;
+pub mod verifier;
 
 pub use interpreter::{AppCallParams, AppOutcome, Avm, AvmError};
 pub use program::AvmProgram;

@@ -1,0 +1,285 @@
+//! Post-emission program verifier.
+//!
+//! Abstractly interprets an [`AvmProgram`] tracking only the stack
+//! *depth*: every reachable path is explored (both arms of `bz`/`bnz`)
+//! and the verifier proves, without executing:
+//!
+//! * **stack-effect balance** — no opcode ever pops from an empty
+//!   stack and the depth never exceeds the AVM's 1000-item limit;
+//! * **branch resolution** — every reachable branch targets a label
+//!   the program actually defines;
+//! * **worst-case opcode cost** — the maximum [`crate::cost::op_cost`]
+//!   sum over all paths, comparable against both the per-call budget
+//!   ([`crate::cost::CALL_BUDGET`]) and the conservative straight-line
+//!   bound ([`crate::cost::program_cost`]).
+
+use crate::cost;
+use crate::opcode::AvmOp;
+use crate::program::AvmProgram;
+use std::collections::HashMap;
+
+/// The AVM stack-depth limit.
+pub const MAX_STACK: usize = 1000;
+
+/// Exploration budget: abstract states processed before giving up. The
+/// compiler emits loop-free programs, so hitting this means the program
+/// is not something the backend produced.
+const STATE_BUDGET: usize = 200_000;
+
+/// What the verifier proved about a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramReport {
+    /// Maximum stack depth over all reachable states.
+    pub max_stack: usize,
+    /// Maximum opcode cost over all halting paths.
+    pub worst_case_cost: u64,
+}
+
+/// Rejection reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An opcode pops more items than the stack holds.
+    StackUnderflow {
+        /// Offending instruction index.
+        idx: usize,
+    },
+    /// The stack exceeds [`MAX_STACK`].
+    StackOverflow {
+        /// Offending instruction index.
+        idx: usize,
+    },
+    /// A branch references a label the program never defines.
+    UnresolvedLabel {
+        /// Offending instruction index.
+        idx: usize,
+        /// The missing label id.
+        label: usize,
+    },
+    /// The exploration budget was exhausted (cyclic or adversarial
+    /// code).
+    StateBudgetExceeded,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::StackUnderflow { idx } => {
+                write!(f, "stack underflow at instruction {idx}")
+            }
+            VerifyError::StackOverflow { idx } => {
+                write!(f, "stack overflow at instruction {idx}")
+            }
+            VerifyError::UnresolvedLabel { idx, label } => {
+                write!(f, "branch at instruction {idx} targets undefined label {label}")
+            }
+            VerifyError::StateBudgetExceeded => write!(f, "state exploration budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// `(pops, pushes)` for the non-branching opcodes.
+fn stack_effect(op: &AvmOp) -> (usize, usize) {
+    match op {
+        AvmOp::PushInt(_)
+        | AvmOp::PushBytes(_)
+        | AvmOp::Txn(_)
+        | AvmOp::TxnArg(_)
+        | AvmOp::Global(_)
+        | AvmOp::Load(_)
+        | AvmOp::AppBalance => (0, 1),
+        AvmOp::Add
+        | AvmOp::Sub
+        | AvmOp::Mul
+        | AvmOp::Div
+        | AvmOp::Mod
+        | AvmOp::Lt
+        | AvmOp::Gt
+        | AvmOp::Le
+        | AvmOp::Ge
+        | AvmOp::Eq
+        | AvmOp::Ne
+        | AvmOp::AndL
+        | AvmOp::OrL
+        | AvmOp::Concat => (2, 1),
+        AvmOp::NotL
+        | AvmOp::Sha256
+        | AvmOp::Keccak256
+        | AvmOp::Len
+        | AvmOp::Itob
+        | AvmOp::Btoi
+        | AvmOp::BoxDel => (1, 1),
+        AvmOp::Dup | AvmOp::AppGlobalGet | AvmOp::BoxGet => (1, 2),
+        AvmOp::Swap => (2, 2),
+        AvmOp::Pop
+        | AvmOp::Store(_)
+        | AvmOp::Assert
+        | AvmOp::Log
+        | AvmOp::Bz(_)
+        | AvmOp::Bnz(_)
+        | AvmOp::Return => (1, 0),
+        AvmOp::AppGlobalPut | AvmOp::BoxPut | AvmOp::InnerPay => (2, 0),
+        AvmOp::B(_) | AvmOp::Label(_) => (0, 0),
+    }
+}
+
+/// Verifies a program from entry (instruction 0).
+///
+/// # Errors
+///
+/// A [`VerifyError`] describing the first violation found.
+pub fn verify(program: &AvmProgram) -> Result<ProgramReport, VerifyError> {
+    let ops = program.ops();
+    // Best cost seen per (idx, depth); a state is re-explored only when
+    // it improves the bound.
+    let mut best: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut worklist = vec![(0usize, 0usize, 0u64)];
+    let mut max_stack = 0usize;
+    let mut worst_case_cost = 0u64;
+    let mut steps = 0usize;
+
+    while let Some((mut idx, mut depth, mut spent)) = worklist.pop() {
+        steps += 1;
+        if steps > STATE_BUDGET {
+            return Err(VerifyError::StateBudgetExceeded);
+        }
+        loop {
+            if idx >= ops.len() {
+                // Falling off the end halts the program.
+                worst_case_cost = worst_case_cost.max(spent);
+                break;
+            }
+            let key = (idx, depth);
+            match best.get(&key) {
+                Some(&c) if c >= spent => break,
+                _ => {
+                    best.insert(key, spent);
+                }
+            }
+            let op = &ops[idx];
+            spent += cost::op_cost(op);
+            let (pops, pushes) = stack_effect(op);
+            if depth < pops {
+                return Err(VerifyError::StackUnderflow { idx });
+            }
+            depth = depth - pops + pushes;
+            if depth > MAX_STACK {
+                return Err(VerifyError::StackOverflow { idx });
+            }
+            max_stack = max_stack.max(depth);
+
+            let resolve = |label: usize| {
+                program.resolve(label).ok_or(VerifyError::UnresolvedLabel { idx, label })
+            };
+            match op {
+                AvmOp::Return => {
+                    worst_case_cost = worst_case_cost.max(spent);
+                    break;
+                }
+                AvmOp::B(label) => idx = resolve(*label)?,
+                AvmOp::Bz(label) | AvmOp::Bnz(label) => {
+                    // Fork: taken branch queued, fallthrough continues
+                    // inline.
+                    worklist.push((resolve(*label)?, depth, spent));
+                    idx += 1;
+                }
+                _ => idx += 1,
+            }
+        }
+    }
+
+    Ok(ProgramReport { max_stack, worst_case_cost })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(ops: Vec<AvmOp>) -> AvmProgram {
+        AvmProgram::new(ops)
+    }
+
+    #[test]
+    fn accepts_straight_line_approval() {
+        let p = prog(vec![AvmOp::PushInt(1), AvmOp::Return]);
+        let report = verify(&p).unwrap();
+        assert_eq!(report.max_stack, 1);
+        assert_eq!(report.worst_case_cost, 2);
+    }
+
+    #[test]
+    fn rejects_underflow() {
+        let p = prog(vec![AvmOp::Add]);
+        assert_eq!(verify(&p), Err(VerifyError::StackUnderflow { idx: 0 }));
+    }
+
+    #[test]
+    fn rejects_unresolved_branch_label() {
+        let p = prog(vec![AvmOp::PushInt(0), AvmOp::Bnz(99), AvmOp::PushInt(1), AvmOp::Return]);
+        assert_eq!(verify(&p), Err(VerifyError::UnresolvedLabel { idx: 1, label: 99 }));
+    }
+
+    #[test]
+    fn both_branch_arms_are_checked() {
+        // The taken arm underflows even though the fallthrough is fine.
+        let p = prog(vec![
+            AvmOp::PushInt(0),
+            AvmOp::Bnz(1),
+            AvmOp::PushInt(1),
+            AvmOp::Return,
+            AvmOp::Label(1),
+            AvmOp::Pop, // nothing on the stack here
+        ]);
+        assert_eq!(verify(&p), Err(VerifyError::StackUnderflow { idx: 5 }));
+    }
+
+    #[test]
+    fn worst_case_takes_the_expensive_arm() {
+        let p = prog(vec![
+            AvmOp::PushInt(0),
+            AvmOp::Bnz(1),
+            // cheap arm
+            AvmOp::PushInt(1),
+            AvmOp::Return,
+            AvmOp::Label(1),
+            // expensive arm
+            AvmOp::PushBytes(b"x".to_vec()),
+            AvmOp::Keccak256,
+            AvmOp::Pop,
+            AvmOp::PushInt(1),
+            AvmOp::Return,
+        ]);
+        let report = verify(&p).unwrap();
+        // push(1) + bnz(1) + label(0) + pushbytes(1) + keccak(130) + pop(1)
+        // + push(1) + return(1)
+        assert_eq!(report.worst_case_cost, 136);
+    }
+
+    #[test]
+    fn worst_path_bounded_by_straight_line_cost() {
+        let p = prog(vec![
+            AvmOp::PushInt(0),
+            AvmOp::Bnz(1),
+            AvmOp::Sha256, // only on fallthrough — needs an operand
+            AvmOp::Pop,
+            AvmOp::PushInt(1),
+            AvmOp::Return,
+            AvmOp::Label(1),
+            AvmOp::PushInt(1),
+            AvmOp::Return,
+        ]);
+        // Sha256 on the fallthrough arm underflows (operand consumed by
+        // Bnz), so give it one.
+        let p = prog([vec![AvmOp::PushBytes(b"seed".to_vec())], p.ops().to_vec()].concat());
+        let report = verify(&p).unwrap();
+        assert!(report.worst_case_cost <= cost::program_cost(p.ops()));
+    }
+
+    #[test]
+    fn dup_and_swap_effects_balance() {
+        let p = prog(vec![AvmOp::PushInt(1), AvmOp::Dup, AvmOp::Swap, AvmOp::Pop, AvmOp::Return]);
+        let report = verify(&p).unwrap();
+        assert_eq!(report.max_stack, 2);
+    }
+}

@@ -209,6 +209,7 @@ pub fn pol_program_ast() -> Program {
                 ],
             },
         ],
+        spans: Default::default(),
     }
 }
 

@@ -39,6 +39,7 @@ pub mod assembler;
 pub mod gas;
 pub mod interpreter;
 pub mod opcode;
+pub mod verifier;
 pub mod word;
 
 pub use interpreter::{CallParams, Evm, EvmError, ExecOutcome};

@@ -252,7 +252,7 @@ pub struct Participant {
 }
 
 /// A full contract program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Program {
     /// Contract name.
     pub name: String,
@@ -267,7 +267,24 @@ pub struct Program {
     pub maps: Vec<MapDecl>,
     /// Ordered phases.
     pub phases: Vec<Phase>,
+    /// Source spans for diagnostics; empty for builder-built programs.
+    /// Excluded from equality so parsed and hand-built ASTs compare
+    /// structurally.
+    pub spans: crate::diag::SpanTable,
 }
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Program) -> bool {
+        self.name == other.name
+            && self.creator == other.creator
+            && self.constructor == other.constructor
+            && self.globals == other.globals
+            && self.maps == other.maps
+            && self.phases == other.phases
+    }
+}
+
+impl Eq for Program {}
 
 impl Program {
     /// Looks up a global's declaration index.
@@ -341,6 +358,7 @@ impl Program {
                     returns: Expr::global("remaining"),
                 }],
             }],
+            spans: Default::default(),
         }
     }
 }

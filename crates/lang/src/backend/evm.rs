@@ -26,7 +26,7 @@ use pol_ledger::Address;
 use std::collections::HashMap;
 
 /// Reserved storage slots before the globals.
-const SLOT_PHASE: u64 = 0;
+pub(crate) const SLOT_PHASE: u64 = 0;
 const SLOT_CREATOR: u64 = 1;
 const GLOBAL_SLOT_BASE: u64 = 2;
 /// Base constant mixed into map-slot derivation.

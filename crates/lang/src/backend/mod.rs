@@ -1,9 +1,20 @@
-//! Code generators: one contract source, one artifact per chain family.
+//! Code generators: one contract source, one artifact per chain family,
+//! with post-emission bytecode verification.
+//!
+//! [`compile`] runs the full pipeline: type checking, source-level
+//! verification, the dataflow lints, code generation, and finally the
+//! *bytecode-level* verifiers from [`pol_evm::verifier`] and
+//! [`pol_avm::verifier`] — so a codegen bug that emits an unbalanced
+//! stack, a bogus jump or a post-transfer state write is caught before
+//! the artifact ever reaches a chain. The verified worst-case costs are
+//! also cross-checked against the conservative straight-line bounds the
+//! analysis reports, per API, on both targets.
 
 pub mod avm;
 pub mod evm;
 
 use crate::ast::Ty;
+use crate::diag::{Diagnostic, NodePath};
 
 /// A runtime argument value passed to constructors and API calls.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,15 +47,22 @@ pub struct CompiledContract {
     pub evm: evm::CompiledEvm,
     /// AVM artifact (Algorand).
     pub avm: avm::CompiledAvm,
+    /// Warning-severity lint diagnostics (non-fatal; render with
+    /// [`crate::pretty::render_diagnostics`]).
+    pub warnings: Vec<Diagnostic>,
 }
 
-/// Compiles a program for every chain after checking and verifying it.
+/// Compiles a program for every chain after checking, verifying and
+/// linting it, then verifies the emitted bytecode itself.
 ///
 /// # Errors
 ///
-/// [`crate::LangError::TypeErrors`] or
-/// [`crate::LangError::VerificationFailed`] when the program is rejected
-/// before code generation.
+/// [`crate::LangError::TypeErrors`],
+/// [`crate::LangError::VerificationFailed`] or
+/// [`crate::LangError::LintErrors`] when the program is rejected before
+/// code generation; [`crate::LangError::BytecodeRejected`] when an
+/// emitted artifact fails post-emission verification or a cost
+/// cross-check.
 pub fn compile(program: &crate::ast::Program) -> Result<CompiledContract, crate::LangError> {
     let type_errors = crate::check::check(program);
     if !type_errors.is_empty() {
@@ -54,5 +72,167 @@ pub fn compile(program: &crate::ast::Program) -> Result<CompiledContract, crate:
     if !report.ok() {
         return Err(crate::LangError::VerificationFailed(report.failures));
     }
-    Ok(CompiledContract { evm: evm::compile(program)?, avm: avm::compile(program)? })
+    let (lint_errors, warnings): (Vec<_>, Vec<_>) =
+        crate::lint::lint(program).into_iter().partition(|d| d.is_error());
+    if !lint_errors.is_empty() {
+        return Err(crate::LangError::LintErrors(lint_errors));
+    }
+    let compiled_evm = evm::compile(program)?;
+    let compiled_avm = avm::compile(program)?;
+    let rejections = verify_bytecode(program, &compiled_evm, &compiled_avm);
+    if !rejections.is_empty() {
+        return Err(crate::LangError::BytecodeRejected(rejections));
+    }
+    Ok(CompiledContract { evm: compiled_evm, avm: compiled_avm, warnings })
+}
+
+/// Runs the post-emission bytecode verifiers over every artifact and
+/// cross-checks the verified worst-case costs against the conservative
+/// straight-line bounds (B0301–B0303, X0401–X0402).
+fn verify_bytecode(
+    program: &crate::ast::Program,
+    compiled_evm: &evm::CompiledEvm,
+    compiled_avm: &avm::CompiledAvm,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    // The phase-advance epilogue stores the phase counter after a
+    // transfer's CALL; every other post-call SSTORE is a
+    // checks-effects-interactions violation.
+    let allowed = [evm::SLOT_PHASE];
+    let max_payload =
+        program.all_apis().map(|(_, api)| evm::params_width(api) as u64).max().unwrap_or(0);
+
+    // Whole EVM images: the init code (constructor → deploy wrapper; the
+    // runtime tail is unreachable data) and the runtime image itself.
+    let image_cfg = pol_evm::verifier::VerifyConfig {
+        allowed_post_call_sstore_keys: &allowed,
+        payload_bytes: max_payload,
+    };
+    if let Err(e) = pol_evm::verifier::verify(&compiled_evm.init_code, &image_cfg) {
+        diags.push(
+            Diagnostic::error("B0301", format!("EVM init code rejected: {e}"))
+                .at(program.spans.get(&NodePath::ContractName)),
+        );
+    }
+    let runtime_start = compiled_evm.init_code.len() - compiled_evm.runtime_len;
+    if let Err(e) = pol_evm::verifier::verify(&compiled_evm.init_code[runtime_start..], &image_cfg)
+    {
+        diags.push(
+            Diagnostic::error("B0301", format!("EVM runtime image rejected: {e}"))
+                .at(program.spans.get(&NodePath::ContractName)),
+        );
+    }
+
+    // The whole AVM approval program.
+    if let Err(e) = pol_avm::verifier::verify(&compiled_avm.program) {
+        diags.push(
+            Diagnostic::error("B0302", format!("AVM approval program rejected: {e}"))
+                .at(program.spans.get(&NodePath::ContractName)),
+        );
+    }
+
+    // Per-API fragments: verify each and cross-check the verified worst
+    // path against the conservative straight-line bound the analysis
+    // uses.
+    for (phase_idx, phase) in program.phases.iter().enumerate() {
+        for (api_idx, api) in phase.apis.iter().enumerate() {
+            let at = program.spans.get(&NodePath::Api { phase: phase_idx, api: api_idx });
+            let payload = evm::params_width(api) as u64;
+            let cfg = pol_evm::verifier::VerifyConfig {
+                allowed_post_call_sstore_keys: &allowed,
+                payload_bytes: payload,
+            };
+            if let Ok(fragment) = evm::api_fragment(program, phase_idx, api) {
+                match pol_evm::verifier::verify(&fragment, &cfg) {
+                    Ok(report) => {
+                        let bound = evm_linear_bound(&fragment, payload);
+                        if report.worst_case_gas > bound {
+                            diags.push(
+                                Diagnostic::error(
+                                    "X0401",
+                                    format!(
+                                        "api {:?}: verified worst-case gas {} exceeds the \
+                                         conservative bound {bound}",
+                                        api.name, report.worst_case_gas
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                    }
+                    Err(e) => diags.push(
+                        Diagnostic::error(
+                            "B0301",
+                            format!("api {:?}: EVM fragment rejected: {e}", api.name),
+                        )
+                        .at(at),
+                    ),
+                }
+            }
+            if let Ok(ops) = avm::api_fragment(program, phase_idx, api) {
+                let fragment = pol_avm::program::AvmProgram::new(ops);
+                match pol_avm::verifier::verify(&fragment) {
+                    Ok(report) => {
+                        if report.worst_case_cost > pol_avm::cost::CALL_BUDGET {
+                            diags.push(
+                                Diagnostic::error(
+                                    "B0303",
+                                    format!(
+                                        "api {:?}: verified worst-case cost {} exceeds the \
+                                         per-call budget {}",
+                                        api.name,
+                                        report.worst_case_cost,
+                                        pol_avm::cost::CALL_BUDGET
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                        let bound = pol_avm::cost::program_cost(fragment.ops());
+                        if report.worst_case_cost > bound {
+                            diags.push(
+                                Diagnostic::error(
+                                    "X0402",
+                                    format!(
+                                        "api {:?}: verified worst-case cost {} exceeds the \
+                                         conservative bound {bound}",
+                                        api.name, report.worst_case_cost
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                    }
+                    Err(e) => diags.push(
+                        Diagnostic::error(
+                            "B0302",
+                            format!("api {:?}: AVM fragment rejected: {e}", api.name),
+                        )
+                        .at(at),
+                    ),
+                }
+            }
+        }
+    }
+    diags
+}
+
+/// The conservative straight-line gas bound of a fragment: the linear
+/// opcode sum under the same warm-state model as the analysis. On the
+/// loop-free code this backend emits, every execution path is a
+/// subsequence of the instruction stream, so the verified worst path can
+/// never exceed this.
+fn evm_linear_bound(code: &[u8], payload_bytes: u64) -> u64 {
+    let mut total = 0u64;
+    let mut pc = 0usize;
+    while pc < code.len() {
+        let byte = code[pc];
+        pc += 1;
+        let Some((op, variant)) = pol_evm::opcode::Op::decode(byte) else { continue };
+        if op == pol_evm::opcode::Op::Push1 {
+            pc += variant as usize + 1;
+        }
+        total += pol_evm::verifier::conservative_op_gas(op, payload_bytes);
+    }
+    total
 }

@@ -1,0 +1,131 @@
+//! `polc` — the contract linting / diagnostics front end.
+//!
+//! ```text
+//! polc lint <file.pol>...   run the checker, verifier and dataflow
+//!                           lints; render rustc-style diagnostics.
+//!                           When a sibling `<file>.pol.expected`
+//!                           golden exists, compare against it instead
+//!                           of gating on severity.
+//! polc codes                print the diagnostic-code registry as
+//!                           markdown (published to
+//!                           results/lint_codes.md by CI).
+//! ```
+//!
+//! Exit status: 0 when every file is clean (or matches its golden),
+//! 1 when an error-severity diagnostic fires (or a golden mismatches),
+//! 2 on usage or I/O errors.
+
+use pol_lang::diag::{Diagnostic, Span};
+use pol_lang::{lint, pretty};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.split_first() {
+        Some((cmd, rest)) if cmd == "lint" && !rest.is_empty() => lint_files(rest),
+        Some((cmd, rest)) if cmd == "codes" && rest.is_empty() => {
+            print!("{}", lint::codes_markdown());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: polc lint <file.pol>...  |  polc codes");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_files(files: &[String]) -> ExitCode {
+    let mut failed = false;
+    for file in files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("polc: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = diagnose(&source);
+        let rendered = pretty::render_diagnostics(&diags, &source, file);
+        if !rendered.is_empty() {
+            print!("{rendered}");
+        }
+        let golden_path = format!("{file}.expected");
+        match std::fs::read_to_string(&golden_path) {
+            Ok(golden) => {
+                let got = canonical(&diags, &source);
+                let want: Vec<String> =
+                    golden.lines().filter(|l| !l.trim().is_empty()).map(str::to_string).collect();
+                if got != want {
+                    failed = true;
+                    eprintln!("polc: {file}: diagnostics do not match {golden_path}");
+                    eprintln!("  expected:");
+                    for line in &want {
+                        eprintln!("    {line}");
+                    }
+                    eprintln!("  got:");
+                    for line in &got {
+                        eprintln!("    {line}");
+                    }
+                } else {
+                    println!("polc: {file}: matches golden ({} diagnostic(s))", diags.len());
+                }
+            }
+            Err(_) => {
+                if diags.iter().any(Diagnostic::is_error) {
+                    failed = true;
+                } else {
+                    println!("polc: {file}: clean ({} warning(s))", diags.len());
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The full source-level pipeline: parse → type check → verify + lint.
+fn diagnose(source: &str) -> Vec<Diagnostic> {
+    let program = match pol_lang::parse::parse(source) {
+        Ok(p) => p,
+        Err(e) => {
+            let start = byte_offset(source, e.line, e.col);
+            return vec![Diagnostic::error("P0001", e.message).at(Span::new(start, start + 1))];
+        }
+    };
+    let type_errors = pol_lang::check::check(&program);
+    if !type_errors.is_empty() {
+        return type_errors;
+    }
+    let mut diags = pol_lang::verify::verify(&program).failures;
+    diags.extend(lint::lint(&program));
+    diags
+}
+
+/// One stable line per diagnostic for golden comparison:
+/// `severity[CODE] line:col message`.
+fn canonical(diags: &[Diagnostic], source: &str) -> Vec<String> {
+    diags
+        .iter()
+        .map(|d| {
+            let pos = match d.span.line_col(source) {
+                Some((line, col)) => format!("{line}:{col}"),
+                None => "-".to_string(),
+            };
+            format!("{}[{}] {pos} {}", d.severity, d.code, d.message)
+        })
+        .collect()
+}
+
+fn byte_offset(source: &str, line: usize, col: usize) -> usize {
+    let mut offset = 0;
+    for (i, l) in source.lines().enumerate() {
+        if i + 1 == line {
+            return offset + (col - 1).min(l.len());
+        }
+        offset += l.len() + 1;
+    }
+    source.len().saturating_sub(1)
+}

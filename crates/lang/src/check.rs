@@ -1,6 +1,11 @@
 //! The type checker.
+//!
+//! Every rejection is a structured [`Diagnostic`] carrying an `E…`
+//! code and, for parsed programs, the byte span of the offending
+//! declaration or statement.
 
 use crate::ast::{BinOp, Expr, GlobalInit, Program, Stmt, Ty};
+use crate::diag::{Diagnostic, NodePath, Owner, Span};
 
 /// Scope of one checking pass: the parameters in scope and whether
 /// globals may be referenced.
@@ -8,48 +13,87 @@ struct Ctx<'p> {
     program: &'p Program,
     params: &'p [(String, Ty)],
     allow_params: bool,
-    errors: Vec<String>,
+    /// Span attributed to diagnostics raised while checking the current
+    /// statement or expression.
+    at: Span,
+    errors: Vec<Diagnostic>,
 }
 
 /// Type-checks a program, returning all diagnostics (empty = well typed).
-pub fn check(program: &Program) -> Vec<String> {
+pub fn check(program: &Program) -> Vec<Diagnostic> {
     let mut errors = Vec::new();
 
-    // Globals: unique names, valid initialisers.
+    // Globals: unique names, valid initialisers. Duplicates point at the
+    // later declaration, with a note at the original.
     for (i, g) in program.globals.iter().enumerate() {
-        if program.globals.iter().skip(i + 1).any(|o| o.name == g.name) {
-            errors.push(format!("duplicate global {:?}", g.name));
+        if let Some(first) = program.globals[..i].iter().position(|o| o.name == g.name) {
+            errors.push(
+                Diagnostic::error("E0001", format!("duplicate global {:?}", g.name))
+                    .at(program.spans.get(&NodePath::Global(i)))
+                    .note(program.spans.get(&NodePath::Global(first)), "first declared here")
+                    .suggest("rename one of the declarations"),
+            );
         }
+        let at = program.spans.get(&NodePath::Global(i));
         match &g.init {
             GlobalInit::FromField(field) => match program.field_ty(field) {
-                None => errors.push(format!(
-                    "global {:?} initialised from unknown field {:?}",
-                    g.name, field
-                )),
-                Some(ft) if ft != g.ty => errors.push(format!(
-                    "global {:?} has type {:?} but field {:?} has {:?}",
-                    g.name, g.ty, field, ft
-                )),
+                None => errors.push(
+                    Diagnostic::error(
+                        "E0002",
+                        format!("global {:?} initialised from unknown field {:?}", g.name, field),
+                    )
+                    .at(at),
+                ),
+                Some(ft) if ft != g.ty => errors.push(
+                    Diagnostic::error(
+                        "E0003",
+                        format!(
+                            "global {:?} has type {:?} but field {:?} has {:?}",
+                            g.name, g.ty, field, ft
+                        ),
+                    )
+                    .at(at),
+                ),
                 Some(_) => {}
             },
             GlobalInit::Const(_) => {
                 if g.ty != Ty::UInt {
-                    errors.push(format!("constant-initialised global {:?} must be UInt", g.name));
+                    errors.push(
+                        Diagnostic::error(
+                            "E0004",
+                            format!("constant-initialised global {:?} must be UInt", g.name),
+                        )
+                        .at(at),
+                    );
                 }
             }
             GlobalInit::CreatorAddress => {
                 if g.ty != Ty::Address {
-                    errors.push(format!("creator-address global {:?} must be Address", g.name));
+                    errors.push(
+                        Diagnostic::error(
+                            "E0005",
+                            format!("creator-address global {:?} must be Address", g.name),
+                        )
+                        .at(at),
+                    );
                 }
             }
         }
     }
     for (i, m) in program.maps.iter().enumerate() {
-        if program.maps.iter().skip(i + 1).any(|o| o.name == m.name) {
-            errors.push(format!("duplicate map {:?}", m.name));
+        if let Some(first) = program.maps[..i].iter().position(|o| o.name == m.name) {
+            errors.push(
+                Diagnostic::error("E0006", format!("duplicate map {:?}", m.name))
+                    .at(program.spans.get(&NodePath::Map(i)))
+                    .note(program.spans.get(&NodePath::Map(first)), "first declared here")
+                    .suggest("rename one of the declarations"),
+            );
         }
         if m.value_bytes == 0 {
-            errors.push(format!("map {:?} has zero-size values", m.name));
+            errors.push(
+                Diagnostic::error("E0007", format!("map {:?} has zero-size values", m.name))
+                    .at(program.spans.get(&NodePath::Map(i))),
+            );
         }
     }
 
@@ -59,57 +103,119 @@ pub fn check(program: &Program) -> Vec<String> {
             program,
             params: &program.creator.fields,
             allow_params: true,
+            at: Span::DUMMY,
             errors: Vec::new(),
         };
-        for stmt in &program.constructor {
-            ctx.check_stmt(stmt);
-        }
+        check_block(&mut ctx, Owner::Constructor, &mut Vec::new(), &program.constructor);
         errors.extend(ctx.errors);
     }
 
     if program.phases.is_empty() {
-        errors.push("program has no phases".into());
+        errors.push(
+            Diagnostic::error("E0008", "program has no phases")
+                .at(program.spans.get(&NodePath::ContractName)),
+        );
     }
 
-    let mut api_names = std::collections::HashSet::new();
-    for phase in &program.phases {
+    let mut api_sites: std::collections::HashMap<&str, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (phase_idx, phase) in program.phases.iter().enumerate() {
         // Phase conditions range over globals only.
         let no_params: Vec<(String, Ty)> = Vec::new();
-        let mut ctx = Ctx { program, params: &no_params, allow_params: false, errors: Vec::new() };
+        let mut ctx = Ctx {
+            program,
+            params: &no_params,
+            allow_params: false,
+            at: program.spans.get(&NodePath::PhaseCond(phase_idx)),
+            errors: Vec::new(),
+        };
         ctx.expect(&phase.while_cond, Ty::Bool, "phase condition");
+        ctx.at = program.spans.get(&NodePath::Invariant(phase_idx));
         ctx.expect(&phase.invariant, Ty::Bool, "phase invariant");
         errors.extend(ctx.errors);
 
-        for api in &phase.apis {
-            if !api_names.insert(api.name.clone()) {
-                errors.push(format!("duplicate api {:?}", api.name));
+        for (api_idx, api) in phase.apis.iter().enumerate() {
+            let api_span = program.spans.get(&NodePath::Api { phase: phase_idx, api: api_idx });
+            match api_sites.entry(api.name.as_str()) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    let &(fp, fa) = first.get();
+                    errors.push(
+                        Diagnostic::error("E0009", format!("duplicate api {:?}", api.name))
+                            .at(api_span)
+                            .note(
+                                program.spans.get(&NodePath::Api { phase: fp, api: fa }),
+                                "first declared here",
+                            )
+                            .suggest("api names are the dispatch symbols and must be unique"),
+                    );
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert((phase_idx, api_idx));
+                }
             }
-            let mut ctx =
-                Ctx { program, params: &api.params, allow_params: true, errors: Vec::new() };
+            let mut ctx = Ctx {
+                program,
+                params: &api.params,
+                allow_params: true,
+                at: api_span,
+                errors: Vec::new(),
+            };
             if let Some(pay) = &api.pay {
+                ctx.at = program.spans.get(&NodePath::ApiPay { phase: phase_idx, api: api_idx });
                 ctx.expect(pay, Ty::UInt, "pay amount");
             }
-            for stmt in &api.body {
-                ctx.check_stmt(stmt);
-            }
+            let owner = Owner::Api { phase: phase_idx as u32, api: api_idx as u32 };
+            check_block(&mut ctx, owner, &mut Vec::new(), &api.body);
+            ctx.at = program.spans.get(&NodePath::ApiReturns { phase: phase_idx, api: api_idx });
             ctx.expect(&api.returns, Ty::UInt, "api return");
-            errors.extend(ctx.errors.into_iter().map(|e| format!("api {:?}: {e}", api.name)));
+            errors.extend(ctx.errors.into_iter().map(|mut d| {
+                d.message = format!("api {:?}: {}", api.name, d.message);
+                d
+            }));
         }
     }
     errors
 }
 
+/// Checks every statement of a body, pointing `ctx.at` at each
+/// statement's span before descending so expression-level diagnostics
+/// land on the right source line.
+fn check_block(ctx: &mut Ctx<'_>, owner: Owner, prefix: &mut Vec<u32>, stmts: &[Stmt]) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        prefix.push(i as u32);
+        ctx.at = ctx.program.spans.get(&NodePath::Stmt(owner, prefix.clone()));
+        ctx.check_stmt_shallow(stmt);
+        if let Stmt::If { then, otherwise, .. } = stmt {
+            prefix.push(0);
+            check_block(ctx, owner, prefix, then);
+            prefix.pop();
+            prefix.push(1);
+            check_block(ctx, owner, prefix, otherwise);
+            prefix.pop();
+        }
+        prefix.pop();
+    }
+}
+
 impl Ctx<'_> {
-    fn check_stmt(&mut self, stmt: &Stmt) {
+    fn err(&mut self, code: &'static str, message: impl Into<String>) {
+        self.errors.push(Diagnostic::error(code, message).at(self.at));
+    }
+
+    /// Checks one statement without descending into `If` arms (the
+    /// walker does that with the correct span context).
+    fn check_stmt_shallow(&mut self, stmt: &Stmt) {
         match stmt {
             Stmt::Require(cond) => self.expect(cond, Ty::Bool, "require"),
             Stmt::GlobalSet { name, value } => match self.global_ty(name) {
-                None => self.errors.push(format!("assignment to unknown global {name:?}")),
+                None => self.err("E0010", format!("assignment to unknown global {name:?}")),
                 Some(Ty::Bytes(_)) => {
                     if let Some(ty) = self.infer(value) {
                         if ty.is_word() {
-                            self.errors
-                                .push(format!("byte global {name:?} must be set from byte data"));
+                            self.err(
+                                "E0017",
+                                format!("byte global {name:?} must be set from byte data"),
+                            );
                         }
                     }
                 }
@@ -117,11 +223,11 @@ impl Ctx<'_> {
             },
             Stmt::MapSet { map, key, value } => {
                 if self.program.map_index(map).is_none() {
-                    self.errors.push(format!("unknown map {map:?}"));
+                    self.err("E0013", format!("unknown map {map:?}"));
                 }
                 self.expect(key, Ty::UInt, "map key");
                 if value.is_empty() {
-                    self.errors.push(format!("map {map:?} set with empty value"));
+                    self.err("E0018", format!("map {map:?} set with empty value"));
                 }
                 for part in value {
                     let _ = self.infer(part); // any typed expr is storable
@@ -129,22 +235,17 @@ impl Ctx<'_> {
             }
             Stmt::MapDelete { map, key } => {
                 if self.program.map_index(map).is_none() {
-                    self.errors.push(format!("unknown map {map:?}"));
+                    self.err("E0013", format!("unknown map {map:?}"));
                 }
                 self.expect(key, Ty::UInt, "map key");
             }
             Stmt::Transfer { to, amount } => {
                 if self.infer(to) != Some(Ty::Address) {
-                    self.errors.push("transfer recipient must be an Address".into());
+                    self.err("E0020", "transfer recipient must be an Address");
                 }
                 self.expect(amount, Ty::UInt, "transfer amount");
             }
-            Stmt::If { cond, then, otherwise } => {
-                self.expect(cond, Ty::Bool, "if condition");
-                for s in then.iter().chain(otherwise) {
-                    self.check_stmt(s);
-                }
-            }
+            Stmt::If { cond, .. } => self.expect(cond, Ty::Bool, "if condition"),
             Stmt::Log(parts) => {
                 for part in parts {
                     let _ = self.infer(part);
@@ -160,7 +261,7 @@ impl Ctx<'_> {
     fn expect(&mut self, expr: &Expr, want: Ty, what: &str) {
         match self.infer(expr) {
             Some(got) if got == want => {}
-            Some(got) => self.errors.push(format!("{what}: expected {want:?}, got {got:?}")),
+            Some(got) => self.err("E0014", format!("{what}: expected {want:?}, got {got:?}")),
             None => {} // error already recorded
         }
     }
@@ -170,13 +271,13 @@ impl Ctx<'_> {
             Expr::UInt(_) => Some(Ty::UInt),
             Expr::Param(name) => {
                 if !self.allow_params {
-                    self.errors.push(format!("parameter {name:?} referenced outside an api body"));
+                    self.err("E0012", format!("parameter {name:?} referenced outside an api body"));
                     return None;
                 }
                 match self.params.iter().find(|(n, _)| n == name) {
                     Some((_, ty)) => Some(*ty),
                     None => {
-                        self.errors.push(format!("unknown parameter {name:?}"));
+                        self.err("E0011", format!("unknown parameter {name:?}"));
                         None
                     }
                 }
@@ -184,7 +285,7 @@ impl Ctx<'_> {
             Expr::Global(name) => match self.global_ty(name) {
                 Some(ty) => Some(ty),
                 None => {
-                    self.errors.push(format!("unknown global {name:?}"));
+                    self.err("E0010", format!("unknown global {name:?}"));
                     None
                 }
             },
@@ -192,7 +293,7 @@ impl Ctx<'_> {
             Expr::Balance => Some(Ty::UInt),
             Expr::MapGet { map, key } | Expr::MapContains { map, key } => {
                 if self.program.map_index(map).is_none() {
-                    self.errors.push(format!("unknown map {map:?}"));
+                    self.err("E0013", format!("unknown map {map:?}"));
                 }
                 self.expect(key, Ty::UInt, "map key");
                 match expr {
@@ -202,7 +303,7 @@ impl Ctx<'_> {
             }
             Expr::Hash(parts) => {
                 if parts.is_empty() {
-                    self.errors.push("hash of nothing".into());
+                    self.err("E0019", "hash of nothing");
                 }
                 for part in parts {
                     let _ = self.infer(part);
@@ -215,7 +316,7 @@ impl Ctx<'_> {
                 match op {
                     BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
                         if lt != Ty::UInt || rt != Ty::UInt {
-                            self.errors.push(format!("{op:?} needs UInt operands"));
+                            self.err("E0016", format!("{op:?} needs UInt operands"));
                             None
                         } else {
                             Some(Ty::UInt)
@@ -223,7 +324,7 @@ impl Ctx<'_> {
                     }
                     BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => {
                         if lt != Ty::UInt || rt != Ty::UInt {
-                            self.errors.push(format!("{op:?} needs UInt operands"));
+                            self.err("E0016", format!("{op:?} needs UInt operands"));
                             None
                         } else {
                             Some(Ty::Bool)
@@ -231,7 +332,7 @@ impl Ctx<'_> {
                     }
                     BinOp::Eq | BinOp::Ne => {
                         if lt != rt {
-                            self.errors.push(format!("{op:?} operands differ: {lt:?} vs {rt:?}"));
+                            self.err("E0015", format!("{op:?} operands differ: {lt:?} vs {rt:?}"));
                             None
                         } else {
                             Some(Ty::Bool)
@@ -239,7 +340,7 @@ impl Ctx<'_> {
                     }
                     BinOp::And | BinOp::Or => {
                         if lt != Ty::Bool || rt != Ty::Bool {
-                            self.errors.push(format!("{op:?} needs Bool operands"));
+                            self.err("E0016", format!("{op:?} needs Bool operands"));
                             None
                         } else {
                             Some(Ty::Bool)
@@ -272,7 +373,8 @@ mod tests {
             .body
             .push(Stmt::GlobalSet { name: "nope".into(), value: Expr::UInt(1) });
         let errs = check(&p);
-        assert!(errs.iter().any(|e| e.contains("unknown global \"nope\"")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("unknown global \"nope\"")), "{errs:?}");
+        assert!(errs.iter().all(|e| e.is_error()));
     }
 
     #[test]
@@ -284,7 +386,7 @@ mod tests {
             Box::new(Expr::UInt(2)),
         )));
         let errs = check(&p);
-        assert!(errs.iter().any(|e| e.contains("expected Bool")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("expected Bool")), "{errs:?}");
     }
 
     #[test]
@@ -292,7 +394,7 @@ mod tests {
         let mut p = Program::counter_example();
         p.phases[0].while_cond = Expr::gt(Expr::param("by"), Expr::UInt(0));
         let errs = check(&p);
-        assert!(errs.iter().any(|e| e.contains("outside an api body")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("outside an api body")), "{errs:?}");
     }
 
     #[test]
@@ -300,14 +402,14 @@ mod tests {
         let mut p = Program::counter_example();
         p.phases[0].apis[0].body.push(Stmt::Require(Expr::eq(Expr::Caller, Expr::UInt(0))));
         let errs = check(&p);
-        assert!(errs.iter().any(|e| e.contains("operands differ")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.message.contains("operands differ")), "{errs:?}");
     }
 
     #[test]
     fn missing_phase_reported() {
         let mut p = Program::counter_example();
         p.phases.clear();
-        assert!(check(&p).iter().any(|e| e.contains("no phases")));
+        assert!(check(&p).iter().any(|e| e.message.contains("no phases")));
     }
 
     #[test]
@@ -315,6 +417,30 @@ mod tests {
         let mut p = Program::counter_example();
         let api = p.phases[0].apis[0].clone();
         p.phases[0].apis.push(api);
-        assert!(check(&p).iter().any(|e| e.contains("duplicate api")));
+        let errs = check(&p);
+        assert!(errs.iter().any(|e| e.message.contains("duplicate api") && e.code == "E0009"));
+    }
+
+    #[test]
+    fn duplicate_names_report_both_spans() {
+        let src = r"
+            contract dup {
+                participant P { cap: uint }
+                global left: uint = field(cap);
+                global left: uint = 0;
+                phase p while left > 0 invariant left >= 0 {
+                    api f() -> left { left = left - 1; }
+                }
+            }
+        ";
+        let p = crate::parse::parse(src).unwrap();
+        let errs = check(&p);
+        let dup = errs.iter().find(|e| e.code == "E0001").expect("duplicate reported");
+        // Primary span: the second declaration; note span: the first.
+        assert_eq!(&src[dup.span.start..dup.span.end], "left");
+        assert_eq!(dup.notes.len(), 1);
+        let note = &dup.notes[0];
+        assert_eq!(&src[note.span.start..note.span.end], "left");
+        assert!(note.span.start < dup.span.start, "note points at the earlier declaration");
     }
 }

@@ -40,30 +40,60 @@ pub mod analyze;
 pub mod ast;
 pub mod backend;
 pub mod check;
+pub mod diag;
+pub mod ir;
+pub mod lint;
 pub mod parse;
 pub mod pretty;
 pub mod verify;
 
 pub use ast::Program;
+pub use diag::{Diagnostic, Severity, Span};
 pub use parse::{parse, ParseError};
+
+fn join_diags(diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+}
 
 /// Errors raised by the compiler pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LangError {
     /// The program failed type checking.
-    TypeErrors(Vec<String>),
+    TypeErrors(Vec<Diagnostic>),
     /// The program failed verification.
-    VerificationFailed(Vec<String>),
+    VerificationFailed(Vec<Diagnostic>),
+    /// An error-severity lint diagnostic fired.
+    LintErrors(Vec<Diagnostic>),
+    /// Emitted bytecode failed post-emission verification or the cost
+    /// cross-check against the conservative analysis bound.
+    BytecodeRejected(Vec<Diagnostic>),
     /// A backend limitation was hit.
     Backend(String),
+}
+
+impl LangError {
+    /// The structured diagnostics behind this error, when it carries any.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        match self {
+            LangError::TypeErrors(d)
+            | LangError::VerificationFailed(d)
+            | LangError::LintErrors(d)
+            | LangError::BytecodeRejected(d) => d,
+            LangError::Backend(_) => &[],
+        }
+    }
 }
 
 impl std::fmt::Display for LangError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LangError::TypeErrors(errs) => write!(f, "type errors: {}", errs.join("; ")),
+            LangError::TypeErrors(errs) => write!(f, "type errors: {}", join_diags(errs)),
             LangError::VerificationFailed(fails) => {
-                write!(f, "verification failed: {}", fails.join("; "))
+                write!(f, "verification failed: {}", join_diags(fails))
+            }
+            LangError::LintErrors(errs) => write!(f, "lint errors: {}", join_diags(errs)),
+            LangError::BytecodeRejected(errs) => {
+                write!(f, "bytecode rejected: {}", join_diags(errs))
             }
             LangError::Backend(msg) => write!(f, "backend error: {msg}"),
         }

@@ -27,10 +27,15 @@
 //! `map name[N];` (N = value capacity in bytes); `constructor { … }`
 //! gives the deployment body; APIs may declare a required payment with
 //! `pay <expr>` before the `-> <return-expr>`.
+//!
+//! Besides the AST, the parser records a byte-offset [`SpanTable`] on
+//! the returned [`Program`] so downstream diagnostics can point at the
+//! offending source text.
 
 use crate::ast::{
     Api, BinOp, Expr, GlobalDecl, GlobalInit, MapDecl, Participant, Phase, Program, Stmt, Ty,
 };
+use crate::diag::{NodePath, Owner, Span, SpanTable};
 
 /// A parse failure, with 1-based source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,8 +64,19 @@ enum Tok {
     Eof,
 }
 
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    col: usize,
+    /// Byte offset of the token's first byte.
+    start: usize,
+    /// Byte offset one past the token's last byte.
+    end: usize,
+}
+
 struct Lexer {
-    tokens: Vec<(Tok, usize, usize)>,
+    tokens: Vec<Token>,
 }
 
 const PUNCTS: [&str; 22] = [
@@ -72,6 +88,18 @@ const PUNCTS_MULDIV: [&str; 2] = ["*", "/"];
 fn lex(source: &str) -> Result<Lexer, ParseError> {
     let mut tokens = Vec::new();
     let bytes: Vec<char> = source.chars().collect();
+    // Byte offset of every char index (plus one-past-the-end), so tokens
+    // can carry byte spans while the scanner works on char indices.
+    let offsets: Vec<usize> = {
+        let mut v = Vec::with_capacity(bytes.len() + 1);
+        let mut b = 0usize;
+        for c in &bytes {
+            v.push(b);
+            b += c.len_utf8();
+        }
+        v.push(b);
+        v
+    };
     let mut i = 0usize;
     let mut line = 1usize;
     let mut col = 1usize;
@@ -101,7 +129,13 @@ fn lex(source: &str) -> Result<Lexer, ParseError> {
                 let mut chars = p.chars();
                 let (a, b) = (chars.next().unwrap(), chars.next().unwrap());
                 if c == a && bytes.get(i + 1) == Some(&b) {
-                    tokens.push((Tok::Punct(p), line, col));
+                    tokens.push(Token {
+                        tok: Tok::Punct(p),
+                        line,
+                        col,
+                        start: offsets[i],
+                        end: offsets[i + 2],
+                    });
                     i += 2;
                     col += 2;
                     continue 'outer;
@@ -110,7 +144,13 @@ fn lex(source: &str) -> Result<Lexer, ParseError> {
         }
         for p in PUNCTS.iter().chain(PUNCTS_MULDIV.iter()) {
             if p.len() == 1 && c == p.chars().next().unwrap() {
-                tokens.push((Tok::Punct(p), line, col));
+                tokens.push(Token {
+                    tok: Tok::Punct(p),
+                    line,
+                    col,
+                    start: offsets[i],
+                    end: offsets[i + 1],
+                });
                 i += 1;
                 col += 1;
                 continue 'outer;
@@ -127,7 +167,13 @@ fn lex(source: &str) -> Result<Lexer, ParseError> {
                 col,
                 message: format!("number {text:?} out of range"),
             })?;
-            tokens.push((Tok::Number(value), line, col));
+            tokens.push(Token {
+                tok: Tok::Number(value),
+                line,
+                col,
+                start: offsets[start],
+                end: offsets[i],
+            });
             col += i - start;
             continue;
         }
@@ -137,31 +183,52 @@ fn lex(source: &str) -> Result<Lexer, ParseError> {
                 i += 1;
             }
             let text: String = bytes[start..i].iter().collect();
-            tokens.push((Tok::Ident(text), line, col));
+            tokens.push(Token {
+                tok: Tok::Ident(text),
+                line,
+                col,
+                start: offsets[start],
+                end: offsets[i],
+            });
             col += i - start;
             continue;
         }
         return Err(ParseError { line, col, message: format!("unexpected character {c:?}") });
     }
-    tokens.push((Tok::Eof, line, col));
+    tokens.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+        start: offsets[bytes.len()],
+        end: offsets[bytes.len()],
+    });
     Ok(Lexer { tokens })
 }
 
 struct Parser {
-    tokens: Vec<(Tok, usize, usize)>,
+    tokens: Vec<Token>,
     pos: usize,
     /// Names currently in parameter scope (API params or constructor
     /// fields); other identifiers resolve to globals.
     param_scope: Vec<String>,
+    /// Spans recorded for the program under construction.
+    spans: SpanTable,
+    /// End offset of the most recently consumed token.
+    last_end: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Tok {
-        &self.tokens[self.pos].0
+        &self.tokens[self.pos].tok
     }
 
     fn here(&self) -> (usize, usize) {
-        (self.tokens[self.pos].1, self.tokens[self.pos].2)
+        (self.tokens[self.pos].line, self.tokens[self.pos].col)
+    }
+
+    /// Byte offset where the next token starts.
+    fn start_offset(&self) -> usize {
+        self.tokens[self.pos].start
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
@@ -170,7 +237,8 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Tok {
-        let t = self.tokens[self.pos].0.clone();
+        let t = self.tokens[self.pos].tok.clone();
+        self.last_end = self.tokens[self.pos].end;
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -206,6 +274,14 @@ impl Parser {
         }
     }
 
+    /// Expects an identifier, recording its span under `path`.
+    fn expect_ident_at(&mut self, path: NodePath) -> Result<String, ParseError> {
+        let start = self.start_offset();
+        let name = self.expect_ident()?;
+        self.spans.set(path, Span::new(start, self.last_end));
+        Ok(name)
+    }
+
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
         match self.peek().clone() {
             Tok::Ident(name) if name == kw => {
@@ -239,7 +315,7 @@ impl Parser {
 
     fn program(&mut self) -> Result<Program, ParseError> {
         self.expect_keyword("contract")?;
-        let name = self.expect_ident()?;
+        let name = self.expect_ident_at(NodePath::ContractName)?;
         self.expect_punct("{")?;
         let mut creator = None;
         let mut constructor = Vec::new();
@@ -254,19 +330,27 @@ impl Parser {
                         return Err(self.error("only one participant is supported"));
                     }
                 }
-                Tok::Ident(kw) if kw == "global" => globals.push(self.global()?),
-                Tok::Ident(kw) if kw == "map" => maps.push(self.map_decl()?),
+                Tok::Ident(kw) if kw == "global" => {
+                    let idx = globals.len();
+                    globals.push(self.global(idx)?);
+                }
+                Tok::Ident(kw) if kw == "map" => {
+                    let idx = maps.len();
+                    maps.push(self.map_decl(idx)?);
+                }
                 Tok::Ident(kw) if kw == "constructor" => {
                     self.bump();
                     self.param_scope = creator
                         .as_ref()
                         .map(|p: &Participant| p.fields.iter().map(|(n, _)| n.clone()).collect())
                         .unwrap_or_default();
-                    constructor = self.block()?;
+                    let mut prefix = Vec::new();
+                    constructor = self.block(Owner::Constructor, &mut prefix)?;
                     self.param_scope.clear();
                 }
                 Tok::Ident(kw) if kw == "phase" => {
-                    phases.push(self.phase(creator.as_ref())?);
+                    let idx = phases.len();
+                    phases.push(self.phase(idx, creator.as_ref())?);
                 }
                 other => return Err(self.error(format!("unexpected item {other:?}"))),
             }
@@ -275,7 +359,8 @@ impl Parser {
             return Err(self.error("trailing input after contract body"));
         }
         let creator = creator.ok_or_else(|| self.error("contract has no participant"))?;
-        Ok(Program { name, creator, constructor, globals, maps, phases })
+        let spans = std::mem::take(&mut self.spans);
+        Ok(Program { name, creator, constructor, globals, maps, phases, spans })
     }
 
     fn participant(&mut self) -> Result<Participant, ParseError> {
@@ -284,7 +369,7 @@ impl Parser {
         self.expect_punct("{")?;
         let mut fields = Vec::new();
         while !self.eat_punct("}") {
-            let field = self.expect_ident()?;
+            let field = self.expect_ident_at(NodePath::Field(fields.len()))?;
             self.expect_punct(":")?;
             let ty = self.ty()?;
             fields.push((field, ty));
@@ -311,9 +396,9 @@ impl Parser {
         }
     }
 
-    fn global(&mut self) -> Result<GlobalDecl, ParseError> {
+    fn global(&mut self, idx: usize) -> Result<GlobalDecl, ParseError> {
         self.expect_keyword("global")?;
-        let name = self.expect_ident()?;
+        let name = self.expect_ident_at(NodePath::Global(idx))?;
         self.expect_punct(":")?;
         let ty = self.ty()?;
         self.expect_punct("=")?;
@@ -340,9 +425,9 @@ impl Parser {
         Ok(GlobalDecl { name, ty, init, viewable })
     }
 
-    fn map_decl(&mut self) -> Result<MapDecl, ParseError> {
+    fn map_decl(&mut self, idx: usize) -> Result<MapDecl, ParseError> {
         self.expect_keyword("map")?;
-        let name = self.expect_ident()?;
+        let name = self.expect_ident_at(NodePath::Map(idx))?;
         self.expect_punct("[")?;
         let value_bytes = self.expect_number()? as usize;
         self.expect_punct("]")?;
@@ -350,26 +435,27 @@ impl Parser {
         Ok(MapDecl { name, value_bytes })
     }
 
-    fn phase(&mut self, creator: Option<&Participant>) -> Result<Phase, ParseError> {
+    fn phase(&mut self, idx: usize, creator: Option<&Participant>) -> Result<Phase, ParseError> {
         let _ = creator;
         self.expect_keyword("phase")?;
-        let name = self.expect_ident()?;
+        let name = self.expect_ident_at(NodePath::Phase(idx))?;
         self.expect_keyword("while")?;
         self.param_scope.clear();
-        let while_cond = self.expr()?;
+        let while_cond = self.spanned_expr(NodePath::PhaseCond(idx))?;
         self.expect_keyword("invariant")?;
-        let invariant = self.expr()?;
+        let invariant = self.spanned_expr(NodePath::Invariant(idx))?;
         self.expect_punct("{")?;
         let mut apis = Vec::new();
         while !self.eat_punct("}") {
-            apis.push(self.api()?);
+            let api_idx = apis.len();
+            apis.push(self.api(idx, api_idx)?);
         }
         Ok(Phase { name, while_cond, invariant, apis })
     }
 
-    fn api(&mut self) -> Result<Api, ParseError> {
+    fn api(&mut self, phase_idx: usize, api_idx: usize) -> Result<Api, ParseError> {
         self.expect_keyword("api")?;
-        let name = self.expect_ident()?;
+        let name = self.expect_ident_at(NodePath::Api { phase: phase_idx, api: api_idx })?;
         self.expect_punct("(")?;
         let mut params = Vec::new();
         while !self.eat_punct(")") {
@@ -382,24 +468,40 @@ impl Parser {
             }
         }
         self.param_scope = params.iter().map(|(n, _)| n.clone()).collect();
-        let pay = if self.eat_keyword("pay") { Some(self.expr()?) } else { None };
+        let pay = if self.eat_keyword("pay") {
+            Some(self.spanned_expr(NodePath::ApiPay { phase: phase_idx, api: api_idx })?)
+        } else {
+            None
+        };
         self.expect_punct("->")?;
-        let returns = self.expr()?;
-        let body = self.block()?;
+        let returns = self.spanned_expr(NodePath::ApiReturns { phase: phase_idx, api: api_idx })?;
+        let mut prefix = Vec::new();
+        let body =
+            self.block(Owner::Api { phase: phase_idx as u32, api: api_idx as u32 }, &mut prefix)?;
         self.param_scope.clear();
         Ok(Api { name, params, pay, body, returns })
     }
 
-    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+    fn block(&mut self, owner: Owner, prefix: &mut Vec<u32>) -> Result<Vec<Stmt>, ParseError> {
         self.expect_punct("{")?;
         let mut out = Vec::new();
         while !self.eat_punct("}") {
-            out.push(self.stmt()?);
+            prefix.push(out.len() as u32);
+            let stmt = self.stmt(owner, prefix);
+            prefix.pop();
+            out.push(stmt?);
         }
         Ok(out)
     }
 
-    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+    fn stmt(&mut self, owner: Owner, prefix: &mut Vec<u32>) -> Result<Stmt, ParseError> {
+        let start = self.start_offset();
+        let stmt = self.stmt_inner(owner, prefix)?;
+        self.spans.set(NodePath::Stmt(owner, prefix.clone()), Span::new(start, self.last_end));
+        Ok(stmt)
+    }
+
+    fn stmt_inner(&mut self, owner: Owner, prefix: &mut Vec<u32>) -> Result<Stmt, ParseError> {
         match self.peek().clone() {
             Tok::Ident(kw) if kw == "require" => {
                 self.bump();
@@ -438,8 +540,18 @@ impl Parser {
             Tok::Ident(kw) if kw == "if" => {
                 self.bump();
                 let cond = self.expr()?;
-                let then = self.block()?;
-                let otherwise = if self.eat_keyword("else") { self.block()? } else { Vec::new() };
+                prefix.push(0);
+                let then = self.block(owner, prefix);
+                prefix.pop();
+                let then = then?;
+                let otherwise = if self.eat_keyword("else") {
+                    prefix.push(1);
+                    let otherwise = self.block(owner, prefix);
+                    prefix.pop();
+                    otherwise?
+                } else {
+                    Vec::new()
+                };
                 Ok(Stmt::If { cond, then, otherwise })
             }
             Tok::Ident(name) => {
@@ -473,6 +585,14 @@ impl Parser {
             }
         }
         Ok(out)
+    }
+
+    /// Parses an expression, recording its full extent under `path`.
+    fn spanned_expr(&mut self, path: NodePath) -> Result<Expr, ParseError> {
+        let start = self.start_offset();
+        let e = self.expr()?;
+        self.spans.set(path, Span::new(start, self.last_end));
+        Ok(e)
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -612,7 +732,13 @@ impl Parser {
 /// [`ParseError`] with source position on the first syntax error.
 pub fn parse(source: &str) -> Result<Program, ParseError> {
     let lexer = lex(source)?;
-    let mut parser = Parser { tokens: lexer.tokens, pos: 0, param_scope: Vec::new() };
+    let mut parser = Parser {
+        tokens: lexer.tokens,
+        pos: 0,
+        param_scope: Vec::new(),
+        spans: SpanTable::default(),
+        last_end: 0,
+    };
     parser.program()
 }
 
@@ -649,6 +775,49 @@ mod tests {
         assert!(crate::check::check(&parsed).is_empty());
         assert!(crate::verify::verify(&parsed).ok());
         assert!(crate::backend::compile(&parsed).is_ok());
+    }
+
+    #[test]
+    fn spans_point_at_source_text() {
+        let p = parse(COUNTER_SRC).unwrap();
+        let g0 = p.spans.get(&NodePath::Global(0));
+        assert_eq!(&COUNTER_SRC[g0.start..g0.end], "remaining");
+        let g1 = p.spans.get(&NodePath::Global(1));
+        assert_eq!(&COUNTER_SRC[g1.start..g1.end], "count");
+        let api = p.spans.get(&NodePath::Api { phase: 0, api: 0 });
+        assert_eq!(&COUNTER_SRC[api.start..api.end], "bump");
+        let owner = Owner::Api { phase: 0, api: 0 };
+        let s0 = p.spans.get(&NodePath::Stmt(owner, vec![0]));
+        assert_eq!(&COUNTER_SRC[s0.start..s0.end], "require(by > 0);");
+        let s2 = p.spans.get(&NodePath::Stmt(owner, vec![2]));
+        assert_eq!(&COUNTER_SRC[s2.start..s2.end], "remaining = remaining - 1;");
+        let cond = p.spans.get(&NodePath::PhaseCond(0));
+        assert_eq!(&COUNTER_SRC[cond.start..cond.end], "remaining > 0");
+    }
+
+    #[test]
+    fn nested_stmt_spans_use_branch_paths() {
+        let src = r"
+            contract c {
+                participant P { cap: uint }
+                global left: uint = field(cap);
+                phase run while left > 0 invariant left >= 0 {
+                    api f() -> left {
+                        if left > 2 {
+                            left = left - 1;
+                        } else {
+                            log(left);
+                        }
+                    }
+                }
+            }
+        ";
+        let p = parse(src).unwrap();
+        let owner = Owner::Api { phase: 0, api: 0 };
+        let then0 = p.spans.get(&NodePath::Stmt(owner, vec![0, 0, 0]));
+        assert_eq!(&src[then0.start..then0.end], "left = left - 1;");
+        let else0 = p.spans.get(&NodePath::Stmt(owner, vec![0, 1, 0]));
+        assert_eq!(&src[else0.start..else0.end], "log(left);");
     }
 
     #[test]

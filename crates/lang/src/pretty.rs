@@ -1,8 +1,64 @@
 //! Pretty-printer: renders an AST back to the surface syntax of
-//! [`crate::parse()`]. `parse(to_source(p)) == p` for every well-formed
-//! program, so sources can be generated, stored and diffed.
+//! [`crate::parse()`] (`parse(to_source(p)) == p` for every well-formed
+//! program, so sources can be generated, stored and diffed), and
+//! renders [`Diagnostic`]s rustc-style with the offending source line
+//! and a caret underline.
 
 use crate::ast::{BinOp, Expr, GlobalInit, Program, Stmt, Ty};
+use crate::diag::{Diagnostic, Span};
+
+/// Renders one diagnostic rustc-style:
+///
+/// ```text
+/// error[V0102]: subtraction may underflow
+///  --> contract.pol:12:9
+///    |
+/// 12 |         count = count - 1;
+///    |         ^^^^^^^^^^^^^^^^^
+/// ```
+///
+/// followed by `note:` snippets and an `= help:` suggestion when the
+/// diagnostic carries them. Diagnostics without a source span render
+/// the header line only.
+pub fn render_diagnostic(diag: &Diagnostic, source: &str, filename: &str) -> String {
+    let mut out = format!("{}[{}]: {}\n", diag.severity, diag.code, diag.message);
+    if let Some(snip) = snippet(diag.span, source, filename) {
+        out.push_str(&snip);
+    }
+    for note in &diag.notes {
+        out.push_str(&format!("note: {}\n", note.message));
+        if let Some(snip) = snippet(note.span, source, filename) {
+            out.push_str(&snip);
+        }
+    }
+    if let Some(help) = &diag.suggestion {
+        out.push_str(&format!("  = help: {help}\n"));
+    }
+    out
+}
+
+/// Renders a batch of diagnostics separated by blank lines.
+pub fn render_diagnostics(diags: &[Diagnostic], source: &str, filename: &str) -> String {
+    diags.iter().map(|d| render_diagnostic(d, source, filename)).collect::<Vec<_>>().join("\n")
+}
+
+fn snippet(span: Span, source: &str, filename: &str) -> Option<String> {
+    let (line, col) = span.line_col(source)?;
+    let line_text = source.lines().nth(line - 1).unwrap_or("");
+    let line_start = span.start - (col - 1);
+    let line_end = line_start + line_text.len();
+    let width = span.end.min(line_end).saturating_sub(span.start).max(1);
+    let gutter = line.to_string();
+    let pad = " ".repeat(gutter.len());
+    Some(format!(
+        " --> {filename}:{line}:{col}\n\
+         {pad} |\n\
+         {gutter} | {line_text}\n\
+         {pad} | {}{}\n",
+        " ".repeat(col - 1),
+        "^".repeat(width),
+    ))
+}
 
 /// Renders a program as contract source text.
 pub fn to_source(program: &Program) -> String {
@@ -162,6 +218,32 @@ mod tests {
         let source = to_source(&program);
         let reparsed = crate::parse::parse(&source).unwrap();
         assert_eq!(reparsed, program, "source was:\n{source}");
+    }
+
+    #[test]
+    fn renderer_points_at_the_offending_line() {
+        let source = "contract c {\n    participant P { }\n    global g: uint = 0;\n";
+        let start = source.find("global g").unwrap();
+        let diag = Diagnostic::error("E0001", "duplicate global declaration")
+            .at(Span::new(start, start + "global g".len()))
+            .suggest("rename one of the declarations");
+        let rendered = render_diagnostic(&diag, source, "c.pol");
+        assert!(rendered.starts_with("error[E0001]: duplicate global declaration\n"));
+        assert!(rendered.contains(" --> c.pol:3:5\n"), "{rendered}");
+        assert!(rendered.contains("3 |     global g: uint = 0;\n"), "{rendered}");
+        assert!(rendered.contains("  |     ^^^^^^^^\n"), "{rendered}");
+        assert!(rendered.contains("  = help: rename one of the declarations\n"));
+    }
+
+    #[test]
+    fn renderer_handles_dummy_spans_and_notes() {
+        let source = "contract c {\n}\n";
+        let diag = Diagnostic::warning("L0001", "unreachable code")
+            .note(Span::new(0, 8), "because of this");
+        let rendered = render_diagnostic(&diag, source, "c.pol");
+        assert!(rendered.starts_with("warning[L0001]: unreachable code\n"));
+        assert!(rendered.contains("note: because of this\n"));
+        assert!(rendered.contains("1 | contract c {\n"), "{rendered}");
     }
 
     #[test]

@@ -15,12 +15,20 @@
 //!   some path (the verification flow of §4.1.5 deletes each DID entry);
 //! * **arithmetic safety** — every subtraction is dominated by a guard
 //!   bounding the minuend (phase conditions count, as they gate entry);
+//!   when the syntactic matcher gives up, the interval analysis of
+//!   [`crate::ir`] is consulted as a semantic fallback before a failure
+//!   is reported;
 //! * **effect ordering** — no state writes after a `Transfer`
 //!   (checks-effects-interactions);
 //! * **knowledge/privacy** — byte payloads are stored as commitments,
 //!   never raw.
+//!
+//! Failures are structured [`Diagnostic`]s (codes `V0101`–`V0105`) with
+//! source spans, renderable by [`crate::pretty::render_diagnostic`].
 
-use crate::ast::{Api, BinOp, Expr, Program, Stmt};
+use crate::ast::{BinOp, Expr, Program, Stmt};
+use crate::diag::{Diagnostic, NodePath, Owner};
+use crate::ir;
 
 /// The participant-assumption mode of a verification pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,8 +45,8 @@ pub enum Mode {
 pub struct VerifyReport {
     /// Number of theorems checked across all passes.
     pub theorems_checked: usize,
-    /// Human-readable failures (empty = verified).
-    pub failures: Vec<String>,
+    /// Structured failures (empty = verified).
+    pub failures: Vec<Diagnostic>,
 }
 
 impl VerifyReport {
@@ -64,7 +72,7 @@ impl std::fmt::Display for VerifyReport {
                 self.failures.len()
             )?;
             for failure in &self.failures {
-                writeln!(f, "  ✗ {failure}")?;
+                writeln!(f, "  ✗ {}", failure.message)?;
             }
             Ok(())
         }
@@ -100,26 +108,42 @@ pub fn verify(program: &Program) -> VerifyReport {
         .count();
 
     // --- Generic connector: map cleanup and token linearity.
-    for map in &program.maps {
+    for (map_idx, map) in program.maps.iter().enumerate() {
         theorems += 1;
-        let mut written = false;
+        let mut first_write: Option<(Owner, Vec<u32>)> = None;
         let mut deleted = false;
-        let mut scan = |stmts: &Vec<Stmt>| {
-            for_each_stmt(stmts, &mut |stmt| match stmt {
-                Stmt::MapSet { map: m, .. } if *m == map.name => written = true,
-                Stmt::MapDelete { map: m, .. } if *m == map.name => deleted = true,
-                _ => {}
-            });
-        };
-        scan(&program.constructor);
-        for (_, api) in program.all_apis() {
-            scan(&api.body);
+        {
+            let mut scan = |owner: Owner, stmts: &[Stmt]| {
+                for_each_stmt_path(stmts, &mut Vec::new(), &mut |stmt, path| match stmt {
+                    Stmt::MapSet { map: m, .. } if *m == map.name && first_write.is_none() => {
+                        first_write = Some((owner, path.to_vec()));
+                    }
+                    Stmt::MapDelete { map: m, .. } if *m == map.name => deleted = true,
+                    _ => {}
+                });
+            };
+            scan(Owner::Constructor, &program.constructor);
+            for (phase_idx, phase) in program.phases.iter().enumerate() {
+                for (api_idx, api) in phase.apis.iter().enumerate() {
+                    scan(Owner::Api { phase: phase_idx as u32, api: api_idx as u32 }, &api.body);
+                }
+            }
         }
-        if written && !deleted {
-            failures.push(format!(
-                "map {:?} is written but never deleted: storage leaks past finalization",
-                map.name
-            ));
+        if let Some((owner, path)) = first_write {
+            if !deleted {
+                failures.push(
+                    Diagnostic::error(
+                        "V0105",
+                        format!(
+                            "map {:?} is written but never deleted: storage leaks past finalization",
+                            map.name
+                        ),
+                    )
+                    .at(program.spans.get(&NodePath::Map(map_idx)))
+                    .note(program.spans.get(&NodePath::Stmt(owner, path)), "written here")
+                    .suggest("add a `delete` for the entry on some path before finalization"),
+                );
+            }
         }
     }
     // Token linearity: the implicit close pays the full balance to the
@@ -128,15 +152,27 @@ pub fn verify(program: &Program) -> VerifyReport {
     // obligation itself.
     theorems += program.phases.len() + 1;
 
-    // --- Per-API passes in both modes.
+    // --- Per-API passes in both modes. The interval analysis is mode-
+    // independent (it already treats every parameter as adversarial), so
+    // compute it once per API.
+    let flows: Vec<Vec<ir::BodyAnalysis>> = program
+        .phases
+        .iter()
+        .enumerate()
+        .map(|(pi, phase)| {
+            (0..phase.apis.len()).map(|ai| ir::analyze_api(program, pi, ai)).collect()
+        })
+        .collect();
     for mode in [Mode::AllHonest, Mode::NoneHonest] {
-        for (phase_idx, api) in program.all_apis() {
-            let phase = &program.phases[phase_idx];
-            let entry_guards = vec![phase.while_cond.clone()];
-            let (t, mut fails) = verify_api(api, &entry_guards, mode);
-            theorems += t;
-            for f in fails.drain(..) {
-                failures.push(format!("[{mode:?}] api {:?}: {f}", api.name));
+        for (phase_idx, phase) in program.phases.iter().enumerate() {
+            for (api_idx, api) in phase.apis.iter().enumerate() {
+                let (t, fails) =
+                    verify_api(program, phase_idx, api_idx, mode, &flows[phase_idx][api_idx]);
+                theorems += t;
+                for mut d in fails {
+                    d.message = format!("[{mode:?}] api {:?}: {}", api.name, d.message);
+                    failures.push(d);
+                }
             }
         }
         // Phase invariants are range-over-globals Booleans; one theorem
@@ -147,8 +183,18 @@ pub fn verify(program: &Program) -> VerifyReport {
     VerifyReport { theorems_checked: theorems, failures }
 }
 
-/// Verifies one API under the given entry guards and mode.
-fn verify_api(api: &Api, entry_guards: &[Expr], mode: Mode) -> (usize, Vec<String>) {
+/// Verifies one API under the given mode.
+fn verify_api(
+    program: &Program,
+    phase_idx: usize,
+    api_idx: usize,
+    mode: Mode,
+    flow: &ir::BodyAnalysis,
+) -> (usize, Vec<Diagnostic>) {
+    let phase = &program.phases[phase_idx];
+    let api = &phase.apis[api_idx];
+    let owner = Owner::Api { phase: phase_idx as u32, api: api_idx as u32 };
+    let at = |path: &[u32]| program.spans.get(&NodePath::Stmt(owner, path.to_vec()));
     let mut theorems = 0usize;
     let mut failures = Vec::new();
 
@@ -162,7 +208,7 @@ fn verify_api(api: &Api, entry_guards: &[Expr], mode: Mode) -> (usize, Vec<Strin
     // only ever advances by the epilogue's condition re-check).
     theorems += 1;
 
-    let mut guards: Vec<Expr> = entry_guards.to_vec();
+    let mut guards: Vec<Expr> = vec![phase.while_cond.clone()];
     // In honest mode the declared payment is a usable fact.
     if mode == Mode::AllHonest {
         if let Some(pay) = &api.pay {
@@ -171,31 +217,56 @@ fn verify_api(api: &Api, entry_guards: &[Expr], mode: Mode) -> (usize, Vec<Strin
     }
 
     let mut transferred = false;
-    walk_guarded(&api.body, &mut guards, &mut |stmt, guards| match stmt {
+    walk_guarded(&api.body, &mut guards, &mut Vec::new(), &mut |stmt, guards, path| match stmt {
         Stmt::Transfer { amount, .. } => {
             theorems += 1;
             if !guards_cover_balance(guards, amount) {
-                failures
-                    .push(format!("transfer of {amount:?} is not dominated by a balance guard"));
+                failures.push(
+                    Diagnostic::error(
+                        "V0101",
+                        format!("transfer of {amount:?} is not dominated by a balance guard"),
+                    )
+                    .at(at(path))
+                    .suggest("guard the transfer with `require(balance >= amount)` or an `if`"),
+                );
             }
             transferred = true;
         }
         Stmt::GlobalSet { value, .. } => {
             for_each_sub(value, &mut |minuend, subtrahend| {
                 theorems += 1;
-                if !guards_bound_minuend(guards, minuend, subtrahend) {
-                    failures
-                        .push(format!("subtraction {minuend:?} - {subtrahend:?} may underflow"));
+                // Syntactic dominating-guard matcher first; the interval
+                // analysis proves the remainder (e.g. `require(x >= 5);
+                // g = x - 3;`, where no guard names the subtrahend).
+                if !guards_bound_minuend(guards, minuend, subtrahend)
+                    && !flow.proves_sub_safe(path, minuend, subtrahend)
+                {
+                    failures.push(
+                        Diagnostic::error(
+                            "V0102",
+                            format!("subtraction {minuend:?} - {subtrahend:?} may underflow"),
+                        )
+                        .at(at(path))
+                        .suggest("add a dominating guard bounding the minuend from below"),
+                    );
                 }
             });
             if transferred {
-                failures.push("state write after transfer (effect ordering)".into());
+                failures.push(
+                    Diagnostic::error("V0103", "state write after transfer (effect ordering)")
+                        .at(at(path))
+                        .suggest("move all state writes before the transfer"),
+                );
             }
             theorems += 1; // effect-ordering theorem per write
         }
         Stmt::MapSet { .. } | Stmt::MapDelete { .. } => {
             if transferred && matches!(stmt, Stmt::MapSet { .. }) {
-                failures.push("map write after transfer (effect ordering)".into());
+                failures.push(
+                    Diagnostic::error("V0104", "map write after transfer (effect ordering)")
+                        .at(at(path))
+                        .suggest("move all map writes before the transfer"),
+                );
             }
             theorems += 1;
         }
@@ -216,23 +287,53 @@ fn for_each_stmt(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
     }
 }
 
+/// Visits every statement with its [`NodePath::Stmt`]-style path
+/// (child index, with `0`/`1` arm markers inside `if` statements).
+fn for_each_stmt_path(stmts: &[Stmt], prefix: &mut Vec<u32>, f: &mut impl FnMut(&Stmt, &[u32])) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        prefix.push(i as u32);
+        f(stmt, prefix);
+        if let Stmt::If { then, otherwise, .. } = stmt {
+            prefix.push(0);
+            for_each_stmt_path(then, prefix, f);
+            prefix.pop();
+            prefix.push(1);
+            for_each_stmt_path(otherwise, prefix, f);
+            prefix.pop();
+        }
+        prefix.pop();
+    }
+}
+
 /// Visits statements with the dominating guard set (phase conditions,
-/// earlier `Require`s, enclosing `If` conditions).
-fn walk_guarded(stmts: &[Stmt], guards: &mut Vec<Expr>, f: &mut impl FnMut(&Stmt, &[Expr])) {
-    for stmt in stmts {
-        f(stmt, guards);
+/// earlier `Require`s, enclosing `If` conditions) and the statement
+/// path.
+fn walk_guarded(
+    stmts: &[Stmt],
+    guards: &mut Vec<Expr>,
+    prefix: &mut Vec<u32>,
+    f: &mut impl FnMut(&Stmt, &[Expr], &[u32]),
+) {
+    for (i, stmt) in stmts.iter().enumerate() {
+        prefix.push(i as u32);
+        f(stmt, guards, prefix);
         match stmt {
             Stmt::Require(cond) => guards.push(cond.clone()),
             Stmt::If { cond, then, otherwise } => {
                 guards.push(cond.clone());
-                walk_guarded(then, guards, f);
+                prefix.push(0);
+                walk_guarded(then, guards, prefix, f);
+                prefix.pop();
                 guards.pop();
                 guards.push(Expr::Not(Box::new(cond.clone())));
-                walk_guarded(otherwise, guards, f);
+                prefix.push(1);
+                walk_guarded(otherwise, guards, prefix, f);
+                prefix.pop();
                 guards.pop();
             }
             _ => {}
         }
+        prefix.pop();
     }
 }
 
@@ -326,7 +427,8 @@ mod tests {
         p.phases[0].apis[0].body.push(Stmt::Transfer { to: Expr::Caller, amount: Expr::UInt(100) });
         let report = verify(&p);
         assert!(!report.ok());
-        assert!(report.failures.iter().any(|f| f.contains("balance guard")), "{report}");
+        assert!(report.failures.iter().any(|f| f.message.contains("balance guard")), "{report}");
+        assert!(report.failures.iter().all(|f| f.code == "V0101"));
     }
 
     #[test]
@@ -350,7 +452,25 @@ mod tests {
             value: Expr::sub(Expr::global("count"), Expr::UInt(1)),
         });
         let report = verify(&p);
-        assert!(report.failures.iter().any(|f| f.contains("underflow")), "{report}");
+        assert!(report.failures.iter().any(|f| f.message.contains("underflow")), "{report}");
+        assert!(report.failures.iter().all(|f| f.code == "V0102"));
+    }
+
+    #[test]
+    fn interval_analysis_discharges_nonmatching_guard() {
+        // `require(by >= 5); count = by - 3;` — no guard names the
+        // subtrahend 3, so the syntactic matcher fails, but intervals
+        // know by ∈ [5, MAX].
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::ge(Expr::param("by"), Expr::UInt(5))),
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::param("by"), Expr::UInt(3)),
+            },
+        ];
+        let report = verify(&p);
+        assert!(report.ok(), "{report}");
     }
 
     #[test]
@@ -367,7 +487,8 @@ mod tests {
         );
         // The counter updates now happen *after* the transfer.
         let report = verify(&p);
-        assert!(report.failures.iter().any(|f| f.contains("effect ordering")), "{report}");
+        assert!(report.failures.iter().any(|f| f.message.contains("effect ordering")), "{report}");
+        assert!(report.failures.iter().any(|f| f.code == "V0103"));
     }
 
     #[test]
@@ -380,7 +501,8 @@ mod tests {
             value: vec![Expr::param("by")],
         });
         let report = verify(&p);
-        assert!(report.failures.iter().any(|f| f.contains("never deleted")), "{report}");
+        assert!(report.failures.iter().any(|f| f.message.contains("never deleted")), "{report}");
+        assert!(report.failures.iter().any(|f| f.code == "V0105" && f.notes.len() == 1));
     }
 
     #[test]

@@ -132,6 +132,7 @@ fn program() -> impl Strategy<Value = Program> {
                     returns,
                 }],
             }],
+            spans: Default::default(),
         },
     )
 }

@@ -1,0 +1,105 @@
+//! Snapshot test over the lint fixtures in `examples/lint/`.
+//!
+//! Each `<name>.pol` fixture seeds a specific defect (or none); the
+//! sibling `<name>.pol.expected` golden lists the exact diagnostics the
+//! pipeline must produce, one canonical line per diagnostic — the same
+//! comparison `polc lint` performs in CI.
+
+use pol_lang::diag::Diagnostic;
+use pol_lang::{check, lint, parse, verify};
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/lint")
+}
+
+/// The source-level pipeline `polc lint` runs: type check, then
+/// verifier failures + lints.
+fn diagnose(source: &str) -> Vec<Diagnostic> {
+    let program = parse::parse(source).expect("fixture parses");
+    let type_errors = check::check(&program);
+    if !type_errors.is_empty() {
+        return type_errors;
+    }
+    let mut diags = verify::verify(&program).failures;
+    diags.extend(lint::lint(&program));
+    diags
+}
+
+fn canonical(diags: &[Diagnostic], source: &str) -> Vec<String> {
+    diags
+        .iter()
+        .map(|d| {
+            let pos = match d.span.line_col(source) {
+                Some((line, col)) => format!("{line}:{col}"),
+                None => "-".to_string(),
+            };
+            format!("{}[{}] {pos} {}", d.severity, d.code, d.message)
+        })
+        .collect()
+}
+
+#[test]
+fn fixtures_produce_their_golden_diagnostics() {
+    let dir = fixtures_dir();
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/lint exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "pol"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no fixtures found in {}", dir.display());
+    for path in entries {
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        let golden_path = path.with_extension("pol.expected");
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|_| panic!("{} has no golden", path.display()));
+        let want: Vec<String> =
+            golden.lines().filter(|l| !l.trim().is_empty()).map(str::to_string).collect();
+        let got = canonical(&diagnose(&source), &source);
+        assert_eq!(got, want, "diagnostics changed for {}", path.display());
+        checked += 1;
+    }
+    assert!(checked >= 6, "expected at least 6 fixtures, found {checked}");
+}
+
+#[test]
+fn every_diagnostic_code_is_registered() {
+    let dir = fixtures_dir();
+    for entry in std::fs::read_dir(&dir).expect("examples/lint exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_none_or(|e| e != "pol") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        for diag in diagnose(&source) {
+            let (severity, _) = lint::code_info(diag.code)
+                .unwrap_or_else(|| panic!("{} not in the CODES registry", diag.code));
+            assert_eq!(severity, diag.severity, "severity drift for {}", diag.code);
+        }
+    }
+}
+
+#[test]
+fn clean_fixture_survives_the_full_compile_pipeline() {
+    let source =
+        std::fs::read_to_string(fixtures_dir().join("clean_counter.pol")).expect("fixture");
+    let program = parse::parse(&source).expect("parses");
+    let compiled = pol_lang::backend::compile(&program).expect("full pipeline passes");
+    assert!(compiled.warnings.is_empty(), "{:?}", compiled.warnings);
+}
+
+#[test]
+fn defect_fixtures_are_rejected_by_the_full_pipeline() {
+    for (name, expect_code) in [("unguarded_subtraction.pol", "V0102"), ("leaked_map.pol", "L0004")]
+    {
+        let source = std::fs::read_to_string(fixtures_dir().join(name)).expect("fixture");
+        let program = parse::parse(&source).expect("parses");
+        let err = pol_lang::backend::compile(&program).expect_err("pipeline rejects");
+        assert!(
+            err.diagnostics().iter().any(|d| d.code == expect_code),
+            "{name}: expected {expect_code} in {err}"
+        );
+    }
+}

@@ -116,6 +116,7 @@ fn program_strategy() -> impl Strategy<Value = Program> {
                     returns,
                 }],
             }],
+            spans: Default::default(),
         })
 }
 
