@@ -1,0 +1,26 @@
+use pol_lang::ast::*;
+
+#[test]
+fn interval_fallback_unsound_via_sub_in_require() {
+    let mut p = Program::counter_example();
+    p.phases[0].apis[0].params = vec![
+        ("p".into(), Ty::UInt),
+        ("q".into(), Ty::UInt),
+        ("a".into(), Ty::UInt),
+    ];
+    p.phases[0].apis[0].body = vec![
+        Stmt::Require(Expr::Bin(BinOp::Le, Box::new(Expr::param("p")), Box::new(Expr::UInt(100)))),
+        Stmt::Require(Expr::ge(Expr::param("q"), Expr::UInt(50))),
+        // sub inside a require condition: never V0102-checked, wraps on EVM
+        Stmt::Require(Expr::Bin(BinOp::Le, Box::new(Expr::param("a")), Box::new(Expr::sub(Expr::param("p"), Expr::param("q"))))),
+        // discharged by the interval fallback using a <= 50 (unsound)
+        Stmt::GlobalSet {
+            name: "count".into(),
+            value: Expr::sub(Expr::UInt(100), Expr::param("a")),
+        },
+    ];
+    let report = pol_lang::verify::verify(&p);
+    // If this passes verification, the verifier accepts a program whose
+    // EVM runtime can underflow 100 - a (a up to 2^64-50 at runtime).
+    assert!(!report.ok(), "verifier unsoundly accepted: {report}");
+}
