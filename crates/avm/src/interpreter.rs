@@ -1,12 +1,25 @@
-//! The AVM interpreter and application ledger.
+//! The AVM interpreter over the journaled world state.
+//!
+//! Like the EVM, execution is expressed as free functions over a
+//! [`StateView`] ([`create_app`], [`call_app`]) so the chain simulator can
+//! run application calls inside speculative overlays, while the [`Avm`]
+//! façade wraps a private [`WorldState`] and keeps the historical
+//! standalone API with balances threaded through as a mutable map.
+//!
+//! Application programs live in the state as shared [`StateValue::Blob`]s:
+//! re-reading an installed app clones an `Arc`, not the instruction list,
+//! and rejection rollback is a journal truncation instead of re-inserting
+//! a cloned [`crate::state::AppState`].
 
 use crate::cost::{self, CALL_BUDGET};
 use crate::opcode::{AvmOp, GlobalField, TxnField};
 use crate::program::AvmProgram;
-use crate::state::{AppState, TealValue};
+use crate::state::TealValue;
 use pol_crypto::{keccak256, sha256};
-use pol_ledger::Address;
+use pol_ledger::state::{self, BalancePatchBase, Overlay, StateKey, StateValue, WorldState};
+use pol_ledger::{Address, StateView};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Machine-level failures. Program *rejection* is not an error — it is a
 /// normal [`AppOutcome`] with `approved == false`.
@@ -99,55 +112,468 @@ pub struct AppOutcome {
     pub inner_payments: Vec<(Address, u64)>,
 }
 
-/// The AVM application ledger.
-#[derive(Debug, Default)]
-pub struct Avm {
-    apps: HashMap<u64, AppState>,
-    next_app_id: u64,
-}
-
-/// µAlgo balances, threaded through calls by the chain simulator.
+/// µAlgo balances, threaded through the standalone [`Avm`] façade's calls.
 pub type Balances = HashMap<Address, u128>;
 
-impl Avm {
-    /// Creates an empty ledger.
-    pub fn new() -> Avm {
-        Avm { apps: HashMap::new(), next_app_id: 1 }
+/// The escrow address of an application account.
+pub fn app_address(app_id: u64) -> Address {
+    let mut preimage = b"algorand-app".to_vec();
+    preimage.extend_from_slice(&app_id.to_be_bytes());
+    let digest = keccak256(&preimage);
+    let mut out = [0u8; 20];
+    out.copy_from_slice(&digest[12..]);
+    Address(out)
+}
+
+fn teal_to_state(value: TealValue) -> StateValue {
+    match value {
+        TealValue::Uint(v) => StateValue::U64(v),
+        TealValue::Bytes(b) => StateValue::Bytes(b),
+    }
+}
+
+fn state_to_teal(value: StateValue) -> TealValue {
+    match value {
+        StateValue::U64(v) => TealValue::Uint(v),
+        StateValue::Bytes(b) => TealValue::Bytes(b),
+        other => unreachable!("AVM state entries are uint64 or bytes, found {other:?}"),
+    }
+}
+
+/// Creates an application against a state view: runs `program` once with
+/// `ApplicationID == 0` (creation semantics); if it approves, the app is
+/// installed and its id returned. All effects of failed creations are
+/// rolled back via the journal.
+///
+/// # Errors
+///
+/// Machine errors, or [`AvmError::CreateRejected`] if the creation run
+/// rejects.
+pub fn create_app(
+    state: &mut dyn StateView,
+    creator: Address,
+    program: AvmProgram,
+    args: Vec<Vec<u8>>,
+) -> Result<u64, AvmError> {
+    let app_id = state.get(&StateKey::AppCount).and_then(|v| v.as_u64()).unwrap_or(1);
+    let checkpoint = state.checkpoint();
+    state.put(StateKey::AppProgram(app_id), StateValue::Blob(Arc::new(program)));
+    state.put(StateKey::AppCreator(app_id), StateValue::Bytes(creator.0.to_vec()));
+    let params =
+        AppCallParams { sender: creator, app_id, args, payment: 0, round: 1, timestamp_s: 1 };
+    match run(state, &params, true) {
+        Ok(outcome) if outcome.approved => {
+            state.put(StateKey::AppCount, StateValue::U64(app_id + 1));
+            Ok(app_id)
+        }
+        Ok(_) => {
+            state.rollback_to(checkpoint);
+            Err(AvmError::CreateRejected)
+        }
+        Err(e) => {
+            state.rollback_to(checkpoint);
+            Err(e)
+        }
+    }
+}
+
+/// Executes an application call against a state view. State changes,
+/// the grouped payment and inner payments are all rolled back when the
+/// program rejects or faults.
+///
+/// # Errors
+///
+/// Machine errors ([`AvmError`]); rejection is NOT an error.
+pub fn call_app(state: &mut dyn StateView, params: AppCallParams) -> Result<AppOutcome, AvmError> {
+    if state.get(&StateKey::AppProgram(params.app_id)).is_none() {
+        return Err(AvmError::UnknownApp(params.app_id));
+    }
+    run(state, &params, false)
+}
+
+fn run(
+    state: &mut dyn StateView,
+    params: &AppCallParams,
+    creating: bool,
+) -> Result<AppOutcome, AvmError> {
+    let escrow = app_address(params.app_id);
+    // Checkpoint BEFORE the grouped payment: unlike the EVM's call value,
+    // a rejected app call refunds the payment too.
+    let checkpoint = state.checkpoint();
+    if params.payment > 0 {
+        let from = state.balance_of(params.sender);
+        if from < u128::from(params.payment) {
+            return Err(AvmError::InsufficientPayment);
+        }
+        state.set_balance_of(params.sender, from - u128::from(params.payment));
+        let to = state.balance_of(escrow);
+        state.set_balance_of(escrow, to + u128::from(params.payment));
+    }
+    let result = execute(state, params, creating, escrow);
+    match &result {
+        Ok(outcome) if outcome.approved => {}
+        _ => {
+            // Reject or machine error: roll everything back.
+            state.rollback_to(checkpoint);
+        }
+    }
+    result
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute(
+    state: &mut dyn StateView,
+    params: &AppCallParams,
+    creating: bool,
+    app_address: Address,
+) -> Result<AppOutcome, AvmError> {
+    let program_blob = state
+        .get(&StateKey::AppProgram(params.app_id))
+        .and_then(|v| v.as_blob().cloned())
+        .ok_or(AvmError::UnknownApp(params.app_id))?;
+    let program = program_blob
+        .as_any()
+        .downcast_ref::<AvmProgram>()
+        .expect("AppProgram entries hold AvmProgram blobs");
+    let mut stack: Vec<TealValue> = Vec::with_capacity(16);
+    let mut scratch: HashMap<u8, TealValue> = HashMap::new();
+    let mut pc = 0usize;
+    let mut cost = 0u64;
+    let mut logs = Vec::new();
+    let mut inner_payments = Vec::new();
+
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(AvmError::StackError)?
+        };
+    }
+    macro_rules! pop_int {
+        () => {
+            pop!().as_uint().ok_or(AvmError::TypeError("expected uint64"))?
+        };
+    }
+    macro_rules! pop_bytes {
+        () => {
+            match pop!() {
+                TealValue::Bytes(b) => b,
+                TealValue::Uint(_) => return Err(AvmError::TypeError("expected bytes")),
+            }
+        };
+    }
+    macro_rules! branch {
+        ($label:expr) => {{
+            pc = program.resolve($label).ok_or(AvmError::BadBranch($label))?;
+            continue;
+        }};
+    }
+
+    let ops = program.ops();
+    while pc < ops.len() {
+        let op = &ops[pc];
+        cost += cost::op_cost(op);
+        if cost > CALL_BUDGET {
+            return Err(AvmError::BudgetExceeded { budget: CALL_BUDGET });
+        }
+        pc += 1;
+        match op {
+            AvmOp::PushInt(v) => stack.push(TealValue::Uint(*v)),
+            AvmOp::PushBytes(b) => stack.push(TealValue::Bytes(b.clone())),
+            AvmOp::Add => {
+                let (b, a) = (pop_int!(), pop_int!());
+                stack.push(TealValue::Uint(
+                    a.checked_add(b).ok_or(AvmError::Arithmetic("overflow"))?,
+                ));
+            }
+            AvmOp::Sub => {
+                let (b, a) = (pop_int!(), pop_int!());
+                stack.push(TealValue::Uint(
+                    a.checked_sub(b).ok_or(AvmError::Arithmetic("underflow"))?,
+                ));
+            }
+            AvmOp::Mul => {
+                let (b, a) = (pop_int!(), pop_int!());
+                stack.push(TealValue::Uint(
+                    a.checked_mul(b).ok_or(AvmError::Arithmetic("overflow"))?,
+                ));
+            }
+            AvmOp::Div => {
+                let (b, a) = (pop_int!(), pop_int!());
+                stack.push(TealValue::Uint(
+                    a.checked_div(b).ok_or(AvmError::Arithmetic("division by zero"))?,
+                ));
+            }
+            AvmOp::Mod => {
+                let (b, a) = (pop_int!(), pop_int!());
+                stack.push(TealValue::Uint(
+                    a.checked_rem(b).ok_or(AvmError::Arithmetic("modulo zero"))?,
+                ));
+            }
+            AvmOp::Lt => cmp_int(&mut stack, |a, b| a < b)?,
+            AvmOp::Gt => cmp_int(&mut stack, |a, b| a > b)?,
+            AvmOp::Le => cmp_int(&mut stack, |a, b| a <= b)?,
+            AvmOp::Ge => cmp_int(&mut stack, |a, b| a >= b)?,
+            AvmOp::Eq => {
+                let (b, a) = (pop!(), pop!());
+                stack.push(TealValue::Uint(u64::from(a == b)));
+            }
+            AvmOp::Ne => {
+                let (b, a) = (pop!(), pop!());
+                stack.push(TealValue::Uint(u64::from(a != b)));
+            }
+            AvmOp::AndL => cmp_int(&mut stack, |a, b| a != 0 && b != 0)?,
+            AvmOp::OrL => cmp_int(&mut stack, |a, b| a != 0 || b != 0)?,
+            AvmOp::NotL => {
+                let a = pop_int!();
+                stack.push(TealValue::Uint(u64::from(a == 0)));
+            }
+            AvmOp::Sha256 => {
+                let b = pop_bytes!();
+                stack.push(TealValue::Bytes(sha256(&b).to_vec()));
+            }
+            AvmOp::Keccak256 => {
+                let b = pop_bytes!();
+                stack.push(TealValue::Bytes(keccak256(&b).to_vec()));
+            }
+            AvmOp::Concat => {
+                let b = pop_bytes!();
+                let mut a = pop_bytes!();
+                a.extend_from_slice(&b);
+                stack.push(TealValue::Bytes(a));
+            }
+            AvmOp::Len => {
+                let b = pop_bytes!();
+                stack.push(TealValue::Uint(b.len() as u64));
+            }
+            AvmOp::Itob => {
+                let v = pop_int!();
+                stack.push(TealValue::Bytes(v.to_be_bytes().to_vec()));
+            }
+            AvmOp::Btoi => {
+                let b = pop_bytes!();
+                if b.len() > 8 {
+                    return Err(AvmError::TypeError("btoi input longer than 8 bytes"));
+                }
+                let mut buf = [0u8; 8];
+                buf[8 - b.len()..].copy_from_slice(&b);
+                stack.push(TealValue::Uint(u64::from_be_bytes(buf)));
+            }
+            AvmOp::Dup => {
+                let v = stack.last().ok_or(AvmError::StackError)?.clone();
+                stack.push(v);
+            }
+            AvmOp::Swap => {
+                let len = stack.len();
+                if len < 2 {
+                    return Err(AvmError::StackError);
+                }
+                stack.swap(len - 1, len - 2);
+            }
+            AvmOp::Pop => {
+                let _ = pop!();
+            }
+            AvmOp::Store(slot) => {
+                let v = pop!();
+                scratch.insert(*slot, v);
+            }
+            AvmOp::Load(slot) => {
+                stack.push(scratch.get(slot).cloned().unwrap_or(TealValue::Uint(0)));
+            }
+            AvmOp::Txn(field) => stack.push(match field {
+                TxnField::Sender => TealValue::Bytes(params.sender.0.to_vec()),
+                TxnField::ApplicationId => {
+                    TealValue::Uint(if creating { 0 } else { params.app_id })
+                }
+                TxnField::NumAppArgs => TealValue::Uint(params.args.len() as u64),
+                TxnField::Amount => TealValue::Uint(params.payment),
+            }),
+            AvmOp::TxnArg(i) => {
+                let arg = params.args.get(*i as usize).cloned().unwrap_or_default();
+                stack.push(TealValue::Bytes(arg));
+            }
+            AvmOp::Global(field) => stack.push(match field {
+                GlobalField::Round => TealValue::Uint(params.round),
+                GlobalField::LatestTimestamp => TealValue::Uint(params.timestamp_s),
+                GlobalField::CurrentApplicationId => TealValue::Uint(params.app_id),
+            }),
+            AvmOp::B(l) => branch!(*l),
+            AvmOp::Bz(l) => {
+                if pop_int!() == 0 {
+                    branch!(*l);
+                }
+            }
+            AvmOp::Bnz(l) => {
+                if pop_int!() != 0 {
+                    branch!(*l);
+                }
+            }
+            AvmOp::Label(_) => {}
+            AvmOp::Assert => {
+                if pop_int!() == 0 {
+                    return Ok(AppOutcome { approved: false, cost, logs, inner_payments });
+                }
+            }
+            AvmOp::AppGlobalPut => {
+                let value = pop!();
+                let key = pop_bytes!();
+                state.put(StateKey::AppGlobal(params.app_id, key), teal_to_state(value));
+            }
+            AvmOp::AppGlobalGet => {
+                let key = pop_bytes!();
+                match state.get(&StateKey::AppGlobal(params.app_id, key)) {
+                    Some(v) => {
+                        stack.push(state_to_teal(v));
+                        stack.push(TealValue::Uint(1));
+                    }
+                    None => {
+                        stack.push(TealValue::Uint(0));
+                        stack.push(TealValue::Uint(0));
+                    }
+                }
+            }
+            AvmOp::BoxPut => {
+                let value = pop_bytes!();
+                let key = pop_bytes!();
+                state.put(StateKey::AppBox(params.app_id, key), StateValue::Bytes(value));
+            }
+            AvmOp::BoxGet => {
+                let key = pop_bytes!();
+                match state.get(&StateKey::AppBox(params.app_id, key)) {
+                    Some(v) => {
+                        stack.push(TealValue::Bytes(
+                            v.as_bytes().map(<[u8]>::to_vec).unwrap_or_default(),
+                        ));
+                        stack.push(TealValue::Uint(1));
+                    }
+                    None => {
+                        stack.push(TealValue::Bytes(Vec::new()));
+                        stack.push(TealValue::Uint(0));
+                    }
+                }
+            }
+            AvmOp::BoxDel => {
+                let key = pop_bytes!();
+                let box_key = StateKey::AppBox(params.app_id, key);
+                let existed = state.get(&box_key).is_some();
+                state.delete(box_key);
+                stack.push(TealValue::Uint(u64::from(existed)));
+            }
+            AvmOp::InnerPay => {
+                let amount = pop_int!();
+                let receiver_bytes = pop_bytes!();
+                if receiver_bytes.len() != 20 {
+                    return Err(AvmError::TypeError("receiver must be a 20-byte address"));
+                }
+                let mut addr = [0u8; 20];
+                addr.copy_from_slice(&receiver_bytes);
+                let receiver = Address(addr);
+                let app_balance = state.balance_of(app_address);
+                if app_balance < u128::from(amount) {
+                    // Inner transaction failure rejects the whole call.
+                    return Ok(AppOutcome { approved: false, cost, logs, inner_payments });
+                }
+                state.set_balance_of(app_address, app_balance - u128::from(amount));
+                let receiver_balance = state.balance_of(receiver);
+                state.set_balance_of(receiver, receiver_balance + u128::from(amount));
+                inner_payments.push((receiver, amount));
+            }
+            AvmOp::Log => {
+                let b = pop_bytes!();
+                logs.push(b);
+            }
+            AvmOp::AppBalance => {
+                let bal = state.balance_of(app_address);
+                stack.push(TealValue::Uint(bal.min(u128::from(u64::MAX)) as u64));
+            }
+            AvmOp::Return => {
+                let approved = pop_int!() != 0;
+                return Ok(AppOutcome { approved, cost, logs, inner_payments });
+            }
+        }
+    }
+    // Falling off the end rejects, as on the real AVM.
+    Ok(AppOutcome { approved: false, cost, logs, inner_payments })
+}
+
+/// Read-only view over the AVM-owned entries of a world state (installed
+/// apps, global state and boxes). The explorer and tests inspect the
+/// chain through this instead of holding a whole `Avm`.
+pub struct AvmView<'a> {
+    world: &'a WorldState,
+}
+
+impl<'a> AvmView<'a> {
+    /// Opens a view over a world.
+    pub fn new(world: &'a WorldState) -> AvmView<'a> {
+        AvmView { world }
     }
 
     /// Number of created applications.
     pub fn app_count(&self) -> usize {
-        self.apps.len()
-    }
-
-    /// The escrow address of an application account.
-    pub fn app_address(app_id: u64) -> Address {
-        let mut preimage = b"algorand-app".to_vec();
-        preimage.extend_from_slice(&app_id.to_be_bytes());
-        let digest = keccak256(&preimage);
-        let mut out = [0u8; 20];
-        out.copy_from_slice(&digest[12..]);
-        Address(out)
+        self.world.keys().filter(|k| matches!(k, StateKey::AppProgram(_))).count()
     }
 
     /// Reads a global state value.
     pub fn global(&self, app_id: u64, key: &[u8]) -> Option<TealValue> {
-        self.apps.get(&app_id).and_then(|a| a.global.get(key).cloned())
+        self.world.get(&StateKey::AppGlobal(app_id, key.to_vec())).map(|v| state_to_teal(v.clone()))
     }
 
     /// Reads a box.
     pub fn box_value(&self, app_id: u64, key: &[u8]) -> Option<Vec<u8>> {
-        self.apps.get(&app_id).and_then(|a| a.boxes.get(key).cloned())
+        self.world
+            .get(&StateKey::AppBox(app_id, key.to_vec()))
+            .and_then(|v| v.as_bytes().map(<[u8]>::to_vec))
     }
 
     /// Number of boxes held by an app.
     pub fn box_count(&self, app_id: u64) -> usize {
-        self.apps.get(&app_id).map_or(0, |a| a.boxes.len())
+        self.world.keys().filter(|k| matches!(k, StateKey::AppBox(id, _) if *id == app_id)).count()
+    }
+}
+
+/// The standalone AVM application ledger: a private [`WorldState`]
+/// holding installed programs, global state and boxes.
+///
+/// µAlgo balances live outside the machine (the caller owns them) and
+/// are threaded through each call as a mutable map. Each call runs inside
+/// a journaled [`Overlay`] whose write set is split back into the balance
+/// map and the world afterwards.
+#[derive(Debug, Default)]
+pub struct Avm {
+    world: WorldState,
+}
+
+impl Avm {
+    /// Creates an empty ledger.
+    pub fn new() -> Avm {
+        Avm::default()
     }
 
-    /// Creates an application: runs `program` once with
-    /// `ApplicationID == 0` (creation semantics); if it approves, the app
-    /// is installed and its id returned.
+    /// Number of created applications.
+    pub fn app_count(&self) -> usize {
+        AvmView::new(&self.world).app_count()
+    }
+
+    /// The escrow address of an application account.
+    pub fn app_address(app_id: u64) -> Address {
+        app_address(app_id)
+    }
+
+    /// Reads a global state value.
+    pub fn global(&self, app_id: u64, key: &[u8]) -> Option<TealValue> {
+        AvmView::new(&self.world).global(app_id, key)
+    }
+
+    /// Reads a box.
+    pub fn box_value(&self, app_id: u64, key: &[u8]) -> Option<Vec<u8>> {
+        AvmView::new(&self.world).box_value(app_id, key)
+    }
+
+    /// Number of boxes held by an app.
+    pub fn box_count(&self, app_id: u64) -> usize {
+        AvmView::new(&self.world).box_count(app_id)
+    }
+
+    /// Creates an application (see the [`create_app`] free function).
     ///
     /// # Errors
     ///
@@ -174,29 +600,17 @@ impl Avm {
         args: Vec<Vec<u8>>,
         balances: &mut Balances,
     ) -> Result<u64, AvmError> {
-        let app_id = self.next_app_id;
-        let state = AppState { program, global: HashMap::new(), boxes: HashMap::new(), creator };
-        self.apps.insert(app_id, state);
-        let params =
-            AppCallParams { sender: creator, app_id, args, payment: 0, round: 1, timestamp_s: 1 };
-        match self.run(&params, true, balances) {
-            Ok(outcome) if outcome.approved => {
-                self.next_app_id += 1;
-                Ok(app_id)
-            }
-            Ok(_) => {
-                self.apps.remove(&app_id);
-                Err(AvmError::CreateRejected)
-            }
-            Err(e) => {
-                self.apps.remove(&app_id);
-                Err(e)
-            }
-        }
+        let (result, writes) = {
+            let base = BalancePatchBase::new(&self.world, balances);
+            let mut view = Overlay::new(&base);
+            let result = create_app(&mut view, creator, program, args);
+            (result, view.into_writes())
+        };
+        state::apply_split(writes, &mut self.world, balances);
+        result
     }
 
-    /// Executes an application call. State changes and inner payments are
-    /// rolled back when the program rejects.
+    /// Executes an application call (see the [`call_app`] free function).
     ///
     /// # Errors
     ///
@@ -206,308 +620,14 @@ impl Avm {
         params: AppCallParams,
         balances: &mut Balances,
     ) -> Result<AppOutcome, AvmError> {
-        if !self.apps.contains_key(&params.app_id) {
-            return Err(AvmError::UnknownApp(params.app_id));
-        }
-        self.run(&params, false, balances)
-    }
-
-    fn run(
-        &mut self,
-        params: &AppCallParams,
-        creating: bool,
-        balances: &mut Balances,
-    ) -> Result<AppOutcome, AvmError> {
-        let app_address = Avm::app_address(params.app_id);
-        let state_snapshot = self.apps[&params.app_id].clone();
-        let balance_snapshot = balances.clone();
-        // Apply the grouped payment first.
-        if params.payment > 0 {
-            let from = balances.entry(params.sender).or_insert(0);
-            if *from < u128::from(params.payment) {
-                return Err(AvmError::InsufficientPayment);
-            }
-            *from -= u128::from(params.payment);
-            *balances.entry(app_address).or_insert(0) += u128::from(params.payment);
-        }
-        let result = self.execute(params, creating, app_address, balances);
-        match &result {
-            Ok(outcome) if outcome.approved => {}
-            _ => {
-                // Reject or machine error: roll everything back.
-                self.apps.insert(params.app_id, state_snapshot);
-                *balances = balance_snapshot;
-            }
-        }
+        let (result, writes) = {
+            let base = BalancePatchBase::new(&self.world, balances);
+            let mut view = Overlay::new(&base);
+            let result = call_app(&mut view, params);
+            (result, view.into_writes())
+        };
+        state::apply_split(writes, &mut self.world, balances);
         result
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn execute(
-        &mut self,
-        params: &AppCallParams,
-        creating: bool,
-        app_address: Address,
-        balances: &mut Balances,
-    ) -> Result<AppOutcome, AvmError> {
-        let program = self.apps[&params.app_id].program.clone();
-        let mut stack: Vec<TealValue> = Vec::with_capacity(16);
-        let mut scratch: HashMap<u8, TealValue> = HashMap::new();
-        let mut pc = 0usize;
-        let mut cost = 0u64;
-        let mut logs = Vec::new();
-        let mut inner_payments = Vec::new();
-
-        macro_rules! pop {
-            () => {
-                stack.pop().ok_or(AvmError::StackError)?
-            };
-        }
-        macro_rules! pop_int {
-            () => {
-                pop!().as_uint().ok_or(AvmError::TypeError("expected uint64"))?
-            };
-        }
-        macro_rules! pop_bytes {
-            () => {
-                match pop!() {
-                    TealValue::Bytes(b) => b,
-                    TealValue::Uint(_) => return Err(AvmError::TypeError("expected bytes")),
-                }
-            };
-        }
-        macro_rules! branch {
-            ($label:expr) => {{
-                pc = program.resolve($label).ok_or(AvmError::BadBranch($label))?;
-                continue;
-            }};
-        }
-
-        let ops = program.ops();
-        while pc < ops.len() {
-            let op = &ops[pc];
-            cost += cost::op_cost(op);
-            if cost > CALL_BUDGET {
-                return Err(AvmError::BudgetExceeded { budget: CALL_BUDGET });
-            }
-            pc += 1;
-            match op {
-                AvmOp::PushInt(v) => stack.push(TealValue::Uint(*v)),
-                AvmOp::PushBytes(b) => stack.push(TealValue::Bytes(b.clone())),
-                AvmOp::Add => {
-                    let (b, a) = (pop_int!(), pop_int!());
-                    stack.push(TealValue::Uint(
-                        a.checked_add(b).ok_or(AvmError::Arithmetic("overflow"))?,
-                    ));
-                }
-                AvmOp::Sub => {
-                    let (b, a) = (pop_int!(), pop_int!());
-                    stack.push(TealValue::Uint(
-                        a.checked_sub(b).ok_or(AvmError::Arithmetic("underflow"))?,
-                    ));
-                }
-                AvmOp::Mul => {
-                    let (b, a) = (pop_int!(), pop_int!());
-                    stack.push(TealValue::Uint(
-                        a.checked_mul(b).ok_or(AvmError::Arithmetic("overflow"))?,
-                    ));
-                }
-                AvmOp::Div => {
-                    let (b, a) = (pop_int!(), pop_int!());
-                    stack.push(TealValue::Uint(
-                        a.checked_div(b).ok_or(AvmError::Arithmetic("division by zero"))?,
-                    ));
-                }
-                AvmOp::Mod => {
-                    let (b, a) = (pop_int!(), pop_int!());
-                    stack.push(TealValue::Uint(
-                        a.checked_rem(b).ok_or(AvmError::Arithmetic("modulo zero"))?,
-                    ));
-                }
-                AvmOp::Lt => cmp_int(&mut stack, |a, b| a < b)?,
-                AvmOp::Gt => cmp_int(&mut stack, |a, b| a > b)?,
-                AvmOp::Le => cmp_int(&mut stack, |a, b| a <= b)?,
-                AvmOp::Ge => cmp_int(&mut stack, |a, b| a >= b)?,
-                AvmOp::Eq => {
-                    let (b, a) = (pop!(), pop!());
-                    stack.push(TealValue::Uint(u64::from(a == b)));
-                }
-                AvmOp::Ne => {
-                    let (b, a) = (pop!(), pop!());
-                    stack.push(TealValue::Uint(u64::from(a != b)));
-                }
-                AvmOp::AndL => cmp_int(&mut stack, |a, b| a != 0 && b != 0)?,
-                AvmOp::OrL => cmp_int(&mut stack, |a, b| a != 0 || b != 0)?,
-                AvmOp::NotL => {
-                    let a = pop_int!();
-                    stack.push(TealValue::Uint(u64::from(a == 0)));
-                }
-                AvmOp::Sha256 => {
-                    let b = pop_bytes!();
-                    stack.push(TealValue::Bytes(sha256(&b).to_vec()));
-                }
-                AvmOp::Keccak256 => {
-                    let b = pop_bytes!();
-                    stack.push(TealValue::Bytes(keccak256(&b).to_vec()));
-                }
-                AvmOp::Concat => {
-                    let b = pop_bytes!();
-                    let mut a = pop_bytes!();
-                    a.extend_from_slice(&b);
-                    stack.push(TealValue::Bytes(a));
-                }
-                AvmOp::Len => {
-                    let b = pop_bytes!();
-                    stack.push(TealValue::Uint(b.len() as u64));
-                }
-                AvmOp::Itob => {
-                    let v = pop_int!();
-                    stack.push(TealValue::Bytes(v.to_be_bytes().to_vec()));
-                }
-                AvmOp::Btoi => {
-                    let b = pop_bytes!();
-                    if b.len() > 8 {
-                        return Err(AvmError::TypeError("btoi input longer than 8 bytes"));
-                    }
-                    let mut buf = [0u8; 8];
-                    buf[8 - b.len()..].copy_from_slice(&b);
-                    stack.push(TealValue::Uint(u64::from_be_bytes(buf)));
-                }
-                AvmOp::Dup => {
-                    let v = stack.last().ok_or(AvmError::StackError)?.clone();
-                    stack.push(v);
-                }
-                AvmOp::Swap => {
-                    let len = stack.len();
-                    if len < 2 {
-                        return Err(AvmError::StackError);
-                    }
-                    stack.swap(len - 1, len - 2);
-                }
-                AvmOp::Pop => {
-                    let _ = pop!();
-                }
-                AvmOp::Store(slot) => {
-                    let v = pop!();
-                    scratch.insert(*slot, v);
-                }
-                AvmOp::Load(slot) => {
-                    stack.push(scratch.get(slot).cloned().unwrap_or(TealValue::Uint(0)));
-                }
-                AvmOp::Txn(field) => stack.push(match field {
-                    TxnField::Sender => TealValue::Bytes(params.sender.0.to_vec()),
-                    TxnField::ApplicationId => {
-                        TealValue::Uint(if creating { 0 } else { params.app_id })
-                    }
-                    TxnField::NumAppArgs => TealValue::Uint(params.args.len() as u64),
-                    TxnField::Amount => TealValue::Uint(params.payment),
-                }),
-                AvmOp::TxnArg(i) => {
-                    let arg = params.args.get(*i as usize).cloned().unwrap_or_default();
-                    stack.push(TealValue::Bytes(arg));
-                }
-                AvmOp::Global(field) => stack.push(match field {
-                    GlobalField::Round => TealValue::Uint(params.round),
-                    GlobalField::LatestTimestamp => TealValue::Uint(params.timestamp_s),
-                    GlobalField::CurrentApplicationId => TealValue::Uint(params.app_id),
-                }),
-                AvmOp::B(l) => branch!(*l),
-                AvmOp::Bz(l) => {
-                    if pop_int!() == 0 {
-                        branch!(*l);
-                    }
-                }
-                AvmOp::Bnz(l) => {
-                    if pop_int!() != 0 {
-                        branch!(*l);
-                    }
-                }
-                AvmOp::Label(_) => {}
-                AvmOp::Assert => {
-                    if pop_int!() == 0 {
-                        return Ok(AppOutcome { approved: false, cost, logs, inner_payments });
-                    }
-                }
-                AvmOp::AppGlobalPut => {
-                    let value = pop!();
-                    let key = pop_bytes!();
-                    let app = self.apps.get_mut(&params.app_id).expect("checked");
-                    app.global.insert(key, value);
-                }
-                AvmOp::AppGlobalGet => {
-                    let key = pop_bytes!();
-                    let app = &self.apps[&params.app_id];
-                    match app.global.get(&key) {
-                        Some(v) => {
-                            stack.push(v.clone());
-                            stack.push(TealValue::Uint(1));
-                        }
-                        None => {
-                            stack.push(TealValue::Uint(0));
-                            stack.push(TealValue::Uint(0));
-                        }
-                    }
-                }
-                AvmOp::BoxPut => {
-                    let value = pop_bytes!();
-                    let key = pop_bytes!();
-                    let app = self.apps.get_mut(&params.app_id).expect("checked");
-                    app.boxes.insert(key, value);
-                }
-                AvmOp::BoxGet => {
-                    let key = pop_bytes!();
-                    let app = &self.apps[&params.app_id];
-                    match app.boxes.get(&key) {
-                        Some(v) => {
-                            stack.push(TealValue::Bytes(v.clone()));
-                            stack.push(TealValue::Uint(1));
-                        }
-                        None => {
-                            stack.push(TealValue::Bytes(Vec::new()));
-                            stack.push(TealValue::Uint(0));
-                        }
-                    }
-                }
-                AvmOp::BoxDel => {
-                    let key = pop_bytes!();
-                    let app = self.apps.get_mut(&params.app_id).expect("checked");
-                    let existed = app.boxes.remove(&key).is_some();
-                    stack.push(TealValue::Uint(u64::from(existed)));
-                }
-                AvmOp::InnerPay => {
-                    let amount = pop_int!();
-                    let receiver_bytes = pop_bytes!();
-                    if receiver_bytes.len() != 20 {
-                        return Err(AvmError::TypeError("receiver must be a 20-byte address"));
-                    }
-                    let mut addr = [0u8; 20];
-                    addr.copy_from_slice(&receiver_bytes);
-                    let receiver = Address(addr);
-                    let app_balance = balances.entry(app_address).or_insert(0);
-                    if *app_balance < u128::from(amount) {
-                        // Inner transaction failure rejects the whole call.
-                        return Ok(AppOutcome { approved: false, cost, logs, inner_payments });
-                    }
-                    *app_balance -= u128::from(amount);
-                    *balances.entry(receiver).or_insert(0) += u128::from(amount);
-                    inner_payments.push((receiver, amount));
-                }
-                AvmOp::Log => {
-                    let b = pop_bytes!();
-                    logs.push(b);
-                }
-                AvmOp::AppBalance => {
-                    let bal = balances.get(&app_address).copied().unwrap_or(0);
-                    stack.push(TealValue::Uint(bal.min(u128::from(u64::MAX)) as u64));
-                }
-                AvmOp::Return => {
-                    let approved = pop_int!() != 0;
-                    return Ok(AppOutcome { approved, cost, logs, inner_payments });
-                }
-            }
-        }
-        // Falling off the end rejects, as on the real AVM.
-        Ok(AppOutcome { approved: false, cost, logs, inner_payments })
     }
 }
 

@@ -39,6 +39,8 @@ pub mod state;
 pub mod teal;
 pub mod verifier;
 
-pub use interpreter::{AppCallParams, AppOutcome, Avm, AvmError};
+pub use interpreter::{
+    app_address, call_app, create_app, AppCallParams, AppOutcome, Avm, AvmError, AvmView, Balances,
+};
 pub use program::AvmProgram;
 pub use state::TealValue;

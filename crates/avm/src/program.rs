@@ -50,6 +50,23 @@ impl AvmProgram {
     }
 }
 
+/// Programs are stored in the journaled world state as shared blobs, so
+/// speculative executors re-reading an installed app clone an `Arc`, not
+/// the instruction list.
+impl pol_ledger::StateBlob for AvmProgram {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn blob_eq(&self, other: &dyn pol_ledger::StateBlob) -> bool {
+        other.as_any().downcast_ref::<AvmProgram>() == Some(self)
+    }
+
+    fn digest_bytes(&self) -> Vec<u8> {
+        crate::teal::render(self).into_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

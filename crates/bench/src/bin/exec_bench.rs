@@ -1,0 +1,186 @@
+//! Throughput benchmark of the optimistic-parallel block executor.
+//!
+//! ```sh
+//! cargo run --release -p pol-bench --bin exec_bench [-- --seed N]
+//! ```
+//!
+//! Runs a conflict-light workload — every user calls their *own*
+//! storage-heavy contract, so speculations touch disjoint state — once
+//! under `ExecutionMode::Sequential` and once under
+//! `ExecutionMode::Parallel { workers: 8 }`, asserts the two runs are
+//! observably identical (receipts, burn, world-state digest), and writes
+//! `results/exec_bench.json`.
+//!
+//! Two speedup figures are reported honestly:
+//!
+//! * `measured_wall_speedup` — raw wall-clock ratio on this host. On a
+//!   single-core container the scoped worker threads serialise and this
+//!   hovers around (or below) 1×.
+//! * `speedup` (headline) — the executor's modeled critical-path
+//!   speedup: committed execution work divided by the per-round greedy
+//!   schedule bound `max(longest tx, round work / workers)`. This is the
+//!   wall-clock ratio an unloaded host with ≥ `workers` cores converges
+//!   to, and it is measured from real per-transaction timings, not
+//!   assumed costs. `host_cores` records the hardware the numbers came
+//!   from.
+
+use pol_bench::EVAL_SEED;
+use pol_chainsim::chain::Chain;
+use pol_chainsim::{explorer, presets, ExecStats, ExecutionMode};
+use pol_evm::assembler::Asm;
+use pol_evm::opcode::Op;
+use pol_ledger::ContractId;
+use std::time::Instant;
+
+const USERS: usize = 16;
+const ROUNDS: u64 = 6;
+const STORES_PER_CALL: u64 = 32;
+const WORKERS: usize = 8;
+
+/// A runtime that writes `STORES_PER_CALL` storage slots with values
+/// derived from calldata — enough gas per call for speculation to have
+/// something to parallelise.
+fn storage_heavy_runtime() -> Vec<u8> {
+    let mut asm = Asm::new();
+    for slot in 0..STORES_PER_CALL {
+        // storage[slot] = calldata[0..32] + slot
+        asm = asm
+            .push_u64(0)
+            .op(Op::CallDataLoad)
+            .push_u64(slot)
+            .op(Op::Add)
+            .push_u64(slot)
+            .op(Op::SStore);
+    }
+    asm.op(Op::Stop).build()
+}
+
+struct RunOutcome {
+    wall_ms: f64,
+    receipts: Vec<String>,
+    burned: u128,
+    digest: [u8; 32],
+    stats: ExecStats,
+    report: String,
+}
+
+fn run_mode(seed: u64, mode: ExecutionMode) -> RunOutcome {
+    let mut preset = presets::devnet_evm();
+    preset.config.gas_limit = 60_000_000;
+    preset.config.gas_target = 30_000_000;
+    let mut chain: Chain = preset.build(seed);
+    chain.set_execution_mode(mode);
+
+    // Setup phase (not timed): fund the users, deploy one contract each.
+    let runtime = storage_heavy_runtime();
+    let mut users: Vec<(pol_crypto::ed25519::Keypair, ContractId)> = Vec::new();
+    for _ in 0..USERS {
+        let (kp, _) = chain.create_funded_account(10u128.pow(20));
+        let receipt = chain.deploy_evm(&kp, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
+        users.push((kp, receipt.created.expect("deployed")));
+    }
+
+    // Timed phase: per round, one call storm — every user hits their own
+    // contract — then await every receipt in submission order.
+    let started = Instant::now();
+    let mut receipts = Vec::new();
+    for round in 0..ROUNDS {
+        let mut ids = Vec::new();
+        for (kp, contract) in &users {
+            let mut data = vec![0u8; 32];
+            data[24..32].copy_from_slice(&(round + 1).to_be_bytes());
+            ids.push(chain.submit_call_evm(kp, *contract, data, 0, 1_000_000).unwrap());
+        }
+        for id in ids {
+            receipts.push(format!("{:?}", chain.await_tx(id).unwrap()));
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    RunOutcome {
+        wall_ms,
+        receipts,
+        burned: chain.total_burned(),
+        digest: chain.state_digest(),
+        stats: chain.exec_stats(),
+        report: explorer::execution_report(&chain),
+    }
+}
+
+fn main() {
+    let seed = std::env::args()
+        .skip_while(|a| a != "--seed")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(EVAL_SEED);
+    let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+
+    let seq = run_mode(seed, ExecutionMode::Sequential);
+    let par = run_mode(seed, ExecutionMode::Parallel { workers: WORKERS });
+
+    let receipts_match = seq.receipts == par.receipts;
+    let digest_match = seq.digest == par.digest && seq.burned == par.burned;
+    let measured = seq.wall_ms / par.wall_ms.max(f64::MIN_POSITIVE);
+    let modeled = par.stats.modeled_speedup().unwrap_or(1.0);
+    let s = par.stats;
+
+    let json = format!(
+        r#"{{
+  "bench": "exec_bench",
+  "seed": {seed},
+  "workload": {{
+    "kind": "conflict-light",
+    "users": {USERS},
+    "rounds": {ROUNDS},
+    "calls": {calls},
+    "stores_per_call": {STORES_PER_CALL}
+  }},
+  "workers": {WORKERS},
+  "host_cores": {host_cores},
+  "sequential_wall_ms": {seq_ms:.3},
+  "parallel_wall_ms": {par_ms:.3},
+  "measured_wall_speedup": {measured:.3},
+  "speedup": {modeled:.3},
+  "speedup_model": "critical-path: committed execution work / per-round greedy bound max(longest tx, work/workers), from measured per-tx timings",
+  "parallel_stats": {{
+    "blocks": {blocks},
+    "parallel_blocks": {parallel_blocks},
+    "committed_txs": {committed_txs},
+    "speculative_runs": {speculative_runs},
+    "conflicts": {conflicts},
+    "rounds": {rounds}
+  }},
+  "receipts_match": {receipts_match},
+  "state_match": {digest_match}
+}}
+"#,
+        calls = USERS as u64 * ROUNDS,
+        seq_ms = seq.wall_ms,
+        par_ms = par.wall_ms,
+        blocks = s.blocks,
+        parallel_blocks = s.parallel_blocks,
+        committed_txs = s.committed_txs,
+        speculative_runs = s.speculative_runs,
+        conflicts = s.conflicts,
+        rounds = s.rounds,
+    );
+
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/exec_bench.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    println!("=== executor bench (seed {seed}, {host_cores} host cores) ===");
+    println!("sequential: {:.1} ms", seq.wall_ms);
+    println!("parallel ({WORKERS} workers): {:.1} ms (measured {measured:.2}x)", par.wall_ms);
+    println!("modeled critical-path speedup: {modeled:.2}x");
+    println!("{}", par.report);
+
+    if !receipts_match || !digest_match {
+        eprintln!("FAIL: parallel execution diverged from sequential");
+        std::process::exit(1);
+    }
+    println!("parallel receipts, burn and state digest match sequential");
+}

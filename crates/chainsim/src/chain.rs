@@ -1,15 +1,16 @@
 //! One simulated blockchain: clock, mempool, fee market, consensus, VM.
 
 use crate::congestion::CongestionModel;
+use crate::executor::{self, ExecCtx, ExecStats, ExecutionMode};
 use crate::feemarket;
-use pol_avm::{AppCallParams, Avm, AvmProgram};
+use pol_avm::{AvmProgram, AvmView};
 use pol_consensus::{pos, ppos, StakeRegistry};
 use pol_crypto::ed25519::Keypair;
 use pol_crypto::sha256;
-use pol_evm::{CallParams, Evm};
+use pol_evm::EvmView;
 use pol_ledger::{
-    Address, Amount, Block, BlockHash, ContractId, Currency, LedgerError, Receipt, Transaction,
-    TxId, TxKind, TxStatus,
+    Address, Block, BlockHash, ContractId, Currency, LedgerError, Receipt, Transaction, TxId,
+    WorldState,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -69,16 +70,16 @@ pub struct ChainConfig {
     pub full_consensus: bool,
 }
 
-struct PendingTx {
-    tx: Transaction,
-    submitted_ms: u64,
-    arrival_ms: u64,
+pub(crate) struct PendingTx {
+    pub(crate) tx: Transaction,
+    pub(crate) submitted_ms: u64,
+    pub(crate) arrival_ms: u64,
 }
 
 /// Off-ledger payload for AVM transactions: compiled programs and
 /// argument vectors travel beside the opaque `tx.data` (which carries
 /// their digest so ids and fees still depend on content).
-enum AvmPayload {
+pub(crate) enum AvmPayload {
     Create { program: AvmProgram, args: Vec<Vec<u8>> },
     Call { args: Vec<Vec<u8>> },
 }
@@ -91,10 +92,7 @@ pub struct Chain {
     blocks: Vec<Block>,
     base_fee: u128,
     mempool: Vec<PendingTx>,
-    balances: HashMap<Address, u128>,
-    nonces: HashMap<Address, u64>,
-    evm: Evm,
-    avm: Avm,
+    world: WorldState,
     avm_payloads: HashMap<TxId, AvmPayload>,
     receipts: HashMap<TxId, PendingReceipt>,
     rng: StdRng,
@@ -102,6 +100,8 @@ pub struct Chain {
     validator_keys: Vec<Keypair>,
     randao: [u8; 32],
     total_burned: u128,
+    exec_mode: ExecutionMode,
+    exec_stats: ExecStats,
 }
 
 struct PendingReceipt {
@@ -138,10 +138,7 @@ impl Chain {
             now_ms: 0,
             blocks: vec![genesis],
             mempool: Vec::new(),
-            balances: HashMap::new(),
-            nonces: HashMap::new(),
-            evm: Evm::new(),
-            avm: Avm::new(),
+            world: WorldState::new(),
             avm_payloads: HashMap::new(),
             receipts: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -149,7 +146,32 @@ impl Chain {
             validator_keys,
             randao: sha256(b"genesis-randao"),
             total_burned: 0,
+            exec_mode: ExecutionMode::Sequential,
+            exec_stats: ExecStats::default(),
         }
+    }
+
+    /// Selects how blocks execute their transactions (default:
+    /// [`ExecutionMode::Sequential`]). The parallel mode is observably
+    /// identical — receipts, gas, fees and burn match byte for byte.
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The active execution mode.
+    pub fn execution_mode(&self) -> ExecutionMode {
+        self.exec_mode
+    }
+
+    /// Cumulative executor counters (blocks, speculation, conflicts).
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec_stats
+    }
+
+    /// A digest over the full world state (balances, nonces, contracts,
+    /// apps) — equal digests mean observably identical chains.
+    pub fn state_digest(&self) -> [u8; 32] {
+        sha256(&self.world.digest_input())
     }
 
     /// Current simulation time, milliseconds.
@@ -178,18 +200,19 @@ impl Chain {
 
     /// An account's balance in base units.
     pub fn balance(&self, address: Address) -> u128 {
-        self.balances.get(&address).copied().unwrap_or(0)
+        self.world.balance(address)
     }
 
     /// The nonce the account's next transaction must carry.
     pub fn next_nonce(&self, address: Address) -> u64 {
-        self.nonces.get(&address).copied().unwrap_or(0)
+        self.world.nonce(address)
     }
 
     /// Mints `amount` base units to an address (testnet faucet semantics;
     /// see [`crate::faucet`] for the rate-limited public façade).
     pub fn fund(&mut self, to: Address, amount: u128) {
-        *self.balances.entry(to).or_insert(0) += amount;
+        let balance = self.world.balance(to);
+        self.world.set_balance(to, balance + amount);
     }
 
     /// Generates a fresh keypair and funds its address.
@@ -207,14 +230,14 @@ impl Chain {
         (self.base_fee * 2 + self.config.priority_fee, self.config.priority_fee)
     }
 
-    /// Read-through to the EVM storage (explorer-style inspection).
-    pub fn evm(&self) -> &Evm {
-        &self.evm
+    /// Read-through to the EVM-owned state (explorer-style inspection).
+    pub fn evm(&self) -> EvmView<'_> {
+        EvmView::new(&self.world)
     }
 
-    /// Read-through to the AVM ledger.
-    pub fn avm(&self) -> &Avm {
-        &self.avm
+    /// Read-through to the AVM-owned state.
+    pub fn avm(&self) -> AvmView<'_> {
+        AvmView::new(&self.world)
     }
 
     /// Submits a signed transaction to the mempool.
@@ -245,7 +268,7 @@ impl Chain {
         let id = tx.id();
         let (lo, hi) = self.config.propagation_ms;
         let delay = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
-        self.nonces.insert(tx.from, expected + 1);
+        self.world.set_nonce(tx.from, expected + 1);
         self.mempool.push(PendingTx {
             tx,
             submitted_ms: self.now_ms,
@@ -332,6 +355,31 @@ impl Chain {
         self.submit_and_wait(tx)
     }
 
+    /// Submits an EVM contract call without awaiting it — the batch
+    /// building block: submit a storm of calls, then await their ids, and
+    /// they land in the same block where the executor can run them
+    /// concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Chain::submit`] failures.
+    pub fn submit_call_evm(
+        &mut self,
+        keypair: &Keypair,
+        contract: ContractId,
+        data: Vec<u8>,
+        value: u128,
+        gas_limit: u64,
+    ) -> Result<TxId, LedgerError> {
+        let from = Address::from_public_key(&keypair.public);
+        let (max_fee, priority) = self.suggested_fees();
+        let tx = Transaction::call(from, contract, data, value, self.next_nonce(from))
+            .with_gas_limit(gas_limit)
+            .with_fees(max_fee, priority)
+            .signed(keypair);
+        self.submit(tx)
+    }
+
     /// Calls an EVM contract.
     ///
     /// # Errors
@@ -345,13 +393,8 @@ impl Chain {
         value: u128,
         gas_limit: u64,
     ) -> Result<Receipt, LedgerError> {
-        let from = Address::from_public_key(&keypair.public);
-        let (max_fee, priority) = self.suggested_fees();
-        let tx = Transaction::call(from, contract, data, value, self.next_nonce(from))
-            .with_gas_limit(gas_limit)
-            .with_fees(max_fee, priority)
-            .signed(keypair);
-        self.submit_and_wait(tx)
+        let id = self.submit_call_evm(keypair, contract, data, value, gas_limit)?;
+        self.await_tx(id)
     }
 
     /// Creates an AVM application (the program object travels beside the
@@ -381,18 +424,19 @@ impl Chain {
         }
     }
 
-    /// Calls an AVM application.
+    /// Submits an AVM application call without awaiting it (the AVM
+    /// counterpart of [`Chain::submit_call_evm`]).
     ///
     /// # Errors
     ///
-    /// Propagates submission errors.
-    pub fn call_app(
+    /// Propagates [`Chain::submit`] failures.
+    pub fn submit_call_app(
         &mut self,
         keypair: &Keypair,
         app_id: u64,
         args: Vec<Vec<u8>>,
         payment: u128,
-    ) -> Result<Receipt, LedgerError> {
+    ) -> Result<TxId, LedgerError> {
         let from = Address::from_public_key(&keypair.public);
         let mut digest = Vec::new();
         for a in &args {
@@ -409,12 +453,28 @@ impl Chain {
         let id = tx.id();
         self.avm_payloads.insert(id, AvmPayload::Call { args });
         match self.submit(tx) {
-            Ok(id) => self.await_tx(id),
+            Ok(id) => Ok(id),
             Err(e) => {
                 self.avm_payloads.remove(&id);
                 Err(e)
             }
         }
+    }
+
+    /// Calls an AVM application.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission errors.
+    pub fn call_app(
+        &mut self,
+        keypair: &Keypair,
+        app_id: u64,
+        args: Vec<Vec<u8>>,
+        payment: u128,
+    ) -> Result<Receipt, LedgerError> {
+        let id = self.submit_call_app(keypair, app_id, args, payment)?;
+        self.await_tx(id)
     }
 
     /// The block at `height`, if produced.
@@ -440,10 +500,13 @@ impl Chain {
             interval += self.config.block_ms;
         }
         let last_time = self.blocks.last().expect("genesis exists").timestamp_ms;
-        // Anchor to the previous block; if the clock has leapt far ahead
-        // (idle periods), skip the empty blocks in between.
-        let block_time = if self.now_ms > last_time + 10 * interval {
-            self.now_ms
+        // Anchor to the previous block's slot grid. When the clock has
+        // leapt ahead (idle periods between workload phases), jump
+        // straight to the first boundary at or after the clock instead of
+        // grinding out one empty block per elapsed slot.
+        let block_time = if self.now_ms > last_time {
+            let steps = (self.now_ms - last_time).div_ceil(interval).max(1);
+            last_time + steps * interval
         } else {
             last_time + interval
         };
@@ -495,48 +558,41 @@ impl Chain {
         // Congestion: background traffic eats block capacity.
         let load = self.config.congestion.step(&mut self.rng);
         let background_gas = (load * self.config.gas_limit as f64) as u64;
-        let mut remaining_gas = self.config.gas_limit.saturating_sub(background_gas);
-        let mut block_gas_used = background_gas;
-        let mut included = Vec::new();
+        let remaining_gas = self.config.gas_limit.saturating_sub(background_gas);
 
         // Priority ordering on EVM chains; FIFO on Algorand.
         if self.config.vm == VmKind::Evm {
             self.mempool.sort_by_key(|p| std::cmp::Reverse(p.tx.max_priority_fee_per_gas));
         }
 
-        let mut still_pending = Vec::new();
         let pool = std::mem::take(&mut self.mempool);
-        for pending in pool {
-            if pending.arrival_ms > block_time {
-                still_pending.push(pending);
-                continue;
-            }
-            let fits = match self.config.vm {
-                VmKind::Evm => {
-                    pending.tx.gas_limit <= remaining_gas
-                        && feemarket::effective_gas_price(
-                            self.base_fee,
-                            pending.tx.max_fee_per_gas,
-                            pending.tx.max_priority_fee_per_gas,
-                        )
-                        .is_some()
-                }
-                VmKind::Avm => true,
-            };
-            if !fits {
-                still_pending.push(pending);
-                continue;
-            }
-            let (receipt, gas_used) = self.execute(&pending, height, block_time);
-            if self.config.vm == VmKind::Evm {
-                remaining_gas = remaining_gas.saturating_sub(gas_used);
-                block_gas_used += gas_used;
-            }
-            self.receipts
-                .insert(pending.tx.id(), PendingReceipt { receipt, included_height: height });
+        let ctx = ExecCtx {
+            vm: self.config.vm,
+            flat_fee: self.config.flat_fee,
+            base_fee: self.base_fee,
+            currency: self.config.currency,
+            height,
+            block_time,
+            avm_payloads: &self.avm_payloads,
+        };
+        let outcome = executor::run_block(
+            &ctx,
+            &mut self.world,
+            pool,
+            remaining_gas,
+            self.exec_mode,
+            &mut self.exec_stats,
+        );
+        let block_gas_used = background_gas + outcome.tx_gas;
+        self.total_burned += outcome.burned;
+        let mut included = Vec::new();
+        for (pending, receipt) in outcome.committed {
+            let id = pending.tx.id();
+            self.avm_payloads.remove(&id);
+            self.receipts.insert(id, PendingReceipt { receipt, included_height: height });
             included.push(pending.tx);
         }
-        self.mempool = still_pending;
+        self.mempool = outcome.leftover;
 
         // Fee market update.
         if self.config.vm == VmKind::Evm {
@@ -555,163 +611,6 @@ impl Chain {
             transactions: included,
         });
         self.now_ms = self.now_ms.max(block_time);
-    }
-
-    fn execute(&mut self, pending: &PendingTx, height: u64, block_time: u64) -> (Receipt, u64) {
-        let tx = &pending.tx;
-        let id = tx.id();
-        let mut status = TxStatus::Success;
-        let mut gas_used = 0u64;
-        let mut created = None;
-        let mut output = Vec::new();
-        let mut logs = Vec::new();
-
-        // Fees.
-        let fee_units: u128 = match self.config.vm {
-            VmKind::Evm => 0, // charged after execution, from measured gas
-            VmKind::Avm => self.config.flat_fee,
-        };
-        if fee_units > 0 {
-            let balance = self.balances.entry(tx.from).or_insert(0);
-            *balance = balance.saturating_sub(fee_units);
-            self.total_burned += fee_units;
-        }
-
-        match (self.config.vm, &tx.kind) {
-            (_, TxKind::Transfer) => {
-                gas_used = 21_000;
-                let to = tx.to.unwrap_or(Address::ZERO);
-                let from_balance = self.balances.entry(tx.from).or_insert(0);
-                if *from_balance < tx.value {
-                    status = TxStatus::Reverted("insufficient balance".into());
-                } else {
-                    *from_balance -= tx.value;
-                    *self.balances.entry(to).or_insert(0) += tx.value;
-                }
-            }
-            (VmKind::Evm, TxKind::ContractCreate) => {
-                match self.evm.deploy(tx.from, &tx.data, tx.gas_limit, &mut self.balances) {
-                    Ok((addr, outcome)) => {
-                        gas_used = outcome.gas_used;
-                        created = Some(ContractId::Evm(addr));
-                        logs = outcome
-                            .logs
-                            .iter()
-                            .map(|l| String::from_utf8_lossy(l).into_owned())
-                            .collect();
-                    }
-                    Err(e) => {
-                        gas_used = tx.gas_limit;
-                        status = TxStatus::Reverted(e.to_string());
-                    }
-                }
-            }
-            (VmKind::Evm, TxKind::ContractCall(cid)) => {
-                let target = cid.as_evm().unwrap_or(Address::ZERO);
-                let params = CallParams {
-                    caller: tx.from,
-                    contract: target,
-                    value: tx.value,
-                    data: tx.data.clone(),
-                    gas_limit: tx.gas_limit,
-                    block_number: height,
-                    timestamp_s: block_time / 1000,
-                };
-                match self.evm.call(params, &mut self.balances) {
-                    Ok(outcome) => {
-                        gas_used = outcome.gas_used;
-                        output = outcome.output.clone();
-                        if !outcome.success {
-                            status = TxStatus::Reverted(
-                                String::from_utf8_lossy(&outcome.output).into_owned(),
-                            );
-                        }
-                        logs = outcome
-                            .logs
-                            .iter()
-                            .map(|l| String::from_utf8_lossy(l).into_owned())
-                            .collect();
-                    }
-                    Err(e) => {
-                        gas_used = tx.gas_limit;
-                        status = TxStatus::Reverted(e.to_string());
-                    }
-                }
-            }
-            (VmKind::Avm, TxKind::ContractCreate) => match self.avm_payloads.remove(&id) {
-                Some(AvmPayload::Create { program, args }) => {
-                    match self.avm.create_app_with_args(tx.from, program, args, &mut self.balances)
-                    {
-                        Ok(app_id) => created = Some(ContractId::App(app_id)),
-                        Err(e) => status = TxStatus::Reverted(e.to_string()),
-                    }
-                }
-                _ => status = TxStatus::Reverted("missing program payload".into()),
-            },
-            (VmKind::Avm, TxKind::ContractCall(cid)) => {
-                let app_id = cid.as_app().unwrap_or(0);
-                match self.avm_payloads.remove(&id) {
-                    Some(AvmPayload::Call { args }) => {
-                        let params = AppCallParams {
-                            sender: tx.from,
-                            app_id,
-                            args,
-                            payment: tx.value.min(u128::from(u64::MAX)) as u64,
-                            round: height,
-                            timestamp_s: block_time / 1000,
-                        };
-                        match self.avm.call(params, &mut self.balances) {
-                            Ok(outcome) => {
-                                if !outcome.approved {
-                                    status = TxStatus::Reverted("application rejected".into());
-                                }
-                                logs = outcome
-                                    .logs
-                                    .iter()
-                                    .map(|l| String::from_utf8_lossy(l).into_owned())
-                                    .collect();
-                            }
-                            Err(e) => status = TxStatus::Reverted(e.to_string()),
-                        }
-                    }
-                    _ => status = TxStatus::Reverted("missing call payload".into()),
-                }
-            }
-        }
-
-        // EVM fee settlement from measured gas.
-        let fee = match self.config.vm {
-            VmKind::Evm => {
-                let price = feemarket::effective_gas_price(
-                    self.base_fee,
-                    tx.max_fee_per_gas,
-                    tx.max_priority_fee_per_gas,
-                )
-                .unwrap_or(self.base_fee);
-                let fee = u128::from(gas_used) * price;
-                let balance = self.balances.entry(tx.from).or_insert(0);
-                *balance = balance.saturating_sub(fee);
-                // Burn the base-fee part, tip the proposer.
-                let burned = u128::from(gas_used) * self.base_fee.min(price);
-                self.total_burned += burned;
-                fee
-            }
-            VmKind::Avm => fee_units,
-        };
-
-        let receipt = Receipt {
-            tx: id,
-            block_number: height,
-            submitted_ms: pending.submitted_ms,
-            confirmed_ms: block_time,
-            status,
-            gas_used,
-            fee: Amount::from_base_units(fee, self.config.currency),
-            created,
-            output,
-            logs,
-        };
-        (receipt, gas_used)
     }
 }
 
@@ -821,6 +720,74 @@ mod tests {
         let app_id = receipt.created.and_then(|c| c.as_app()).expect("created");
         let call = chain.call_app(&alice, app_id, vec![b"arg".to_vec()], 0).unwrap();
         assert!(call.status.is_success());
+    }
+
+    #[test]
+    fn idle_catch_up_skips_empty_slots() {
+        let mut chain = presets::devnet_algo().build(11);
+        let h0 = chain.height();
+        chain.skip_idle(1_000 * chain.config.block_ms);
+        let target = chain.now_ms() + 1;
+        chain.advance_to(target);
+        // The idle gap must not materialise as a thousand empty blocks.
+        assert!(chain.height() <= h0 + 2, "empty slots materialised: height {}", chain.height());
+        // Catch-up blocks stay on the slot grid.
+        let last = chain.block(chain.height()).unwrap().timestamp_ms;
+        assert_eq!(last % chain.config.block_ms, 0, "off-grid timestamp {last}");
+    }
+
+    #[test]
+    fn skip_idle_then_await_still_confirms() {
+        let mut chain = presets::devnet_evm().build(12);
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let (_, bob_addr) = chain.create_funded_account(0);
+        chain.skip_idle(500 * chain.config.block_ms);
+        let (max_fee, prio) = chain.suggested_fees();
+        let tx = Transaction::transfer(alice_addr, bob_addr, 7, 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        let before = chain.height();
+        let receipt = chain.submit_and_wait(tx).unwrap();
+        assert!(receipt.status.is_success());
+        assert_eq!(chain.balance(bob_addr), 7);
+        assert!(chain.height() <= before + 3, "await busy-looped: height {}", chain.height());
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let run = |mode: ExecutionMode| {
+            let mut chain = presets::devnet_evm().build(13);
+            chain.set_execution_mode(mode);
+            let mut accounts = Vec::new();
+            for _ in 0..4 {
+                accounts.push(chain.create_funded_account(10u128.pow(19)));
+            }
+            // A batch of cross-account transfers (conflict-heavy: every
+            // pair shares balance keys) submitted before any block runs.
+            let mut ids = Vec::new();
+            for round in 0..3u64 {
+                for (i, (kp, addr)) in accounts.iter().enumerate() {
+                    let to = accounts[(i + 1) % accounts.len()].1;
+                    let (max_fee, prio) = chain.suggested_fees();
+                    let tx = Transaction::transfer(*addr, to, 100 + round as u128, round)
+                        .with_fees(max_fee, prio)
+                        .signed(kp);
+                    ids.push(chain.submit(tx).unwrap());
+                }
+            }
+            let receipts: Vec<String> =
+                ids.into_iter().map(|id| format!("{:?}", chain.await_tx(id).unwrap())).collect();
+            (receipts, chain.total_burned(), chain.state_digest(), chain.exec_stats())
+        };
+        let (seq_receipts, seq_burned, seq_digest, seq_stats) = run(ExecutionMode::Sequential);
+        let (par_receipts, par_burned, par_digest, par_stats) =
+            run(ExecutionMode::Parallel { workers: 4 });
+        assert_eq!(seq_receipts, par_receipts);
+        assert_eq!(seq_burned, par_burned);
+        assert_eq!(seq_digest, par_digest);
+        assert_eq!(seq_stats.committed_txs, par_stats.committed_txs);
+        assert!(par_stats.parallel_blocks > 0, "parallel path exercised");
+        assert!(par_stats.speculative_runs >= par_stats.committed_txs);
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! Deterministic block execution: a sequential reference path and an
+//! optimistic-parallel path (Block-STM style) that must agree with it
+//! byte for byte.
+//!
+//! The parallel executor speculates every arrived transaction of a block
+//! against the committed world on a scoped worker pool, then commits in
+//! submission order, validating each speculation's recorded read set
+//! against the state left by the already-committed prefix. A failed
+//! validation aborts the round at that transaction: everything before it
+//! is committed, everything from it onward is re-speculated against the
+//! updated world. The first live transaction of a round always validates
+//! (its speculation base *is* the committed prefix), so every round
+//! commits or skips at least one transaction and the loop terminates
+//! with exactly the receipts, gas accounting and fee burn the sequential
+//! path would have produced.
+
+use crate::chain::{AvmPayload, PendingTx, VmKind};
+use crate::feemarket;
+use pol_avm::{call_app, create_app, AppCallParams};
+use pol_evm::{call_contract, deploy_contract, CallParams};
+use pol_ledger::{
+    Address, Amount, ContractId, Currency, Overlay, ReadSet, Receipt, StateView, Transaction, TxId,
+    TxKind, TxStatus, WorldState, WriteSet,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How a chain turns a block's transactions into state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One transaction at a time, in submission order — the reference
+    /// semantics and the differential oracle for the parallel path.
+    #[default]
+    Sequential,
+    /// Optimistic-parallel execution over a scoped thread pool; receipts,
+    /// gas and burn are byte-identical to [`ExecutionMode::Sequential`].
+    Parallel {
+        /// Worker threads per speculation round (clamped to ≥ 1).
+        workers: usize,
+    },
+}
+
+/// Cumulative executor counters, exposed through
+/// [`crate::chain::Chain::exec_stats`] and the explorer report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Blocks produced (both modes).
+    pub blocks: u64,
+    /// Blocks whose transactions ran through the parallel path.
+    pub parallel_blocks: u64,
+    /// Transactions committed into blocks.
+    pub committed_txs: u64,
+    /// Speculative executions launched by the parallel path (committed
+    /// ones plus conflict-induced re-executions).
+    pub speculative_runs: u64,
+    /// Read-set validations that failed and forced a re-execution round.
+    pub conflicts: u64,
+    /// Speculation rounds run by the parallel path.
+    pub rounds: u64,
+    /// Wall-clock nanoseconds spent in executions that committed — the
+    /// work a sequential executor would have done.
+    pub committed_exec_ns: u128,
+    /// Modeled critical-path nanoseconds of the parallel schedule: per
+    /// round, `max(longest single execution, total work / workers)` — a
+    /// greedy work-conserving bound that is meaningful even when the
+    /// host serialises the worker threads onto fewer cores.
+    pub modeled_parallel_ns: u128,
+}
+
+impl ExecStats {
+    /// The modeled speedup of the parallel schedule over sequential
+    /// execution (`committed work ÷ critical path`), or `None` before any
+    /// parallel block has run.
+    pub fn modeled_speedup(&self) -> Option<f64> {
+        if self.modeled_parallel_ns == 0 {
+            return None;
+        }
+        Some(self.committed_exec_ns as f64 / self.modeled_parallel_ns as f64)
+    }
+}
+
+/// Per-block execution context shared by every transaction of the block.
+pub(crate) struct ExecCtx<'a> {
+    pub(crate) vm: VmKind,
+    pub(crate) flat_fee: u128,
+    pub(crate) base_fee: u128,
+    pub(crate) currency: Currency,
+    pub(crate) height: u64,
+    pub(crate) block_time: u64,
+    pub(crate) avm_payloads: &'a HashMap<TxId, AvmPayload>,
+}
+
+/// What one speculative (or sequential) execution produced.
+struct TxOutcome {
+    receipt: Receipt,
+    gas_used: u64,
+    burned: u128,
+    reads: ReadSet,
+    writes: WriteSet,
+    exec_ns: u128,
+}
+
+/// Everything a block execution decided.
+pub(crate) struct BlockOutcome {
+    /// Transactions included in the block, in submission order, with
+    /// their receipts.
+    pub(crate) committed: Vec<(PendingTx, Receipt)>,
+    /// Transactions returned to the mempool (not yet arrived, or out of
+    /// block gas), in their original relative order.
+    pub(crate) leftover: Vec<PendingTx>,
+    /// Gas consumed by the included transactions (EVM chains).
+    pub(crate) tx_gas: u64,
+    /// Base fees (or flat fees) burned by the included transactions.
+    pub(crate) burned: u128,
+}
+
+/// Executes one block's candidate transactions against `world`.
+pub(crate) fn run_block(
+    ctx: &ExecCtx<'_>,
+    world: &mut WorldState,
+    pool: Vec<PendingTx>,
+    gas_budget: u64,
+    mode: ExecutionMode,
+    stats: &mut ExecStats,
+) -> BlockOutcome {
+    stats.blocks += 1;
+    match mode {
+        ExecutionMode::Sequential => run_sequential(ctx, world, pool, gas_budget, stats),
+        ExecutionMode::Parallel { workers } => {
+            stats.parallel_blocks += 1;
+            run_parallel(ctx, world, pool, gas_budget, workers.max(1), stats)
+        }
+    }
+}
+
+/// Whether a transaction can still be included given the remaining block
+/// gas and the prevailing base fee.
+fn fits(ctx: &ExecCtx<'_>, tx: &Transaction, remaining_gas: u64) -> bool {
+    match ctx.vm {
+        VmKind::Evm => {
+            tx.gas_limit <= remaining_gas
+                && feemarket::effective_gas_price(
+                    ctx.base_fee,
+                    tx.max_fee_per_gas,
+                    tx.max_priority_fee_per_gas,
+                )
+                .is_some()
+        }
+        VmKind::Avm => true,
+    }
+}
+
+fn run_sequential(
+    ctx: &ExecCtx<'_>,
+    world: &mut WorldState,
+    pool: Vec<PendingTx>,
+    gas_budget: u64,
+    stats: &mut ExecStats,
+) -> BlockOutcome {
+    let mut committed = Vec::new();
+    let mut leftover = Vec::new();
+    let mut remaining = gas_budget;
+    let mut tx_gas = 0u64;
+    let mut burned = 0u128;
+    for pending in pool {
+        if pending.arrival_ms > ctx.block_time || !fits(ctx, &pending.tx, remaining) {
+            leftover.push(pending);
+            continue;
+        }
+        let out = execute_tx(ctx, world, &pending);
+        world.apply(out.writes);
+        if ctx.vm == VmKind::Evm {
+            remaining = remaining.saturating_sub(out.gas_used);
+            tx_gas += out.gas_used;
+        }
+        burned += out.burned;
+        stats.committed_txs += 1;
+        stats.committed_exec_ns += out.exec_ns;
+        committed.push((pending, out.receipt));
+    }
+    BlockOutcome { committed, leftover, tx_gas, burned }
+}
+
+fn run_parallel(
+    ctx: &ExecCtx<'_>,
+    world: &mut WorldState,
+    pool: Vec<PendingTx>,
+    gas_budget: u64,
+    workers: usize,
+    stats: &mut ExecStats,
+) -> BlockOutcome {
+    let n = pool.len();
+    let mut receipts: Vec<Option<Receipt>> = (0..n).map(|_| None).collect();
+    let mut spec: Vec<Option<TxOutcome>> = (0..n).map(|_| None).collect();
+    let mut skipped = vec![false; n];
+    let mut done = vec![false; n];
+    let mut remaining = gas_budget;
+    let mut tx_gas = 0u64;
+    let mut burned = 0u128;
+
+    while !done.iter().all(|d| *d) {
+        // Speculate every live, arrived candidate against the committed
+        // world. Results land in `spec` slots; stale entries from an
+        // aborted round are simply overwritten.
+        let todo: Vec<usize> =
+            (0..n).filter(|&i| !done[i] && pool[i].arrival_ms <= ctx.block_time).collect();
+        if !todo.is_empty() {
+            let round_workers = workers.min(todo.len());
+            if round_workers <= 1 {
+                for &i in &todo {
+                    spec[i] = Some(execute_tx(ctx, world, &pool[i]));
+                }
+            } else {
+                let results: Vec<Mutex<Option<TxOutcome>>> =
+                    todo.iter().map(|_| Mutex::new(None)).collect();
+                let cursor = AtomicUsize::new(0);
+                let base: &WorldState = world;
+                let pool_ref: &[PendingTx] = &pool;
+                std::thread::scope(|scope| {
+                    for _ in 0..round_workers {
+                        scope.spawn(|| loop {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(&i) = todo.get(k) else { break };
+                            let out = execute_tx(ctx, base, &pool_ref[i]);
+                            *results[k].lock().expect("worker panicked") = Some(out);
+                        });
+                    }
+                });
+                for (k, &i) in todo.iter().enumerate() {
+                    spec[i] = results[k].lock().expect("worker panicked").take();
+                }
+            }
+            stats.speculative_runs += todo.len() as u64;
+            stats.rounds += 1;
+            let durations: Vec<u128> =
+                todo.iter().filter_map(|&i| spec[i].as_ref().map(|o| o.exec_ns)).collect();
+            let total: u128 = durations.iter().sum();
+            let longest = durations.iter().copied().max().unwrap_or(0);
+            stats.modeled_parallel_ns += longest.max(total / workers as u128);
+        }
+
+        // Commit scan in submission order; the first failed validation
+        // ends the round and the rest re-speculates.
+        for i in 0..n {
+            if done[i] {
+                continue;
+            }
+            if pool[i].arrival_ms > ctx.block_time || !fits(ctx, &pool[i].tx, remaining) {
+                skipped[i] = true;
+                done[i] = true;
+                continue;
+            }
+            let out = spec[i].take().expect("live candidates were speculated");
+            if !world.validates(&out.reads) {
+                stats.conflicts += 1;
+                break;
+            }
+            world.apply(out.writes);
+            if ctx.vm == VmKind::Evm {
+                remaining = remaining.saturating_sub(out.gas_used);
+                tx_gas += out.gas_used;
+            }
+            burned += out.burned;
+            stats.committed_txs += 1;
+            stats.committed_exec_ns += out.exec_ns;
+            receipts[i] = Some(out.receipt);
+            done[i] = true;
+        }
+    }
+
+    let mut committed = Vec::new();
+    let mut leftover = Vec::new();
+    for (i, pending) in pool.into_iter().enumerate() {
+        if skipped[i] {
+            leftover.push(pending);
+        } else if let Some(receipt) = receipts[i].take() {
+            committed.push((pending, receipt));
+        }
+    }
+    BlockOutcome { committed, leftover, tx_gas, burned }
+}
+
+/// Executes one transaction speculatively against `base`, returning its
+/// receipt together with the recorded read and write sets. Pure in the
+/// sense that only the returned write set carries effects.
+fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOutcome {
+    let started = Instant::now();
+    let mut view = Overlay::new(base);
+    let tx = &pending.tx;
+    let id = tx.id();
+    let mut status = TxStatus::Success;
+    let mut gas_used = 0u64;
+    let mut created = None;
+    let mut output = Vec::new();
+    let mut logs = Vec::new();
+    let mut burned = 0u128;
+
+    // AVM chains charge the flat fee up front, before execution; it is
+    // kept even when the application call rejects.
+    let fee_units: u128 = match ctx.vm {
+        VmKind::Evm => 0, // charged after execution, from measured gas
+        VmKind::Avm => ctx.flat_fee,
+    };
+    if fee_units > 0 {
+        let balance = view.balance_of(tx.from);
+        view.set_balance_of(tx.from, balance.saturating_sub(fee_units));
+        burned += fee_units;
+    }
+
+    match (ctx.vm, &tx.kind) {
+        (_, TxKind::Transfer) => {
+            gas_used = 21_000;
+            let to = tx.to.unwrap_or(Address::ZERO);
+            let from_balance = view.balance_of(tx.from);
+            if from_balance < tx.value {
+                status = TxStatus::Reverted("insufficient balance".into());
+            } else {
+                view.set_balance_of(tx.from, from_balance - tx.value);
+                let to_balance = view.balance_of(to);
+                view.set_balance_of(to, to_balance + tx.value);
+            }
+        }
+        (VmKind::Evm, TxKind::ContractCreate) => {
+            match deploy_contract(&mut view, tx.from, &tx.data, tx.gas_limit) {
+                Ok((addr, outcome)) => {
+                    gas_used = outcome.gas_used;
+                    created = Some(ContractId::Evm(addr));
+                    logs = outcome
+                        .logs
+                        .iter()
+                        .map(|l| String::from_utf8_lossy(l).into_owned())
+                        .collect();
+                }
+                Err(e) => {
+                    gas_used = tx.gas_limit;
+                    status = TxStatus::Reverted(e.to_string());
+                }
+            }
+        }
+        (VmKind::Evm, TxKind::ContractCall(cid)) => {
+            let target = cid.as_evm().unwrap_or(Address::ZERO);
+            let params = CallParams {
+                caller: tx.from,
+                contract: target,
+                value: tx.value,
+                data: tx.data.clone(),
+                gas_limit: tx.gas_limit,
+                block_number: ctx.height,
+                timestamp_s: ctx.block_time / 1000,
+            };
+            match call_contract(&mut view, params) {
+                Ok(outcome) => {
+                    gas_used = outcome.gas_used;
+                    output = outcome.output.clone();
+                    if !outcome.success {
+                        status = TxStatus::Reverted(
+                            String::from_utf8_lossy(&outcome.output).into_owned(),
+                        );
+                    }
+                    logs = outcome
+                        .logs
+                        .iter()
+                        .map(|l| String::from_utf8_lossy(l).into_owned())
+                        .collect();
+                }
+                Err(e) => {
+                    gas_used = tx.gas_limit;
+                    status = TxStatus::Reverted(e.to_string());
+                }
+            }
+        }
+        (VmKind::Avm, TxKind::ContractCreate) => match ctx.avm_payloads.get(&id) {
+            Some(AvmPayload::Create { program, args }) => {
+                match create_app(&mut view, tx.from, program.clone(), args.clone()) {
+                    Ok(app_id) => created = Some(ContractId::App(app_id)),
+                    Err(e) => status = TxStatus::Reverted(e.to_string()),
+                }
+            }
+            _ => status = TxStatus::Reverted("missing program payload".into()),
+        },
+        (VmKind::Avm, TxKind::ContractCall(cid)) => {
+            let app_id = cid.as_app().unwrap_or(0);
+            match ctx.avm_payloads.get(&id) {
+                Some(AvmPayload::Call { args }) => {
+                    let params = AppCallParams {
+                        sender: tx.from,
+                        app_id,
+                        args: args.clone(),
+                        payment: tx.value.min(u128::from(u64::MAX)) as u64,
+                        round: ctx.height,
+                        timestamp_s: ctx.block_time / 1000,
+                    };
+                    match call_app(&mut view, params) {
+                        Ok(outcome) => {
+                            if !outcome.approved {
+                                status = TxStatus::Reverted("application rejected".into());
+                            }
+                            logs = outcome
+                                .logs
+                                .iter()
+                                .map(|l| String::from_utf8_lossy(l).into_owned())
+                                .collect();
+                        }
+                        Err(e) => status = TxStatus::Reverted(e.to_string()),
+                    }
+                }
+                _ => status = TxStatus::Reverted("missing call payload".into()),
+            }
+        }
+    }
+
+    // EVM fee settlement from measured gas: charge the effective price,
+    // burn the base-fee part.
+    let fee = match ctx.vm {
+        VmKind::Evm => {
+            let price = feemarket::effective_gas_price(
+                ctx.base_fee,
+                tx.max_fee_per_gas,
+                tx.max_priority_fee_per_gas,
+            )
+            .unwrap_or(ctx.base_fee);
+            let fee = u128::from(gas_used) * price;
+            let balance = view.balance_of(tx.from);
+            view.set_balance_of(tx.from, balance.saturating_sub(fee));
+            burned += u128::from(gas_used) * ctx.base_fee.min(price);
+            fee
+        }
+        VmKind::Avm => fee_units,
+    };
+
+    let receipt = Receipt {
+        tx: id,
+        block_number: ctx.height,
+        submitted_ms: pending.submitted_ms,
+        confirmed_ms: ctx.block_time,
+        status,
+        gas_used,
+        fee: Amount::from_base_units(fee, ctx.currency),
+        created,
+        output,
+        logs,
+    };
+    let (reads, writes) = view.into_parts();
+    TxOutcome { receipt, gas_used, burned, reads, writes, exec_ns: started.elapsed().as_nanos() }
+}

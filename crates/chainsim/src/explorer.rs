@@ -65,6 +65,28 @@ fn created_matches_evm(chain: &Chain, addr: Address, _deployer: Address) -> bool
     chain.evm().is_contract(addr)
 }
 
+/// Formats the block executor's cumulative counters — the explorer's
+/// "node diagnostics" footer. Shows how many blocks ran through the
+/// optimistic-parallel path, how much speculation it cost, and the
+/// modeled speedup of the parallel schedule over sequential execution.
+pub fn execution_report(chain: &Chain) -> String {
+    let s = chain.exec_stats();
+    let mut report = format!(
+        "{}: {} blocks ({} parallel), {} txs committed, {} speculative runs, {} conflicts, {} rounds",
+        chain.config.name,
+        s.blocks,
+        s.parallel_blocks,
+        s.committed_txs,
+        s.speculative_runs,
+        s.conflicts,
+        s.rounds,
+    );
+    if let Some(speedup) = s.modeled_speedup() {
+        report.push_str(&format!(", modeled speedup {speedup:.2}x"));
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +107,24 @@ mod tests {
         assert_eq!(rows[0].method, "Contract Creation");
         assert_eq!(rows[1].method, "0xaabbccdd");
         assert!(rows[0].block <= rows[1].block);
+    }
+
+    #[test]
+    fn execution_report_counts_parallel_blocks() {
+        use crate::executor::ExecutionMode;
+        use pol_ledger::Transaction;
+        let mut chain = presets::devnet_evm().build(2);
+        chain.set_execution_mode(ExecutionMode::Parallel { workers: 2 });
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(19));
+        let (_, bob_addr) = chain.create_funded_account(0);
+        let (max_fee, prio) = chain.suggested_fees();
+        let tx = Transaction::transfer(alice_addr, bob_addr, 5, 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        chain.submit_and_wait(tx).unwrap();
+        let report = execution_report(&chain);
+        assert!(report.contains("1 txs committed"), "{report}");
+        assert!(report.contains("parallel"), "{report}");
+        assert!(chain.exec_stats().parallel_blocks > 0);
     }
 }

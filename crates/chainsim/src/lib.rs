@@ -36,6 +36,7 @@
 
 pub mod chain;
 pub mod congestion;
+pub mod executor;
 pub mod explorer;
 pub mod faucet;
 pub mod feemarket;
@@ -44,5 +45,6 @@ pub mod provider;
 
 pub use chain::{Chain, ChainConfig, VmKind};
 pub use congestion::CongestionModel;
+pub use executor::{ExecStats, ExecutionMode};
 pub use presets::ChainPreset;
 pub use provider::NodeProvider;

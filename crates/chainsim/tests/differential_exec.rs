@@ -1,0 +1,164 @@
+//! Differential test of the optimistic-parallel block executor: random
+//! transaction batches — transfers, EVM contract calls, AVM app calls —
+//! must produce byte-identical receipts, burn totals and world-state
+//! digests under [`ExecutionMode::Sequential`] and
+//! [`ExecutionMode::Parallel`], across every chain preset, seed and
+//! worker count. The workloads are deliberately conflict-heavy (shared
+//! balance keys, one shared contract/app) so the validate-and-re-execute
+//! path is exercised, not just the embarrassingly-parallel one.
+
+use pol_avm::opcode::AvmOp;
+use pol_avm::AvmProgram;
+use pol_chainsim::{presets, ChainPreset, ExecutionMode, VmKind};
+use pol_evm::assembler::Asm;
+use pol_evm::opcode::Op;
+use pol_ledger::{ContractId, Transaction};
+use proptest::prelude::*;
+
+/// One randomly generated client action.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Move value between two of the funded accounts.
+    Transfer { from: usize, to: usize, value: u128 },
+    /// Hit the shared contract (EVM: store `value` at `slot`; AVM:
+    /// increment the global counter keyed by `slot`).
+    Invoke { user: usize, slot: u8, value: u8 },
+}
+
+enum Target {
+    Evm(ContractId),
+    App(u64),
+}
+
+fn preset_for(idx: usize) -> ChainPreset {
+    match idx % 4 {
+        0 => presets::devnet_evm(),
+        1 => presets::goerli(),
+        2 => presets::mumbai(),
+        _ => presets::devnet_algo(),
+    }
+}
+
+/// Runs the whole workload on a fresh chain and returns everything
+/// observable: receipt debug strings (in submission order), the burn
+/// total and the world-state digest.
+fn run(
+    preset_idx: usize,
+    seed: u64,
+    actions: &[Action],
+    mode: ExecutionMode,
+) -> (Vec<String>, u128, [u8; 32]) {
+    let mut chain = preset_for(preset_idx).build(seed);
+    chain.set_execution_mode(mode);
+    const USERS: usize = 4;
+    let mut users = Vec::new();
+    for _ in 0..USERS {
+        users.push(chain.create_funded_account(10u128.pow(20)));
+    }
+
+    // One shared contract so invocations conflict on its state.
+    let target = match chain.config.vm {
+        VmKind::Evm => {
+            // runtime: SSTORE(calldata[0..32], calldata[32..64])
+            let runtime = Asm::new()
+                .push_u64(32)
+                .op(Op::CallDataLoad)
+                .push_u64(0)
+                .op(Op::CallDataLoad)
+                .op(Op::SStore)
+                .op(Op::Stop)
+                .build();
+            let receipt =
+                chain.deploy_evm(&users[0].0, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
+            Target::Evm(receipt.created.expect("deployed"))
+        }
+        VmKind::Avm => {
+            // Increment the global counter named by arg 0.
+            let program = AvmProgram::new(vec![
+                AvmOp::TxnArg(0),
+                AvmOp::TxnArg(0),
+                AvmOp::AppGlobalGet,
+                AvmOp::Pop,
+                AvmOp::PushInt(1),
+                AvmOp::Add,
+                AvmOp::AppGlobalPut,
+                AvmOp::PushInt(1),
+                AvmOp::Return,
+            ]);
+            let receipt = chain.deploy_app(&users[0].0, program, vec![]).unwrap();
+            Target::App(receipt.created.and_then(|c| c.as_app()).expect("created"))
+        }
+    };
+
+    // Submit the whole batch first so blocks carry several transactions,
+    // then await the receipts in submission order.
+    let mut ids = Vec::new();
+    for action in actions {
+        match *action {
+            Action::Transfer { from, to, value } => {
+                let (kp, addr) = &users[from % USERS];
+                let to_addr = users[to % USERS].1;
+                let (max_fee, prio) = chain.suggested_fees();
+                let tx = Transaction::transfer(*addr, to_addr, value, chain.next_nonce(*addr))
+                    .with_fees(max_fee, prio)
+                    .signed(kp);
+                ids.push(chain.submit(tx).unwrap());
+            }
+            Action::Invoke { user, slot, value } => {
+                let kp = &users[user % USERS].0;
+                match target {
+                    Target::Evm(contract) => {
+                        let mut data = vec![0u8; 64];
+                        data[31] = slot % 4;
+                        data[63] = value;
+                        ids.push(chain.submit_call_evm(kp, contract, data, 0, 1_000_000).unwrap());
+                    }
+                    Target::App(app_id) => {
+                        ids.push(
+                            chain.submit_call_app(kp, app_id, vec![vec![slot % 4]], 0).unwrap(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let receipts = ids.into_iter().map(|id| format!("{:?}", chain.await_tx(id).unwrap())).collect();
+    (receipts, chain.total_burned(), chain.state_digest())
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..4usize, 0..4usize, 1..500u128).prop_map(|(from, to, value)| Action::Transfer {
+            from,
+            to,
+            value
+        }),
+        (0..4usize, any::<u8>(), any::<u8>()).prop_map(|(user, slot, value)| Action::Invoke {
+            user,
+            slot,
+            value
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel executor is observably identical to the sequential
+    /// oracle for every preset, seed, worker count and action batch.
+    #[test]
+    fn parallel_executor_matches_sequential(
+        preset_idx in 0..4usize,
+        seed in any::<u64>(),
+        workers in 2..9usize,
+        actions in proptest::collection::vec(action_strategy(), 1..24),
+    ) {
+        let (seq_receipts, seq_burned, seq_digest) =
+            run(preset_idx, seed, &actions, ExecutionMode::Sequential);
+        let (par_receipts, par_burned, par_digest) =
+            run(preset_idx, seed, &actions, ExecutionMode::Parallel { workers });
+        prop_assert_eq!(seq_receipts, par_receipts);
+        prop_assert_eq!(seq_burned, par_burned);
+        prop_assert_eq!(seq_digest, par_digest);
+    }
+}

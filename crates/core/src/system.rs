@@ -622,7 +622,11 @@ impl PolSystem {
             txs,
         });
 
-        let mut verified = 0usize;
+        // Submit the whole verify storm before awaiting anything: the
+        // burst lands in as few blocks as possible, where the chain's
+        // optimistic-parallel executor can speculate the calls
+        // concurrently instead of paying one block per prover.
+        let mut awaiting = Vec::new();
         for (did_digest, entry, did) in pending {
             // Off-chain validation first (garbage-in filter).
             if entry.verify_against(&did, area, &witness_list).is_err() {
@@ -633,8 +637,6 @@ impl PolSystem {
                 continue;
             }
             let start = self.chain.now_ms();
-            let mut fee = Amount::zero(self.chain.config.currency);
-            let mut txs = 0usize;
             let mut verify_args =
                 vec![AbiValue::Word(u128::from(did_digest)), AbiValue::Address(entry.wallet)];
             if self.config.witness_reward.is_some() {
@@ -643,7 +645,25 @@ impl PolSystem {
                 verify_args.push(AbiValue::Address(Address::from_public_key(&entry.witness)));
             }
             verify_args.push(AbiValue::Bytes(entry.to_bytes()));
-            self.call_api(&verifier_keys, contract, "verify", &verify_args, 0, &mut fee, &mut txs)?;
+            let id = match self.chain.config.vm {
+                VmKind::Evm => {
+                    let data = self.factory.compiled().evm.encode_call("verify", &verify_args)?;
+                    self.chain.submit_call_evm(&verifier_keys, contract, data, 0, 1_000_000)?
+                }
+                VmKind::Avm => {
+                    let app_id = contract.as_app().expect("avm contract");
+                    let call_args =
+                        self.factory.compiled().avm.encode_call("verify", &verify_args)?;
+                    self.chain.submit_call_app(&verifier_keys, app_id, call_args, 0)?
+                }
+            };
+            awaiting.push((did_digest, entry, id, start));
+        }
+
+        let mut verified = 0usize;
+        for (did_digest, entry, id, start) in awaiting {
+            let receipt = self.chain.await_tx(id)?;
+            self.expect_success(&receipt)?;
             self.hypercube.append_cid(area, entry.cid.as_str())?;
             self.areas.get_mut(&area_key).expect("exists").pending.remove(&did_digest);
             verified += 1;
@@ -651,8 +671,8 @@ impl PolSystem {
                 kind: OpKind::Verify,
                 user: usize::MAX,
                 latency_ms: self.chain.now_ms().saturating_sub(start),
-                fee,
-                txs,
+                fee: receipt.fee,
+                txs: 1,
             });
         }
         Ok(verified)

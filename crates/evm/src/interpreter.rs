@@ -1,10 +1,21 @@
-//! The bytecode interpreter and world state.
+//! The bytecode interpreter over the journaled world state.
+//!
+//! Execution is expressed as free functions over a [`StateView`]
+//! ([`deploy_contract`], [`call_contract`]) so the chain simulator can run
+//! transactions inside speculative overlays; the [`Evm`] façade wraps a
+//! private [`WorldState`] and keeps the historical standalone API (with
+//! balances threaded through as a mutable map) for tests and tooling.
+//!
+//! Reverts no longer restore a cloned snapshot of the whole storage map:
+//! the interpreter takes a journal checkpoint and rolls the overlay back,
+//! which undoes exactly the writes the frame made.
 
 use crate::gas;
 use crate::opcode::Op;
 use crate::word::Word;
 use pol_crypto::keccak256;
-use pol_ledger::{address, Address};
+use pol_ledger::state::{self, BalancePatchBase, Overlay, StateKey, StateValue, WorldState};
+use pol_ledger::{address, Address, StateView};
 use std::collections::{HashMap, HashSet};
 
 /// Hard cap on VM memory to keep simulations bounded.
@@ -120,28 +131,486 @@ impl CallParams {
     }
 }
 
-/// Persistent state of one deployed contract.
-#[derive(Debug, Clone, Default)]
-pub struct ContractState {
-    /// Runtime bytecode.
-    pub code: Vec<u8>,
-    /// Word-addressed storage.
-    pub storage: HashMap<Word, Word>,
+/// Balance map threaded through the standalone [`Evm`] façade's calls.
+pub type Balances = HashMap<Address, u128>;
+
+fn storage_key(contract: Address, slot: Word) -> StateKey {
+    StateKey::Storage(contract, slot.to_be_bytes())
 }
 
-/// The EVM world: deployed contracts and their storage.
+fn load_storage(state: &mut dyn StateView, contract: Address, slot: Word) -> Word {
+    state
+        .get(&storage_key(contract, slot))
+        .and_then(|v| v.as_word())
+        .map(|w| Word::from_be_bytes(&w))
+        .unwrap_or(Word::ZERO)
+}
+
+/// Runs `init_code` as a deployment from `deployer` against a state view,
+/// storing whatever it returns as the new contract's runtime code.
 ///
-/// Account balances live outside the machine (the chain simulator owns
-/// them) and are threaded through each call as a mutable map, so the VM
-/// can apply value transfers while the chain remains the source of truth.
+/// Returns the new contract's address and the execution outcome (whose
+/// `gas_used` includes intrinsic, execution and code-deposit gas). All
+/// state effects of failed deployments are rolled back via the journal.
+///
+/// # Errors
+///
+/// Machine errors, plus [`EvmError::BadDeploy`] if the init code reverts
+/// or returns nothing.
+pub fn deploy_contract(
+    state: &mut dyn StateView,
+    deployer: Address,
+    init_code: &[u8],
+    gas_limit: u64,
+) -> Result<(Address, ExecOutcome), EvmError> {
+    let deploys = state.get(&StateKey::DeployCount).and_then(|v| v.as_u64()).unwrap_or(0);
+    let address = address::contract_address(&deployer, deploys);
+    let intrinsic = gas::intrinsic_gas(init_code, true);
+    if intrinsic > gas_limit {
+        return Err(EvmError::OutOfGas { limit: gas_limit });
+    }
+    let checkpoint = state.checkpoint();
+    // Temporarily install the init code at the target address so the
+    // frame can CODECOPY from it.
+    state.put(StateKey::Code(address), StateValue::Bytes(init_code.to_vec()));
+    let params = CallParams {
+        caller: deployer,
+        contract: address,
+        value: 0,
+        data: Vec::new(),
+        gas_limit: gas_limit - intrinsic,
+        block_number: 1,
+        timestamp_s: 1,
+    };
+    match execute(state, &params) {
+        Ok(mut outcome) if outcome.success && !outcome.output.is_empty() => {
+            let deposit = gas::G_CODEDEPOSIT * outcome.output.len() as u64;
+            if intrinsic + outcome.gas_used + deposit > gas_limit {
+                state.rollback_to(checkpoint);
+                return Err(EvmError::OutOfGas { limit: gas_limit });
+            }
+            let runtime = std::mem::take(&mut outcome.output);
+            state.put(StateKey::Code(address), StateValue::Bytes(runtime));
+            state.put(StateKey::DeployCount, StateValue::U64(deploys + 1));
+            outcome.gas_used += intrinsic + deposit;
+            Ok((address, outcome))
+        }
+        Ok(outcome) => {
+            state.rollback_to(checkpoint);
+            Err(EvmError::BadDeploy(if outcome.success {
+                "init code returned no runtime image".to_string()
+            } else {
+                format!("init code reverted: {}", String::from_utf8_lossy(&outcome.output))
+            }))
+        }
+        Err(e) => {
+            state.rollback_to(checkpoint);
+            Err(e)
+        }
+    }
+}
+
+/// Executes a message call against a deployed contract through a state
+/// view.
+///
+/// The `gas_used` in the outcome includes the transaction-intrinsic gas.
+/// Value is moved from caller to contract before the checkpoint (matching
+/// the simulator's historical semantics: the transfer survives a revert),
+/// and every write the frame makes afterwards is undone on revert or
+/// machine error by rolling the journal back.
+///
+/// # Errors
+///
+/// Machine errors ([`EvmError`]); reverts are NOT errors.
+pub fn call_contract(
+    state: &mut dyn StateView,
+    params: CallParams,
+) -> Result<ExecOutcome, EvmError> {
+    if state.get(&StateKey::Code(params.contract)).is_none() {
+        return Err(EvmError::UnknownContract(params.contract));
+    }
+    let intrinsic = gas::intrinsic_gas(&params.data, false);
+    if intrinsic > params.gas_limit {
+        return Err(EvmError::OutOfGas { limit: params.gas_limit });
+    }
+    // Move the call value.
+    if params.value > 0 {
+        let from_balance = state.balance_of(params.caller);
+        if from_balance < params.value {
+            return Err(EvmError::InsufficientValue);
+        }
+        state.set_balance_of(params.caller, from_balance - params.value);
+        let to_balance = state.balance_of(params.contract);
+        state.set_balance_of(params.contract, to_balance + params.value);
+    }
+    let checkpoint = state.checkpoint();
+    let inner = CallParams { gas_limit: params.gas_limit - intrinsic, ..params.clone() };
+    match execute(state, &inner) {
+        Ok(mut outcome) => {
+            outcome.gas_used += intrinsic;
+            if !outcome.success {
+                // Revert state, keep charging gas.
+                state.rollback_to(checkpoint);
+            }
+            Ok(outcome)
+        }
+        Err(e) => {
+            state.rollback_to(checkpoint);
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute(state: &mut dyn StateView, params: &CallParams) -> Result<ExecOutcome, EvmError> {
+    let code = match state.get(&StateKey::Code(params.contract)) {
+        Some(v) => v.as_bytes().map(<[u8]>::to_vec).unwrap_or_default(),
+        None => return Err(EvmError::UnknownContract(params.contract)),
+    };
+    let valid_jumps: HashSet<usize> = jump_destinations(&code);
+    let mut stack: Vec<Word> = Vec::with_capacity(64);
+    let mut memory: Vec<u8> = Vec::new();
+    let mut pc = 0usize;
+    let mut gas_used = 0u64;
+    let mut refund = 0u64;
+    let mut warm_slots: HashSet<Word> = HashSet::new();
+    let mut logs = Vec::new();
+
+    macro_rules! charge {
+        ($amount:expr) => {{
+            gas_used += $amount;
+            if gas_used > params.gas_limit {
+                return Err(EvmError::OutOfGas { limit: params.gas_limit });
+            }
+        }};
+    }
+    macro_rules! pop {
+        () => {
+            stack.pop().ok_or(EvmError::StackError)?
+        };
+    }
+    macro_rules! push {
+        ($w:expr) => {{
+            if stack.len() >= MAX_STACK {
+                return Err(EvmError::StackError);
+            }
+            stack.push($w);
+        }};
+    }
+
+    fn expand(memory: &mut Vec<u8>, end: usize) -> Result<u64, EvmError> {
+        if end > MAX_MEMORY {
+            return Err(EvmError::MemoryOverflow);
+        }
+        if end <= memory.len() {
+            return Ok(0);
+        }
+        let old_words = gas::words(memory.len());
+        let new_len = end.div_ceil(32) * 32;
+        memory.resize(new_len, 0);
+        Ok((gas::words(new_len) - old_words) * gas::G_MEMORY)
+    }
+
+    while pc < code.len() {
+        let byte = code[pc];
+        let (op, variant) = Op::decode(byte).ok_or(EvmError::InvalidOpcode(byte))?;
+        charge!(op.base_gas());
+        pc += 1;
+        match op {
+            Op::Stop => {
+                return Ok(finish(true, gas_used, refund, Vec::new(), logs));
+            }
+            Op::Add => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_add(&b));
+            }
+            Op::Mul => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_mul(&b));
+            }
+            Op::Sub => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.wrapping_sub(&b));
+            }
+            Op::Div => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.div(&b));
+            }
+            Op::Mod => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.rem(&b));
+            }
+            Op::AddMod => {
+                let (a, b, m) = (pop!(), pop!(), pop!());
+                push!(a.add_mod(&b, &m));
+            }
+            Op::MulMod => {
+                let (a, b, m) = (pop!(), pop!(), pop!());
+                push!(a.mul_mod(&b, &m));
+            }
+            Op::Exp => {
+                let (a, e) = (pop!(), pop!());
+                charge!(gas::G_EXPBYTE * e.byte_len());
+                push!(a.pow(&e));
+            }
+            Op::Shl => {
+                let (shift, value) = (pop!(), pop!());
+                push!(value.shl(&shift));
+            }
+            Op::Shr => {
+                let (shift, value) = (pop!(), pop!());
+                push!(value.shr(&shift));
+            }
+            Op::Lt => {
+                let (a, b) = (pop!(), pop!());
+                push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Less));
+            }
+            Op::Gt => {
+                let (a, b) = (pop!(), pop!());
+                push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Greater));
+            }
+            Op::Eq => {
+                let (a, b) = (pop!(), pop!());
+                push!(bool_word(a == b));
+            }
+            Op::IsZero => {
+                let a = pop!();
+                push!(bool_word(a.is_zero()));
+            }
+            Op::And => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.and(&b));
+            }
+            Op::Or => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.or(&b));
+            }
+            Op::Xor => {
+                let (a, b) = (pop!(), pop!());
+                push!(a.xor(&b));
+            }
+            Op::Not => {
+                let a = pop!();
+                push!(a.not());
+            }
+            Op::Keccak256 => {
+                let off = pop!().as_u64() as usize;
+                let size = pop!().as_u64() as usize;
+                charge!(gas::G_KECCAK256WORD * gas::words(size));
+                charge!(expand(&mut memory, off + size)?);
+                let digest = keccak256(&memory[off..off + size]);
+                push!(Word::from_be_bytes(&digest));
+            }
+            Op::Address => push!(Word::from(params.contract)),
+            Op::SelfBalance => {
+                push!(Word::from_u128(state.balance_of(params.contract)))
+            }
+            Op::Caller => push!(Word::from(params.caller)),
+            Op::CallValue => push!(Word::from_u128(params.value)),
+            Op::CallDataLoad => {
+                let off = pop!().as_u64() as usize;
+                let mut buf = [0u8; 32];
+                for (i, slot) in buf.iter_mut().enumerate() {
+                    *slot = params.data.get(off + i).copied().unwrap_or(0);
+                }
+                push!(Word::from_be_bytes(&buf));
+            }
+            Op::CallDataSize => push!(Word::from_u64(params.data.len() as u64)),
+            Op::CallDataCopy | Op::CodeCopy => {
+                let mem_off = pop!().as_u64() as usize;
+                let src_off = pop!().as_u64() as usize;
+                let size = pop!().as_u64() as usize;
+                charge!(gas::G_COPY * gas::words(size));
+                charge!(expand(&mut memory, mem_off + size)?);
+                let src: &[u8] = if op == Op::CallDataCopy { &params.data } else { &code };
+                for i in 0..size {
+                    memory[mem_off + i] = src.get(src_off + i).copied().unwrap_or(0);
+                }
+            }
+            Op::Timestamp => push!(Word::from_u64(params.timestamp_s)),
+            Op::Number => push!(Word::from_u64(params.block_number)),
+            Op::Pop => {
+                let _ = pop!();
+            }
+            Op::MLoad => {
+                let off = pop!().as_u64() as usize;
+                charge!(expand(&mut memory, off + 32)?);
+                let mut buf = [0u8; 32];
+                buf.copy_from_slice(&memory[off..off + 32]);
+                push!(Word::from_be_bytes(&buf));
+            }
+            Op::MStore => {
+                let off = pop!().as_u64() as usize;
+                let value = pop!();
+                charge!(expand(&mut memory, off + 32)?);
+                memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
+            }
+            Op::SLoad => {
+                let key = pop!();
+                let cost =
+                    if warm_slots.insert(key) { gas::G_COLDSLOAD } else { gas::G_WARMACCESS };
+                charge!(cost);
+                push!(load_storage(state, params.contract, key));
+            }
+            Op::SStore => {
+                let key = pop!();
+                let value = pop!();
+                let cold = warm_slots.insert(key);
+                let current = load_storage(state, params.contract, key);
+                let mut cost = if current == value {
+                    gas::G_WARMACCESS
+                } else if current.is_zero() {
+                    gas::G_SSET
+                } else {
+                    gas::G_SRESET
+                };
+                if cold {
+                    cost += gas::G_COLDSLOAD;
+                }
+                charge!(cost);
+                if value.is_zero() && !current.is_zero() {
+                    refund += gas::R_SCLEAR;
+                }
+                if value.is_zero() {
+                    state.delete(storage_key(params.contract, key));
+                } else {
+                    state.put(
+                        storage_key(params.contract, key),
+                        StateValue::Word(value.to_be_bytes()),
+                    );
+                }
+            }
+            Op::Jump => {
+                let dest = pop!().as_u64() as usize;
+                if !valid_jumps.contains(&dest) {
+                    return Err(EvmError::InvalidJump(dest));
+                }
+                pc = dest;
+            }
+            Op::JumpI => {
+                let dest = pop!().as_u64() as usize;
+                let cond = pop!();
+                if !cond.is_zero() {
+                    if !valid_jumps.contains(&dest) {
+                        return Err(EvmError::InvalidJump(dest));
+                    }
+                    pc = dest;
+                }
+            }
+            Op::JumpDest => {}
+            Op::Push1 => {
+                let n = variant as usize + 1;
+                if pc + n > code.len() {
+                    return Err(EvmError::InvalidOpcode(byte));
+                }
+                push!(Word::from_be_slice(&code[pc..pc + n]));
+                pc += n;
+            }
+            Op::Dup1 => {
+                let n = variant as usize;
+                if stack.len() <= n {
+                    return Err(EvmError::StackError);
+                }
+                let w = stack[stack.len() - 1 - n];
+                push!(w);
+            }
+            Op::Swap1 => {
+                let n = variant as usize + 1;
+                let top = stack.len().checked_sub(1).ok_or(EvmError::StackError)?;
+                let other = top.checked_sub(n).ok_or(EvmError::StackError)?;
+                stack.swap(top, other);
+            }
+            Op::Log0 | Op::Log1 => {
+                let off = pop!().as_u64() as usize;
+                let size = pop!().as_u64() as usize;
+                if op == Op::Log1 {
+                    let _topic = pop!();
+                }
+                charge!(gas::G_LOGDATA * size as u64);
+                charge!(expand(&mut memory, off + size)?);
+                logs.push(memory[off..off + size].to_vec());
+            }
+            Op::Call => {
+                // Simplified: plain value send (no reentrant execution).
+                let _gas = pop!();
+                let to = pop!().to_address();
+                let value = pop!().as_u128();
+                let _in_off = pop!();
+                let _in_size = pop!();
+                let _out_off = pop!();
+                let _out_size = pop!();
+                let mut cost = gas::G_COLDACCOUNTACCESS;
+                if value > 0 {
+                    cost += gas::G_CALLVALUE - gas::G_CALLSTIPEND;
+                }
+                charge!(cost);
+                let self_balance = state.balance_of(params.contract);
+                if self_balance < value {
+                    push!(Word::ZERO);
+                } else {
+                    state.set_balance_of(params.contract, self_balance - value);
+                    let to_balance = state.balance_of(to);
+                    state.set_balance_of(to, to_balance + value);
+                    push!(Word::ONE);
+                }
+            }
+            Op::Return | Op::Revert => {
+                let off = pop!().as_u64() as usize;
+                let size = pop!().as_u64() as usize;
+                charge!(expand(&mut memory, off + size)?);
+                let output = memory[off..off + size].to_vec();
+                return Ok(finish(op == Op::Return, gas_used, refund, output, logs));
+            }
+        }
+    }
+    Ok(finish(true, gas_used, refund, Vec::new(), logs))
+}
+
+/// Read-only view over the EVM-owned entries of a world state (deployed
+/// code and contract storage). The explorer and tests inspect the chain
+/// through this instead of holding a whole `Evm`.
+pub struct EvmView<'a> {
+    world: &'a WorldState,
+}
+
+impl<'a> EvmView<'a> {
+    /// Opens a view over a world.
+    pub fn new(world: &'a WorldState) -> EvmView<'a> {
+        EvmView { world }
+    }
+
+    /// Number of deployed contracts.
+    pub fn contract_count(&self) -> usize {
+        self.world.keys().filter(|k| matches!(k, StateKey::Code(_))).count()
+    }
+
+    /// Read-only view of a contract's storage slot.
+    pub fn storage_at(&self, contract: Address, key: &Word) -> Word {
+        self.world
+            .get(&storage_key(contract, *key))
+            .and_then(|v| v.as_word())
+            .map(|w| Word::from_be_bytes(&w))
+            .unwrap_or(Word::ZERO)
+    }
+
+    /// Whether an address holds code.
+    pub fn is_contract(&self, address: Address) -> bool {
+        self.world.get(&StateKey::Code(address)).is_some()
+    }
+}
+
+/// The standalone EVM world: a private [`WorldState`] holding deployed
+/// contracts and their storage.
+///
+/// Account balances live outside the machine (the caller owns them) and
+/// are threaded through each call as a mutable map, so the VM can apply
+/// value transfers while the caller remains the source of truth. Each
+/// call runs inside a journaled [`Overlay`] whose write set is split back
+/// into the balance map and the world afterwards.
 #[derive(Debug, Default)]
 pub struct Evm {
-    contracts: HashMap<Address, ContractState>,
-    deploys: u64,
+    world: WorldState,
 }
-
-/// Balance map threaded through calls.
-pub type Balances = HashMap<Address, u128>;
 
 impl Evm {
     /// Creates an empty world.
@@ -151,28 +620,21 @@ impl Evm {
 
     /// Number of deployed contracts.
     pub fn contract_count(&self) -> usize {
-        self.contracts.len()
+        EvmView::new(&self.world).contract_count()
     }
 
     /// Read-only view of a contract's storage slot.
     pub fn storage_at(&self, contract: Address, key: &Word) -> Word {
-        self.contracts
-            .get(&contract)
-            .and_then(|c| c.storage.get(key).copied())
-            .unwrap_or(Word::ZERO)
+        EvmView::new(&self.world).storage_at(contract, key)
     }
 
     /// Whether an address holds code.
     pub fn is_contract(&self, address: Address) -> bool {
-        self.contracts.contains_key(&address)
+        EvmView::new(&self.world).is_contract(address)
     }
 
-    /// Runs `init_code` as a deployment from `deployer`, storing whatever
-    /// it returns as the new contract's runtime code.
-    ///
-    /// Returns the new contract's address and the execution outcome
-    /// (whose `gas_used` includes intrinsic, execution and code-deposit
-    /// gas).
+    /// Runs `init_code` as a deployment from `deployer` (see
+    /// [`deploy_contract`]).
     ///
     /// # Errors
     ///
@@ -185,58 +647,20 @@ impl Evm {
         gas_limit: u64,
         balances: &mut Balances,
     ) -> Result<(Address, ExecOutcome), EvmError> {
-        let address = address::contract_address(&deployer, self.deploys);
-        let intrinsic = gas::intrinsic_gas(init_code, true);
-        if intrinsic > gas_limit {
-            return Err(EvmError::OutOfGas { limit: gas_limit });
-        }
-        // Temporarily install the init code at the target address so the
-        // frame can CODECOPY from it.
-        self.contracts
-            .insert(address, ContractState { code: init_code.to_vec(), storage: HashMap::new() });
-        let params = CallParams {
-            caller: deployer,
-            contract: address,
-            value: 0,
-            data: Vec::new(),
-            gas_limit: gas_limit - intrinsic,
-            block_number: 1,
-            timestamp_s: 1,
+        let (result, writes) = {
+            let base = BalancePatchBase::new(&self.world, balances);
+            let mut view = Overlay::new(&base);
+            let result = deploy_contract(&mut view, deployer, init_code, gas_limit);
+            (result, view.into_writes())
         };
-        let run = self.execute(&params, balances);
-        match run {
-            Ok(mut outcome) if outcome.success && !outcome.output.is_empty() => {
-                let deposit = gas::G_CODEDEPOSIT * outcome.output.len() as u64;
-                if intrinsic + outcome.gas_used + deposit > gas_limit {
-                    self.contracts.remove(&address);
-                    return Err(EvmError::OutOfGas { limit: gas_limit });
-                }
-                let state = self.contracts.get_mut(&address).expect("just inserted");
-                state.code = std::mem::take(&mut outcome.output);
-                outcome.gas_used += intrinsic + deposit;
-                self.deploys += 1;
-                Ok((address, outcome))
-            }
-            Ok(outcome) => {
-                self.contracts.remove(&address);
-                Err(EvmError::BadDeploy(if outcome.success {
-                    "init code returned no runtime image".to_string()
-                } else {
-                    format!("init code reverted: {}", String::from_utf8_lossy(&outcome.output))
-                }))
-            }
-            Err(e) => {
-                self.contracts.remove(&address);
-                Err(e)
-            }
-        }
+        // Failed paths already rolled their journal back, so the write
+        // set only ever holds effects that should stick.
+        state::apply_split(writes, &mut self.world, balances);
+        result
     }
 
-    /// Executes a message call against a deployed contract.
-    ///
-    /// The `gas_used` in the outcome includes the transaction-intrinsic
-    /// gas. Value is moved from caller to contract before execution and
-    /// rolled back on revert.
+    /// Executes a message call against a deployed contract (see
+    /// [`call_contract`]).
     ///
     /// # Errors
     ///
@@ -246,350 +670,14 @@ impl Evm {
         params: CallParams,
         balances: &mut Balances,
     ) -> Result<ExecOutcome, EvmError> {
-        if !self.contracts.contains_key(&params.contract) {
-            return Err(EvmError::UnknownContract(params.contract));
-        }
-        let intrinsic = gas::intrinsic_gas(&params.data, false);
-        if intrinsic > params.gas_limit {
-            return Err(EvmError::OutOfGas { limit: params.gas_limit });
-        }
-        // Move the call value.
-        if params.value > 0 {
-            let from_balance = balances.entry(params.caller).or_insert(0);
-            if *from_balance < params.value {
-                return Err(EvmError::InsufficientValue);
-            }
-            *from_balance -= params.value;
-            *balances.entry(params.contract).or_insert(0) += params.value;
-        }
-        let storage_snapshot = self.contracts[&params.contract].storage.clone();
-        let balance_snapshot = balances.clone();
-        let inner = CallParams { gas_limit: params.gas_limit - intrinsic, ..params.clone() };
-        match self.execute(&inner, balances) {
-            Ok(mut outcome) => {
-                outcome.gas_used += intrinsic;
-                if !outcome.success {
-                    // Revert state, keep charging gas.
-                    self.contracts.get_mut(&params.contract).expect("checked").storage =
-                        storage_snapshot;
-                    *balances = balance_snapshot;
-                }
-                Ok(outcome)
-            }
-            Err(e) => {
-                self.contracts.get_mut(&params.contract).expect("checked").storage =
-                    storage_snapshot;
-                *balances = balance_snapshot;
-                Err(e)
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_lines)]
-    fn execute(
-        &mut self,
-        params: &CallParams,
-        balances: &mut Balances,
-    ) -> Result<ExecOutcome, EvmError> {
-        let code = self.contracts[&params.contract].code.clone();
-        let valid_jumps: HashSet<usize> = jump_destinations(&code);
-        let mut stack: Vec<Word> = Vec::with_capacity(64);
-        let mut memory: Vec<u8> = Vec::new();
-        let mut pc = 0usize;
-        let mut gas_used = 0u64;
-        let mut refund = 0u64;
-        let mut warm_slots: HashSet<Word> = HashSet::new();
-        let mut logs = Vec::new();
-
-        macro_rules! charge {
-            ($amount:expr) => {{
-                gas_used += $amount;
-                if gas_used > params.gas_limit {
-                    return Err(EvmError::OutOfGas { limit: params.gas_limit });
-                }
-            }};
-        }
-        macro_rules! pop {
-            () => {
-                stack.pop().ok_or(EvmError::StackError)?
-            };
-        }
-        macro_rules! push {
-            ($w:expr) => {{
-                if stack.len() >= MAX_STACK {
-                    return Err(EvmError::StackError);
-                }
-                stack.push($w);
-            }};
-        }
-
-        fn expand(memory: &mut Vec<u8>, end: usize) -> Result<u64, EvmError> {
-            if end > MAX_MEMORY {
-                return Err(EvmError::MemoryOverflow);
-            }
-            if end <= memory.len() {
-                return Ok(0);
-            }
-            let old_words = gas::words(memory.len());
-            let new_len = end.div_ceil(32) * 32;
-            memory.resize(new_len, 0);
-            Ok((gas::words(new_len) - old_words) * gas::G_MEMORY)
-        }
-
-        while pc < code.len() {
-            let byte = code[pc];
-            let (op, variant) = Op::decode(byte).ok_or(EvmError::InvalidOpcode(byte))?;
-            charge!(op.base_gas());
-            pc += 1;
-            match op {
-                Op::Stop => {
-                    return Ok(finish(true, gas_used, refund, Vec::new(), logs));
-                }
-                Op::Add => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.wrapping_add(&b));
-                }
-                Op::Mul => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.wrapping_mul(&b));
-                }
-                Op::Sub => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.wrapping_sub(&b));
-                }
-                Op::Div => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.div(&b));
-                }
-                Op::Mod => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.rem(&b));
-                }
-                Op::AddMod => {
-                    let (a, b, m) = (pop!(), pop!(), pop!());
-                    push!(a.add_mod(&b, &m));
-                }
-                Op::MulMod => {
-                    let (a, b, m) = (pop!(), pop!(), pop!());
-                    push!(a.mul_mod(&b, &m));
-                }
-                Op::Exp => {
-                    let (a, e) = (pop!(), pop!());
-                    charge!(gas::G_EXPBYTE * e.byte_len());
-                    push!(a.pow(&e));
-                }
-                Op::Shl => {
-                    let (shift, value) = (pop!(), pop!());
-                    push!(value.shl(&shift));
-                }
-                Op::Shr => {
-                    let (shift, value) = (pop!(), pop!());
-                    push!(value.shr(&shift));
-                }
-                Op::Lt => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Less));
-                }
-                Op::Gt => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(bool_word(a.cmp_u(&b) == std::cmp::Ordering::Greater));
-                }
-                Op::Eq => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(bool_word(a == b));
-                }
-                Op::IsZero => {
-                    let a = pop!();
-                    push!(bool_word(a.is_zero()));
-                }
-                Op::And => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.and(&b));
-                }
-                Op::Or => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.or(&b));
-                }
-                Op::Xor => {
-                    let (a, b) = (pop!(), pop!());
-                    push!(a.xor(&b));
-                }
-                Op::Not => {
-                    let a = pop!();
-                    push!(a.not());
-                }
-                Op::Keccak256 => {
-                    let off = pop!().as_u64() as usize;
-                    let size = pop!().as_u64() as usize;
-                    charge!(gas::G_KECCAK256WORD * gas::words(size));
-                    charge!(expand(&mut memory, off + size)?);
-                    let digest = keccak256(&memory[off..off + size]);
-                    push!(Word::from_be_bytes(&digest));
-                }
-                Op::Address => push!(Word::from(params.contract)),
-                Op::SelfBalance => {
-                    push!(Word::from_u128(*balances.get(&params.contract).unwrap_or(&0)))
-                }
-                Op::Caller => push!(Word::from(params.caller)),
-                Op::CallValue => push!(Word::from_u128(params.value)),
-                Op::CallDataLoad => {
-                    let off = pop!().as_u64() as usize;
-                    let mut buf = [0u8; 32];
-                    for (i, slot) in buf.iter_mut().enumerate() {
-                        *slot = params.data.get(off + i).copied().unwrap_or(0);
-                    }
-                    push!(Word::from_be_bytes(&buf));
-                }
-                Op::CallDataSize => push!(Word::from_u64(params.data.len() as u64)),
-                Op::CallDataCopy | Op::CodeCopy => {
-                    let mem_off = pop!().as_u64() as usize;
-                    let src_off = pop!().as_u64() as usize;
-                    let size = pop!().as_u64() as usize;
-                    charge!(gas::G_COPY * gas::words(size));
-                    charge!(expand(&mut memory, mem_off + size)?);
-                    let src: &[u8] = if op == Op::CallDataCopy { &params.data } else { &code };
-                    for i in 0..size {
-                        memory[mem_off + i] = src.get(src_off + i).copied().unwrap_or(0);
-                    }
-                }
-                Op::Timestamp => push!(Word::from_u64(params.timestamp_s)),
-                Op::Number => push!(Word::from_u64(params.block_number)),
-                Op::Pop => {
-                    let _ = pop!();
-                }
-                Op::MLoad => {
-                    let off = pop!().as_u64() as usize;
-                    charge!(expand(&mut memory, off + 32)?);
-                    let mut buf = [0u8; 32];
-                    buf.copy_from_slice(&memory[off..off + 32]);
-                    push!(Word::from_be_bytes(&buf));
-                }
-                Op::MStore => {
-                    let off = pop!().as_u64() as usize;
-                    let value = pop!();
-                    charge!(expand(&mut memory, off + 32)?);
-                    memory[off..off + 32].copy_from_slice(&value.to_be_bytes());
-                }
-                Op::SLoad => {
-                    let key = pop!();
-                    let cost =
-                        if warm_slots.insert(key) { gas::G_COLDSLOAD } else { gas::G_WARMACCESS };
-                    charge!(cost);
-                    push!(self.contracts[&params.contract]
-                        .storage
-                        .get(&key)
-                        .copied()
-                        .unwrap_or(Word::ZERO));
-                }
-                Op::SStore => {
-                    let key = pop!();
-                    let value = pop!();
-                    let cold = warm_slots.insert(key);
-                    let state = self.contracts.get_mut(&params.contract).expect("exists");
-                    let current = state.storage.get(&key).copied().unwrap_or(Word::ZERO);
-                    let mut cost = if current == value {
-                        gas::G_WARMACCESS
-                    } else if current.is_zero() {
-                        gas::G_SSET
-                    } else {
-                        gas::G_SRESET
-                    };
-                    if cold {
-                        cost += gas::G_COLDSLOAD;
-                    }
-                    charge!(cost);
-                    if value.is_zero() && !current.is_zero() {
-                        refund += gas::R_SCLEAR;
-                    }
-                    if value.is_zero() {
-                        state.storage.remove(&key);
-                    } else {
-                        state.storage.insert(key, value);
-                    }
-                }
-                Op::Jump => {
-                    let dest = pop!().as_u64() as usize;
-                    if !valid_jumps.contains(&dest) {
-                        return Err(EvmError::InvalidJump(dest));
-                    }
-                    pc = dest;
-                }
-                Op::JumpI => {
-                    let dest = pop!().as_u64() as usize;
-                    let cond = pop!();
-                    if !cond.is_zero() {
-                        if !valid_jumps.contains(&dest) {
-                            return Err(EvmError::InvalidJump(dest));
-                        }
-                        pc = dest;
-                    }
-                }
-                Op::JumpDest => {}
-                Op::Push1 => {
-                    let n = variant as usize + 1;
-                    if pc + n > code.len() {
-                        return Err(EvmError::InvalidOpcode(byte));
-                    }
-                    push!(Word::from_be_slice(&code[pc..pc + n]));
-                    pc += n;
-                }
-                Op::Dup1 => {
-                    let n = variant as usize;
-                    if stack.len() <= n {
-                        return Err(EvmError::StackError);
-                    }
-                    let w = stack[stack.len() - 1 - n];
-                    push!(w);
-                }
-                Op::Swap1 => {
-                    let n = variant as usize + 1;
-                    let top = stack.len().checked_sub(1).ok_or(EvmError::StackError)?;
-                    let other = top.checked_sub(n).ok_or(EvmError::StackError)?;
-                    stack.swap(top, other);
-                }
-                Op::Log0 | Op::Log1 => {
-                    let off = pop!().as_u64() as usize;
-                    let size = pop!().as_u64() as usize;
-                    if op == Op::Log1 {
-                        let _topic = pop!();
-                    }
-                    charge!(gas::G_LOGDATA * size as u64);
-                    charge!(expand(&mut memory, off + size)?);
-                    logs.push(memory[off..off + size].to_vec());
-                }
-                Op::Call => {
-                    // Simplified: plain value send (no reentrant execution).
-                    let _gas = pop!();
-                    let to = pop!().to_address();
-                    let value = pop!().as_u128();
-                    let _in_off = pop!();
-                    let _in_size = pop!();
-                    let _out_off = pop!();
-                    let _out_size = pop!();
-                    let mut cost = gas::G_COLDACCOUNTACCESS;
-                    if value > 0 {
-                        cost += gas::G_CALLVALUE - gas::G_CALLSTIPEND;
-                    }
-                    charge!(cost);
-                    let self_balance = balances.entry(params.contract).or_insert(0);
-                    if *self_balance < value {
-                        push!(Word::ZERO);
-                    } else {
-                        *self_balance -= value;
-                        *balances.entry(to).or_insert(0) += value;
-                        push!(Word::ONE);
-                    }
-                }
-                Op::Return | Op::Revert => {
-                    let off = pop!().as_u64() as usize;
-                    let size = pop!().as_u64() as usize;
-                    charge!(expand(&mut memory, off + size)?);
-                    let output = memory[off..off + size].to_vec();
-                    return Ok(finish(op == Op::Return, gas_used, refund, output, logs));
-                }
-            }
-        }
-        Ok(finish(true, gas_used, refund, Vec::new(), logs))
+        let (result, writes) = {
+            let base = BalancePatchBase::new(&self.world, balances);
+            let mut view = Overlay::new(&base);
+            let result = call_contract(&mut view, params);
+            (result, view.into_writes())
+        };
+        state::apply_split(writes, &mut self.world, balances);
+        result
     }
 }
 
@@ -702,6 +790,42 @@ mod tests {
         let (evm, addr, out, _) = run(runtime, vec![]);
         assert!(!out.success);
         assert_eq!(evm.storage_at(addr, &Word::ZERO), Word::ZERO);
+    }
+
+    #[test]
+    fn revert_restores_inner_call_and_storage_exactly() {
+        // Regression for the journal-checkpoint rollback that replaced the
+        // whole-map storage snapshot: a frame that SSTOREs, sends value out
+        // via CALL, and then REVERTs must leave storage AND every balance
+        // it touched exactly as they were before the frame ran.
+        let target = Address([7; 20]);
+        let runtime = Asm::new()
+            .push_u64(5)
+            .push_u64(2)
+            .op(Op::SStore)
+            .push_u64(0) // out_size
+            .push_u64(0) // out_off
+            .push_u64(0) // in_size
+            .push_u64(0) // in_off
+            .push_u64(100) // value
+            .push_word(Word::from(target))
+            .push_u64(0) // gas
+            .op(Op::Call)
+            .op(Op::Pop)
+            .push_u64(0)
+            .push_u64(0)
+            .op(Op::Revert)
+            .build();
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        balances.insert(addr, 500);
+        let out = evm.call(CallParams::new(Address([1; 20]), addr), &mut balances).unwrap();
+        assert!(!out.success);
+        assert_eq!(evm.storage_at(addr, &Word::from_u64(2)), Word::ZERO);
+        assert_eq!(balances.get(&target).copied().unwrap_or(0), 0, "inner send rolled back");
+        assert_eq!(balances[&addr], 500, "contract balance restored exactly");
     }
 
     #[test]

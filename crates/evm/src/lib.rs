@@ -42,5 +42,7 @@ pub mod opcode;
 pub mod verifier;
 pub mod word;
 
-pub use interpreter::{CallParams, Evm, EvmError, ExecOutcome};
+pub use interpreter::{
+    call_contract, deploy_contract, Balances, CallParams, Evm, EvmError, EvmView, ExecOutcome,
+};
 pub use word::Word;

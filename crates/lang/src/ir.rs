@@ -397,9 +397,19 @@ impl Env {
                         }
                     }
                     BinOp::Sub => {
-                        // Saturating (the verifier reports potential
-                        // underflow separately).
-                        Itv { lo: a.lo.saturating_sub(b.hi), hi: a.hi.saturating_sub(b.lo) }
+                        if a.hi.checked_sub(b.lo).is_none() {
+                            *overflow = true;
+                        }
+                        // Like Add/Mul: if the low end can wrap, the EVM
+                        // result may be anything, so a saturated bound
+                        // would be unsound — subtractions in guard
+                        // positions are never V0102-checked, and a guard
+                        // like `require(a <= p - q)` must not launder a
+                        // wrapping `p - q` into a tight bound on `a`.
+                        match (a.lo.checked_sub(b.hi), a.hi.checked_sub(b.lo)) {
+                            (Some(lo), Some(hi)) => Itv { lo, hi },
+                            _ => Itv::TOP,
+                        }
                     }
                     BinOp::Div => match a.hi.checked_div(b.lo) {
                         // Division by zero yields 0 on both VMs' checked

@@ -1,0 +1,70 @@
+//! Soundness guards for the verifier's interval fallback.
+//!
+//! The V0102 underflow pass only visits subtractions in *assignment*
+//! position; a subtraction inside a `require` condition is never checked
+//! and wraps modulo 2^256 on the EVM. The interval fallback therefore
+//! must not treat such a subtraction as saturating when it refines
+//! parameter bounds from guards: with `p <= 100` and `q >= 50`, a
+//! saturated `p - q` evaluates to `[0, 50]`, so `require(a <= p - q)`
+//! would pin `a` to `[0, 50]` and unsoundly discharge the underflow
+//! theorem for `100 - a` — while at runtime a prover can pick `q > p`,
+//! make `p - q` wrap to an astronomically large value, smuggle in
+//! `a > 100`, and underflow `100 - a`. The fix widens any may-wrap
+//! subtraction to TOP during interval evaluation, so the guard yields no
+//! usable bound and verification must fail.
+
+use pol_lang::ast::*;
+
+#[test]
+fn interval_fallback_unsound_via_sub_in_require() {
+    let mut p = Program::counter_example();
+    p.phases[0].apis[0].params =
+        vec![("p".into(), Ty::UInt), ("q".into(), Ty::UInt), ("a".into(), Ty::UInt)];
+    p.phases[0].apis[0].body = vec![
+        Stmt::Require(Expr::Bin(BinOp::Le, Box::new(Expr::param("p")), Box::new(Expr::UInt(100)))),
+        Stmt::Require(Expr::ge(Expr::param("q"), Expr::UInt(50))),
+        // sub inside a require condition: never V0102-checked, wraps on EVM
+        Stmt::Require(Expr::Bin(
+            BinOp::Le,
+            Box::new(Expr::param("a")),
+            Box::new(Expr::sub(Expr::param("p"), Expr::param("q"))),
+        )),
+        // must NOT be discharged by the interval fallback using a <= 50
+        Stmt::GlobalSet {
+            name: "count".into(),
+            value: Expr::sub(Expr::UInt(100), Expr::param("a")),
+        },
+    ];
+    let report = pol_lang::verify::verify(&p);
+    // If this passes verification, the verifier accepts a program whose
+    // EVM runtime can underflow 100 - a (a up to 2^64-50 at runtime).
+    assert!(!report.ok(), "verifier unsoundly accepted: {report}");
+}
+
+/// The companion positive case: when the guard's subtraction provably
+/// cannot wrap, the interval fallback should still discharge the theorem
+/// (no false positives from the widening).
+#[test]
+fn interval_fallback_still_discharges_nonwrapping_sub_guard() {
+    let mut p = Program::counter_example();
+    p.phases[0].apis[0].params =
+        vec![("p".into(), Ty::UInt), ("q".into(), Ty::UInt), ("a".into(), Ty::UInt)];
+    p.phases[0].apis[0].body = vec![
+        Stmt::Require(Expr::Bin(BinOp::Le, Box::new(Expr::param("p")), Box::new(Expr::UInt(100)))),
+        // q bounded on BOTH sides below p's lower bound: p - q cannot wrap
+        Stmt::Require(Expr::ge(Expr::param("p"), Expr::UInt(60))),
+        Stmt::Require(Expr::Bin(BinOp::Le, Box::new(Expr::param("q")), Box::new(Expr::UInt(50)))),
+        Stmt::Require(Expr::Bin(
+            BinOp::Le,
+            Box::new(Expr::param("a")),
+            Box::new(Expr::sub(Expr::param("p"), Expr::param("q"))),
+        )),
+        // a <= p - q <= 100, so 100 - a is safe
+        Stmt::GlobalSet {
+            name: "count".into(),
+            value: Expr::sub(Expr::UInt(100), Expr::param("a")),
+        },
+    ];
+    let report = pol_lang::verify::verify(&p);
+    assert!(report.ok(), "sound guard should verify: {report}");
+}

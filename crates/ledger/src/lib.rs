@@ -14,6 +14,7 @@ pub mod account;
 pub mod address;
 pub mod block;
 pub mod receipt;
+pub mod state;
 pub mod tx;
 pub mod units;
 
@@ -21,6 +22,10 @@ pub use account::Account;
 pub use address::{Address, ContractId};
 pub use block::{Block, BlockHash};
 pub use receipt::{Receipt, TxStatus};
+pub use state::{
+    apply_split, BalancePatchBase, Checkpoint, Overlay, ReadSet, StateBase, StateBlob, StateKey,
+    StateValue, StateView, WorldState, WriteSet,
+};
 pub use tx::{Transaction, TxId, TxKind};
 pub use units::{Amount, Currency};
 

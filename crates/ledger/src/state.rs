@@ -1,0 +1,565 @@
+//! The journaled world-state layer shared by both virtual machines and
+//! the chain simulator.
+//!
+//! All persistent chain state — account balances and nonces, EVM contract
+//! code and storage, AVM application programs, globals and boxes — lives
+//! in one flat, typed key/value map, the [`WorldState`]. Execution never
+//! mutates the committed world directly: every transaction runs inside an
+//! [`Overlay`], which
+//!
+//! * serves **versioned reads** (overlay writes shadow the base world),
+//! * keeps a **write journal** so any prefix of the mutations can be
+//!   rolled back (nested checkpoints replace the whole-map
+//!   `storage.clone()` snapshots the interpreters used to take), and
+//! * records the transaction's **read set and write set**, which is what
+//!   lets the optimistic-parallel block executor in `pol-chainsim`
+//!   validate a speculative execution against the committed prefix and
+//!   commit it only when its reads still hold.
+//!
+//! The same overlay is used by the sequential execution path (committed
+//! immediately after each transaction), so both execution modes share one
+//! code path and produce byte-identical state transitions.
+
+use crate::address::Address;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A key into the world state. The enum is deliberately closed: every
+/// piece of consensus-relevant state the simulator tracks is enumerable,
+/// which is what makes read/write-set conflict detection exact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StateKey {
+    /// An account's spendable balance, base units.
+    Balance(Address),
+    /// An account's next transaction nonce.
+    Nonce(Address),
+    /// An EVM contract's runtime bytecode.
+    Code(Address),
+    /// One EVM storage slot (32-byte big-endian slot key).
+    Storage(Address, [u8; 32]),
+    /// Number of EVM deployments so far (drives contract addresses).
+    DeployCount,
+    /// The next AVM application id to assign.
+    AppCount,
+    /// An AVM application's approval program.
+    AppProgram(u64),
+    /// An AVM application's creator address.
+    AppCreator(u64),
+    /// One AVM global-state entry.
+    AppGlobal(u64, Vec<u8>),
+    /// One AVM box.
+    AppBox(u64, Vec<u8>),
+}
+
+/// Opaque structured values (compiled programs and the like) stored in
+/// the world state behind an `Arc`, so speculative executors share them
+/// without deep clones.
+pub trait StateBlob: Any + Send + Sync + std::fmt::Debug {
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Structural equality against another blob (used by read-set
+    /// validation when two distinct `Arc`s hold equal programs).
+    fn blob_eq(&self, other: &dyn StateBlob) -> bool;
+    /// A canonical byte encoding for state digests.
+    fn digest_bytes(&self) -> Vec<u8>;
+}
+
+/// A value in the world state.
+#[derive(Debug, Clone)]
+pub enum StateValue {
+    /// A 64-bit unsigned integer (nonces, counters, AVM uints).
+    U64(u64),
+    /// A 128-bit unsigned integer (balances).
+    U128(u128),
+    /// A 32-byte big-endian word (EVM storage values).
+    Word([u8; 32]),
+    /// An octet string (code, box values, AVM byte values).
+    Bytes(Vec<u8>),
+    /// A shared structured blob (AVM programs).
+    Blob(Arc<dyn StateBlob>),
+}
+
+impl PartialEq for StateValue {
+    fn eq(&self, other: &StateValue) -> bool {
+        match (self, other) {
+            (StateValue::U64(a), StateValue::U64(b)) => a == b,
+            (StateValue::U128(a), StateValue::U128(b)) => a == b,
+            (StateValue::Word(a), StateValue::Word(b)) => a == b,
+            (StateValue::Bytes(a), StateValue::Bytes(b)) => a == b,
+            (StateValue::Blob(a), StateValue::Blob(b)) => {
+                // Pointer equality first: speculative re-reads of the same
+                // installed program share the Arc.
+                Arc::ptr_eq(a, b) || a.blob_eq(other_blob(b))
+            }
+            _ => false,
+        }
+    }
+}
+
+fn other_blob(b: &Arc<dyn StateBlob>) -> &dyn StateBlob {
+    &**b
+}
+
+impl Eq for StateValue {}
+
+impl StateValue {
+    /// The `U64` payload, if that is the variant.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            StateValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The `U128` payload, if that is the variant.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            StateValue::U128(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The `Word` payload, if that is the variant.
+    pub fn as_word(&self) -> Option<[u8; 32]> {
+        match self {
+            StateValue::Word(w) => Some(*w),
+            _ => None,
+        }
+    }
+
+    /// The `Bytes` payload, if that is the variant.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            StateValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The `Blob` payload, if that is the variant.
+    pub fn as_blob(&self) -> Option<&Arc<dyn StateBlob>> {
+        match self {
+            StateValue::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Canonical byte encoding used by [`WorldState::digest_input`].
+    fn digest_bytes(&self) -> Vec<u8> {
+        match self {
+            StateValue::U64(v) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&v.to_be_bytes());
+                out
+            }
+            StateValue::U128(v) => {
+                let mut out = vec![2u8];
+                out.extend_from_slice(&v.to_be_bytes());
+                out
+            }
+            StateValue::Word(w) => {
+                let mut out = vec![3u8];
+                out.extend_from_slice(w);
+                out
+            }
+            StateValue::Bytes(b) => {
+                let mut out = vec![4u8];
+                out.extend_from_slice(b);
+                out
+            }
+            StateValue::Blob(b) => {
+                let mut out = vec![5u8];
+                out.extend_from_slice(&b.digest_bytes());
+                out
+            }
+        }
+    }
+}
+
+/// Anything an [`Overlay`] can read through: the committed world, or a
+/// composite base that patches part of the key space (see
+/// [`BalancePatchBase`]).
+pub trait StateBase: Sync {
+    /// Loads the committed value under `key`, if any.
+    fn load(&self, key: &StateKey) -> Option<StateValue>;
+}
+
+/// The set of values a speculative execution observed from its base,
+/// keyed by state key; `None` records "read as absent".
+pub type ReadSet = HashMap<StateKey, Option<StateValue>>;
+
+/// The set of mutations an execution produced; `None` deletes the key.
+pub type WriteSet = HashMap<StateKey, Option<StateValue>>;
+
+/// The committed, flat world state.
+#[derive(Debug, Default, Clone)]
+pub struct WorldState {
+    entries: HashMap<StateKey, StateValue>,
+}
+
+impl WorldState {
+    /// An empty world.
+    pub fn new() -> WorldState {
+        WorldState::default()
+    }
+
+    /// Reads a committed value.
+    pub fn get(&self, key: &StateKey) -> Option<&StateValue> {
+        self.entries.get(key)
+    }
+
+    /// Writes a committed value directly (genesis funding, faucets and
+    /// other out-of-band bookkeeping; transaction execution goes through
+    /// an [`Overlay`] instead).
+    pub fn set(&mut self, key: StateKey, value: StateValue) {
+        self.entries.insert(key, value);
+    }
+
+    /// Removes a committed value directly.
+    pub fn remove(&mut self, key: &StateKey) {
+        self.entries.remove(key);
+    }
+
+    /// An account's balance, base units (absent key reads as 0).
+    pub fn balance(&self, address: Address) -> u128 {
+        self.get(&StateKey::Balance(address)).and_then(StateValue::as_u128).unwrap_or(0)
+    }
+
+    /// Sets an account's balance.
+    pub fn set_balance(&mut self, address: Address, amount: u128) {
+        self.set(StateKey::Balance(address), StateValue::U128(amount));
+    }
+
+    /// An account's next nonce (absent key reads as 0).
+    pub fn nonce(&self, address: Address) -> u64 {
+        self.get(&StateKey::Nonce(address)).and_then(StateValue::as_u64).unwrap_or(0)
+    }
+
+    /// Sets an account's next nonce.
+    pub fn set_nonce(&mut self, address: Address, nonce: u64) {
+        self.set(StateKey::Nonce(address), StateValue::U64(nonce));
+    }
+
+    /// Applies a write set atomically (the commit step of the executor).
+    pub fn apply(&mut self, writes: WriteSet) {
+        for (key, value) in writes {
+            match value {
+                Some(v) => {
+                    self.entries.insert(key, v);
+                }
+                None => {
+                    self.entries.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Validates a read set against the current committed world: every
+    /// key must still hold exactly the value the speculation observed.
+    pub fn validates(&self, reads: &ReadSet) -> bool {
+        reads.iter().all(|(key, observed)| self.entries.get(key) == observed.as_ref())
+    }
+
+    /// Iterates over all committed keys (explorer-style inspection).
+    pub fn keys(&self) -> impl Iterator<Item = &StateKey> {
+        self.entries.keys()
+    }
+
+    /// A canonical digest input of the whole world: sorted
+    /// `encode(key) ‖ encode(value)` lines. Hash it with the caller's
+    /// digest of choice; two worlds are identical iff these bytes are.
+    pub fn digest_input(&self) -> Vec<u8> {
+        let mut lines: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .map(|(k, v)| {
+                let mut line = format!("{k:?}=").into_bytes();
+                line.extend_from_slice(&v.digest_bytes());
+                line.push(b'\n');
+                line
+            })
+            .collect();
+        lines.sort();
+        lines.concat()
+    }
+}
+
+impl StateBase for WorldState {
+    fn load(&self, key: &StateKey) -> Option<StateValue> {
+        self.entries.get(key).cloned()
+    }
+}
+
+/// A checkpoint into an overlay's journal (see [`StateView::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint(usize);
+
+/// The mutable state interface the interpreters execute against:
+/// versioned reads, journaled writes, nested checkpoints.
+pub trait StateView {
+    /// Reads a value (recording it in the read set where applicable).
+    fn get(&mut self, key: &StateKey) -> Option<StateValue>;
+
+    /// Writes a value.
+    fn put(&mut self, key: StateKey, value: StateValue);
+
+    /// Deletes a key.
+    fn delete(&mut self, key: StateKey);
+
+    /// Opens a checkpoint; [`StateView::rollback_to`] undoes every write
+    /// made after it. Checkpoints nest (inner frames roll back first).
+    fn checkpoint(&mut self) -> Checkpoint;
+
+    /// Rolls the write journal back to a checkpoint.
+    fn rollback_to(&mut self, checkpoint: Checkpoint);
+
+    /// Convenience: an account balance (absent reads as 0).
+    fn balance_of(&mut self, address: Address) -> u128 {
+        self.get(&StateKey::Balance(address)).and_then(|v| v.as_u128()).unwrap_or(0)
+    }
+
+    /// Convenience: overwrite an account balance.
+    fn set_balance_of(&mut self, address: Address, amount: u128) {
+        self.put(StateKey::Balance(address), StateValue::U128(amount));
+    }
+}
+
+/// One journal entry: the key touched and the overlay-local entry it had
+/// before (`None` = the overlay had no local write for the key yet).
+type JournalEntry = (StateKey, Option<Option<StateValue>>);
+
+/// A speculative overlay over a base state: writes shadow the base, a
+/// journal makes any suffix of them revertible, and the first read of
+/// every key that falls through to the base is recorded for validation.
+pub struct Overlay<'a> {
+    base: &'a dyn StateBase,
+    writes: WriteSet,
+    journal: Vec<JournalEntry>,
+    reads: ReadSet,
+}
+
+impl<'a> Overlay<'a> {
+    /// Opens an overlay over a base.
+    pub fn new(base: &'a dyn StateBase) -> Overlay<'a> {
+        Overlay { base, writes: HashMap::new(), journal: Vec::new(), reads: HashMap::new() }
+    }
+
+    /// Consumes the overlay, returning its read and write sets.
+    pub fn into_parts(self) -> (ReadSet, WriteSet) {
+        (self.reads, self.writes)
+    }
+
+    /// The write set only (drops read tracking).
+    pub fn into_writes(self) -> WriteSet {
+        self.writes
+    }
+
+    /// Number of journaled writes so far (telemetry).
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    fn record_write(&mut self, key: StateKey, value: Option<StateValue>) {
+        let prior = self.writes.get(&key).cloned();
+        self.journal.push((key.clone(), prior));
+        self.writes.insert(key, value);
+    }
+}
+
+impl StateView for Overlay<'_> {
+    fn get(&mut self, key: &StateKey) -> Option<StateValue> {
+        if let Some(local) = self.writes.get(key) {
+            return local.clone();
+        }
+        let from_base = self.base.load(key);
+        // First observation of this key: it is part of the read set even
+        // if a later (possibly rolled-back) branch overwrites it.
+        if !self.reads.contains_key(key) {
+            self.reads.insert(key.clone(), from_base.clone());
+        }
+        from_base
+    }
+
+    fn put(&mut self, key: StateKey, value: StateValue) {
+        self.record_write(key, Some(value));
+    }
+
+    fn delete(&mut self, key: StateKey) {
+        self.record_write(key, None);
+    }
+
+    fn checkpoint(&mut self) -> Checkpoint {
+        Checkpoint(self.journal.len())
+    }
+
+    fn rollback_to(&mut self, checkpoint: Checkpoint) {
+        while self.journal.len() > checkpoint.0 {
+            let (key, prior) = self.journal.pop().expect("journal non-empty");
+            match prior {
+                Some(entry) => {
+                    self.writes.insert(key, entry);
+                }
+                None => {
+                    self.writes.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// A base that reads balances from a caller-owned map and everything else
+/// from a [`WorldState`] — the bridge that lets the standalone `Evm` /
+/// `Avm` façades keep their historical `&mut Balances` APIs while the
+/// machines execute against a [`StateView`].
+pub struct BalancePatchBase<'a> {
+    world: &'a WorldState,
+    balances: &'a HashMap<Address, u128>,
+}
+
+impl<'a> BalancePatchBase<'a> {
+    /// Composes a world with a balance map.
+    pub fn new(
+        world: &'a WorldState,
+        balances: &'a HashMap<Address, u128>,
+    ) -> BalancePatchBase<'a> {
+        BalancePatchBase { world, balances }
+    }
+}
+
+impl StateBase for BalancePatchBase<'_> {
+    fn load(&self, key: &StateKey) -> Option<StateValue> {
+        match key {
+            StateKey::Balance(address) => {
+                self.balances.get(address).map(|amount| StateValue::U128(*amount))
+            }
+            _ => self.world.load(key),
+        }
+    }
+}
+
+/// Splits a write set produced over a [`BalancePatchBase`] back into the
+/// caller's balance map and the world (the inverse of the composition).
+pub fn apply_split(
+    writes: WriteSet,
+    world: &mut WorldState,
+    balances: &mut HashMap<Address, u128>,
+) {
+    for (key, value) in writes {
+        match key {
+            StateKey::Balance(address) => match value {
+                Some(v) => {
+                    balances.insert(address, v.as_u128().unwrap_or(0));
+                }
+                None => {
+                    balances.remove(&address);
+                }
+            },
+            _ => match value {
+                Some(v) => world.set(key, v),
+                None => world.remove(&key),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    #[test]
+    fn overlay_reads_through_and_shadows() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(1), 100);
+        let mut view = Overlay::new(&world);
+        assert_eq!(view.balance_of(addr(1)), 100);
+        view.set_balance_of(addr(1), 40);
+        assert_eq!(view.balance_of(addr(1)), 40);
+        // The base is untouched until the write set is applied.
+        assert_eq!(world.balance(addr(1)), 100);
+    }
+
+    #[test]
+    fn nested_checkpoints_roll_back_exactly() {
+        let world = WorldState::new();
+        let mut view = Overlay::new(&world);
+        view.put(StateKey::DeployCount, StateValue::U64(1));
+        let outer = view.checkpoint();
+        view.put(StateKey::DeployCount, StateValue::U64(2));
+        view.put(StateKey::AppCount, StateValue::U64(9));
+        let inner = view.checkpoint();
+        view.delete(StateKey::DeployCount);
+        assert_eq!(view.get(&StateKey::DeployCount), None);
+        view.rollback_to(inner);
+        assert_eq!(view.get(&StateKey::DeployCount), Some(StateValue::U64(2)));
+        view.rollback_to(outer);
+        assert_eq!(view.get(&StateKey::DeployCount), Some(StateValue::U64(1)));
+        assert_eq!(view.get(&StateKey::AppCount), None);
+    }
+
+    #[test]
+    fn read_set_records_first_observation_only() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(2), 7);
+        let mut view = Overlay::new(&world);
+        let _ = view.balance_of(addr(2));
+        view.set_balance_of(addr(2), 8);
+        let _ = view.balance_of(addr(2)); // served locally, not re-recorded
+        let _ = view.balance_of(addr(3)); // absent read
+        let (reads, writes) = view.into_parts();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[&StateKey::Balance(addr(2))], Some(StateValue::U128(7)));
+        assert_eq!(reads[&StateKey::Balance(addr(3))], None);
+        assert_eq!(writes.len(), 1);
+    }
+
+    #[test]
+    fn validation_detects_conflicts() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(4), 50);
+        let mut view = Overlay::new(&world);
+        let _ = view.balance_of(addr(4));
+        let (reads, _) = view.into_parts();
+        assert!(world.validates(&reads));
+        world.set_balance(addr(4), 51);
+        assert!(!world.validates(&reads), "changed value must invalidate");
+    }
+
+    #[test]
+    fn apply_and_digest_round_trip() {
+        let mut world = WorldState::new();
+        let mut view = Overlay::new(&world);
+        view.set_balance_of(addr(5), 123);
+        view.put(StateKey::Nonce(addr(5)), StateValue::U64(1));
+        let writes = view.into_writes();
+        world.apply(writes);
+        assert_eq!(world.balance(addr(5)), 123);
+        assert_eq!(world.nonce(addr(5)), 1);
+        let d1 = world.digest_input();
+        let mut world2 = WorldState::new();
+        world2.set_nonce(addr(5), 1);
+        world2.set_balance(addr(5), 123);
+        assert_eq!(d1, world2.digest_input(), "insertion order must not matter");
+    }
+
+    #[test]
+    fn balance_patch_base_splits_writes() {
+        let mut world = WorldState::new();
+        world.set(StateKey::DeployCount, StateValue::U64(3));
+        let mut balances = HashMap::new();
+        balances.insert(addr(6), 10u128);
+        let base = BalancePatchBase::new(&world, &balances);
+        let mut view = Overlay::new(&base);
+        assert_eq!(view.balance_of(addr(6)), 10);
+        assert_eq!(view.get(&StateKey::DeployCount), Some(StateValue::U64(3)));
+        view.set_balance_of(addr(6), 4);
+        view.put(StateKey::DeployCount, StateValue::U64(4));
+        let writes = view.into_writes();
+        apply_split(writes, &mut world, &mut balances);
+        assert_eq!(balances[&addr(6)], 4);
+        assert_eq!(world.get(&StateKey::DeployCount), Some(&StateValue::U64(4)));
+    }
+}
