@@ -4,21 +4,32 @@
 //! cargo run --release -p pol-bench --bin exec_bench [-- --seed N]
 //! ```
 //!
-//! Runs a conflict-light workload — every user calls their *own*
-//! storage-heavy contract, so speculations touch disjoint state — once
-//! under `ExecutionMode::Sequential` and once under
-//! `ExecutionMode::Parallel { workers: 8 }`, asserts the two runs are
-//! observably identical (receipts, burn, world-state digest), and writes
-//! `results/exec_bench.json`.
+//! Runs two workloads, each under `ExecutionMode::Sequential` and
+//! `ExecutionMode::Parallel { workers: 8 }`, asserts every run is
+//! observably identical to the sequential oracle (receipts, burn,
+//! world-state digest), and writes `results/exec_bench.json`:
 //!
-//! Two speedup figures are reported honestly:
+//! * `conflict-light` — every user calls their *own* storage-heavy
+//!   contract, so speculations touch disjoint state; the
+//!   embarrassingly-parallel best case.
+//! * `conflict-heavy` — every even-indexed user hammers one shared
+//!   read-modify-write counter contract (each call SLoads before it
+//!   SStores, so concurrent calls genuinely conflict) while odd-indexed
+//!   users keep calling their own contracts, interleaved in submission
+//!   order. This workload also runs under
+//!   `ExecutionMode::ParallelAbortSuffix` — the pre-recovery baseline
+//!   that re-speculates the whole suffix on the first conflict — so the
+//!   JSON quantifies what dependency-aware recovery buys
+//!   (`recovery_speedup_gain`, `respeculations_avoided`).
+//!
+//! Two speedup figures are reported honestly per workload:
 //!
 //! * `measured_wall_speedup` — raw wall-clock ratio on this host. On a
 //!   single-core container the scoped worker threads serialise and this
 //!   hovers around (or below) 1×.
 //! * `speedup` (headline) — the executor's modeled critical-path
-//!   speedup: committed execution work divided by the per-round greedy
-//!   schedule bound `max(longest tx, round work / workers)`. This is the
+//!   speedup: committed execution work divided by the greedy per-round
+//!   schedule makespan over the round's live workers. This is the
 //!   wall-clock ratio an unloaded host with ≥ `workers` cores converges
 //!   to, and it is measured from real per-transaction timings, not
 //!   assumed costs. `host_cores` records the hardware the numbers came
@@ -35,7 +46,26 @@ use std::time::Instant;
 const USERS: usize = 16;
 const ROUNDS: u64 = 6;
 const STORES_PER_CALL: u64 = 32;
+const HOT_RMWS_PER_CALL: u64 = 8;
 const WORKERS: usize = 8;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    /// Disjoint state per user: the embarrassingly-parallel best case.
+    ConflictLight,
+    /// Half the users share one read-modify-write counter; the other
+    /// half stay independent, so recovery has speculations worth saving.
+    ConflictHeavy,
+}
+
+impl Workload {
+    fn kind(self) -> &'static str {
+        match self {
+            Workload::ConflictLight => "conflict-light",
+            Workload::ConflictHeavy => "conflict-heavy",
+        }
+    }
+}
 
 /// A runtime that writes `STORES_PER_CALL` storage slots with values
 /// derived from calldata — enough gas per call for speculation to have
@@ -55,6 +85,24 @@ fn storage_heavy_runtime() -> Vec<u8> {
     asm.op(Op::Stop).build()
 }
 
+/// A runtime that read-modify-writes `HOT_RMWS_PER_CALL` shared slots
+/// (`storage[slot] += calldata`): every call SLoads what the previous
+/// committed call SStored, so concurrent calls conflict for real.
+fn hot_counter_runtime() -> Vec<u8> {
+    let mut asm = Asm::new();
+    for slot in 0..HOT_RMWS_PER_CALL {
+        asm = asm
+            .push_u64(slot)
+            .op(Op::SLoad)
+            .push_u64(0)
+            .op(Op::CallDataLoad)
+            .op(Op::Add)
+            .push_u64(slot)
+            .op(Op::SStore);
+    }
+    asm.op(Op::Stop).build()
+}
+
 struct RunOutcome {
     wall_ms: f64,
     receipts: Vec<String>,
@@ -64,14 +112,16 @@ struct RunOutcome {
     report: String,
 }
 
-fn run_mode(seed: u64, mode: ExecutionMode) -> RunOutcome {
+fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode) -> RunOutcome {
     let mut preset = presets::devnet_evm();
     preset.config.gas_limit = 60_000_000;
     preset.config.gas_target = 30_000_000;
     let mut chain: Chain = preset.build(seed);
     chain.set_execution_mode(mode);
 
-    // Setup phase (not timed): fund the users, deploy one contract each.
+    // Setup phase (not timed): fund the users, deploy one contract each —
+    // and, for the conflict-heavy workload, the single shared hot counter
+    // the even-indexed users hammer instead of their own contract.
     let runtime = storage_heavy_runtime();
     let mut users: Vec<(pol_crypto::ed25519::Keypair, ContractId)> = Vec::new();
     for _ in 0..USERS {
@@ -79,17 +129,30 @@ fn run_mode(seed: u64, mode: ExecutionMode) -> RunOutcome {
         let receipt = chain.deploy_evm(&kp, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
         users.push((kp, receipt.created.expect("deployed")));
     }
+    let hot_contract = if workload == Workload::ConflictHeavy {
+        let receipt = chain
+            .deploy_evm(&users[0].0, Asm::deploy_wrapper(&hot_counter_runtime()), 5_000_000)
+            .unwrap();
+        Some(receipt.created.expect("deployed"))
+    } else {
+        None
+    };
 
-    // Timed phase: per round, one call storm — every user hits their own
-    // contract — then await every receipt in submission order.
+    // Timed phase: per round, one call storm — hot and independent calls
+    // interleaved in user order — then await every receipt in submission
+    // order.
     let started = Instant::now();
     let mut receipts = Vec::new();
     for round in 0..ROUNDS {
         let mut ids = Vec::new();
-        for (kp, contract) in &users {
+        for (i, (kp, contract)) in users.iter().enumerate() {
             let mut data = vec![0u8; 32];
             data[24..32].copy_from_slice(&(round + 1).to_be_bytes());
-            ids.push(chain.submit_call_evm(kp, *contract, data, 0, 1_000_000).unwrap());
+            let target = match hot_contract {
+                Some(hot) if i % 2 == 0 => hot,
+                _ => *contract,
+            };
+            ids.push(chain.submit_call_evm(kp, target, data, 0, 1_000_000).unwrap());
         }
         for id in ids {
             receipts.push(format!("{:?}", chain.await_tx(id).unwrap()));
@@ -107,6 +170,93 @@ fn run_mode(seed: u64, mode: ExecutionMode) -> RunOutcome {
     }
 }
 
+fn stats_json(s: &ExecStats, indent: &str) -> String {
+    format!(
+        "{{\n{indent}  \"blocks\": {},\n{indent}  \"parallel_blocks\": {},\n\
+         {indent}  \"committed_txs\": {},\n{indent}  \"speculative_runs\": {},\n\
+         {indent}  \"conflicts\": {},\n{indent}  \"revalidations\": {},\n\
+         {indent}  \"respeculations_avoided\": {},\n{indent}  \"rounds\": {}\n{indent}}}",
+        s.blocks,
+        s.parallel_blocks,
+        s.committed_txs,
+        s.speculative_runs,
+        s.conflicts,
+        s.revalidations,
+        s.respeculations_avoided,
+        s.rounds,
+    )
+}
+
+struct WorkloadResult {
+    json: String,
+    ok: bool,
+    summary: Vec<String>,
+    headline_speedup: f64,
+}
+
+fn run_workload(seed: u64, workload: Workload) -> WorkloadResult {
+    let seq = run_mode(seed, workload, ExecutionMode::Sequential);
+    let par = run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS });
+    let abort = if workload == Workload::ConflictHeavy {
+        Some(run_mode(seed, workload, ExecutionMode::ParallelAbortSuffix { workers: WORKERS }))
+    } else {
+        None
+    };
+
+    let mut ok =
+        seq.receipts == par.receipts && seq.digest == par.digest && seq.burned == par.burned;
+    if let Some(a) = &abort {
+        ok = ok && seq.receipts == a.receipts && seq.digest == a.digest && seq.burned == a.burned;
+    }
+    let measured = seq.wall_ms / par.wall_ms.max(f64::MIN_POSITIVE);
+    let modeled = par.stats.modeled_speedup().unwrap_or(1.0);
+    let calls = USERS as u64 * ROUNDS;
+
+    let mut json = format!(
+        r#"    {{
+      "kind": "{kind}",
+      "users": {USERS},
+      "rounds": {ROUNDS},
+      "calls": {calls},
+      "stores_per_call": {STORES_PER_CALL},
+      "sequential_wall_ms": {seq_ms:.3},
+      "parallel_wall_ms": {par_ms:.3},
+      "measured_wall_speedup": {measured:.3},
+      "speedup": {modeled:.3},
+      "parallel_stats": {par_stats},
+      "receipts_match": {ok},
+      "state_match": {ok}"#,
+        kind = workload.kind(),
+        seq_ms = seq.wall_ms,
+        par_ms = par.wall_ms,
+        par_stats = stats_json(&par.stats, "      "),
+    );
+    let mut summary = vec![
+        format!("--- {} ---", workload.kind()),
+        format!("sequential: {:.1} ms", seq.wall_ms),
+        format!("parallel ({WORKERS} workers): {:.1} ms (measured {measured:.2}x)", par.wall_ms),
+        format!("modeled critical-path speedup: {modeled:.2}x"),
+        par.report.clone(),
+    ];
+    if let Some(a) = &abort {
+        let abort_modeled = a.stats.modeled_speedup().unwrap_or(1.0);
+        json.push_str(&format!(
+            ",\n      \"abort_baseline_speedup\": {abort_modeled:.3},\n      \
+             \"recovery_speedup_gain\": {gain:.3},\n      \
+             \"abort_stats\": {abort_stats}",
+            gain = modeled / abort_modeled.max(f64::MIN_POSITIVE),
+            abort_stats = stats_json(&a.stats, "      "),
+        ));
+        summary.push(format!(
+            "abort-suffix baseline: modeled {abort_modeled:.2}x, {} speculative runs \
+             (recovery: {} runs, {} respeculations avoided)",
+            a.stats.speculative_runs, par.stats.speculative_runs, par.stats.respeculations_avoided,
+        ));
+    }
+    json.push_str("\n    }");
+    WorkloadResult { json, ok, summary, headline_speedup: modeled }
+}
+
 fn main() {
     let seed = std::env::args()
         .skip_while(|a| a != "--seed")
@@ -115,54 +265,30 @@ fn main() {
         .unwrap_or(EVAL_SEED);
     let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
 
-    let seq = run_mode(seed, ExecutionMode::Sequential);
-    let par = run_mode(seed, ExecutionMode::Parallel { workers: WORKERS });
-
-    let receipts_match = seq.receipts == par.receipts;
-    let digest_match = seq.digest == par.digest && seq.burned == par.burned;
-    let measured = seq.wall_ms / par.wall_ms.max(f64::MIN_POSITIVE);
-    let modeled = par.stats.modeled_speedup().unwrap_or(1.0);
-    let s = par.stats;
+    println!("=== executor bench (seed {seed}, {host_cores} host cores) ===");
+    let light = run_workload(seed, Workload::ConflictLight);
+    let heavy = run_workload(seed, Workload::ConflictHeavy);
+    for line in light.summary.iter().chain(&heavy.summary) {
+        println!("{line}");
+    }
 
     let json = format!(
         r#"{{
   "bench": "exec_bench",
   "seed": {seed},
-  "workload": {{
-    "kind": "conflict-light",
-    "users": {USERS},
-    "rounds": {ROUNDS},
-    "calls": {calls},
-    "stores_per_call": {STORES_PER_CALL}
-  }},
   "workers": {WORKERS},
   "host_cores": {host_cores},
-  "sequential_wall_ms": {seq_ms:.3},
-  "parallel_wall_ms": {par_ms:.3},
-  "measured_wall_speedup": {measured:.3},
-  "speedup": {modeled:.3},
-  "speedup_model": "critical-path: committed execution work / per-round greedy bound max(longest tx, work/workers), from measured per-tx timings",
-  "parallel_stats": {{
-    "blocks": {blocks},
-    "parallel_blocks": {parallel_blocks},
-    "committed_txs": {committed_txs},
-    "speculative_runs": {speculative_runs},
-    "conflicts": {conflicts},
-    "rounds": {rounds}
-  }},
-  "receipts_match": {receipts_match},
-  "state_match": {digest_match}
+  "speedup": {headline:.3},
+  "speedup_model": "critical-path: committed execution work / greedy per-round schedule makespan over the round's live workers, from measured per-tx timings",
+  "workloads": [
+{light_json},
+{heavy_json}
+  ]
 }}
 "#,
-        calls = USERS as u64 * ROUNDS,
-        seq_ms = seq.wall_ms,
-        par_ms = par.wall_ms,
-        blocks = s.blocks,
-        parallel_blocks = s.parallel_blocks,
-        committed_txs = s.committed_txs,
-        speculative_runs = s.speculative_runs,
-        conflicts = s.conflicts,
-        rounds = s.rounds,
+        headline = light.headline_speedup,
+        light_json = light.json,
+        heavy_json = heavy.json,
     );
 
     let _ = std::fs::create_dir_all("results");
@@ -172,15 +298,9 @@ fn main() {
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
     }
 
-    println!("=== executor bench (seed {seed}, {host_cores} host cores) ===");
-    println!("sequential: {:.1} ms", seq.wall_ms);
-    println!("parallel ({WORKERS} workers): {:.1} ms (measured {measured:.2}x)", par.wall_ms);
-    println!("modeled critical-path speedup: {modeled:.2}x");
-    println!("{}", par.report);
-
-    if !receipts_match || !digest_match {
+    if !light.ok || !heavy.ok {
         eprintln!("FAIL: parallel execution diverged from sequential");
         std::process::exit(1);
     }
-    println!("parallel receipts, burn and state digest match sequential");
+    println!("parallel receipts, burn and state digest match sequential on both workloads");
 }

@@ -627,6 +627,7 @@ fn program_digest(program: &AvmProgram, args: &[Vec<u8>]) -> Vec<u8> {
 mod tests {
     use super::*;
     use crate::presets;
+    use pol_ledger::TxStatus;
 
     #[test]
     fn transfer_on_goerli() {
@@ -788,6 +789,116 @@ mod tests {
         assert_eq!(seq_stats.committed_txs, par_stats.committed_txs);
         assert!(par_stats.parallel_blocks > 0, "parallel path exercised");
         assert!(par_stats.speculative_runs >= par_stats.committed_txs);
+    }
+
+    /// Regression: the AVM up-front fee used to burn the full flat fee
+    /// even when the sender's balance had been drained below it by an
+    /// earlier transaction in the same block, so `total_burned` drifted
+    /// from the actual supply change. The fee is now capped at the
+    /// balance and supply is conserved exactly.
+    #[test]
+    fn avm_fee_burn_never_exceeds_debited_balance() {
+        let mut chain = presets::devnet_algo().build(14);
+        let fee = chain.config.flat_fee;
+        let funded = 2 * fee + 10;
+        let (alice, alice_addr) = chain.create_funded_account(funded);
+        let (_, bob_addr) = chain.create_funded_account(0);
+        // tx1 drains alice to 1 base unit (funded - fee - value); tx2's
+        // balance check passed at submission, before tx1 executed.
+        let tx1 = Transaction::transfer(alice_addr, bob_addr, fee + 9, 0).signed(&alice);
+        let tx2 = Transaction::transfer(alice_addr, bob_addr, 0, 1).signed(&alice);
+        let id1 = chain.submit(tx1).unwrap();
+        let id2 = chain.submit(tx2).unwrap();
+        assert!(chain.await_tx(id1).unwrap().status.is_success());
+        let r2 = chain.await_tx(id2).unwrap();
+        // tx2 could only pay 1 base unit of its flat fee.
+        assert_eq!(r2.fee.base_units(), 1);
+        assert_eq!(chain.balance(alice_addr), 0);
+        // Supply conservation: what alice and bob hold plus what was
+        // burned is exactly what was minted.
+        assert_eq!(
+            chain.balance(alice_addr) + chain.balance(bob_addr) + chain.total_burned(),
+            funded,
+            "burned more than was debited"
+        );
+    }
+
+    /// Regression: a transfer carrying no recipient used to credit
+    /// [`Address::ZERO`] silently; it must revert with a typed status on
+    /// the EVM path.
+    #[test]
+    fn evm_transfer_without_recipient_reverts() {
+        let mut chain = presets::devnet_evm().build(15);
+        let funded = 10u128.pow(18);
+        let (alice, alice_addr) = chain.create_funded_account(funded);
+        let (max_fee, prio) = chain.suggested_fees();
+        let mut tx = Transaction::transfer(alice_addr, Address::ZERO, 5_000, 0);
+        tx.to = None;
+        let receipt = chain.submit_and_wait(tx.with_fees(max_fee, prio).signed(&alice)).unwrap();
+        assert_eq!(receipt.status, TxStatus::Reverted(crate::executor::MISSING_RECIPIENT.into()));
+        assert_eq!(chain.balance(Address::ZERO), 0, "zero address silently credited");
+        // The revert still pays for its gas, and only its gas.
+        assert_eq!(chain.balance(alice_addr), funded - receipt.fee.base_units());
+    }
+
+    /// Same regression on the AVM path: the flat fee is kept, the value
+    /// stays with the sender.
+    #[test]
+    fn avm_transfer_without_recipient_reverts() {
+        let mut chain = presets::devnet_algo().build(16);
+        let funded = 10_000_000u128;
+        let (alice, alice_addr) = chain.create_funded_account(funded);
+        let mut tx = Transaction::transfer(alice_addr, Address::ZERO, 5_000, 0);
+        tx.to = None;
+        let receipt = chain.submit_and_wait(tx.signed(&alice)).unwrap();
+        assert_eq!(receipt.status, TxStatus::Reverted(crate::executor::MISSING_RECIPIENT.into()));
+        assert_eq!(chain.balance(Address::ZERO), 0, "zero address silently credited");
+        assert_eq!(chain.balance(alice_addr), funded - chain.config.flat_fee);
+    }
+
+    /// Hot-key block through the whole chain pipeline: even-indexed
+    /// senders all credit one shared sink, odd-indexed senders pay
+    /// disjoint sinks. All three execution modes must agree byte for
+    /// byte, and dependency-aware recovery must keep the independent
+    /// speculations the abort-at-first-conflict baseline re-executes.
+    #[test]
+    fn dependency_recovery_on_chain_matches_and_saves_respeculation() {
+        let hot_sink = Address([9u8; 20]);
+        let run = |mode: ExecutionMode| {
+            let mut chain = presets::devnet_evm().build(17);
+            chain.set_execution_mode(mode);
+            let mut ids = Vec::new();
+            for i in 0..8u8 {
+                let (kp, addr) = chain.create_funded_account(10u128.pow(19));
+                let to = if i % 2 == 0 { hot_sink } else { Address([100 + i; 20]) };
+                let (max_fee, prio) = chain.suggested_fees();
+                let tx = Transaction::transfer(addr, to, 1_000 + u128::from(i), 0)
+                    .with_fees(max_fee, prio)
+                    .signed(&kp);
+                ids.push(chain.submit(tx).unwrap());
+            }
+            let receipts: Vec<String> =
+                ids.into_iter().map(|id| format!("{:?}", chain.await_tx(id).unwrap())).collect();
+            (receipts, chain.total_burned(), chain.state_digest(), chain.exec_stats())
+        };
+        let seq = run(ExecutionMode::Sequential);
+        let par = run(ExecutionMode::Parallel { workers: 4 });
+        let abort = run(ExecutionMode::ParallelAbortSuffix { workers: 4 });
+        assert_eq!(seq.0, par.0);
+        assert_eq!(seq.0, abort.0);
+        assert_eq!((seq.1, seq.2), (par.1, par.2));
+        assert_eq!((seq.1, seq.2), (abort.1, abort.2));
+        let stats = par.3;
+        assert!(stats.conflicts > 0, "hot sink produced no conflicts: {stats:?}");
+        assert!(stats.respeculations_avoided > 0, "recovery kept nothing: {stats:?}");
+        assert!(stats.revalidations <= stats.respeculations_avoided + stats.conflicts);
+        assert!(stats.speculative_runs >= stats.committed_txs);
+        assert!(
+            stats.speculative_runs < abort.3.speculative_runs,
+            "recovery ({}) should speculate less than abort-suffix ({})",
+            stats.speculative_runs,
+            abort.3.speculative_runs,
+        );
     }
 
     #[test]

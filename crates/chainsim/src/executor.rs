@@ -3,16 +3,28 @@
 //! byte for byte.
 //!
 //! The parallel executor speculates every arrived transaction of a block
-//! against the committed world on a scoped worker pool, then commits in
-//! submission order, validating each speculation's recorded read set
-//! against the state left by the already-committed prefix. A failed
-//! validation aborts the round at that transaction: everything before it
-//! is committed, everything from it onward is re-speculated against the
-//! updated world. The first live transaction of a round always validates
-//! (its speculation base *is* the committed prefix), so every round
-//! commits or skips at least one transaction and the loop terminates
-//! with exactly the receipts, gas accounting and fee burn the sequential
-//! path would have produced.
+//! against the committed world on a scoped worker pool — longest
+//! estimated transaction first, via a priority queue keyed by the last
+//! observed `gas_used` (tx-kind defaults before a transaction has ever
+//! run) — then commits in submission order, validating each
+//! speculation's recorded read set against the state left by the
+//! already-committed prefix.
+//!
+//! A failed validation at transaction *i* stops the round's commits at
+//! *i* (in-order commit is what keeps fee accounting sequential), but it
+//! no longer throws the rest of the round away. The scan continues past
+//! the conflict and *classifies* every remaining speculation with the
+//! per-key commit versions [`WorldState`] records: a suffix speculation
+//! whose read set intersects no write set committed since its base
+//! snapshot provably still holds and is kept for the next round; an
+//! intersecting one gets a single exact value-level re-validation and is
+//! re-speculated only if that fails — Block-STM's dependency estimation,
+//! which re-executes true dependents instead of the whole suffix. The
+//! first live transaction of a round always validates (its speculation
+//! base *is* the committed prefix), so every round commits or skips at
+//! least one transaction and the loop terminates with exactly the
+//! receipts, gas accounting and fee burn the sequential path would have
+//! produced.
 
 use crate::chain::{AvmPayload, PendingTx, VmKind};
 use crate::feemarket;
@@ -22,10 +34,16 @@ use pol_ledger::{
     Address, Amount, ContractId, Currency, Overlay, ReadSet, Receipt, StateView, Transaction, TxId,
     TxKind, TxStatus, WorldState, WriteSet,
 };
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Typed revert reason for a [`TxKind::Transfer`] carrying no recipient
+/// (`tx.to == None`): such a transfer used to credit [`Address::ZERO`]
+/// silently; it now reverts with this status on both VM paths.
+pub const MISSING_RECIPIENT: &str = "missing recipient";
 
 /// How a chain turns a block's transactions into state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,9 +52,20 @@ pub enum ExecutionMode {
     /// semantics and the differential oracle for the parallel path.
     #[default]
     Sequential,
-    /// Optimistic-parallel execution over a scoped thread pool; receipts,
-    /// gas and burn are byte-identical to [`ExecutionMode::Sequential`].
+    /// Optimistic-parallel execution over a scoped thread pool with
+    /// dependency-aware conflict recovery; receipts, gas and burn are
+    /// byte-identical to [`ExecutionMode::Sequential`].
     Parallel {
+        /// Worker threads per speculation round (clamped to ≥ 1).
+        workers: usize,
+    },
+    /// The pre-recovery baseline: abort the commit scan at the first
+    /// failed validation and re-speculate the entire suffix. Observably
+    /// identical to [`ExecutionMode::Parallel`] (and to `Sequential`) —
+    /// it just wastes more speculation. Kept so `exec_bench` can
+    /// quantify what dependency-aware recovery buys on conflict-heavy
+    /// workloads.
+    ParallelAbortSuffix {
         /// Worker threads per speculation round (clamped to ≥ 1).
         workers: usize,
     },
@@ -55,17 +84,26 @@ pub struct ExecStats {
     /// Speculative executions launched by the parallel path (committed
     /// ones plus conflict-induced re-executions).
     pub speculative_runs: u64,
-    /// Read-set validations that failed and forced a re-execution round.
+    /// Read-set validations that failed, discarding the speculation.
     pub conflicts: u64,
+    /// Exact value-level re-validations performed on suffix speculations
+    /// whose read sets intersected a write set committed since their
+    /// base snapshot (the conservative version check flagged them).
+    pub revalidations: u64,
+    /// Suffix speculations kept across another transaction's conflict —
+    /// executions the abort-at-first-conflict policy would have thrown
+    /// away and re-run.
+    pub respeculations_avoided: u64,
     /// Speculation rounds run by the parallel path.
     pub rounds: u64,
     /// Wall-clock nanoseconds spent in executions that committed — the
     /// work a sequential executor would have done.
     pub committed_exec_ns: u128,
     /// Modeled critical-path nanoseconds of the parallel schedule: per
-    /// round, `max(longest single execution, total work / workers)` — a
-    /// greedy work-conserving bound that is meaningful even when the
-    /// host serialises the worker threads onto fewer cores.
+    /// round, the makespan of greedily dispatching the measured
+    /// execution times (in priority order) onto the round's worker count
+    /// — see [`modeled_round_ns`]. Meaningful even when the host
+    /// serialises the worker threads onto fewer cores.
     pub modeled_parallel_ns: u128,
 }
 
@@ -100,6 +138,9 @@ struct TxOutcome {
     reads: ReadSet,
     writes: WriteSet,
     exec_ns: u128,
+    /// The world's commit version when this speculation started — the
+    /// base snapshot the recorded read set was observed against.
+    base_version: u64,
 }
 
 /// Everything a block execution decided.
@@ -130,7 +171,11 @@ pub(crate) fn run_block(
         ExecutionMode::Sequential => run_sequential(ctx, world, pool, gas_budget, stats),
         ExecutionMode::Parallel { workers } => {
             stats.parallel_blocks += 1;
-            run_parallel(ctx, world, pool, gas_budget, workers.max(1), stats)
+            run_parallel(ctx, world, pool, gas_budget, workers.max(1), true, stats)
+        }
+        ExecutionMode::ParallelAbortSuffix { workers } => {
+            stats.parallel_blocks += 1;
+            run_parallel(ctx, world, pool, gas_budget, workers.max(1), false, stats)
         }
     }
 }
@@ -183,12 +228,46 @@ fn run_sequential(
     BlockOutcome { committed, leftover, tx_gas, burned }
 }
 
+/// The gas estimate used to prioritise a transaction that has never
+/// executed: a tx-kind default, replaced by the last observed `gas_used`
+/// once a (possibly discarded) speculation has run.
+fn initial_gas_estimate(ctx: &ExecCtx<'_>, tx: &Transaction) -> u64 {
+    match (ctx.vm, &tx.kind) {
+        (_, TxKind::Transfer) => 21_000,
+        (VmKind::Evm, _) => tx.gas_limit,
+        (VmKind::Avm, TxKind::ContractCreate) => 50_000,
+        (VmKind::Avm, TxKind::ContractCall(_)) => 10_000,
+    }
+}
+
+/// Modeled wall-clock nanoseconds of one speculation round: the makespan
+/// of greedily dispatching `durations` (in the round's priority order)
+/// onto `round_workers` identical workers, each task going to the
+/// earliest-free worker — exactly what the atomic work cursor does on
+/// real threads. The result is lower-bounded by both the longest single
+/// execution and the round's total work divided by `round_workers` — the
+/// *round's* live worker count, never the executor's configured count: a
+/// round with fewer candidates than configured workers cannot use the
+/// spare threads, and dividing by the larger number would overstate the
+/// schedule's parallelism.
+pub(crate) fn modeled_round_ns(durations: &[u128], round_workers: usize) -> u128 {
+    let lanes = round_workers.clamp(1, durations.len().max(1));
+    let mut free = vec![0u128; lanes];
+    for &d in durations {
+        let lane = (0..lanes).min_by_key(|&l| free[l]).unwrap_or(0);
+        free[lane] += d;
+    }
+    free.into_iter().max().unwrap_or(0)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     ctx: &ExecCtx<'_>,
     world: &mut WorldState,
     pool: Vec<PendingTx>,
     gas_budget: u64,
     workers: usize,
+    recovery: bool,
     stats: &mut ExecStats,
 ) -> BlockOutcome {
     let n = pool.len();
@@ -196,16 +275,25 @@ fn run_parallel(
     let mut spec: Vec<Option<TxOutcome>> = (0..n).map(|_| None).collect();
     let mut skipped = vec![false; n];
     let mut done = vec![false; n];
+    let mut est_gas: Vec<u64> = pool.iter().map(|p| initial_gas_estimate(ctx, &p.tx)).collect();
     let mut remaining = gas_budget;
     let mut tx_gas = 0u64;
     let mut burned = 0u128;
 
     while !done.iter().all(|d| *d) {
-        // Speculate every live, arrived candidate against the committed
-        // world. Results land in `spec` slots; stale entries from an
-        // aborted round are simply overwritten.
-        let todo: Vec<usize> =
-            (0..n).filter(|&i| !done[i] && pool[i].arrival_ms <= ctx.block_time).collect();
+        // (Re)speculate every live, arrived candidate that does not hold
+        // a surviving speculation, longest estimated transaction first:
+        // the priority queue front-loads the work that dominates the
+        // round's critical path, so the greedy worker pool packs it
+        // tightest (ties break on submission index for determinism).
+        let mut queue: BinaryHeap<(u64, Reverse<usize>)> = (0..n)
+            .filter(|&i| !done[i] && spec[i].is_none() && pool[i].arrival_ms <= ctx.block_time)
+            .map(|i| (est_gas[i], Reverse(i)))
+            .collect();
+        let mut todo = Vec::with_capacity(queue.len());
+        while let Some((_, Reverse(i))) = queue.pop() {
+            todo.push(i);
+        }
         if !todo.is_empty() {
             let round_workers = workers.min(todo.len());
             if round_workers <= 1 {
@@ -236,37 +324,71 @@ fn run_parallel(
             stats.rounds += 1;
             let durations: Vec<u128> =
                 todo.iter().filter_map(|&i| spec[i].as_ref().map(|o| o.exec_ns)).collect();
-            let total: u128 = durations.iter().sum();
-            let longest = durations.iter().copied().max().unwrap_or(0);
-            stats.modeled_parallel_ns += longest.max(total / workers as u128);
+            stats.modeled_parallel_ns += modeled_round_ns(&durations, round_workers);
         }
 
-        // Commit scan in submission order; the first failed validation
-        // ends the round and the rest re-speculates.
+        // Commit scan in submission order. Commits stop at the first
+        // failed validation — in-order commit is what keeps gas, fee and
+        // receipt accounting byte-identical to the sequential oracle —
+        // but the scan itself continues to decide the fate of every
+        // remaining speculation.
+        let mut frontier = true;
         for i in 0..n {
             if done[i] {
                 continue;
             }
-            if pool[i].arrival_ms > ctx.block_time || !fits(ctx, &pool[i].tx, remaining) {
-                skipped[i] = true;
-                done[i] = true;
-                continue;
+            if frontier {
+                if pool[i].arrival_ms > ctx.block_time || !fits(ctx, &pool[i].tx, remaining) {
+                    skipped[i] = true;
+                    done[i] = true;
+                    continue;
+                }
+                let out = spec[i].take().expect("live candidates were speculated");
+                if world.validates(&out.reads) {
+                    world.apply(out.writes);
+                    if ctx.vm == VmKind::Evm {
+                        remaining = remaining.saturating_sub(out.gas_used);
+                        tx_gas += out.gas_used;
+                    }
+                    burned += out.burned;
+                    stats.committed_txs += 1;
+                    stats.committed_exec_ns += out.exec_ns;
+                    receipts[i] = Some(out.receipt);
+                    done[i] = true;
+                } else {
+                    stats.conflicts += 1;
+                    est_gas[i] = out.gas_used.max(1);
+                    frontier = false;
+                }
+            } else if recovery {
+                // Dependency-aware recovery: a suffix speculation whose
+                // read set intersects no write set committed since its
+                // base snapshot (per-key commit versions) provably still
+                // holds and is kept for a later commit scan. An
+                // intersecting one gets a single exact re-validation and
+                // is re-speculated only when that fails — only true
+                // dependents pay for the conflict.
+                let keep = match spec[i].as_ref() {
+                    None => continue,
+                    Some(out) => {
+                        !world.reads_intersect_commits_since(&out.reads, out.base_version) || {
+                            stats.revalidations += 1;
+                            world.validates(&out.reads)
+                        }
+                    }
+                };
+                if keep {
+                    stats.respeculations_avoided += 1;
+                } else {
+                    stats.conflicts += 1;
+                    let out = spec[i].take().expect("only held speculations are classified");
+                    est_gas[i] = out.gas_used.max(1);
+                }
+            } else {
+                // Abort-at-first-conflict baseline: throw the rest of the
+                // round away; the whole suffix re-speculates.
+                spec[i] = None;
             }
-            let out = spec[i].take().expect("live candidates were speculated");
-            if !world.validates(&out.reads) {
-                stats.conflicts += 1;
-                break;
-            }
-            world.apply(out.writes);
-            if ctx.vm == VmKind::Evm {
-                remaining = remaining.saturating_sub(out.gas_used);
-                tx_gas += out.gas_used;
-            }
-            burned += out.burned;
-            stats.committed_txs += 1;
-            stats.committed_exec_ns += out.exec_ns;
-            receipts[i] = Some(out.receipt);
-            done[i] = true;
         }
     }
 
@@ -287,6 +409,7 @@ fn run_parallel(
 /// sense that only the returned write set carries effects.
 fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOutcome {
     let started = Instant::now();
+    let base_version = base.version();
     let mut view = Overlay::new(base);
     let tx = &pending.tx;
     let id = tx.id();
@@ -298,28 +421,36 @@ fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOu
     let mut burned = 0u128;
 
     // AVM chains charge the flat fee up front, before execution; it is
-    // kept even when the application call rejects.
+    // kept even when the application call rejects — but never more than
+    // the sender actually holds: the burn counter must track what was
+    // debited, or `total_burned` drifts from the real supply change.
     let fee_units: u128 = match ctx.vm {
         VmKind::Evm => 0, // charged after execution, from measured gas
         VmKind::Avm => ctx.flat_fee,
     };
+    let mut charged_upfront = 0u128;
     if fee_units > 0 {
         let balance = view.balance_of(tx.from);
-        view.set_balance_of(tx.from, balance.saturating_sub(fee_units));
-        burned += fee_units;
+        charged_upfront = fee_units.min(balance);
+        view.set_balance_of(tx.from, balance - charged_upfront);
+        burned += charged_upfront;
     }
 
     match (ctx.vm, &tx.kind) {
         (_, TxKind::Transfer) => {
             gas_used = 21_000;
-            let to = tx.to.unwrap_or(Address::ZERO);
-            let from_balance = view.balance_of(tx.from);
-            if from_balance < tx.value {
-                status = TxStatus::Reverted("insufficient balance".into());
-            } else {
-                view.set_balance_of(tx.from, from_balance - tx.value);
-                let to_balance = view.balance_of(to);
-                view.set_balance_of(to, to_balance + tx.value);
+            match tx.to {
+                None => status = TxStatus::Reverted(MISSING_RECIPIENT.into()),
+                Some(to) => {
+                    let from_balance = view.balance_of(tx.from);
+                    if from_balance < tx.value {
+                        status = TxStatus::Reverted("insufficient balance".into());
+                    } else {
+                        view.set_balance_of(tx.from, from_balance - tx.value);
+                        let to_balance = view.balance_of(to);
+                        view.set_balance_of(to, to_balance + tx.value);
+                    }
+                }
             }
         }
         (VmKind::Evm, TxKind::ContractCreate) => {
@@ -411,8 +542,10 @@ fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOu
         }
     }
 
-    // EVM fee settlement from measured gas: charge the effective price,
-    // burn the base-fee part.
+    // EVM fee settlement from measured gas: charge the effective price —
+    // capped at what the sender still holds — and burn the base-fee
+    // share of what was actually debited, so burn never exceeds the real
+    // supply change.
     let fee = match ctx.vm {
         VmKind::Evm => {
             let price = feemarket::effective_gas_price(
@@ -423,11 +556,12 @@ fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOu
             .unwrap_or(ctx.base_fee);
             let fee = u128::from(gas_used) * price;
             let balance = view.balance_of(tx.from);
-            view.set_balance_of(tx.from, balance.saturating_sub(fee));
-            burned += u128::from(gas_used) * ctx.base_fee.min(price);
-            fee
+            let charged = fee.min(balance);
+            view.set_balance_of(tx.from, balance - charged);
+            burned += (u128::from(gas_used) * ctx.base_fee.min(price)).min(charged);
+            charged
         }
-        VmKind::Avm => fee_units,
+        VmKind::Avm => charged_upfront,
     };
 
     let receipt = Receipt {
@@ -443,5 +577,178 @@ fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOu
         logs,
     };
     let (reads, writes) = view.into_parts();
-    TxOutcome { receipt, gas_used, burned, reads, writes, exec_ns: started.elapsed().as_nanos() }
+    TxOutcome {
+        receipt,
+        gas_used,
+        burned,
+        reads,
+        writes,
+        exec_ns: started.elapsed().as_nanos(),
+        base_version,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(b: u8) -> Address {
+        Address([b; 20])
+    }
+
+    fn ctx_evm(payloads: &HashMap<TxId, AvmPayload>) -> ExecCtx<'_> {
+        ExecCtx {
+            vm: VmKind::Evm,
+            flat_fee: 0,
+            base_fee: 1,
+            currency: Currency::Eth,
+            height: 1,
+            block_time: 1_000,
+            avm_payloads: payloads,
+        }
+    }
+
+    fn transfer(from: u8, to: u8, value: u128) -> PendingTx {
+        let tx = Transaction::transfer(addr(from), addr(to), value, 0).with_fees(2, 1);
+        PendingTx { tx, submitted_ms: 0, arrival_ms: 0 }
+    }
+
+    #[test]
+    fn modeled_round_divides_by_round_workers_not_configured_workers() {
+        // A 2-tx round on an 8-worker executor runs on 2 live workers
+        // (`workers.min(todo.len())`): the model must account for 2
+        // lanes, never the configured 8 — even passed 8, the helper
+        // clamps lanes to the round size.
+        assert_eq!(modeled_round_ns(&[700, 300], 2), 700);
+        assert_eq!(modeled_round_ns(&[700, 300], 8), 700);
+        assert_eq!(modeled_round_ns(&[400, 400], 2), 400);
+        // One worker serialises the whole round.
+        assert_eq!(modeled_round_ns(&[700, 300], 1), 1_000);
+        assert_eq!(modeled_round_ns(&[], 4), 0);
+    }
+
+    #[test]
+    fn modeled_round_reflects_dispatch_order() {
+        // Greedy dispatch models the real work cursor: a long task
+        // dispatched last stretches the schedule past the naive
+        // max(longest, work/workers) bound...
+        assert_eq!(modeled_round_ns(&[10, 10, 100], 2), 110);
+        // ...which is exactly the waste the gas-priority queue removes
+        // by dispatching the longest transaction first.
+        assert_eq!(modeled_round_ns(&[100, 10, 10], 2), 100);
+    }
+
+    #[test]
+    fn gas_estimates_fall_back_to_tx_kind_defaults() {
+        let payloads = HashMap::new();
+        let ctx = ctx_evm(&payloads);
+        let t = Transaction::transfer(addr(1), addr(2), 1, 0);
+        assert_eq!(initial_gas_estimate(&ctx, &t), 21_000);
+        let c = Transaction::call(addr(1), ContractId::Evm(addr(9)), vec![], 0, 0)
+            .with_gas_limit(777_000);
+        assert_eq!(initial_gas_estimate(&ctx, &c), 777_000);
+        let avm_ctx = ExecCtx { vm: VmKind::Avm, ..ctx_evm(&payloads) };
+        assert_eq!(initial_gas_estimate(&avm_ctx, &c), 10_000);
+    }
+
+    /// A hot-key block: even-indexed senders all credit one shared sink
+    /// (each reads the sink balance, so they serialise through the
+    /// commit scan), odd-indexed senders pay disjoint cold sinks. All
+    /// three modes must agree byte for byte, recovery must keep the cold
+    /// speculations alive across the hot conflicts, and the abort
+    /// baseline must pay strictly more speculation for the same block.
+    #[test]
+    fn dependency_recovery_matches_sequential_and_keeps_independents() {
+        let run = |mode: ExecutionMode| {
+            let payloads = HashMap::new();
+            let ctx = ctx_evm(&payloads);
+            let mut world = WorldState::new();
+            let mut pool = Vec::new();
+            for i in 1..=8u8 {
+                world.set_balance(addr(i), 1_000_000_000);
+                let to = if i % 2 == 0 { 99 } else { 100 + i };
+                pool.push(transfer(i, to, 1_000 + u128::from(i)));
+            }
+            let mut stats = ExecStats::default();
+            let outcome = run_block(&ctx, &mut world, pool, 10_000_000, mode, &mut stats);
+            let receipts: Vec<String> =
+                outcome.committed.iter().map(|(_, r)| format!("{r:?}")).collect();
+            (receipts, outcome.tx_gas, outcome.burned, world.digest_input(), stats)
+        };
+        let seq = run(ExecutionMode::Sequential);
+        let par = run(ExecutionMode::Parallel { workers: 4 });
+        let abort = run(ExecutionMode::ParallelAbortSuffix { workers: 4 });
+        assert_eq!(seq.0, par.0, "recovery receipts diverge from sequential");
+        assert_eq!(seq.0, abort.0, "baseline receipts diverge from sequential");
+        assert_eq!((seq.1, seq.2), (par.1, par.2));
+        assert_eq!((seq.1, seq.2), (abort.1, abort.2));
+        assert_eq!(seq.3, par.3, "world digests diverge");
+        assert_eq!(seq.3, abort.3, "world digests diverge");
+
+        let stats = par.4;
+        assert_eq!(stats.committed_txs, 8);
+        assert!(stats.conflicts > 0, "hot sink produced no conflicts: {stats:?}");
+        assert!(stats.respeculations_avoided > 0, "no speculation survived: {stats:?}");
+        assert!(stats.speculative_runs >= stats.committed_txs);
+        assert!(stats.conflicts <= stats.speculative_runs);
+        assert!(
+            stats.speculative_runs < abort.4.speculative_runs,
+            "recovery ({}) must re-execute less than abort-suffix ({})",
+            stats.speculative_runs,
+            abort.4.speculative_runs,
+        );
+        assert_eq!(abort.4.respeculations_avoided, 0, "baseline never keeps a speculation");
+    }
+
+    /// With every transaction touching the same keys there are no
+    /// independents to save, but recovery must still terminate, agree
+    /// with the oracle, and never commit out of order.
+    #[test]
+    fn pure_hot_key_block_still_matches_sequential() {
+        let run = |mode: ExecutionMode| {
+            let payloads = HashMap::new();
+            let ctx = ctx_evm(&payloads);
+            let mut world = WorldState::new();
+            let mut pool = Vec::new();
+            for i in 1..=6u8 {
+                world.set_balance(addr(i), 1_000_000_000);
+                pool.push(transfer(i, 99, 10 + u128::from(i)));
+            }
+            let mut stats = ExecStats::default();
+            let outcome = run_block(&ctx, &mut world, pool, 10_000_000, mode, &mut stats);
+            let receipts: Vec<String> =
+                outcome.committed.iter().map(|(_, r)| format!("{r:?}")).collect();
+            (receipts, world.digest_input(), stats)
+        };
+        let seq = run(ExecutionMode::Sequential);
+        let par = run(ExecutionMode::Parallel { workers: 3 });
+        assert_eq!(seq.0, par.0);
+        assert_eq!(seq.1, par.1);
+        assert!(par.2.conflicts > 0);
+        assert!(par.2.speculative_runs >= par.2.committed_txs);
+    }
+
+    #[test]
+    fn transfer_without_recipient_reverts_instead_of_crediting_zero() {
+        let payloads = HashMap::new();
+        let ctx = ctx_evm(&payloads);
+        let mut world = WorldState::new();
+        world.set_balance(addr(1), 1_000_000_000);
+        let mut pending = transfer(1, 0, 5_000);
+        pending.tx.to = None;
+        let mut stats = ExecStats::default();
+        let outcome = run_block(
+            &ctx,
+            &mut world,
+            vec![pending],
+            10_000_000,
+            ExecutionMode::Sequential,
+            &mut stats,
+        );
+        let (_, receipt) = &outcome.committed[0];
+        assert_eq!(receipt.status, TxStatus::Reverted(MISSING_RECIPIENT.into()));
+        assert_eq!(world.balance(Address::ZERO), 0, "zero address silently credited");
+        // The revert still pays for its 21 000 gas, like any EVM revert.
+        assert_eq!(receipt.gas_used, 21_000);
+    }
 }

@@ -72,13 +72,16 @@ fn created_matches_evm(chain: &Chain, addr: Address, _deployer: Address) -> bool
 pub fn execution_report(chain: &Chain) -> String {
     let s = chain.exec_stats();
     let mut report = format!(
-        "{}: {} blocks ({} parallel), {} txs committed, {} speculative runs, {} conflicts, {} rounds",
+        "{}: {} blocks ({} parallel), {} txs committed, {} speculative runs, {} conflicts, \
+         {} revalidations, {} respeculations avoided, {} rounds",
         chain.config.name,
         s.blocks,
         s.parallel_blocks,
         s.committed_txs,
         s.speculative_runs,
         s.conflicts,
+        s.revalidations,
+        s.respeculations_avoided,
         s.rounds,
     );
     if let Some(speedup) = s.modeled_speedup() {
@@ -125,6 +128,8 @@ mod tests {
         let report = execution_report(&chain);
         assert!(report.contains("1 txs committed"), "{report}");
         assert!(report.contains("parallel"), "{report}");
+        assert!(report.contains("revalidations"), "{report}");
+        assert!(report.contains("respeculations avoided"), "{report}");
         assert!(chain.exec_stats().parallel_blocks > 0);
     }
 }

@@ -45,6 +45,6 @@ pub mod provider;
 
 pub use chain::{Chain, ChainConfig, VmKind};
 pub use congestion::CongestionModel;
-pub use executor::{ExecStats, ExecutionMode};
+pub use executor::{ExecStats, ExecutionMode, MISSING_RECIPIENT};
 pub use presets::ChainPreset;
 pub use provider::NodeProvider;

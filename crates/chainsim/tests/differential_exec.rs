@@ -4,12 +4,14 @@
 //! digests under [`ExecutionMode::Sequential`] and
 //! [`ExecutionMode::Parallel`], across every chain preset, seed and
 //! worker count. The workloads are deliberately conflict-heavy (shared
-//! balance keys, one shared contract/app) so the validate-and-re-execute
-//! path is exercised, not just the embarrassingly-parallel one.
+//! balance keys, one shared contract/app, plus a read-modify-write hot
+//! counter every action can hammer) so the validate-and-re-execute path
+//! and the dependency-aware recovery are exercised, not just the
+//! embarrassingly-parallel one.
 
 use pol_avm::opcode::AvmOp;
 use pol_avm::AvmProgram;
-use pol_chainsim::{presets, ChainPreset, ExecutionMode, VmKind};
+use pol_chainsim::{presets, ChainPreset, ExecStats, ExecutionMode, VmKind};
 use pol_evm::assembler::Asm;
 use pol_evm::opcode::Op;
 use pol_ledger::{ContractId, Transaction};
@@ -23,10 +25,14 @@ enum Action {
     /// Hit the shared contract (EVM: store `value` at `slot`; AVM:
     /// increment the global counter keyed by `slot`).
     Invoke { user: usize, slot: u8, value: u8 },
+    /// Read-modify-write the single hot counter (EVM: `storage[0] +=
+    /// value`, which SLoads before it SStores, so every pair of these
+    /// conflicts; AVM: bump the slot-0 global counter).
+    HotIncrement { user: usize, value: u8 },
 }
 
 enum Target {
-    Evm(ContractId),
+    Evm { shared: ContractId, hot: ContractId },
     App(u64),
 }
 
@@ -41,13 +47,13 @@ fn preset_for(idx: usize) -> ChainPreset {
 
 /// Runs the whole workload on a fresh chain and returns everything
 /// observable: receipt debug strings (in submission order), the burn
-/// total and the world-state digest.
+/// total, the world-state digest and the executor counters.
 fn run(
     preset_idx: usize,
     seed: u64,
     actions: &[Action],
     mode: ExecutionMode,
-) -> (Vec<String>, u128, [u8; 32]) {
+) -> (Vec<String>, u128, [u8; 32], ExecStats) {
     let mut chain = preset_for(preset_idx).build(seed);
     chain.set_execution_mode(mode);
     const USERS: usize = 4;
@@ -56,7 +62,9 @@ fn run(
         users.push(chain.create_funded_account(10u128.pow(20)));
     }
 
-    // One shared contract so invocations conflict on its state.
+    // One shared contract so invocations conflict on its state, plus (on
+    // EVM chains) a hot counter whose read-modify-write forces every
+    // concurrent increment through the conflict-recovery path.
     let target = match chain.config.vm {
         VmKind::Evm => {
             // runtime: SSTORE(calldata[0..32], calldata[32..64])
@@ -70,10 +78,26 @@ fn run(
                 .build();
             let receipt =
                 chain.deploy_evm(&users[0].0, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
-            Target::Evm(receipt.created.expect("deployed"))
+            let shared = receipt.created.expect("deployed");
+            // hot counter runtime: storage[0] += calldata[0..32]
+            let hot_runtime = Asm::new()
+                .push_u64(0)
+                .op(Op::SLoad)
+                .push_u64(0)
+                .op(Op::CallDataLoad)
+                .op(Op::Add)
+                .push_u64(0)
+                .op(Op::SStore)
+                .op(Op::Stop)
+                .build();
+            let receipt = chain
+                .deploy_evm(&users[0].0, Asm::deploy_wrapper(&hot_runtime), 5_000_000)
+                .unwrap();
+            Target::Evm { shared, hot: receipt.created.expect("deployed") }
         }
         VmKind::Avm => {
-            // Increment the global counter named by arg 0.
+            // Increment the global counter named by arg 0 (reads the old
+            // value first, so concurrent calls on one key conflict).
             let program = AvmProgram::new(vec![
                 AvmOp::TxnArg(0),
                 AvmOp::TxnArg(0),
@@ -107,11 +131,11 @@ fn run(
             Action::Invoke { user, slot, value } => {
                 let kp = &users[user % USERS].0;
                 match target {
-                    Target::Evm(contract) => {
+                    Target::Evm { shared, .. } => {
                         let mut data = vec![0u8; 64];
                         data[31] = slot % 4;
                         data[63] = value;
-                        ids.push(chain.submit_call_evm(kp, contract, data, 0, 1_000_000).unwrap());
+                        ids.push(chain.submit_call_evm(kp, shared, data, 0, 1_000_000).unwrap());
                     }
                     Target::App(app_id) => {
                         ids.push(
@@ -120,10 +144,37 @@ fn run(
                     }
                 }
             }
+            Action::HotIncrement { user, value } => {
+                let kp = &users[user % USERS].0;
+                match target {
+                    Target::Evm { hot, .. } => {
+                        let mut data = vec![0u8; 32];
+                        data[31] = value;
+                        ids.push(chain.submit_call_evm(kp, hot, data, 0, 1_000_000).unwrap());
+                    }
+                    Target::App(app_id) => {
+                        ids.push(chain.submit_call_app(kp, app_id, vec![vec![0]], 0).unwrap());
+                    }
+                }
+            }
         }
     }
     let receipts = ids.into_iter().map(|id| format!("{:?}", chain.await_tx(id).unwrap())).collect();
-    (receipts, chain.total_burned(), chain.state_digest())
+    (receipts, chain.total_burned(), chain.state_digest(), chain.exec_stats())
+}
+
+/// Counter invariants every parallel run must satisfy regardless of the
+/// workload: speculation can only add to committed work, and a conflict
+/// can only be observed on a speculation that actually ran.
+fn assert_stats_invariants(stats: &ExecStats) {
+    assert!(
+        stats.speculative_runs >= stats.committed_txs,
+        "fewer speculations than commits: {stats:?}"
+    );
+    assert!(
+        stats.conflicts <= stats.speculative_runs,
+        "more conflicts than speculations: {stats:?}"
+    );
 }
 
 fn action_strategy() -> impl Strategy<Value = Action> {
@@ -138,7 +189,12 @@ fn action_strategy() -> impl Strategy<Value = Action> {
             slot,
             value
         }),
+        (0..4usize, any::<u8>()).prop_map(|(user, value)| Action::HotIncrement { user, value }),
     ]
+}
+
+fn hot_action_strategy() -> impl Strategy<Value = Action> {
+    (0..4usize, any::<u8>()).prop_map(|(user, value)| Action::HotIncrement { user, value })
 }
 
 proptest! {
@@ -153,12 +209,51 @@ proptest! {
         workers in 2..9usize,
         actions in proptest::collection::vec(action_strategy(), 1..24),
     ) {
-        let (seq_receipts, seq_burned, seq_digest) =
+        let (seq_receipts, seq_burned, seq_digest, _) =
             run(preset_idx, seed, &actions, ExecutionMode::Sequential);
-        let (par_receipts, par_burned, par_digest) =
+        let (par_receipts, par_burned, par_digest, par_stats) =
             run(preset_idx, seed, &actions, ExecutionMode::Parallel { workers });
         prop_assert_eq!(seq_receipts, par_receipts);
         prop_assert_eq!(seq_burned, par_burned);
         prop_assert_eq!(seq_digest, par_digest);
+        assert_stats_invariants(&par_stats);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Hot-key preset: every action is a read-modify-write on the same
+    /// counter, so validation failures and the dependency-recovery scan
+    /// fire on essentially every parallel block. Recovery must stay
+    /// byte-identical to the oracle and never speculate more than the
+    /// abort-at-first-conflict baseline.
+    #[test]
+    fn hot_key_recovery_matches_sequential(
+        preset_idx in 0..4usize,
+        seed in any::<u64>(),
+        workers in 2..9usize,
+        actions in proptest::collection::vec(hot_action_strategy(), 4..20),
+    ) {
+        let (seq_receipts, seq_burned, seq_digest, _) =
+            run(preset_idx, seed, &actions, ExecutionMode::Sequential);
+        let (par_receipts, par_burned, par_digest, par_stats) =
+            run(preset_idx, seed, &actions, ExecutionMode::Parallel { workers });
+        let (abort_receipts, abort_burned, abort_digest, abort_stats) =
+            run(preset_idx, seed, &actions, ExecutionMode::ParallelAbortSuffix { workers });
+        prop_assert_eq!(&seq_receipts, &par_receipts);
+        prop_assert_eq!(seq_burned, par_burned);
+        prop_assert_eq!(seq_digest, par_digest);
+        prop_assert_eq!(&seq_receipts, &abort_receipts);
+        prop_assert_eq!(seq_burned, abort_burned);
+        prop_assert_eq!(seq_digest, abort_digest);
+        assert_stats_invariants(&par_stats);
+        assert_stats_invariants(&abort_stats);
+        prop_assert!(
+            par_stats.speculative_runs <= abort_stats.speculative_runs,
+            "recovery speculated more than the abort baseline: {:?} vs {:?}",
+            par_stats,
+            abort_stats
+        );
     }
 }

@@ -191,10 +191,34 @@ pub type ReadSet = HashMap<StateKey, Option<StateValue>>;
 /// The set of mutations an execution produced; `None` deletes the key.
 pub type WriteSet = HashMap<StateKey, Option<StateValue>>;
 
+/// Whether two read/write sets touch any common key ([`ReadSet`] and
+/// [`WriteSet`] share a representation, so any combination works).
+/// Probes the smaller set against the larger one.
+pub fn sets_intersect(a: &ReadSet, b: &WriteSet) -> bool {
+    if a.len() <= b.len() {
+        a.keys().any(|key| b.contains_key(key))
+    } else {
+        b.keys().any(|key| a.contains_key(key))
+    }
+}
+
 /// The committed, flat world state.
+///
+/// Every mutation bumps a monotone commit [`WorldState::version`] and
+/// stamps the touched keys with it, so a speculative executor can ask
+/// cheaply whether *anything* a read set observed has been re-committed
+/// since the speculation's base snapshot
+/// ([`WorldState::reads_intersect_commits_since`]) — Block-STM-style
+/// dependency estimation — before paying for an exact value-level
+/// [`WorldState::validates`] walk.
 #[derive(Debug, Default, Clone)]
 pub struct WorldState {
     entries: HashMap<StateKey, StateValue>,
+    /// Monotone commit counter; bumped once per mutating call.
+    version: u64,
+    /// Commit version at which each key last changed (writes *and*
+    /// deletions; absent = never touched, version 0).
+    versions: HashMap<StateKey, u64>,
 }
 
 impl WorldState {
@@ -208,15 +232,40 @@ impl WorldState {
         self.entries.get(key)
     }
 
+    /// The current commit version — a speculation records this as its
+    /// base snapshot id before executing.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The commit version at which `key` last changed (0 = never).
+    pub fn key_version(&self, key: &StateKey) -> u64 {
+        self.versions.get(key).copied().unwrap_or(0)
+    }
+
+    /// Whether any key in `reads` was committed to after `base_version` —
+    /// i.e. whether the read set intersects the union of write sets
+    /// committed since the speculation's base snapshot. Conservative: a
+    /// commit that restored the observed value still counts, so a `true`
+    /// here calls for an exact [`WorldState::validates`] check, while a
+    /// `false` proves the speculation still holds.
+    pub fn reads_intersect_commits_since(&self, reads: &ReadSet, base_version: u64) -> bool {
+        reads.keys().any(|key| self.key_version(key) > base_version)
+    }
+
     /// Writes a committed value directly (genesis funding, faucets and
     /// other out-of-band bookkeeping; transaction execution goes through
     /// an [`Overlay`] instead).
     pub fn set(&mut self, key: StateKey, value: StateValue) {
+        self.version += 1;
+        self.versions.insert(key.clone(), self.version);
         self.entries.insert(key, value);
     }
 
     /// Removes a committed value directly.
     pub fn remove(&mut self, key: &StateKey) {
+        self.version += 1;
+        self.versions.insert(key.clone(), self.version);
         self.entries.remove(key);
     }
 
@@ -241,8 +290,14 @@ impl WorldState {
     }
 
     /// Applies a write set atomically (the commit step of the executor).
+    /// All keys of the set are stamped with one fresh commit version.
     pub fn apply(&mut self, writes: WriteSet) {
+        if writes.is_empty() {
+            return;
+        }
+        self.version += 1;
         for (key, value) in writes {
+            self.versions.insert(key.clone(), self.version);
             match value {
                 Some(v) => {
                     self.entries.insert(key, v);
@@ -543,6 +598,66 @@ mod tests {
         world2.set_nonce(addr(5), 1);
         world2.set_balance(addr(5), 123);
         assert_eq!(d1, world2.digest_input(), "insertion order must not matter");
+    }
+
+    #[test]
+    fn per_key_versions_track_commits() {
+        let mut world = WorldState::new();
+        assert_eq!(world.version(), 0);
+        assert_eq!(world.key_version(&StateKey::Balance(addr(1))), 0);
+        world.set_balance(addr(1), 10);
+        let v1 = world.version();
+        assert_eq!(world.key_version(&StateKey::Balance(addr(1))), v1);
+        // A whole write set commits under one version, stamping every key.
+        let mut writes = WriteSet::new();
+        writes.insert(StateKey::Balance(addr(2)), Some(StateValue::U128(5)));
+        writes.insert(StateKey::Nonce(addr(2)), None);
+        world.apply(writes);
+        let v2 = world.version();
+        assert!(v2 > v1);
+        assert_eq!(world.key_version(&StateKey::Balance(addr(2))), v2);
+        assert_eq!(world.key_version(&StateKey::Nonce(addr(2))), v2, "deletions are versioned");
+        // Deleting bumps too: an observed-present read must go stale.
+        world.remove(&StateKey::Balance(addr(1)));
+        assert!(world.key_version(&StateKey::Balance(addr(1))) > v2);
+        // Empty write sets do not burn a version.
+        let v3 = world.version();
+        world.apply(WriteSet::new());
+        assert_eq!(world.version(), v3);
+    }
+
+    #[test]
+    fn reads_intersect_commits_since_is_conservative_and_exact_on_keys() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(1), 100);
+        let base = world.version();
+        let mut view = Overlay::new(&world);
+        let _ = view.balance_of(addr(1));
+        let (reads, _) = view.into_parts();
+        // Nothing committed since the base: provably fresh.
+        assert!(!world.reads_intersect_commits_since(&reads, base));
+        // A commit to an unrelated key does not touch the read set.
+        world.set_balance(addr(2), 7);
+        assert!(!world.reads_intersect_commits_since(&reads, base));
+        // Re-committing the *same* value still flags the key (versions are
+        // conservative); value-level validation then clears it.
+        world.set_balance(addr(1), 100);
+        assert!(world.reads_intersect_commits_since(&reads, base));
+        assert!(world.validates(&reads));
+    }
+
+    #[test]
+    fn sets_intersect_finds_shared_keys() {
+        let mut reads = ReadSet::new();
+        reads.insert(StateKey::Balance(addr(1)), Some(StateValue::U128(1)));
+        reads.insert(StateKey::Nonce(addr(1)), None);
+        let mut writes = WriteSet::new();
+        writes.insert(StateKey::Balance(addr(2)), Some(StateValue::U128(2)));
+        assert!(!sets_intersect(&reads, &writes));
+        writes.insert(StateKey::Nonce(addr(1)), Some(StateValue::U64(3)));
+        assert!(sets_intersect(&reads, &writes));
+        assert!(sets_intersect(&writes, &reads), "symmetric regardless of probe order");
+        assert!(!sets_intersect(&ReadSet::new(), &writes));
     }
 
     #[test]
