@@ -33,6 +33,13 @@ pub struct ProgramReport {
     pub max_stack: usize,
     /// Maximum opcode cost over all halting paths.
     pub worst_case_cost: u64,
+    /// Static count of `app_global_put` sites. Cross-contract analysis
+    /// compares these against the contract's declared storage layout.
+    pub global_puts: usize,
+    /// Static count of `box_put` sites (map writes).
+    pub box_puts: usize,
+    /// Static count of `box_del` sites (map deletes).
+    pub box_dels: usize,
 }
 
 /// Rejection reasons.
@@ -189,7 +196,19 @@ pub fn verify(program: &AvmProgram) -> Result<ProgramReport, VerifyError> {
         }
     }
 
-    Ok(ProgramReport { max_stack, worst_case_cost })
+    let mut global_puts = 0usize;
+    let mut box_puts = 0usize;
+    let mut box_dels = 0usize;
+    for op in ops {
+        match op {
+            AvmOp::AppGlobalPut => global_puts += 1,
+            AvmOp::BoxPut => box_puts += 1,
+            AvmOp::BoxDel => box_dels += 1,
+            _ => {}
+        }
+    }
+
+    Ok(ProgramReport { max_stack, worst_case_cost, global_puts, box_puts, box_dels })
 }
 
 #[cfg(test)]
@@ -274,6 +293,27 @@ mod tests {
         let p = prog([vec![AvmOp::PushBytes(b"seed".to_vec())], p.ops().to_vec()].concat());
         let report = verify(&p).unwrap();
         assert!(report.worst_case_cost <= cost::program_cost(p.ops()));
+    }
+
+    #[test]
+    fn counts_state_write_sites() {
+        let p = prog(vec![
+            AvmOp::PushBytes(b"k".to_vec()),
+            AvmOp::PushInt(1),
+            AvmOp::AppGlobalPut,
+            AvmOp::PushBytes(b"b".to_vec()),
+            AvmOp::PushBytes(b"v".to_vec()),
+            AvmOp::BoxPut,
+            AvmOp::PushBytes(b"b".to_vec()),
+            AvmOp::BoxDel,
+            AvmOp::Pop,
+            AvmOp::PushInt(1),
+            AvmOp::Return,
+        ]);
+        let report = verify(&p).unwrap();
+        assert_eq!(report.global_puts, 1);
+        assert_eq!(report.box_puts, 1);
+        assert_eq!(report.box_dels, 1);
     }
 
     #[test]

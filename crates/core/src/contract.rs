@@ -224,6 +224,9 @@ mod tests {
         assert!(check::check(&program).is_empty());
         let report = verify::verify(&program);
         assert!(report.ok(), "{report}");
+        // `set_reward_gap` guards its subtraction with the mirrored
+        // `witnessShare < total`, provable only by the zone solver.
+        assert!(report.relationally_discharged >= 1, "{report}");
         assert!(pol_lang::backend::compile(&program).is_ok());
         // Two transfers under the combined-balance guard.
         let verify_api = &program.phases[1].apis[1];

@@ -56,6 +56,14 @@ pub struct BytecodeReport {
     pub worst_case_gas: u64,
     /// Number of distinct reachable program counters.
     pub visited_pcs: usize,
+    /// Statically-known `SSTORE` keys observed on reachable paths,
+    /// sorted and deduplicated. Cross-contract analysis checks these
+    /// against the declared storage layout (slots the source never
+    /// declares must not be written).
+    pub constant_sstore_keys: Vec<u64>,
+    /// Reachable `SSTORE` sites whose key is not statically known
+    /// (map writes behind `keccak`-derived keys).
+    pub unknown_key_sstores: usize,
 }
 
 /// Rejection reasons.
@@ -186,6 +194,8 @@ pub fn verify(code: &[u8], cfg: &VerifyConfig) -> Result<BytecodeReport, VerifyE
     let mut max_stack = 0usize;
     let mut worst_case_gas = 0u64;
     let mut steps = 0usize;
+    let mut constant_sstore_keys: HashSet<u64> = HashSet::new();
+    let mut unknown_sstore_pcs: HashSet<usize> = HashSet::new();
 
     while let Some(mut st) = worklist.pop() {
         steps += 1;
@@ -297,6 +307,14 @@ pub fn verify(code: &[u8], cfg: &VerifyConfig) -> Result<BytecodeReport, VerifyE
                 Op::SStore => {
                     let popped = pop(&mut st, 2)?;
                     let key_val = popped[0];
+                    match key_val {
+                        Some(k) => {
+                            constant_sstore_keys.insert(k);
+                        }
+                        None => {
+                            unknown_sstore_pcs.insert(pc);
+                        }
+                    }
                     if st.called {
                         let allowed = match key_val {
                             Some(k) => cfg.allowed_post_call_sstore_keys.contains(&k),
@@ -328,7 +346,15 @@ pub fn verify(code: &[u8], cfg: &VerifyConfig) -> Result<BytecodeReport, VerifyE
         }
     }
 
-    Ok(BytecodeReport { max_stack, worst_case_gas, visited_pcs: visited.len() })
+    let mut constant_sstore_keys: Vec<u64> = constant_sstore_keys.into_iter().collect();
+    constant_sstore_keys.sort_unstable();
+    Ok(BytecodeReport {
+        max_stack,
+        worst_case_gas,
+        visited_pcs: visited.len(),
+        constant_sstore_keys,
+        unknown_key_sstores: unknown_sstore_pcs.len(),
+    })
 }
 
 /// `(pops, pushes)` for the uniform opcodes (control flow, pushes,
@@ -461,6 +487,25 @@ mod tests {
     fn store_before_call_is_fine() {
         let code = Asm::new().push_u64(7).push_u64(5).op(Op::SStore).op(Op::Stop).build();
         assert!(verify(&code, &cfg()).is_ok());
+    }
+
+    #[test]
+    fn reports_observed_sstore_keys() {
+        let code = Asm::new()
+            .push_u64(1)
+            .push_u64(9)
+            .op(Op::SStore)
+            .push_u64(1)
+            .push_u64(3)
+            .op(Op::SStore)
+            .push_u64(1)
+            .op(Op::CallValue) // unknown key
+            .op(Op::SStore)
+            .op(Op::Stop)
+            .build();
+        let report = verify(&code, &cfg()).unwrap();
+        assert_eq!(report.constant_sstore_keys, vec![3, 9]);
+        assert_eq!(report.unknown_key_sstores, 1);
     }
 
     #[test]

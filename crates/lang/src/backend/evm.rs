@@ -26,11 +26,18 @@ use pol_ledger::Address;
 use std::collections::HashMap;
 
 /// Reserved storage slots before the globals.
-pub(crate) const SLOT_PHASE: u64 = 0;
-const SLOT_CREATOR: u64 = 1;
-const GLOBAL_SLOT_BASE: u64 = 2;
+pub const SLOT_PHASE: u64 = 0;
+/// Slot holding the creator's address.
+pub const SLOT_CREATOR: u64 = 1;
+/// First slot assigned to declared globals (in declaration order).
+pub const GLOBAL_SLOT_BASE: u64 = 2;
 /// Base constant mixed into map-slot derivation.
-const MAP_SLOT_BASE: u64 = 0x1000;
+pub const MAP_SLOT_BASE: u64 = 0x1000;
+
+/// The storage slot assigned to the `idx`-th declared global.
+pub fn global_slot(idx: usize) -> u64 {
+    GLOBAL_SLOT_BASE + idx as u64
+}
 /// Memory scratch area for slot derivation.
 const SCRATCH: u64 = 0x00;
 /// Memory base for staging byte payloads.

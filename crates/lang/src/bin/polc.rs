@@ -1,40 +1,78 @@
 //! `polc` — the contract linting / diagnostics front end.
 //!
 //! ```text
-//! polc lint <file.pol>...   run the checker, verifier and dataflow
+//! polc lint [--no-relational] <file.pol>...
+//!                           run the checker, verifier and dataflow
 //!                           lints; render rustc-style diagnostics.
 //!                           When a sibling `<file>.pol.expected`
 //!                           golden exists, compare against it instead
 //!                           of gating on severity.
+//! polc verify [--no-relational] [--json <path>] <file.pol>...
+//!                           run the theorem verifier per file, then
+//!                           the cross-contract system analysis over
+//!                           all files together; print both reports
+//!                           and optionally write solver statistics as
+//!                           JSON.
 //! polc codes                print the diagnostic-code registry as
 //!                           markdown (published to
 //!                           results/lint_codes.md by CI).
 //! ```
+//!
+//! `--no-relational` disables the difference-logic zone domain, leaving
+//! only the syntactic matchers and the interval domain — useful for
+//! comparing what the relational layer buys.
 //!
 //! Exit status: 0 when every file is clean (or matches its golden),
 //! 1 when an error-severity diagnostic fires (or a golden mismatches),
 //! 2 on usage or I/O errors.
 
 use pol_lang::diag::{Diagnostic, Span};
-use pol_lang::{lint, pretty};
+use pol_lang::{lint, pretty, xcontract};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let relational = !take_flag(&mut args, "--no-relational");
+    let json_path = take_value(&mut args, "--json");
     match args.split_first() {
-        Some((cmd, rest)) if cmd == "lint" && !rest.is_empty() => lint_files(rest),
+        Some((cmd, rest)) if cmd == "lint" && !rest.is_empty() => lint_files(rest, relational),
+        Some((cmd, rest)) if cmd == "verify" && !rest.is_empty() => {
+            verify_files(rest, relational, json_path.as_deref())
+        }
         Some((cmd, rest)) if cmd == "codes" && rest.is_empty() => {
             print!("{}", lint::codes_markdown());
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: polc lint <file.pol>...  |  polc codes");
+            eprintln!(
+                "usage: polc lint [--no-relational] <file.pol>...\n\
+                 \x20      polc verify [--no-relational] [--json <path>] <file.pol>...\n\
+                 \x20      polc codes"
+            );
             ExitCode::from(2)
         }
     }
 }
 
-fn lint_files(files: &[String]) -> ExitCode {
+/// Removes `flag` from `args`; returns whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
+/// Removes `flag <value>` from `args`; returns the value when present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let idx = args.iter().position(|a| a == flag)?;
+    if idx + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Some(value)
+}
+
+fn lint_files(files: &[String], relational: bool) -> ExitCode {
     let mut failed = false;
     for file in files {
         let source = match std::fs::read_to_string(file) {
@@ -44,7 +82,7 @@ fn lint_files(files: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let diags = diagnose(&source);
+        let diags = diagnose(&source, relational);
         let rendered = pretty::render_diagnostics(&diags, &source, file);
         if !rendered.is_empty() {
             print!("{rendered}");
@@ -86,8 +124,114 @@ fn lint_files(files: &[String]) -> ExitCode {
     }
 }
 
+/// Per-file theorem verification plus the cross-contract system pass.
+fn verify_files(files: &[String], relational: bool, json_path: Option<&str>) -> ExitCode {
+    let mut failed = false;
+    let mut programs = Vec::new();
+    for file in files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("polc: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match pol_lang::parse::parse(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("polc: {file}:{}:{}: {}", e.line, e.col, e.message);
+                return ExitCode::from(2);
+            }
+        };
+        let type_errors = pol_lang::check::check(&program);
+        if !type_errors.is_empty() {
+            for d in &type_errors {
+                eprintln!("polc: {file}: {d}");
+            }
+            return ExitCode::FAILURE;
+        }
+        programs.push((file.clone(), program));
+    }
+
+    let mut contract_lines = Vec::new();
+    let mut reports = Vec::new();
+    for (file, program) in &programs {
+        let report = pol_lang::verify::verify_with(program, relational);
+        println!("== {file} ({}) ==", program.name);
+        println!("{report}");
+        println!();
+        if !report.ok() {
+            failed = true;
+        }
+        contract_lines.push(format!(
+            "    {{\"file\": \"{file}\", \"name\": \"{}\", \"theorems_checked\": {}, \
+             \"failures\": {}, \"relational\": {{\"constraints\": {}, \"closures\": {}, \
+             \"discharged\": {}}}}}",
+            program.name,
+            report.theorems_checked,
+            report.failures.len(),
+            report.zone_stats.constraints,
+            report.zone_stats.closures,
+            report.relationally_discharged,
+        ));
+        reports.push(report);
+    }
+
+    // Compile the clean programs so the system pass can cross-check the
+    // artifacts against the declared layouts (X0502); programs that
+    // fail verification still join the system with source-only checks.
+    let compiled: Vec<Option<pol_lang::backend::CompiledContract>> = programs
+        .iter()
+        .zip(&reports)
+        .map(|((_, p), r)| if r.ok() { pol_lang::backend::compile(p).ok() } else { None })
+        .collect();
+    let members: Vec<xcontract::SystemMember<'_>> = programs
+        .iter()
+        .zip(&compiled)
+        .map(|((_, p), c)| xcontract::SystemMember::new(p, c.as_ref()))
+        .collect();
+    let system = xcontract::analyze_system(&members);
+    println!("== system ==");
+    println!("{system}");
+    for d in &system.diagnostics {
+        println!("  {d}");
+    }
+    if !system.ok() {
+        failed = true;
+    }
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"contracts\": [\n{}\n  ],\n  \"system\": {{\"contracts\": {}, \
+             \"edges\": {}, \"transfer_sites\": {}, \"conserved\": {}, \
+             \"relationally_proved\": {}, \"aggregate_conserved\": {}, \
+             \"constraints\": {}, \"closures\": {}, \"failures\": {}}}\n}}\n",
+            contract_lines.join(",\n"),
+            system.contracts,
+            system.edges.len(),
+            system.transfer_edges,
+            system.conserved_transfers,
+            system.relationally_proved,
+            system.aggregate_conserved,
+            system.zone_stats.constraints,
+            system.zone_stats.closures,
+            system.diagnostics.iter().filter(|d| d.is_error()).count(),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("polc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// The full source-level pipeline: parse → type check → verify + lint.
-fn diagnose(source: &str) -> Vec<Diagnostic> {
+fn diagnose(source: &str, relational: bool) -> Vec<Diagnostic> {
     let program = match pol_lang::parse::parse(source) {
         Ok(p) => p,
         Err(e) => {
@@ -99,8 +243,8 @@ fn diagnose(source: &str) -> Vec<Diagnostic> {
     if !type_errors.is_empty() {
         return type_errors;
     }
-    let mut diags = pol_lang::verify::verify(&program).failures;
-    diags.extend(lint::lint(&program));
+    let mut diags = pol_lang::verify::verify_with(&program, relational).failures;
+    diags.extend(lint::lint_with(&program, relational));
     diags
 }
 

@@ -21,6 +21,7 @@
 //!   map, for the path-sensitive leaked-entry lint.
 
 use crate::ast::{BinOp, Expr, GlobalInit, Program, Stmt};
+use crate::dbm::{self, ZVar, Zone, ZoneStats};
 use crate::diag::Owner;
 use std::collections::{HashMap, HashSet};
 
@@ -607,6 +608,19 @@ pub struct ConstCond {
     pub value: bool,
 }
 
+/// How a subtraction theorem was (or was not) discharged by the flow
+/// analyses. See [`BodyAnalysis::sub_safety`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubProof {
+    /// The non-relational interval domain proved `minuend ≥ subtrahend`.
+    Interval,
+    /// The interval domain gave up but the relational zone domain
+    /// ([`crate::dbm`]) entails the bound from the path conditions.
+    Relational,
+    /// Neither domain can prove the subtraction safe.
+    Unproven,
+}
+
 /// The result of running all forward passes over one body.
 #[derive(Debug)]
 pub struct BodyAnalysis {
@@ -616,22 +630,56 @@ pub struct BodyAnalysis {
     pub envs: Vec<Option<Env>>,
     /// Abstract store immediately before each instruction, by path.
     stmt_envs: HashMap<Vec<u32>, Env>,
+    /// Zone immediately before each instruction, by path (empty when
+    /// the relational pass is disabled).
+    stmt_zones: HashMap<Vec<u32>, Zone>,
     /// Conditions that folded to a constant on every reachable path.
     pub const_conds: Vec<ConstCond>,
     /// Instruction paths whose arithmetic must overflow `u64`.
     pub definite_overflows: Vec<Vec<u32>>,
+    /// `Require` sites the interval domain considers feasible but whose
+    /// accumulated path conditions the zone solver proves
+    /// unsatisfiable — dead `require` chains (lint L0006).
+    pub unsat_requires: Vec<Src>,
+    /// Aggregate solver counters for this body.
+    pub zone_stats: ZoneStats,
 }
 
-/// Runs the interval analysis over one API body.
+/// Runs the interval + relational analyses over one API body.
 pub fn analyze_api(program: &Program, phase_idx: usize, api_idx: usize) -> BodyAnalysis {
-    let cfg = lower_api(program, phase_idx, api_idx);
-    run_flow(cfg, entry_env_api(program))
+    analyze_api_with(program, phase_idx, api_idx, true)
 }
 
-/// Runs the interval analysis over the constructor body.
+/// [`analyze_api`] with the relational zone pass toggleable.
+pub fn analyze_api_with(
+    program: &Program,
+    phase_idx: usize,
+    api_idx: usize,
+    relational: bool,
+) -> BodyAnalysis {
+    let cfg = lower_api(program, phase_idx, api_idx);
+    run_flow(cfg, entry_env_api(program), relational.then(Zone::new))
+}
+
+/// Runs the interval + relational analyses over the constructor body.
 pub fn analyze_constructor(program: &Program) -> BodyAnalysis {
+    analyze_constructor_with(program, true)
+}
+
+/// [`analyze_constructor`] with the relational zone pass toggleable.
+pub fn analyze_constructor_with(program: &Program, relational: bool) -> BodyAnalysis {
     let cfg = lower_constructor(program);
-    run_flow(cfg, entry_env_constructor(program))
+    let zone = relational.then(|| {
+        let mut z = Zone::new();
+        let mut stats = ZoneStats::default();
+        for g in &program.globals {
+            if let GlobalInit::Const(v) = g.init {
+                z.assign_bounds(&ZVar::Global(g.name.clone()), v, v, &mut stats);
+            }
+        }
+        z
+    });
+    run_flow(cfg, entry_env_constructor(program), zone)
 }
 
 /// API entry: globals hold arbitrary values (any number of calls may
@@ -652,20 +700,59 @@ fn entry_env_constructor(program: &Program) -> Env {
     env
 }
 
-fn run_flow(cfg: Cfg, entry: Env) -> BodyAnalysis {
+/// Merges an incoming zone into a successor's entry zone.
+fn feed_zone(zones: &mut [Option<Zone>], succ: usize, incoming: Zone, stats: &mut ZoneStats) {
+    zones[succ] = Some(match zones[succ].take() {
+        Some(existing) => Zone::join(&existing, &incoming, stats),
+        None => incoming,
+    });
+}
+
+/// Transfers `name := value` over the zone. Assignments of the shape
+/// `src ± k` keep their relational content when the zone proves the
+/// arithmetic wrap-free; everything else degrades to the interval
+/// bounds of the assigned value (which is still sound and lets later
+/// relational queries chain with interval facts).
+fn zone_assign(zone: &mut Zone, name: &str, value: &Expr, itv: Itv, stats: &mut ZoneStats) {
+    let dst = ZVar::Global(name.to_string());
+    match dbm::term(value) {
+        Some((Some(src), k)) if dbm::term_wrap_free(zone, &(Some(src.clone()), k)) => {
+            if src == dst {
+                zone.shift(&dst, k);
+            } else {
+                zone.assign_var(&dst, &src, k, stats);
+            }
+        }
+        _ => zone.assign_bounds(&dst, itv.lo, itv.hi, stats),
+    }
+}
+
+fn run_flow(cfg: Cfg, entry: Env, entry_zone: Option<Zone>) -> BodyAnalysis {
     let n = cfg.blocks.len();
     let mut envs: Vec<Option<Env>> = vec![None; n];
     envs[0] = Some(entry);
+    let mut zones: Vec<Option<Zone>> = vec![None; n];
+    zones[0] = entry_zone;
     let mut stmt_envs = HashMap::new();
+    let mut stmt_zones = HashMap::new();
     let mut const_conds = Vec::new();
     let mut definite_overflows = Vec::new();
+    let mut unsat_requires = Vec::new();
+    let mut stats = ZoneStats::default();
 
     // Blocks are emitted topologically, so one in-order sweep reaches a
-    // fixpoint on this DAG.
+    // fixpoint on this DAG. The zone rides along with the interval env
+    // as a *pure refinement*: reachability (which edges feed) stays
+    // interval-driven, so enabling the zone can only discharge more
+    // theorems, never change which lints fire (monotone precision).
     for b in 0..n {
         let Some(mut env) = envs[b].clone() else { continue };
+        let mut zone = zones[b].clone();
         for inst in &cfg.blocks[b].insts {
             stmt_envs.insert(inst.path().to_vec(), env.clone());
+            if let Some(z) = &zone {
+                stmt_zones.insert(inst.path().to_vec(), z.clone());
+            }
             let mut overflow = false;
             for e in inst.exprs() {
                 let _ = env.eval(e, &mut overflow);
@@ -677,11 +764,17 @@ fn run_flow(cfg: Cfg, entry: Env) -> BodyAnalysis {
                 Inst::Set { name, value, .. } => {
                     let mut of = false;
                     let itv = env.eval(value, &mut of);
+                    if let Some(z) = zone.as_mut() {
+                        zone_assign(z, name, value, itv, &mut stats);
+                    }
                     env.set(Var::Global(name.clone()), itv);
                 }
                 Inst::Transfer { .. } => {
                     // The balance shrinks by a dynamic amount.
                     env.set(Var::Balance, Itv::TOP);
+                    if let Some(z) = zone.as_mut() {
+                        z.forget(&ZVar::Balance);
+                    }
                 }
                 _ => {}
             }
@@ -693,15 +786,35 @@ fn run_flow(cfg: Cfg, entry: Env) -> BodyAnalysis {
             });
         };
         match cfg.blocks[b].term.clone() {
-            Term::Goto(next) => feed(&mut envs, next, env),
+            Term::Goto(next) => {
+                feed(&mut envs, next, env);
+                if let Some(z) = zone {
+                    feed_zone(&mut zones, next, z, &mut stats);
+                }
+            }
             Term::Require { cond, next, src } => {
                 let mut of = false;
                 if let Some(c) = env.eval(&cond, &mut of).as_const() {
                     const_conds.push(ConstCond { src: src.clone(), value: c != 0 });
                 }
                 let mut pass = env;
-                if refine(&mut pass, &cond, true) {
+                let interval_ok = refine(&mut pass, &cond, true);
+                let mut zpass = zone;
+                if let Some(z) = zpass.as_mut() {
+                    let zone_ok = dbm::assume(z, &cond, true, &mut stats);
+                    if interval_ok && !zone_ok {
+                        unsat_requires.push(src.clone());
+                    }
+                }
+                if interval_ok {
                     feed(&mut envs, next, pass);
+                    // A zone-unsat edge is fed anyway (sound: an unsat
+                    // zone entails everything) so reachability and every
+                    // interval-driven lint stay byte-identical with the
+                    // relational pass on or off.
+                    if let Some(z) = zpass {
+                        feed_zone(&mut zones, next, z, &mut stats);
+                    }
                 }
             }
             Term::Branch { cond, then_b, else_b, path } => {
@@ -712,17 +825,36 @@ fn run_flow(cfg: Cfg, entry: Env) -> BodyAnalysis {
                 let mut t_env = env.clone();
                 if refine(&mut t_env, &cond, true) {
                     feed(&mut envs, then_b, t_env);
+                    if let Some(z) = &zone {
+                        let mut zt = z.clone();
+                        dbm::assume(&mut zt, &cond, true, &mut stats);
+                        feed_zone(&mut zones, then_b, zt, &mut stats);
+                    }
                 }
                 let mut f_env = env;
                 if refine(&mut f_env, &cond, false) {
                     feed(&mut envs, else_b, f_env);
+                    if let Some(z) = zone {
+                        let mut zf = z.clone();
+                        dbm::assume(&mut zf, &cond, false, &mut stats);
+                        feed_zone(&mut zones, else_b, zf, &mut stats);
+                    }
                 }
             }
             Term::Return => {}
         }
     }
 
-    BodyAnalysis { cfg, envs, stmt_envs, const_conds, definite_overflows }
+    BodyAnalysis {
+        cfg,
+        envs,
+        stmt_envs,
+        stmt_zones,
+        const_conds,
+        definite_overflows,
+        unsat_requires,
+        zone_stats: stats,
+    }
 }
 
 /// A global-definition site found by the reaching-definitions pass.
@@ -753,6 +885,27 @@ impl BodyAnalysis {
         let m = env.eval(minuend, &mut of);
         let s = env.eval(subtrahend, &mut of);
         m.lo >= s.hi
+    }
+
+    /// How (if at all) `minuend - subtrahend` at this statement is
+    /// proven underflow-free: intervals first, then the relational zone
+    /// domain over the accumulated path conditions.
+    pub fn sub_safety(&self, path: &[u32], minuend: &Expr, subtrahend: &Expr) -> SubProof {
+        if self.proves_sub_safe(path, minuend, subtrahend) {
+            return SubProof::Interval;
+        }
+        if let Some(zone) = self.stmt_zones.get(path) {
+            if dbm::entails_ge(zone, minuend, subtrahend) {
+                return SubProof::Relational;
+            }
+        }
+        SubProof::Unproven
+    }
+
+    /// The zone at a statement, for callers layering extra relational
+    /// queries (e.g. the cross-contract conservation check).
+    pub fn zone_at(&self, path: &[u32]) -> Option<&Zone> {
+        self.stmt_zones.get(path)
     }
 
     /// Source paths of statements that can never execute, one per
@@ -1076,5 +1229,107 @@ mod tests {
         }];
         let flow = analyze_constructor(&p);
         assert_eq!(flow.unreachable_stmts(), vec![vec![0, 0, 0]]);
+    }
+
+    #[test]
+    fn zone_discharges_mirrored_guard() {
+        // require(floor < by); count = by - floor; — the minuend sits
+        // on the *right* of the comparison (mirrored form), so the
+        // syntactic matcher fails, and with two opaque parameters the
+        // intervals cannot relate them either. Only the zone proves it.
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0].params.push(("floor".into(), Ty::UInt));
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::Bin(
+                BinOp::Lt,
+                Box::new(Expr::param("floor")),
+                Box::new(Expr::param("by")),
+            )),
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::param("by"), Expr::param("floor")),
+            },
+        ];
+        let flow = analyze_api(&p, 0, 0);
+        assert!(!flow.proves_sub_safe(&[1], &Expr::param("by"), &Expr::param("floor")));
+        assert_eq!(
+            flow.sub_safety(&[1], &Expr::param("by"), &Expr::param("floor")),
+            SubProof::Relational
+        );
+        // Disabled: only the (failing) interval verdict remains.
+        let base = analyze_api_with(&p, 0, 0, false);
+        assert_eq!(
+            base.sub_safety(&[1], &Expr::param("by"), &Expr::param("floor")),
+            SubProof::Unproven
+        );
+        assert_eq!(base.zone_stats, ZoneStats::default());
+    }
+
+    #[test]
+    fn zone_proves_transitive_chain() {
+        // a > b, b > c ⊢ a - c safe.
+        let mut p = Program::counter_example();
+        for extra in ["a", "b", "c"] {
+            p.phases[0].apis[0].params.push((extra.into(), Ty::UInt));
+        }
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::gt(Expr::param("a"), Expr::param("b"))),
+            Stmt::Require(Expr::gt(Expr::param("b"), Expr::param("c"))),
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::param("a"), Expr::param("c")),
+            },
+        ];
+        let flow = analyze_api(&p, 0, 0);
+        assert_eq!(
+            flow.sub_safety(&[2], &Expr::param("a"), &Expr::param("c")),
+            SubProof::Relational
+        );
+        assert!(flow.unsat_requires.is_empty());
+        assert!(flow.zone_stats.constraints > 0);
+    }
+
+    #[test]
+    fn zone_survives_tracked_decrement() {
+        // require(count < remaining); remaining = remaining - 1 keeps
+        // remaining ≥ count, so a later remaining - count is safe.
+        let p = counter_with_body(vec![
+            Stmt::Require(Expr::Bin(
+                BinOp::Lt,
+                Box::new(Expr::global("count")),
+                Box::new(Expr::global("remaining")),
+            )),
+            Stmt::GlobalSet {
+                name: "remaining".into(),
+                value: Expr::sub(Expr::global("remaining"), Expr::UInt(1)),
+            },
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::global("remaining"), Expr::global("count")),
+            },
+        ]);
+        let flow = analyze_api(&p, 0, 0);
+        assert_eq!(
+            flow.sub_safety(&[2], &Expr::global("remaining"), &Expr::global("count")),
+            SubProof::Relational
+        );
+    }
+
+    #[test]
+    fn contradictory_requires_recorded_as_unsat() {
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0].params.push(("lo".into(), Ty::UInt));
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::gt(Expr::param("by"), Expr::param("lo"))),
+            Stmt::Require(Expr::gt(Expr::param("lo"), Expr::param("by"))),
+            Stmt::GlobalSet { name: "count".into(), value: Expr::UInt(1) },
+        ];
+        let flow = analyze_api(&p, 0, 0);
+        assert_eq!(flow.unsat_requires, vec![Src::Stmt(vec![1])]);
+        // Reachability stays interval-driven: the trailing statement is
+        // NOT reported unreachable (monotone with the zone off).
+        assert!(flow.unreachable_stmts().is_empty());
+        let base = analyze_api_with(&p, 0, 0, false);
+        assert!(base.unsat_requires.is_empty());
     }
 }

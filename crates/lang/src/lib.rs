@@ -40,12 +40,14 @@ pub mod analyze;
 pub mod ast;
 pub mod backend;
 pub mod check;
+pub mod dbm;
 pub mod diag;
 pub mod ir;
 pub mod lint;
 pub mod parse;
 pub mod pretty;
 pub mod verify;
+pub mod xcontract;
 
 pub use ast::Program;
 pub use diag::{Diagnostic, Severity, Span};

@@ -38,8 +38,22 @@ pub fn render_diagnostic(diag: &Diagnostic, source: &str, filename: &str) -> Str
 }
 
 /// Renders a batch of diagnostics separated by blank lines.
+///
+/// Diagnostics carrying the same code at the same source span are
+/// rendered once: the constructor pass and an API pass can both report
+/// the identical defect for one byte range (e.g. a global initialised
+/// in the constructor and misused identically in an API lowered from
+/// the same span), and repeating the block is pure noise. Dummy spans
+/// are exempt — builder-made programs have no spans, and collapsing
+/// their (all-dummy) diagnostics would swallow distinct findings.
 pub fn render_diagnostics(diags: &[Diagnostic], source: &str, filename: &str) -> String {
-    diags.iter().map(|d| render_diagnostic(d, source, filename)).collect::<Vec<_>>().join("\n")
+    let mut seen: std::collections::HashSet<(&str, Span)> = std::collections::HashSet::new();
+    diags
+        .iter()
+        .filter(|d| d.span.is_dummy() || seen.insert((d.code, d.span)))
+        .map(|d| render_diagnostic(d, source, filename))
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn snippet(span: Span, source: &str, filename: &str) -> Option<String> {
@@ -244,6 +258,34 @@ mod tests {
         assert!(rendered.starts_with("warning[L0001]: unreachable code\n"));
         assert!(rendered.contains("note: because of this\n"));
         assert!(rendered.contains("1 | contract c {\n"), "{rendered}");
+    }
+
+    #[test]
+    fn duplicate_code_span_pairs_render_once() {
+        let source = "contract c {\n    global g: uint = 0;\n}\n";
+        let start = source.find("global g").unwrap();
+        let span = Span::new(start, start + 8);
+        let diags = vec![
+            Diagnostic::warning("L0003", "constructor: condition always evaluates to true")
+                .at(span),
+            Diagnostic::warning("L0003", "api \"f\": condition always evaluates to true").at(span),
+            Diagnostic::warning("L0002", "api \"f\": dead store").at(span),
+        ];
+        let rendered = render_diagnostics(&diags, source, "c.pol");
+        // Same (code, span) pair renders once; different code at the
+        // same span still renders.
+        assert_eq!(rendered.matches("warning[L0003]").count(), 1, "{rendered}");
+        assert_eq!(rendered.matches("warning[L0002]").count(), 1, "{rendered}");
+    }
+
+    #[test]
+    fn dummy_spans_are_never_deduped() {
+        let diags = vec![
+            Diagnostic::error("V0102", "subtraction a - b may underflow"),
+            Diagnostic::error("V0102", "subtraction c - d may underflow"),
+        ];
+        let rendered = render_diagnostics(&diags, "", "c.pol");
+        assert_eq!(rendered.matches("error[V0102]").count(), 2, "{rendered}");
     }
 
     #[test]

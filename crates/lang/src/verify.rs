@@ -16,8 +16,10 @@
 //! * **arithmetic safety** — every subtraction is dominated by a guard
 //!   bounding the minuend (phase conditions count, as they gate entry);
 //!   when the syntactic matcher gives up, the interval analysis of
-//!   [`crate::ir`] is consulted as a semantic fallback before a failure
-//!   is reported;
+//!   [`crate::ir`] is consulted, and when *that* gives up the
+//!   relational zone domain of [`crate::dbm`] (difference constraints
+//!   collected from the path conditions) is the last fallback before a
+//!   failure is reported — see [`VerifyReport::relationally_discharged`];
 //! * **effect ordering** — no state writes after a `Transfer`
 //!   (checks-effects-interactions);
 //! * **knowledge/privacy** — byte payloads are stored as commitments,
@@ -27,7 +29,8 @@
 //! source spans, renderable by [`crate::pretty::render_diagnostic`].
 
 use crate::ast::{BinOp, Expr, Program, Stmt};
-use crate::diag::{Diagnostic, NodePath, Owner};
+use crate::dbm::ZoneStats;
+use crate::diag::{Diagnostic, NodePath, Owner, Span};
 use crate::ir;
 
 /// The participant-assumption mode of a verification pass.
@@ -47,6 +50,11 @@ pub struct VerifyReport {
     pub theorems_checked: usize,
     /// Structured failures (empty = verified).
     pub failures: Vec<Diagnostic>,
+    /// Theorems neither the syntactic matcher nor the interval domain
+    /// could discharge that the relational zone domain proved.
+    pub relationally_discharged: usize,
+    /// Aggregate difference-logic solver counters across all bodies.
+    pub zone_stats: ZoneStats,
 }
 
 impl VerifyReport {
@@ -63,7 +71,11 @@ impl std::fmt::Display for VerifyReport {
         writeln!(f, "Verifying when ALL participants are honest")?;
         writeln!(f, "Verifying when NO participants are honest")?;
         if self.failures.is_empty() {
-            write!(f, "Checked {} theorems; No failures!", self.theorems_checked)
+            write!(f, "Checked {} theorems; No failures!", self.theorems_checked)?;
+            if self.relationally_discharged > 0 {
+                write!(f, " ({} discharged relationally)", self.relationally_discharged)?;
+            }
+            Ok(())
         } else {
             writeln!(
                 f,
@@ -81,8 +93,15 @@ impl std::fmt::Display for VerifyReport {
 
 /// Verifies a program, returning the aggregated report.
 pub fn verify(program: &Program) -> VerifyReport {
+    verify_with(program, true)
+}
+
+/// [`verify`] with the relational zone fallback toggleable
+/// (`polc --no-relational` disables it for baseline comparisons).
+pub fn verify_with(program: &Program, relational: bool) -> VerifyReport {
     let mut theorems = 0usize;
     let mut failures = Vec::new();
+    let mut relationally_discharged = 0usize;
 
     // --- Knowledge assertions: byte payloads are committed, not stored.
     for (_, api) in program.all_apis() {
@@ -160,15 +179,22 @@ pub fn verify(program: &Program) -> VerifyReport {
         .iter()
         .enumerate()
         .map(|(pi, phase)| {
-            (0..phase.apis.len()).map(|ai| ir::analyze_api(program, pi, ai)).collect()
+            (0..phase.apis.len())
+                .map(|ai| ir::analyze_api_with(program, pi, ai, relational))
+                .collect()
         })
         .collect();
+    let mut zone_stats = ZoneStats::default();
+    for flow in flows.iter().flatten() {
+        zone_stats.absorb(flow.zone_stats);
+    }
     for mode in [Mode::AllHonest, Mode::NoneHonest] {
         for (phase_idx, phase) in program.phases.iter().enumerate() {
             for (api_idx, api) in phase.apis.iter().enumerate() {
-                let (t, fails) =
+                let (t, fails, rel) =
                     verify_api(program, phase_idx, api_idx, mode, &flows[phase_idx][api_idx]);
                 theorems += t;
+                relationally_discharged += rel;
                 for mut d in fails {
                     d.message = format!("[{mode:?}] api {:?}: {}", api.name, d.message);
                     failures.push(d);
@@ -180,23 +206,25 @@ pub fn verify(program: &Program) -> VerifyReport {
         theorems += program.phases.len();
     }
 
-    VerifyReport { theorems_checked: theorems, failures }
+    VerifyReport { theorems_checked: theorems, failures, relationally_discharged, zone_stats }
 }
 
-/// Verifies one API under the given mode.
+/// Verifies one API under the given mode. Returns the theorem count,
+/// the failures, and how many theorems only the zone domain proved.
 fn verify_api(
     program: &Program,
     phase_idx: usize,
     api_idx: usize,
     mode: Mode,
     flow: &ir::BodyAnalysis,
-) -> (usize, Vec<Diagnostic>) {
+) -> (usize, Vec<Diagnostic>, usize) {
     let phase = &program.phases[phase_idx];
     let api = &phase.apis[api_idx];
     let owner = Owner::Api { phase: phase_idx as u32, api: api_idx as u32 };
     let at = |path: &[u32]| program.spans.get(&NodePath::Stmt(owner, path.to_vec()));
     let mut theorems = 0usize;
     let mut failures = Vec::new();
+    let mut relational = 0usize;
 
     // Pay well-formedness.
     if api.pay.is_some() {
@@ -236,19 +264,24 @@ fn verify_api(
             for_each_sub(value, &mut |minuend, subtrahend| {
                 theorems += 1;
                 // Syntactic dominating-guard matcher first; the interval
-                // analysis proves the remainder (e.g. `require(x >= 5);
-                // g = x - 3;`, where no guard names the subtrahend).
-                if !guards_bound_minuend(guards, minuend, subtrahend)
-                    && !flow.proves_sub_safe(path, minuend, subtrahend)
-                {
-                    failures.push(
-                        Diagnostic::error(
-                            "V0102",
-                            format!("subtraction {minuend:?} - {subtrahend:?} may underflow"),
-                        )
-                        .at(at(path))
-                        .suggest("add a dominating guard bounding the minuend from below"),
-                    );
+                // analysis proves more (e.g. `require(x >= 5); g = x - 3;`,
+                // where no guard names the subtrahend); the relational
+                // zone domain proves the remainder (mirrored guards
+                // like `require(b < a); g = a - b;`, transitive chains).
+                if !guards_bound_minuend(guards, minuend, subtrahend) {
+                    match flow.sub_safety(path, minuend, subtrahend) {
+                        ir::SubProof::Interval => {}
+                        ir::SubProof::Relational => relational += 1,
+                        ir::SubProof::Unproven => failures.push(
+                            Diagnostic::error(
+                                "V0102",
+                                format!("subtraction {minuend:?} - {subtrahend:?} may underflow"),
+                            )
+                            .at(at(path))
+                            .note(Span::DUMMY, "not provable relationally from the path conditions")
+                            .suggest("add a dominating guard bounding the minuend from below"),
+                        ),
+                    }
                 }
             });
             if transferred {
@@ -273,7 +306,7 @@ fn verify_api(
         _ => {}
     });
 
-    (theorems, failures)
+    (theorems, failures, relational)
 }
 
 /// Visits every statement, recursing into `If` arms.
@@ -308,7 +341,7 @@ fn for_each_stmt_path(stmts: &[Stmt], prefix: &mut Vec<u32>, f: &mut impl FnMut(
 /// Visits statements with the dominating guard set (phase conditions,
 /// earlier `Require`s, enclosing `If` conditions) and the statement
 /// path.
-fn walk_guarded(
+pub(crate) fn walk_guarded(
     stmts: &[Stmt],
     guards: &mut Vec<Expr>,
     prefix: &mut Vec<u32>,
@@ -343,7 +376,7 @@ fn walk_guarded(
 /// individually: the summands may be paid out sequentially and their
 /// total is bounded by the balance (the §2.8 witness-reward contract
 /// pays the prover and the witness under one combined guard).
-fn guards_cover_balance(guards: &[Expr], amount: &Expr) -> bool {
+pub(crate) fn guards_cover_balance(guards: &[Expr], amount: &Expr) -> bool {
     fn add_leaves<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
         match expr {
             Expr::Bin(BinOp::Add, lhs, rhs) => {
@@ -471,6 +504,83 @@ mod tests {
         ];
         let report = verify(&p);
         assert!(report.ok(), "{report}");
+    }
+
+    #[test]
+    fn zone_discharges_mirrored_guard() {
+        // `require(floor < by); count = by - floor;` — mirrored operand
+        // order defeats the syntactic matcher, and two opaque params
+        // defeat the intervals; only the zone domain proves it.
+        let mut p = Program::counter_example();
+        p.phases[0].apis[0].params.push(("floor".into(), Ty::UInt));
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::Bin(
+                BinOp::Lt,
+                Box::new(Expr::param("floor")),
+                Box::new(Expr::param("by")),
+            )),
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::param("by"), Expr::param("floor")),
+            },
+        ];
+        let report = verify(&p);
+        assert!(report.ok(), "{report}");
+        // Proved once per mode.
+        assert_eq!(report.relationally_discharged, 2);
+        assert!(report.zone_stats.constraints > 0);
+        assert!(report.to_string().contains("discharged relationally"), "{report}");
+
+        // With the solver off, the same program fails (baseline).
+        let base = verify_with(&p, false);
+        assert!(!base.ok());
+        assert!(base.failures.iter().all(|f| f.code == "V0102"));
+        assert_eq!(base.relationally_discharged, 0);
+        assert_eq!(base.zone_stats, crate::dbm::ZoneStats::default());
+    }
+
+    #[test]
+    fn zone_discharges_transitive_chain() {
+        let mut p = Program::counter_example();
+        for extra in ["a", "b", "c"] {
+            p.phases[0].apis[0].params.push((extra.into(), Ty::UInt));
+        }
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::gt(Expr::param("a"), Expr::param("b"))),
+            Stmt::Require(Expr::gt(Expr::param("b"), Expr::param("c"))),
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::param("a"), Expr::param("c")),
+            },
+        ];
+        let report = verify(&p);
+        assert!(report.ok(), "{report}");
+        assert_eq!(report.relationally_discharged, 2);
+        assert!(!verify_with(&p, false).ok());
+    }
+
+    #[test]
+    fn may_wrap_guard_still_rejected_with_zone() {
+        // The verify_soundness pin: `require(a <= p - q)` must not
+        // launder a possibly-wrapping `p - q` into a bound on `a`.
+        let mut p = Program::counter_example();
+        for extra in ["a", "p", "q"] {
+            p.phases[0].apis[0].params.push((extra.into(), Ty::UInt));
+        }
+        p.phases[0].apis[0].body = vec![
+            Stmt::Require(Expr::Bin(
+                BinOp::Le,
+                Box::new(Expr::param("a")),
+                Box::new(Expr::sub(Expr::param("p"), Expr::param("q"))),
+            )),
+            Stmt::GlobalSet {
+                name: "count".into(),
+                value: Expr::sub(Expr::param("p"), Expr::param("a")),
+            },
+        ];
+        let report = verify(&p);
+        assert!(!report.ok(), "wrapping guard must not discharge the theorem");
+        assert!(report.failures.iter().all(|f| f.code == "V0102"));
     }
 
     #[test]

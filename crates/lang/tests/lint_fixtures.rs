@@ -61,7 +61,7 @@ fn fixtures_produce_their_golden_diagnostics() {
         assert_eq!(got, want, "diagnostics changed for {}", path.display());
         checked += 1;
     }
-    assert!(checked >= 6, "expected at least 6 fixtures, found {checked}");
+    assert!(checked >= 8, "expected at least 8 fixtures, found {checked}");
 }
 
 #[test]

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `polc` binary: the `--no-relational` switch,
+//! the `verify` subcommand with its JSON statistics output, and the
+//! code registry.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn polc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_polc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("polc runs")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/lint")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn contract(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../crates/core/contracts")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn relational_guard_is_clean_only_with_the_zone() {
+    let with = polc(&["lint", &fixture("relational_guard.pol")]);
+    assert!(with.status.success(), "{}", String::from_utf8_lossy(&with.stderr));
+
+    // Without the zone the mirrored guard is invisible: V0102 fires and
+    // the (empty) golden mismatches.
+    let without = polc(&["lint", "--no-relational", &fixture("relational_guard.pol")]);
+    assert!(!without.status.success());
+    let stderr = String::from_utf8_lossy(&without.stderr);
+    assert!(stderr.contains("V0102"), "{stderr}");
+}
+
+#[test]
+fn unsat_require_warns_only_with_the_zone() {
+    let with = polc(&["lint", &fixture("unsat_require.pol")]);
+    assert!(with.status.success(), "{}", String::from_utf8_lossy(&with.stderr));
+
+    // Without the zone there is no L0006, so the golden mismatches.
+    let without = polc(&["lint", "--no-relational", &fixture("unsat_require.pol")]);
+    assert!(!without.status.success());
+}
+
+#[test]
+fn verify_reports_system_and_writes_json() {
+    let json_path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("relational_verify.json");
+    let out = polc(&[
+        "verify",
+        "--json",
+        &json_path.to_string_lossy(),
+        &contract("proof_of_location.pol"),
+        &contract("proof_of_location_v2.pol"),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("discharged relationally"), "{stdout}");
+    assert!(stdout.contains("aggregate conservation holds"), "{stdout}");
+
+    let json = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(json.contains("\"theorems_checked\": 42"), "{json}");
+    assert!(json.contains("\"discharged\": 2"), "{json}");
+    assert!(json.contains("\"aggregate_conserved\": true"), "{json}");
+}
+
+#[test]
+fn verify_without_the_zone_rejects_the_v2_contract() {
+    let out = polc(&["verify", "--no-relational", &contract("proof_of_location_v2.pol")]);
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAILURES"), "{stdout}");
+}
+
+#[test]
+fn codes_registry_includes_the_relational_codes() {
+    let out = polc(&["codes"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for code in ["L0006", "X0501", "X0502", "X0503", "X0504"] {
+        assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
+    }
+}

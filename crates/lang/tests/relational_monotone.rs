@@ -1,0 +1,163 @@
+//! Precision monotonicity of the relational layer: enabling the
+//! difference-logic zone domain can only *discharge* more theorems,
+//! never fail more. For random programs mixing subtractions with
+//! comparison `require` chains:
+//!
+//! * every failure reported with the zone enabled is also reported
+//!   with it disabled (zone failures ⊆ interval failures);
+//! * the theorem count is identical — the zone changes proofs, not
+//!   obligations;
+//! * the failure gap between the two runs is exactly the number of
+//!   theorems the report says were discharged relationally;
+//! * the lints are unchanged except for L0006 (unsatisfiable require
+//!   chains), which only the zone can produce.
+
+use pol_lang::ast::*;
+use pol_lang::diag::Diagnostic;
+use pol_lang::{lint, verify};
+use proptest::prelude::*;
+
+const GLOBALS: [&str; 2] = ["g1", "g2"];
+const PARAMS: [&str; 2] = ["a", "b"];
+
+fn gname() -> impl Strategy<Value = String> {
+    prop_oneof![Just(GLOBALS[0]), Just(GLOBALS[1])].prop_map(str::to_string)
+}
+
+/// Atomic uint terms: constants, globals, parameters.
+fn term() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u64..64).prop_map(Expr::UInt),
+        gname().prop_map(Expr::Global),
+        prop_oneof![Just(PARAMS[0]), Just(PARAMS[1])].prop_map(|p| Expr::Param(p.to_string())),
+    ]
+}
+
+/// Comparisons between terms — the require/branch conditions the zone
+/// turns into difference constraints.
+fn cmp() -> impl Strategy<Value = Expr> {
+    (term(), term(), any::<u8>()).prop_map(|(x, y, op)| {
+        let op = match op % 6 {
+            0 => BinOp::Lt,
+            1 => BinOp::Gt,
+            2 => BinOp::Le,
+            3 => BinOp::Ge,
+            4 => BinOp::Eq,
+            _ => BinOp::Ne,
+        };
+        Expr::Bin(op, Box::new(x), Box::new(y))
+    })
+}
+
+/// Assigned values, deliberately including subtraction — the V0102
+/// obligation the zone may or may not discharge.
+fn value() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        term(),
+        (term(), term()).prop_map(|(x, y)| Expr::Bin(BinOp::Sub, Box::new(x), Box::new(y))),
+        (term(), term()).prop_map(|(x, y)| Expr::Bin(BinOp::Add, Box::new(x), Box::new(y))),
+    ]
+}
+
+fn assign() -> impl Strategy<Value = Stmt> {
+    (gname(), value()).prop_map(|(name, value)| Stmt::GlobalSet { name, value })
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        cmp().prop_map(Stmt::Require),
+        assign(),
+        (
+            cmp(),
+            proptest::collection::vec(assign(), 0..2),
+            proptest::collection::vec(assign(), 0..2)
+        )
+            .prop_map(|(cond, then, otherwise)| Stmt::If { cond, then, otherwise }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (proptest::collection::vec(stmt(), 1..6), 0u64..64).prop_map(|(body, g1_init)| Program {
+        name: "mono".into(),
+        creator: Participant { name: "Creator".into(), fields: vec![("seed".into(), Ty::UInt)] },
+        constructor: vec![],
+        globals: vec![
+            GlobalDecl {
+                name: GLOBALS[0].into(),
+                ty: Ty::UInt,
+                init: GlobalInit::Const(g1_init),
+                viewable: true,
+            },
+            GlobalDecl {
+                name: GLOBALS[1].into(),
+                ty: Ty::UInt,
+                init: GlobalInit::FromField("seed".into()),
+                viewable: true,
+            },
+        ],
+        maps: vec![],
+        phases: vec![Phase {
+            name: "p".into(),
+            while_cond: Expr::Bin(BinOp::Lt, Box::new(Expr::UInt(0)), Box::new(Expr::UInt(1))),
+            invariant: Expr::Bin(
+                BinOp::Ge,
+                Box::new(Expr::global(GLOBALS[0])),
+                Box::new(Expr::UInt(0)),
+            ),
+            apis: vec![Api {
+                name: "f".into(),
+                params: vec![(PARAMS[0].into(), Ty::UInt), (PARAMS[1].into(), Ty::UInt)],
+                pay: None,
+                body,
+                returns: Expr::global(GLOBALS[0]),
+            }],
+        }],
+        spans: Default::default(),
+    })
+}
+
+fn key(d: &Diagnostic) -> (String, String) {
+    (d.code.to_string(), d.message.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn zone_never_adds_failures(program in program()) {
+        prop_assume!(pol_lang::check::check(&program).is_empty());
+        let base = verify::verify_with(&program, false);
+        let rel = verify::verify_with(&program, true);
+
+        prop_assert_eq!(base.theorems_checked, rel.theorems_checked);
+
+        let base_keys: Vec<_> = base.failures.iter().map(key).collect();
+        for failure in &rel.failures {
+            prop_assert!(
+                base_keys.contains(&key(failure)),
+                "zone introduced a failure the interval run lacked: {} — program:\n{}",
+                failure,
+                pol_lang::pretty::to_source(&program)
+            );
+        }
+        prop_assert_eq!(
+            base.failures.len(),
+            rel.failures.len() + rel.relationally_discharged,
+            "discharge count does not explain the failure gap — program:\n{}",
+            pol_lang::pretty::to_source(&program)
+        );
+
+        let base_lints = lint::lint_with(&program, false);
+        let rel_lints = lint::lint_with(&program, true);
+        prop_assert!(base_lints.iter().all(|d| d.code != "L0006"));
+        let strip = |diags: &[Diagnostic]| {
+            diags.iter().filter(|d| d.code != "L0006").map(key).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(
+            strip(&base_lints),
+            strip(&rel_lints),
+            "zone changed a non-L0006 lint — program:\n{}",
+            pol_lang::pretty::to_source(&program)
+        );
+    }
+}
