@@ -1,0 +1,96 @@
+//! Micro-benchmarks of the journaled state layer: overlay open/commit
+//! cycles with and without the executor's pooled buffers, and backend
+//! commit costs on ledger-shaped batches.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pol_ledger::{Address, Overlay, OverlayBuffers, StateKey, StateValue, StateView, WorldState};
+use std::hint::black_box;
+
+const ACCOUNTS: u64 = 256;
+const TOUCHES: u64 = 64;
+
+fn seeded_world() -> WorldState {
+    let mut world = WorldState::new();
+    for i in 0..ACCOUNTS {
+        let mut addr = [0u8; 20];
+        addr[12..20].copy_from_slice(&i.to_be_bytes());
+        world.set(StateKey::Balance(Address(addr)), StateValue::U128(1_000_000));
+    }
+    world
+}
+
+fn addr(i: u64) -> Address {
+    let mut bytes = [0u8; 20];
+    bytes[12..20].copy_from_slice(&(i % ACCOUNTS).to_be_bytes());
+    Address(bytes)
+}
+
+/// One speculation round: read-modify-write `TOUCHES` balances through an
+/// overlay, exactly what the executor does per transaction attempt.
+fn touch(view: &mut Overlay<'_>, round: u64) {
+    for i in 0..TOUCHES {
+        let key = StateKey::Balance(addr(round.wrapping_mul(31).wrapping_add(i)));
+        let have = view.get(&key).and_then(|v| v.as_u128()).unwrap_or(0);
+        view.put(key, StateValue::U128(have + 1));
+    }
+}
+
+fn overlay_rounds(c: &mut Criterion) {
+    let world = seeded_world();
+    let mut group = c.benchmark_group("overlay");
+    group.throughput(Throughput::Elements(TOUCHES));
+
+    // Baseline: a fresh overlay per round, every map allocated anew — the
+    // pre-pooling executor behaviour.
+    group.bench_function("round/fresh", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut view = Overlay::new(&world);
+            touch(&mut view, round);
+            let (reads, writes) = view.into_parts();
+            black_box((reads.len(), writes.len()))
+        })
+    });
+
+    // Pooled: the round's maps are recycled through `OverlayBuffers`, so
+    // steady-state rounds reuse warmed capacity instead of reallocating.
+    group.bench_function("round/pooled", |b| {
+        let mut round = 0u64;
+        let mut buffers = OverlayBuffers::new();
+        b.iter(|| {
+            round += 1;
+            let mut view = Overlay::with_buffers(&world, std::mem::take(&mut buffers));
+            touch(&mut view, round);
+            let (reads, writes, mut spare) = view.into_parts_reusing();
+            spare.absorb(reads, writes);
+            buffers = spare;
+            black_box(round)
+        })
+    });
+    group.finish();
+}
+
+fn backend_commits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    group.throughput(Throughput::Elements(TOUCHES));
+
+    // Apply a write set through WorldState so the batch takes the same
+    // mirror-and-commit path block commits do.
+    group.bench_function("apply/memory", |b| {
+        let mut world = seeded_world();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut view = Overlay::new(&world);
+            touch(&mut view, round);
+            let (_, writes) = view.into_parts();
+            world.apply(writes);
+            black_box(world.state_root())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, overlay_rounds, backend_commits);
+criterion_main!(benches);

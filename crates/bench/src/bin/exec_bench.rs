@@ -1,7 +1,7 @@
 //! Throughput benchmark of the optimistic-parallel block executor.
 //!
 //! ```sh
-//! cargo run --release -p pol-bench --bin exec_bench [-- --seed N]
+//! cargo run --release -p pol-bench --bin exec_bench [-- --seed N] [--backend memory|wal|trie]
 //! ```
 //!
 //! Runs two workloads, each under `ExecutionMode::Sequential` and
@@ -41,6 +41,8 @@ use pol_chainsim::{explorer, presets, ExecStats, ExecutionMode};
 use pol_evm::assembler::Asm;
 use pol_evm::opcode::Op;
 use pol_ledger::ContractId;
+use pol_store::{StateBackend, TrieBackend, WalBackend};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 const USERS: usize = 16;
@@ -112,11 +114,44 @@ struct RunOutcome {
     report: String,
 }
 
-fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode) -> RunOutcome {
+/// Unique scratch directories for WAL-backed runs, cleaned up eagerly so
+/// repeated invocations don't accumulate logs in the system temp dir.
+static WAL_RUN: AtomicUsize = AtomicUsize::new(0);
+
+fn wal_scratch_dir() -> std::path::PathBuf {
+    let run = WAL_RUN.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pol-exec-bench-wal-{}-{run}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_backend(backend: &str) -> Option<Box<dyn StateBackend>> {
+    match backend {
+        // `None` keeps the preset's stock construction path: the default
+        // in-memory backend, exactly what the bench measured before the
+        // flag existed.
+        "memory" => None,
+        "trie" => Some(Box::new(TrieBackend::new())),
+        // A large snapshot interval so the timed phase measures log
+        // appends, not snapshot rewrites.
+        "wal" => Some(Box::new(
+            WalBackend::open(wal_scratch_dir(), 1_024).expect("open wal scratch dir"),
+        )),
+        other => {
+            eprintln!("unknown --backend {other:?} (expected memory|wal|trie)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode, backend: &str) -> RunOutcome {
     let mut preset = presets::devnet_evm();
     preset.config.gas_limit = 60_000_000;
     preset.config.gas_target = 30_000_000;
-    let mut chain: Chain = preset.build(seed);
+    let mut chain: Chain = match open_backend(backend) {
+        Some(b) => preset.build_with_backend(seed, b),
+        None => preset.build(seed),
+    };
     chain.set_execution_mode(mode);
 
     // Setup phase (not timed): fund the users, deploy one contract each —
@@ -194,11 +229,16 @@ struct WorkloadResult {
     headline_speedup: f64,
 }
 
-fn run_workload(seed: u64, workload: Workload) -> WorkloadResult {
-    let seq = run_mode(seed, workload, ExecutionMode::Sequential);
-    let par = run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS });
+fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult {
+    let seq = run_mode(seed, workload, ExecutionMode::Sequential, backend);
+    let par = run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS }, backend);
     let abort = if workload == Workload::ConflictHeavy {
-        Some(run_mode(seed, workload, ExecutionMode::ParallelAbortSuffix { workers: WORKERS }))
+        Some(run_mode(
+            seed,
+            workload,
+            ExecutionMode::ParallelAbortSuffix { workers: WORKERS },
+            backend,
+        ))
     } else {
         None
     };
@@ -263,11 +303,15 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(EVAL_SEED);
+    let backend = std::env::args()
+        .skip_while(|a| a != "--backend")
+        .nth(1)
+        .unwrap_or_else(|| "memory".to_string());
     let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
 
-    println!("=== executor bench (seed {seed}, {host_cores} host cores) ===");
-    let light = run_workload(seed, Workload::ConflictLight);
-    let heavy = run_workload(seed, Workload::ConflictHeavy);
+    println!("=== executor bench (seed {seed}, backend {backend}, {host_cores} host cores) ===");
+    let light = run_workload(seed, Workload::ConflictLight, &backend);
+    let heavy = run_workload(seed, Workload::ConflictHeavy, &backend);
     for line in light.summary.iter().chain(&heavy.summary) {
         println!("{line}");
     }
@@ -276,6 +320,7 @@ fn main() {
         r#"{{
   "bench": "exec_bench",
   "seed": {seed},
+  "backend": "{backend}",
   "workers": {WORKERS},
   "host_cores": {host_cores},
   "speedup": {headline:.3},
@@ -296,6 +341,12 @@ fn main() {
     match std::fs::write(path, &json) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    for run in 0..WAL_RUN.load(Ordering::Relaxed) {
+        let dir =
+            std::env::temp_dir().join(format!("pol-exec-bench-wal-{}-{run}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     if !light.ok || !heavy.ok {

@@ -1,0 +1,204 @@
+//! Storage backend benchmark (tentpole of the pol-store subsystem).
+//!
+//! ```sh
+//! cargo run --release -p pol-bench --bin storage_bench [-- --tier N]
+//! ```
+//!
+//! Populates every `pol-store` backend — in-memory map, append-only WAL,
+//! copy-on-write Merkle trie — with the same synthetic account set at
+//! three tiers (10k / 100k / 1M accounts by default; `--tier N` keeps
+//! only tiers ≤ N), committing in block-sized batches, and measures:
+//!
+//! * `commit_ms` / `commits_per_sec` — end-to-end batch commit cost,
+//!   including the WAL's fsync-free log appends and the trie's
+//!   incremental node rebuilds.
+//! * `root_ms` — authenticated-root latency. The map and WAL backends
+//!   recompute the canonical trie root from scratch (O(n log n) hashing);
+//!   the trie backend answers from its maintained root.
+//! * `restart_ms` / `restart_root_match` (WAL only) — time to reopen the
+//!   log cold and replay to the exact pre-crash state, and whether the
+//!   recovered root matches.
+//!
+//! Every tier is also a differential check: all three backends must land
+//! on byte-identical roots or the bench exits non-zero. Results go to
+//! `results/storage_bench.json`.
+
+use pol_store::{BatchEntry, MemoryBackend, StateBackend, TrieBackend, WalBackend};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One block's worth of account writes.
+type Batch = Vec<BatchEntry>;
+
+const TIERS: [usize; 3] = [10_000, 100_000, 1_000_000];
+const BATCH: usize = 1_000;
+/// Large enough that the timed phase measures log appends, not snapshot
+/// rewrites; the restart phase then genuinely replays the log tail.
+const SNAPSHOT_EVERY: u64 = 1 << 20;
+
+fn scratch_dir(tier: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pol-storage-bench-{}-{tier}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The synthetic account set: `Balance`-shaped 21-byte keys (tag byte +
+/// 20-byte address derived from the index) mapping to 16-byte amounts —
+/// the same shapes the ledger codec mirrors into a chain's backend.
+fn account_batches(accounts: usize) -> Vec<Batch> {
+    (0..accounts)
+        .step_by(BATCH)
+        .map(|start| {
+            (start..(start + BATCH).min(accounts))
+                .map(|i| {
+                    let mut key = vec![1u8; 21];
+                    key[13..21].copy_from_slice(&(i as u64).to_be_bytes());
+                    key[1..9].copy_from_slice(&(i as u64).wrapping_mul(0x9E37_79B9).to_be_bytes());
+                    let value = (1_000_000u128 + i as u128).to_be_bytes().to_vec();
+                    (key, Some(value))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn hex(root: &[u8; 32]) -> String {
+    root.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+struct BackendRun {
+    name: &'static str,
+    commit_ms: f64,
+    commits_per_sec: f64,
+    root_ms: f64,
+    root: [u8; 32],
+    restart: Option<(f64, bool)>,
+}
+
+impl BackendRun {
+    fn json(&self, indent: &str) -> String {
+        let mut out = format!(
+            "{{\n{indent}  \"backend\": \"{}\",\n{indent}  \"commit_ms\": {:.3},\n\
+             {indent}  \"commits_per_sec\": {:.1},\n{indent}  \"root_ms\": {:.3},\n\
+             {indent}  \"root\": \"{}\"",
+            self.name,
+            self.commit_ms,
+            self.commits_per_sec,
+            self.root_ms,
+            hex(&self.root),
+        );
+        if let Some((restart_ms, matched)) = self.restart {
+            out.push_str(&format!(
+                ",\n{indent}  \"restart_ms\": {restart_ms:.3},\n\
+                 {indent}  \"restart_root_match\": {matched}"
+            ));
+        }
+        out.push_str(&format!("\n{indent}}}"));
+        out
+    }
+}
+
+fn bench_backend(
+    mut backend: Box<dyn StateBackend>,
+    name: &'static str,
+    batches: &[Batch],
+) -> BackendRun {
+    let started = Instant::now();
+    for (height, batch) in batches.iter().enumerate() {
+        backend.commit(batch).expect("commit");
+        backend.flush_block(height as u64).expect("flush");
+    }
+    let commit_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    let started = Instant::now();
+    let root = backend.root();
+    let root_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    BackendRun {
+        name,
+        commit_ms,
+        commits_per_sec: batches.len() as f64 / (commit_ms / 1_000.0).max(f64::MIN_POSITIVE),
+        root_ms,
+        root,
+        restart: None,
+    }
+}
+
+fn bench_tier(accounts: usize) -> (String, bool) {
+    eprintln!("tier {accounts}: generating workload...");
+    let batches = account_batches(accounts);
+
+    let memory = bench_backend(Box::new(MemoryBackend::new()), "memory", &batches);
+    eprintln!("  memory: commit {:.1} ms, root {:.1} ms", memory.commit_ms, memory.root_ms);
+    let trie = bench_backend(Box::new(TrieBackend::new()), "trie", &batches);
+    eprintln!("  trie:   commit {:.1} ms, root {:.1} ms", trie.commit_ms, trie.root_ms);
+
+    let dir = scratch_dir(accounts);
+    let mut wal = bench_backend(
+        Box::new(WalBackend::open(&dir, SNAPSHOT_EVERY).expect("open wal")),
+        "wal",
+        &batches,
+    );
+    let started = Instant::now();
+    let reopened = WalBackend::open(&dir, SNAPSHOT_EVERY).expect("reopen wal");
+    let restart_ms = started.elapsed().as_secs_f64() * 1_000.0;
+    let restart_match = reopened.root() == wal.root;
+    wal.restart = Some((restart_ms, restart_match));
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!(
+        "  wal:    commit {:.1} ms, root {:.1} ms, restart {restart_ms:.1} ms (match: {restart_match})",
+        wal.commit_ms, wal.root_ms
+    );
+
+    let roots_match = memory.root == trie.root && trie.root == wal.root && restart_match;
+    let json = format!(
+        "    {{\n      \"accounts\": {accounts},\n      \"batch_size\": {BATCH},\n      \
+         \"roots_match\": {roots_match},\n      \"root\": \"{}\",\n      \"backends\": [\n        {},\n        {},\n        {}\n      ]\n    }}",
+        hex(&memory.root),
+        memory.json("        "),
+        wal.json("        "),
+        trie.json("        "),
+    );
+    (json, roots_match)
+}
+
+fn main() {
+    let cap: usize = std::env::args()
+        .skip_while(|a| a != "--tier")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let tiers: Vec<usize> = TIERS.iter().copied().filter(|t| *t <= cap).collect();
+    if tiers.is_empty() {
+        eprintln!("--tier {cap} excludes every tier {TIERS:?}");
+        std::process::exit(2);
+    }
+
+    println!("=== storage bench (tiers {tiers:?}, batch {BATCH}) ===");
+    let mut tier_json = Vec::new();
+    let mut all_match = true;
+    for &accounts in &tiers {
+        let (json, ok) = bench_tier(accounts);
+        tier_json.push(json);
+        all_match &= ok;
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"storage_bench\",\n  \"batch_size\": {BATCH},\n  \
+         \"differential_match\": {all_match},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        tier_json.join(",\n"),
+    );
+    let _ = std::fs::create_dir_all("results");
+    let path = "results/storage_bench.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    if !all_match {
+        eprintln!("FAIL: backend roots diverged");
+        std::process::exit(1);
+    }
+    println!("all backends agree on the authenticated root at every tier");
+}

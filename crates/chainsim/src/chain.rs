@@ -12,6 +12,7 @@ use pol_ledger::{
     Address, Block, BlockHash, ContractId, Currency, LedgerError, Receipt, Transaction, TxId,
     WorldState,
 };
+use pol_store::StateBackend;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
@@ -102,6 +103,7 @@ pub struct Chain {
     total_burned: u128,
     exec_mode: ExecutionMode,
     exec_stats: ExecStats,
+    exec_buffers: executor::BufferPool,
 }
 
 struct PendingReceipt {
@@ -120,8 +122,28 @@ impl std::fmt::Debug for Chain {
 }
 
 impl Chain {
-    /// Creates a chain from a configuration and RNG seed.
+    /// Creates a chain from a configuration and RNG seed, over the
+    /// default in-memory state backend.
     pub fn new(config: ChainConfig, seed: u64) -> Chain {
+        Chain::with_world(config, seed, WorldState::new())
+    }
+
+    /// Creates a chain whose world state commits through `backend` —
+    /// e.g. a `pol_store::WalBackend` for crash-restart durability or a
+    /// `pol_store::TrieBackend` for incremental roots and Merkle proofs.
+    /// Entries already persisted in the backend are restored into the
+    /// typed world (opaque blob values are dropped from the typed view;
+    /// see `WorldState::with_backend`).
+    pub fn new_with_backend(
+        config: ChainConfig,
+        seed: u64,
+        backend: Box<dyn StateBackend>,
+    ) -> Chain {
+        let (world, _opaque) = WorldState::with_backend(backend);
+        Chain::with_world(config, seed, world)
+    }
+
+    fn with_world(config: ChainConfig, seed: u64, world: WorldState) -> Chain {
         let (registry, validator_keys) = StakeRegistry::equal_stake(config.validators.max(1), 32);
         let genesis = Block {
             number: 0,
@@ -138,7 +160,7 @@ impl Chain {
             now_ms: 0,
             blocks: vec![genesis],
             mempool: Vec::new(),
-            world: WorldState::new(),
+            world,
             avm_payloads: HashMap::new(),
             receipts: HashMap::new(),
             rng: StdRng::seed_from_u64(seed),
@@ -148,6 +170,7 @@ impl Chain {
             total_burned: 0,
             exec_mode: ExecutionMode::Sequential,
             exec_stats: ExecStats::default(),
+            exec_buffers: executor::BufferPool::default(),
         }
     }
 
@@ -168,10 +191,25 @@ impl Chain {
         self.exec_stats
     }
 
-    /// A digest over the full world state (balances, nonces, contracts,
-    /// apps) — equal digests mean observably identical chains.
+    /// The authenticated commitment over the full world state (balances,
+    /// nonces, contracts, apps): the canonical Merkle-trie root the state
+    /// backend maintains — equal digests mean observably identical
+    /// chains, on every backend and in every execution mode, and Merkle
+    /// proofs from a trie backend verify against exactly this value.
     pub fn state_digest(&self) -> [u8; 32] {
-        sha256(&self.world.digest_input())
+        self.world.state_root()
+    }
+
+    /// The name of the state backend the world commits through.
+    pub fn state_backend_name(&self) -> &'static str {
+        self.world.backend_name()
+    }
+
+    /// An inclusion/exclusion proof for one state key against
+    /// [`Chain::state_digest`], on backends that support proving (the
+    /// Merkle trie; others return `None`).
+    pub fn prove_state(&self, key: &pol_ledger::StateKey) -> Option<pol_store::MerkleProof> {
+        self.world.prove(key)
     }
 
     /// Current simulation time, milliseconds.
@@ -581,6 +619,7 @@ impl Chain {
             pool,
             remaining_gas,
             self.exec_mode,
+            &self.exec_buffers,
             &mut self.exec_stats,
         );
         let block_gas_used = background_gas + outcome.tx_gas;
@@ -610,6 +649,9 @@ impl Chain {
             gas_used: block_gas_used,
             transactions: included,
         });
+        // Block boundary: durability flush / snapshot policy on the state
+        // backend (a no-op for volatile backends).
+        self.world.flush_block(height).expect("state backend flush failed");
         self.now_ms = self.now_ms.max(block_time);
     }
 }

@@ -31,8 +31,8 @@ use crate::feemarket;
 use pol_avm::{call_app, create_app, AppCallParams};
 use pol_evm::{call_contract, deploy_contract, CallParams};
 use pol_ledger::{
-    Address, Amount, ContractId, Currency, Overlay, ReadSet, Receipt, StateView, Transaction, TxId,
-    TxKind, TxStatus, WorldState, WriteSet,
+    Address, Amount, ContractId, Currency, Overlay, OverlayBuffers, ReadSet, Receipt, StateView,
+    Transaction, TxId, TxKind, TxStatus, WorldState, WriteSet,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -119,6 +119,42 @@ impl ExecStats {
     }
 }
 
+/// A shared pool of recyclable [`OverlayBuffers`]. Every speculation
+/// attempt opens an [`Overlay`]; without pooling that is three heap
+/// allocations per attempt, re-grown from empty each time. The pool
+/// lives on the [`crate::chain::Chain`], so capacity earned in one block
+/// (or one speculation round) is reused by the next — both by the
+/// sequential path and by the parallel workers, which take and return
+/// buffers through the mutex around their actual execution work.
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool(Mutex<Vec<OverlayBuffers>>);
+
+impl BufferPool {
+    /// Pops pooled buffers, or fresh empty ones when the pool is dry.
+    fn take(&self) -> OverlayBuffers {
+        self.0.lock().expect("buffer pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Returns buffers to the pool.
+    fn put(&self, buffers: OverlayBuffers) {
+        self.0.lock().expect("buffer pool poisoned").push(buffers);
+    }
+
+    /// Reclaims the read/write maps of a resolved outcome into a pooled
+    /// buffer set (see [`OverlayBuffers::absorb`]).
+    fn recycle(&self, reads: ReadSet, writes: WriteSet) {
+        let mut buffers = self.take();
+        buffers.absorb(reads, writes);
+        self.put(buffers);
+    }
+
+    /// Pooled buffer sets currently available (telemetry/tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.0.lock().expect("buffer pool poisoned").len()
+    }
+}
+
 /// Per-block execution context shared by every transaction of the block.
 pub(crate) struct ExecCtx<'a> {
     pub(crate) vm: VmKind,
@@ -164,18 +200,19 @@ pub(crate) fn run_block(
     pool: Vec<PendingTx>,
     gas_budget: u64,
     mode: ExecutionMode,
+    buffers: &BufferPool,
     stats: &mut ExecStats,
 ) -> BlockOutcome {
     stats.blocks += 1;
     match mode {
-        ExecutionMode::Sequential => run_sequential(ctx, world, pool, gas_budget, stats),
+        ExecutionMode::Sequential => run_sequential(ctx, world, pool, gas_budget, buffers, stats),
         ExecutionMode::Parallel { workers } => {
             stats.parallel_blocks += 1;
-            run_parallel(ctx, world, pool, gas_budget, workers.max(1), true, stats)
+            run_parallel(ctx, world, pool, gas_budget, workers.max(1), true, buffers, stats)
         }
         ExecutionMode::ParallelAbortSuffix { workers } => {
             stats.parallel_blocks += 1;
-            run_parallel(ctx, world, pool, gas_budget, workers.max(1), false, stats)
+            run_parallel(ctx, world, pool, gas_budget, workers.max(1), false, buffers, stats)
         }
     }
 }
@@ -202,6 +239,7 @@ fn run_sequential(
     world: &mut WorldState,
     pool: Vec<PendingTx>,
     gas_budget: u64,
+    buffers: &BufferPool,
     stats: &mut ExecStats,
 ) -> BlockOutcome {
     let mut committed = Vec::new();
@@ -214,7 +252,8 @@ fn run_sequential(
             leftover.push(pending);
             continue;
         }
-        let out = execute_tx(ctx, world, &pending);
+        let out = execute_tx(ctx, world, &pending, buffers);
+        buffers.recycle(out.reads, WriteSet::new());
         world.apply(out.writes);
         if ctx.vm == VmKind::Evm {
             remaining = remaining.saturating_sub(out.gas_used);
@@ -268,6 +307,7 @@ fn run_parallel(
     gas_budget: u64,
     workers: usize,
     recovery: bool,
+    buffers: &BufferPool,
     stats: &mut ExecStats,
 ) -> BlockOutcome {
     let n = pool.len();
@@ -298,7 +338,7 @@ fn run_parallel(
             let round_workers = workers.min(todo.len());
             if round_workers <= 1 {
                 for &i in &todo {
-                    spec[i] = Some(execute_tx(ctx, world, &pool[i]));
+                    spec[i] = Some(execute_tx(ctx, world, &pool[i], buffers));
                 }
             } else {
                 let results: Vec<Mutex<Option<TxOutcome>>> =
@@ -311,7 +351,7 @@ fn run_parallel(
                         scope.spawn(|| loop {
                             let k = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = todo.get(k) else { break };
-                            let out = execute_tx(ctx, base, &pool_ref[i]);
+                            let out = execute_tx(ctx, base, &pool_ref[i], buffers);
                             *results[k].lock().expect("worker panicked") = Some(out);
                         });
                     }
@@ -345,6 +385,7 @@ fn run_parallel(
                 }
                 let out = spec[i].take().expect("live candidates were speculated");
                 if world.validates(&out.reads) {
+                    buffers.recycle(out.reads, WriteSet::new());
                     world.apply(out.writes);
                     if ctx.vm == VmKind::Evm {
                         remaining = remaining.saturating_sub(out.gas_used);
@@ -358,6 +399,7 @@ fn run_parallel(
                 } else {
                     stats.conflicts += 1;
                     est_gas[i] = out.gas_used.max(1);
+                    buffers.recycle(out.reads, out.writes);
                     frontier = false;
                 }
             } else if recovery {
@@ -383,11 +425,14 @@ fn run_parallel(
                     stats.conflicts += 1;
                     let out = spec[i].take().expect("only held speculations are classified");
                     est_gas[i] = out.gas_used.max(1);
+                    buffers.recycle(out.reads, out.writes);
                 }
             } else {
                 // Abort-at-first-conflict baseline: throw the rest of the
                 // round away; the whole suffix re-speculates.
-                spec[i] = None;
+                if let Some(out) = spec[i].take() {
+                    buffers.recycle(out.reads, out.writes);
+                }
             }
         }
     }
@@ -407,10 +452,15 @@ fn run_parallel(
 /// Executes one transaction speculatively against `base`, returning its
 /// receipt together with the recorded read and write sets. Pure in the
 /// sense that only the returned write set carries effects.
-fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOutcome {
+fn execute_tx(
+    ctx: &ExecCtx<'_>,
+    base: &WorldState,
+    pending: &PendingTx,
+    buffers: &BufferPool,
+) -> TxOutcome {
     let started = Instant::now();
     let base_version = base.version();
-    let mut view = Overlay::new(base);
+    let mut view = Overlay::with_buffers(base, buffers.take());
     let tx = &pending.tx;
     let id = tx.id();
     let mut status = TxStatus::Success;
@@ -576,7 +626,8 @@ fn execute_tx(ctx: &ExecCtx<'_>, base: &WorldState, pending: &PendingTx) -> TxOu
         output,
         logs,
     };
-    let (reads, writes) = view.into_parts();
+    let (reads, writes, spare) = view.into_parts_reusing();
+    buffers.put(spare);
     TxOutcome {
         receipt,
         gas_used,
@@ -670,7 +721,15 @@ mod tests {
                 pool.push(transfer(i, to, 1_000 + u128::from(i)));
             }
             let mut stats = ExecStats::default();
-            let outcome = run_block(&ctx, &mut world, pool, 10_000_000, mode, &mut stats);
+            let outcome = run_block(
+                &ctx,
+                &mut world,
+                pool,
+                10_000_000,
+                mode,
+                &BufferPool::default(),
+                &mut stats,
+            );
             let receipts: Vec<String> =
                 outcome.committed.iter().map(|(_, r)| format!("{r:?}")).collect();
             (receipts, outcome.tx_gas, outcome.burned, world.digest_input(), stats)
@@ -715,7 +774,15 @@ mod tests {
                 pool.push(transfer(i, 99, 10 + u128::from(i)));
             }
             let mut stats = ExecStats::default();
-            let outcome = run_block(&ctx, &mut world, pool, 10_000_000, mode, &mut stats);
+            let outcome = run_block(
+                &ctx,
+                &mut world,
+                pool,
+                10_000_000,
+                mode,
+                &BufferPool::default(),
+                &mut stats,
+            );
             let receipts: Vec<String> =
                 outcome.committed.iter().map(|(_, r)| format!("{r:?}")).collect();
             (receipts, world.digest_input(), stats)
@@ -726,6 +793,30 @@ mod tests {
         assert_eq!(seq.1, par.1);
         assert!(par.2.conflicts > 0);
         assert!(par.2.speculative_runs >= par.2.committed_txs);
+    }
+
+    #[test]
+    fn buffer_pool_recycles_across_speculations() {
+        let payloads = HashMap::new();
+        let ctx = ctx_evm(&payloads);
+        let mut world = WorldState::new();
+        for i in 1..=4u8 {
+            world.set_balance(addr(i), 1_000_000);
+        }
+        let buffers = BufferPool::default();
+        let mut stats = ExecStats::default();
+        let txs: Vec<PendingTx> = (1..=4u8).map(|i| transfer(i, 50 + i, 10)).collect();
+        let out = run_block(
+            &ctx,
+            &mut world,
+            txs,
+            10_000_000,
+            ExecutionMode::Parallel { workers: 2 },
+            &buffers,
+            &mut stats,
+        );
+        assert_eq!(out.committed.len(), 4);
+        assert!(buffers.len() > 0, "finished speculations must return buffers to the pool");
     }
 
     #[test]
@@ -743,6 +834,7 @@ mod tests {
             vec![pending],
             10_000_000,
             ExecutionMode::Sequential,
+            &BufferPool::default(),
             &mut stats,
         );
         let (_, receipt) = &outcome.committed[0];

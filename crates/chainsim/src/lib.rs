@@ -46,5 +46,6 @@ pub mod provider;
 pub use chain::{Chain, ChainConfig, VmKind};
 pub use congestion::CongestionModel;
 pub use executor::{ExecStats, ExecutionMode, MISSING_RECIPIENT};
+pub use pol_store::{BackendConfig, StateBackend};
 pub use presets::ChainPreset;
 pub use provider::NodeProvider;

@@ -30,6 +30,16 @@ impl ChainPreset {
     pub fn build(&self, seed: u64) -> Chain {
         Chain::new(self.config.clone(), seed)
     }
+
+    /// Instantiates a chain committing through the given state backend
+    /// (see [`Chain::new_with_backend`]).
+    pub fn build_with_backend(
+        &self,
+        seed: u64,
+        backend: Box<dyn pol_store::StateBackend>,
+    ) -> Chain {
+        Chain::new_with_backend(self.config.clone(), seed, backend)
+    }
 }
 
 fn evm_base(name: &str, currency: Currency) -> ChainConfig {

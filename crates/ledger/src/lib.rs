@@ -13,6 +13,7 @@
 pub mod account;
 pub mod address;
 pub mod block;
+pub mod codec;
 pub mod receipt;
 pub mod state;
 pub mod tx;
@@ -23,8 +24,8 @@ pub use address::{Address, ContractId};
 pub use block::{Block, BlockHash};
 pub use receipt::{Receipt, TxStatus};
 pub use state::{
-    apply_split, sets_intersect, BalancePatchBase, Checkpoint, Overlay, ReadSet, StateBase,
-    StateBlob, StateKey, StateValue, StateView, WorldState, WriteSet,
+    apply_split, sets_intersect, BalancePatchBase, Checkpoint, Overlay, OverlayBuffers, ReadSet,
+    StateBase, StateBlob, StateKey, StateValue, StateView, WorldState, WriteSet,
 };
 pub use tx::{Transaction, TxId, TxKind};
 pub use units::{Amount, Currency};

@@ -21,6 +21,8 @@
 //! code path and produce byte-identical state transitions.
 
 use crate::address::Address;
+use crate::codec;
+use pol_store::{BatchEntry, MemoryBackend, MerkleProof, StateBackend, StoreError};
 use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -144,8 +146,9 @@ impl StateValue {
         }
     }
 
-    /// Canonical byte encoding used by [`WorldState::digest_input`].
-    fn digest_bytes(&self) -> Vec<u8> {
+    /// Canonical byte encoding used by [`WorldState::digest_input`] and
+    /// the storage codec (`crate::codec::encode_value`).
+    pub(crate) fn digest_bytes(&self) -> Vec<u8> {
         match self {
             StateValue::U64(v) => {
                 let mut out = vec![1u8];
@@ -211,7 +214,15 @@ pub fn sets_intersect(a: &ReadSet, b: &WriteSet) -> bool {
 /// ([`WorldState::reads_intersect_commits_since`]) — Block-STM-style
 /// dependency estimation — before paying for an exact value-level
 /// [`WorldState::validates`] walk.
-#[derive(Debug, Default, Clone)]
+///
+/// Every committed mutation is additionally mirrored — in canonical byte
+/// form (see [`crate::codec`]) — onto a pluggable [`StateBackend`]
+/// (`pol-store`): the in-memory map by default, or a write-ahead log /
+/// Merkle trie for durability and per-block authenticated roots. The
+/// typed map stays the read path; the backend is the commitment and
+/// persistence path. A backend I/O failure panics: the simulator treats
+/// loss of the durability layer as fatal rather than silently diverging
+/// from its own log.
 pub struct WorldState {
     entries: HashMap<StateKey, StateValue>,
     /// Monotone commit counter; bumped once per mutating call.
@@ -219,12 +230,110 @@ pub struct WorldState {
     /// Commit version at which each key last changed (writes *and*
     /// deletions; absent = never touched, version 0).
     versions: HashMap<StateKey, u64>,
+    /// Byte-level mirror of `entries`, holding the authenticated root.
+    backend: Box<dyn StateBackend>,
+}
+
+impl std::fmt::Debug for WorldState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorldState")
+            .field("entries", &self.entries)
+            .field("version", &self.version)
+            .field("backend", &self.backend.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for WorldState {
+    fn default() -> WorldState {
+        WorldState {
+            entries: HashMap::new(),
+            version: 0,
+            versions: HashMap::new(),
+            backend: Box::new(MemoryBackend::new()),
+        }
+    }
+}
+
+impl Clone for WorldState {
+    fn clone(&self) -> WorldState {
+        WorldState {
+            entries: self.entries.clone(),
+            version: self.version,
+            versions: self.versions.clone(),
+            // Persistent backends snapshot into a volatile copy: the clone
+            // shares no files with the original and keeps the same root.
+            backend: self.backend.snapshot_backend(),
+        }
+    }
 }
 
 impl WorldState {
-    /// An empty world.
+    /// An empty world over the default in-memory backend.
     pub fn new() -> WorldState {
         WorldState::default()
+    }
+
+    /// Builds a world over `backend`, restoring any entries it already
+    /// holds (crash-restart recovery). Returns the world plus the raw
+    /// keys whose values could not be decoded back into typed entries —
+    /// opaque blobs such as compiled AVM programs, which only encode by
+    /// content digest. Those bytes stay in the backend (and keep counting
+    /// toward the root) but are invisible to typed reads until
+    /// re-registered.
+    pub fn with_backend(backend: Box<dyn StateBackend>) -> (WorldState, Vec<Vec<u8>>) {
+        let mut entries = HashMap::new();
+        let mut opaque = Vec::new();
+        for (key_bytes, value_bytes) in backend.entries() {
+            match (codec::decode_key(&key_bytes), codec::decode_value(&value_bytes)) {
+                (Some(key), Some(value)) => {
+                    entries.insert(key, value);
+                }
+                _ => opaque.push(key_bytes),
+            }
+        }
+        (WorldState { entries, version: 0, versions: HashMap::new(), backend }, opaque)
+    }
+
+    /// The authenticated root over the committed contents — the canonical
+    /// Merkle-trie commitment every backend agrees on, and what the chain
+    /// simulator publishes as its per-block state digest.
+    pub fn state_root(&self) -> [u8; 32] {
+        self.backend.root()
+    }
+
+    /// The active backend's name ("memory", "wal", "trie").
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Marks a block boundary on the backend (durability flush and
+    /// snapshot policy for the write-ahead log; a no-op for volatile
+    /// backends).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O failure.
+    pub fn flush_block(&mut self, height: u64) -> Result<(), StoreError> {
+        self.backend.flush_block(height)
+    }
+
+    /// An inclusion/exclusion proof for `key` against
+    /// [`WorldState::state_root`], on backends that support proving (the
+    /// Merkle trie; others return `None`).
+    pub fn prove(&self, key: &StateKey) -> Option<MerkleProof> {
+        self.backend.prove(&codec::encode_key(key))
+    }
+
+    /// A self-contained copy of the backend contents (volatile for
+    /// persistent backends), e.g. to seed [`WorldState::with_backend`].
+    pub fn snapshot_backend(&self) -> Box<dyn StateBackend> {
+        self.backend.snapshot_backend()
+    }
+
+    fn mirror_one(&mut self, key: &StateKey, value: Option<&StateValue>) {
+        let batch = [(codec::encode_key(key), value.map(codec::encode_value))];
+        self.backend.commit(&batch).expect("state backend commit failed");
     }
 
     /// Reads a committed value.
@@ -257,6 +366,7 @@ impl WorldState {
     /// other out-of-band bookkeeping; transaction execution goes through
     /// an [`Overlay`] instead).
     pub fn set(&mut self, key: StateKey, value: StateValue) {
+        self.mirror_one(&key, Some(&value));
         self.version += 1;
         self.versions.insert(key.clone(), self.version);
         self.entries.insert(key, value);
@@ -264,6 +374,7 @@ impl WorldState {
 
     /// Removes a committed value directly.
     pub fn remove(&mut self, key: &StateKey) {
+        self.mirror_one(key, None);
         self.version += 1;
         self.versions.insert(key.clone(), self.version);
         self.entries.remove(key);
@@ -296,7 +407,9 @@ impl WorldState {
             return;
         }
         self.version += 1;
+        let mut batch: Vec<BatchEntry> = Vec::with_capacity(writes.len());
         for (key, value) in writes {
+            batch.push((codec::encode_key(&key), value.as_ref().map(codec::encode_value)));
             self.versions.insert(key.clone(), self.version);
             match value {
                 Some(v) => {
@@ -307,6 +420,10 @@ impl WorldState {
                 }
             }
         }
+        // Write sets iterate in hash order; sorting the mirrored batch
+        // keeps the persistent log bytes deterministic for a given block.
+        batch.sort_by(|a, b| a.0.cmp(&b.0));
+        self.backend.commit(&batch).expect("state backend commit failed");
     }
 
     /// Validates a read set against the current committed world: every
@@ -320,17 +437,24 @@ impl WorldState {
         self.entries.keys()
     }
 
-    /// A canonical digest input of the whole world: sorted
-    /// `encode(key) ‖ encode(value)` lines. Hash it with the caller's
-    /// digest of choice; two worlds are identical iff these bytes are.
+    /// A canonical digest input of the whole world: sorted, length-framed
+    /// `encode(key) ‖ encode(value)` records in the storage codec's byte
+    /// form. Hash it with the caller's digest of choice; two worlds are
+    /// identical iff these bytes are. (The per-block commitment the chain
+    /// publishes is [`WorldState::state_root`], which authenticates the
+    /// same entry set as a Merkle trie.)
     pub fn digest_input(&self) -> Vec<u8> {
         let mut lines: Vec<Vec<u8>> = self
             .entries
             .iter()
             .map(|(k, v)| {
-                let mut line = format!("{k:?}=").into_bytes();
-                line.extend_from_slice(&v.digest_bytes());
-                line.push(b'\n');
+                let key = codec::encode_key(k);
+                let value = codec::encode_value(v);
+                let mut line = Vec::with_capacity(8 + key.len() + value.len());
+                line.extend_from_slice(&(key.len() as u32).to_be_bytes());
+                line.extend_from_slice(&key);
+                line.extend_from_slice(&(value.len() as u32).to_be_bytes());
+                line.extend_from_slice(&value);
                 line
             })
             .collect();
@@ -383,6 +507,40 @@ pub trait StateView {
 /// before (`None` = the overlay had no local write for the key yet).
 type JournalEntry = (StateKey, Option<Option<StateValue>>);
 
+/// Recyclable allocations for an [`Overlay`]: the read-set and write-set
+/// maps and the rollback journal. The optimistic-parallel executor opens
+/// one overlay per speculation attempt — pooling these buffers across
+/// attempts (and across blocks) turns three heap allocations per attempt
+/// into map/vec reuse at retained capacity.
+#[derive(Debug, Default)]
+pub struct OverlayBuffers {
+    reads: ReadSet,
+    writes: WriteSet,
+    journal: Vec<JournalEntry>,
+}
+
+impl OverlayBuffers {
+    /// Fresh, empty buffers (what the pool hands out when it is dry).
+    pub fn new() -> OverlayBuffers {
+        OverlayBuffers::default()
+    }
+
+    /// Reclaims read/write maps from a finished speculation. The donated
+    /// maps are cleared and adopted when they hold at least as much
+    /// capacity as the resident ones, so the buffers ratchet toward the
+    /// workload's working-set size.
+    pub fn absorb(&mut self, mut reads: ReadSet, mut writes: WriteSet) {
+        reads.clear();
+        writes.clear();
+        if reads.capacity() >= self.reads.capacity() {
+            self.reads = reads;
+        }
+        if writes.capacity() >= self.writes.capacity() {
+            self.writes = writes;
+        }
+    }
+}
+
 /// A speculative overlay over a base state: writes shadow the base, a
 /// journal makes any suffix of them revertible, and the first read of
 /// every key that falls through to the base is recorded for validation.
@@ -399,9 +557,32 @@ impl<'a> Overlay<'a> {
         Overlay { base, writes: HashMap::new(), journal: Vec::new(), reads: HashMap::new() }
     }
 
+    /// Opens an overlay reusing pooled buffers instead of allocating
+    /// fresh ones. The buffers are cleared defensively; capacity is kept.
+    pub fn with_buffers(base: &'a dyn StateBase, mut buffers: OverlayBuffers) -> Overlay<'a> {
+        buffers.reads.clear();
+        buffers.writes.clear();
+        buffers.journal.clear();
+        Overlay { base, writes: buffers.writes, journal: buffers.journal, reads: buffers.reads }
+    }
+
     /// Consumes the overlay, returning its read and write sets.
     pub fn into_parts(self) -> (ReadSet, WriteSet) {
         (self.reads, self.writes)
+    }
+
+    /// Like [`Overlay::into_parts`], but also hands back the journal
+    /// allocation (cleared) for pooling. The read/write maps travel with
+    /// the outcome; return them to the pool later via
+    /// [`OverlayBuffers::absorb`] once the outcome is resolved.
+    pub fn into_parts_reusing(self) -> (ReadSet, WriteSet, OverlayBuffers) {
+        let mut journal = self.journal;
+        journal.clear();
+        (
+            self.reads,
+            self.writes,
+            OverlayBuffers { reads: ReadSet::new(), writes: WriteSet::new(), journal },
+        )
     }
 
     /// The write set only (drops read tracking).
@@ -658,6 +839,79 @@ mod tests {
         assert!(sets_intersect(&reads, &writes));
         assert!(sets_intersect(&writes, &reads), "symmetric regardless of probe order");
         assert!(!sets_intersect(&ReadSet::new(), &writes));
+    }
+
+    #[test]
+    fn state_root_is_backend_agnostic() {
+        let mut mem_world = WorldState::new();
+        let (mut trie_world, opaque) =
+            WorldState::with_backend(Box::new(pol_store::TrieBackend::new()));
+        assert!(opaque.is_empty());
+        for world in [&mut mem_world, &mut trie_world] {
+            world.set_balance(addr(9), 1_000);
+            world.set_nonce(addr(9), 3);
+            world.set(StateKey::Storage(addr(9), [1u8; 32]), StateValue::Word([2u8; 32]));
+            world.remove(&StateKey::Nonce(addr(9)));
+        }
+        assert_ne!(mem_world.state_root(), pol_store::EMPTY_ROOT);
+        assert_eq!(mem_world.state_root(), trie_world.state_root());
+        assert_eq!(mem_world.backend_name(), "memory");
+        assert_eq!(trie_world.backend_name(), "trie");
+        // The trie proves inclusion; the standalone verifier recovers the
+        // encoded value from root + proof alone.
+        let key = StateKey::Balance(addr(9));
+        let proof = trie_world.prove(&key).expect("trie backend proves");
+        let recovered =
+            pol_store::verify_proof(&trie_world.state_root(), &codec::encode_key(&key), &proof)
+                .expect("proof verifies");
+        assert_eq!(recovered, Some(codec::encode_value(&StateValue::U128(1_000))));
+        assert!(mem_world.prove(&key).is_none(), "memory backend does not prove");
+    }
+
+    #[test]
+    fn with_backend_restores_typed_entries() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(7), 77);
+        world.set(StateKey::AppGlobal(1, b"k".to_vec()), StateValue::Bytes(b"v".to_vec()));
+        let (restored, opaque) = WorldState::with_backend(world.snapshot_backend());
+        assert!(opaque.is_empty());
+        assert_eq!(restored.balance(addr(7)), 77);
+        assert_eq!(
+            restored.get(&StateKey::AppGlobal(1, b"k".to_vec())),
+            Some(&StateValue::Bytes(b"v".to_vec()))
+        );
+        assert_eq!(restored.state_root(), world.state_root());
+        assert_eq!(restored.digest_input(), world.digest_input());
+    }
+
+    #[test]
+    fn clone_preserves_root_and_detaches() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(8), 5);
+        let snapshot = world.clone();
+        world.set_balance(addr(8), 6);
+        assert_ne!(world.state_root(), snapshot.state_root());
+        assert_eq!(snapshot.balance(addr(8)), 5);
+    }
+
+    #[test]
+    fn pooled_overlay_buffers_behave_like_fresh() {
+        let mut world = WorldState::new();
+        world.set_balance(addr(1), 100);
+        let mut buffers = OverlayBuffers::new();
+        for round in 0..3u128 {
+            let mut view = Overlay::with_buffers(&world, buffers);
+            assert_eq!(view.balance_of(addr(1)), 100);
+            view.set_balance_of(addr(1), 100 + round);
+            let cp = view.checkpoint();
+            view.set_balance_of(addr(1), 0);
+            view.rollback_to(cp);
+            let (reads, writes, spare) = view.into_parts_reusing();
+            assert_eq!(reads.len(), 1);
+            assert_eq!(writes[&StateKey::Balance(addr(1))], Some(StateValue::U128(100 + round)));
+            buffers = spare;
+            buffers.absorb(reads, writes);
+        }
     }
 
     #[test]

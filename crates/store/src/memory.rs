@@ -1,0 +1,68 @@
+//! The in-memory backend: the historical `WorldState` map, extracted
+//! behind [`StateBackend`] and kept as the default. Volatile by design —
+//! its job is to be the fastest commit path and the semantic baseline
+//! the persistent backends are conformance-tested against.
+
+use crate::trie::map_root;
+use crate::{BatchEntry, StateBackend, StoreError};
+use std::collections::BTreeMap;
+
+/// A volatile sorted-map backend. [`StateBackend::root`] recomputes the
+/// canonical trie commitment from scratch on every call (`O(n log n)`) —
+/// the cost `storage_bench` contrasts with the trie's incremental root.
+#[derive(Debug, Default, Clone)]
+pub struct MemoryBackend {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+impl MemoryBackend {
+    /// An empty store.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    /// Builds a store from an entry list (snapshot restore).
+    pub fn from_entries(entries: Vec<(Vec<u8>, Vec<u8>)>) -> MemoryBackend {
+        MemoryBackend { map: entries.into_iter().collect() }
+    }
+}
+
+impl StateBackend for MemoryBackend {
+    fn name(&self) -> &'static str {
+        "memory"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn commit(&mut self, batch: &[BatchEntry]) -> Result<(), StoreError> {
+        for (key, value) in batch {
+            match value {
+                Some(v) => {
+                    self.map.insert(key.clone(), v.clone());
+                }
+                None => {
+                    self.map.remove(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn root(&self) -> [u8; 32] {
+        map_root(&self.map)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    fn snapshot_backend(&self) -> Box<dyn StateBackend> {
+        Box::new(self.clone())
+    }
+}

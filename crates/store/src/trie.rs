@@ -1,0 +1,593 @@
+//! Copy-on-write binary Merkle trie over `sha256(key)` paths.
+//!
+//! Each key is addressed by the bit string of its SHA-256 hash. A leaf
+//! sits at the shallowest depth where its hash prefix is unique, so with
+//! hashed (uniformly distributed) keys the expected path length is
+//! `log2(n)`, not 256. The structure is *canonical*: the shape — and
+//! therefore the root — is a pure function of the entry set, which is
+//! what lets the non-trie backends recompute the identical commitment
+//! from scratch ([`scratch_root`]) and lets deletions restore exactly
+//! the shape an insert-only build would have produced.
+//!
+//! Hash rules (domain-separated):
+//!
+//! ```text
+//! leaf   = sha256(0x00 ‖ key_hash ‖ value_hash)      value_hash = sha256(value)
+//! branch = sha256(0x01 ‖ left ‖ right)               absent child = 32 zero bytes
+//! empty trie root = 32 zero bytes
+//! ```
+//!
+//! Nodes are immutable and shared behind `Arc`: an insert or delete
+//! clones only the path from the root to the touched leaf (copy-on-write),
+//! so commits are `O(k · log n)` and historical snapshots are cheap.
+//!
+//! [`TrieBackend::prove`] produces inclusion proofs for present keys and
+//! two kinds of exclusion proof for absent ones (the search path ends in
+//! an empty slot, or in a leaf for a *different* key that owns the
+//! shared prefix). [`verify_proof`] checks either against a bare root —
+//! the light-client side of the paper's proof-of-location story needs
+//! nothing else.
+
+use crate::{BatchEntry, StateBackend, StoreError};
+use pol_crypto::sha256;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The root commitment of an empty trie.
+pub const EMPTY_ROOT: [u8; 32] = [0u8; 32];
+
+/// Bit `depth` (big-endian, MSB-first) of a 32-byte hash.
+fn bit(hash: &[u8; 32], depth: usize) -> bool {
+    (hash[depth / 8] >> (7 - depth % 8)) & 1 == 1
+}
+
+/// `sha256(0x00 ‖ key_hash ‖ value_hash)` — the leaf commitment.
+fn leaf_hash(key_hash: &[u8; 32], value_hash: &[u8; 32]) -> [u8; 32] {
+    let mut buf = [0u8; 65];
+    buf[1..33].copy_from_slice(key_hash);
+    buf[33..65].copy_from_slice(value_hash);
+    sha256(&buf)
+}
+
+/// `sha256(0x01 ‖ left ‖ right)` — the branch commitment.
+fn branch_hash(left: &[u8; 32], right: &[u8; 32]) -> [u8; 32] {
+    let mut buf = [0u8; 65];
+    buf[0] = 1;
+    buf[1..33].copy_from_slice(left);
+    buf[33..65].copy_from_slice(right);
+    sha256(&buf)
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf { key_hash: [u8; 32], value_hash: [u8; 32], hash: [u8; 32] },
+    Branch { left: Option<Arc<Node>>, right: Option<Arc<Node>>, hash: [u8; 32] },
+}
+
+impl Node {
+    fn leaf(key_hash: [u8; 32], value_hash: [u8; 32]) -> Node {
+        let hash = leaf_hash(&key_hash, &value_hash);
+        Node::Leaf { key_hash, value_hash, hash }
+    }
+
+    fn branch(left: Option<Arc<Node>>, right: Option<Arc<Node>>) -> Node {
+        let hash = branch_hash(&child_hash(&left), &child_hash(&right));
+        Node::Branch { left, right, hash }
+    }
+
+    fn hash(&self) -> [u8; 32] {
+        match self {
+            Node::Leaf { hash, .. } | Node::Branch { hash, .. } => *hash,
+        }
+    }
+
+    fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    fn key_hash(&self) -> [u8; 32] {
+        match self {
+            Node::Leaf { key_hash, .. } => *key_hash,
+            Node::Branch { .. } => unreachable!("key_hash of a branch"),
+        }
+    }
+}
+
+fn child_hash(child: &Option<Arc<Node>>) -> [u8; 32] {
+    child.as_ref().map(|n| n.hash()).unwrap_or(EMPTY_ROOT)
+}
+
+/// Places two leaves with distinct key hashes under one subtree rooted
+/// at `depth`, descending until their paths diverge.
+fn join(depth: usize, a: Arc<Node>, b: Arc<Node>) -> Arc<Node> {
+    assert!(depth < 256, "state key hash collision");
+    let (ka, kb) = (a.key_hash(), b.key_hash());
+    match (bit(&ka, depth), bit(&kb, depth)) {
+        (false, false) => Arc::new(Node::branch(Some(join(depth + 1, a, b)), None)),
+        (true, true) => Arc::new(Node::branch(None, Some(join(depth + 1, a, b)))),
+        (false, true) => Arc::new(Node::branch(Some(a), Some(b))),
+        (true, false) => Arc::new(Node::branch(Some(b), Some(a))),
+    }
+}
+
+/// Copy-on-write insert/update of `(key_hash → value_hash)`.
+fn insert(slot: Option<Arc<Node>>, depth: usize, kh: [u8; 32], vh: [u8; 32]) -> Arc<Node> {
+    match slot {
+        None => Arc::new(Node::leaf(kh, vh)),
+        Some(node) => match &*node {
+            Node::Leaf { key_hash, .. } if *key_hash == kh => Arc::new(Node::leaf(kh, vh)),
+            Node::Leaf { .. } => join(depth, node.clone(), Arc::new(Node::leaf(kh, vh))),
+            Node::Branch { left, right, .. } => {
+                let (mut l, mut r) = (left.clone(), right.clone());
+                if bit(&kh, depth) {
+                    r = Some(insert(r, depth + 1, kh, vh));
+                } else {
+                    l = Some(insert(l, depth + 1, kh, vh));
+                }
+                Arc::new(Node::branch(l, r))
+            }
+        },
+    }
+}
+
+/// Copy-on-write delete; returns the replacement subtree and whether
+/// anything changed. Collapses single-leaf branches on the way up so the
+/// shape stays canonical (a leaf always sits at the shallowest depth
+/// where its prefix is unique).
+fn remove(slot: Option<Arc<Node>>, depth: usize, kh: &[u8; 32]) -> (Option<Arc<Node>>, bool) {
+    match slot {
+        None => (None, false),
+        Some(node) => match &*node {
+            Node::Leaf { key_hash, .. } => {
+                if key_hash == kh {
+                    (None, true)
+                } else {
+                    (Some(node.clone()), false)
+                }
+            }
+            Node::Branch { left, right, .. } => {
+                let goes_right = bit(kh, depth);
+                let (child, other) =
+                    if goes_right { (right.clone(), left) } else { (left.clone(), right) };
+                let (new_child, changed) = remove(child, depth + 1, kh);
+                if !changed {
+                    return (Some(node.clone()), false);
+                }
+                let replacement = match (&new_child, other) {
+                    // Subtree emptied and the sibling is a lone leaf (or
+                    // absent): lift it — a branch only exists where at
+                    // least two keys share the prefix.
+                    (None, None) => None,
+                    (None, Some(sib)) if sib.is_leaf() => Some(sib.clone()),
+                    (Some(c), None) if c.is_leaf() => Some(c.clone()),
+                    _ => {
+                        let (l, r) = if goes_right {
+                            (other.clone(), new_child)
+                        } else {
+                            (new_child, other.clone())
+                        };
+                        Some(Arc::new(Node::branch(l, r)))
+                    }
+                };
+                (replacement, true)
+            }
+        },
+    }
+}
+
+/// The canonical trie root over an arbitrary entry set, built from
+/// scratch in `O(n log n)`: this is the commitment definition every
+/// backend's [`StateBackend::root`] must agree with. `leaves` yields
+/// `(sha256(key), sha256(value))` pairs in any order.
+pub fn scratch_root<I: IntoIterator<Item = ([u8; 32], [u8; 32])>>(leaves: I) -> [u8; 32] {
+    let mut hashed: Vec<([u8; 32], [u8; 32])> =
+        leaves.into_iter().map(|(kh, vh)| (kh, leaf_hash(&kh, &vh))).collect();
+    hashed.sort_unstable_by_key(|a| a.0);
+    build(&hashed, 0)
+}
+
+fn build(leaves: &[([u8; 32], [u8; 32])], depth: usize) -> [u8; 32] {
+    match leaves.len() {
+        0 => EMPTY_ROOT,
+        1 => leaves[0].1,
+        _ => {
+            assert!(depth < 256, "state key hash collision");
+            // Sorted by hash ⇒ sorted by bit path: one partition point
+            // splits the zero-bit prefix from the one-bit suffix.
+            let split = leaves.partition_point(|(kh, _)| !bit(kh, depth));
+            branch_hash(&build(&leaves[..split], depth + 1), &build(&leaves[split..], depth + 1))
+        }
+    }
+}
+
+/// What a [`MerkleProof`] asserts about its key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofClaim {
+    /// The key is present and maps to these value bytes.
+    Present(Vec<u8>),
+    /// The key is absent: its search path ends in an empty slot.
+    AbsentEmpty,
+    /// The key is absent: its search path ends at the leaf of a
+    /// *different* key that owns the shared prefix.
+    AbsentLeaf {
+        /// `sha256(key)` of the leaf actually occupying the path.
+        other_key_hash: [u8; 32],
+        /// `sha256(value)` of that leaf.
+        other_value_hash: [u8; 32],
+    },
+}
+
+/// A Merkle inclusion/exclusion proof, verifiable against a bare root
+/// by [`verify_proof`]. `siblings[i]` is the hash of the sibling subtree
+/// at depth `i + 1` (absent sibling = 32 zero bytes); the bit path comes
+/// from the key being proven, so it is not stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// The claim being proven.
+    pub claim: ProofClaim,
+    /// Sibling hashes from the root down to the terminal slot.
+    pub siblings: Vec<[u8; 32]>,
+}
+
+impl MerkleProof {
+    /// Canonical byte encoding (what a light client would receive).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match &self.claim {
+            ProofClaim::Present(value) => {
+                out.push(1);
+                out.extend_from_slice(&(value.len() as u32).to_be_bytes());
+                out.extend_from_slice(value);
+            }
+            ProofClaim::AbsentEmpty => out.push(2),
+            ProofClaim::AbsentLeaf { other_key_hash, other_value_hash } => {
+                out.push(3);
+                out.extend_from_slice(other_key_hash);
+                out.extend_from_slice(other_value_hash);
+            }
+        }
+        out.extend_from_slice(&(self.siblings.len() as u16).to_be_bytes());
+        for sibling in &self.siblings {
+            out.extend_from_slice(sibling);
+        }
+        out
+    }
+
+    /// Strict inverse of [`MerkleProof::encode`]: every byte must be
+    /// consumed and every length must be exact.
+    ///
+    /// # Errors
+    ///
+    /// [`ProofError::Malformed`] on any framing violation.
+    pub fn decode(bytes: &[u8]) -> Result<MerkleProof, ProofError> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], ProofError> {
+            let end = at.checked_add(n).ok_or(ProofError::Malformed("length overflow"))?;
+            let slice =
+                bytes.get(*at..end).ok_or(ProofError::Malformed("truncated proof encoding"))?;
+            *at = end;
+            Ok(slice)
+        };
+        let tag = take(&mut at, 1)?[0];
+        let claim = match tag {
+            1 => {
+                let len =
+                    u32::from_be_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+                ProofClaim::Present(take(&mut at, len)?.to_vec())
+            }
+            2 => ProofClaim::AbsentEmpty,
+            3 => {
+                let okh: [u8; 32] = take(&mut at, 32)?.try_into().expect("32 bytes");
+                let ovh: [u8; 32] = take(&mut at, 32)?.try_into().expect("32 bytes");
+                ProofClaim::AbsentLeaf { other_key_hash: okh, other_value_hash: ovh }
+            }
+            _ => return Err(ProofError::Malformed("unknown claim tag")),
+        };
+        let count = u16::from_be_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
+        if count > 256 {
+            return Err(ProofError::Malformed("sibling path longer than 256"));
+        }
+        let mut siblings = Vec::with_capacity(count);
+        for _ in 0..count {
+            siblings.push(take(&mut at, 32)?.try_into().expect("32 bytes"));
+        }
+        if at != bytes.len() {
+            return Err(ProofError::Malformed("trailing bytes after proof"));
+        }
+        Ok(MerkleProof { claim, siblings })
+    }
+}
+
+/// Why a proof failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofError {
+    /// The recomputed root does not match the trusted root.
+    RootMismatch,
+    /// Framing/structure violation.
+    Malformed(&'static str),
+    /// An exclusion-by-leaf proof whose leaf does not share the absent
+    /// key's path prefix.
+    PrefixMismatch,
+    /// An exclusion-by-leaf proof whose leaf *is* the key it claims
+    /// absent.
+    SameKey,
+}
+
+impl std::fmt::Display for ProofError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofError::RootMismatch => write!(f, "recomputed root does not match"),
+            ProofError::Malformed(msg) => write!(f, "malformed proof: {msg}"),
+            ProofError::PrefixMismatch => write!(f, "exclusion leaf off the key's path"),
+            ProofError::SameKey => write!(f, "exclusion leaf is the key itself"),
+        }
+    }
+}
+
+impl std::error::Error for ProofError {}
+
+/// Verifies `proof` for `key` against `root` with no other state — the
+/// standalone light-client check. Returns the proven value for an
+/// inclusion proof, `None` for a valid exclusion proof.
+///
+/// # Errors
+///
+/// Any [`ProofError`] when the proof does not bind `key` to `root`.
+pub fn verify_proof(
+    root: &[u8; 32],
+    key: &[u8],
+    proof: &MerkleProof,
+) -> Result<Option<Vec<u8>>, ProofError> {
+    let kh = sha256(key);
+    let depth = proof.siblings.len();
+    if depth > 256 {
+        return Err(ProofError::Malformed("sibling path longer than 256"));
+    }
+    let mut cur = match &proof.claim {
+        ProofClaim::Present(value) => leaf_hash(&kh, &sha256(value)),
+        ProofClaim::AbsentEmpty => EMPTY_ROOT,
+        ProofClaim::AbsentLeaf { other_key_hash, other_value_hash } => {
+            if *other_key_hash == kh {
+                return Err(ProofError::SameKey);
+            }
+            // The occupying leaf must sit on the absent key's path: its
+            // hash shares the first `depth` bits.
+            if (0..depth).any(|i| bit(other_key_hash, i) != bit(&kh, i)) {
+                return Err(ProofError::PrefixMismatch);
+            }
+            leaf_hash(other_key_hash, other_value_hash)
+        }
+    };
+    for i in (0..depth).rev() {
+        let sibling = &proof.siblings[i];
+        cur = if bit(&kh, i) { branch_hash(sibling, &cur) } else { branch_hash(&cur, sibling) };
+    }
+    if cur != *root {
+        return Err(ProofError::RootMismatch);
+    }
+    Ok(match &proof.claim {
+        ProofClaim::Present(value) => Some(value.clone()),
+        _ => None,
+    })
+}
+
+/// The copy-on-write Merkle trie backend: incremental `O(k log n)` root
+/// maintenance per commit plus inclusion/exclusion proofs. A plain
+/// sorted map serves point reads and iteration; the trie carries the
+/// commitment.
+#[derive(Debug, Default, Clone)]
+pub struct TrieBackend {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    root: Option<Arc<Node>>,
+}
+
+impl TrieBackend {
+    /// An empty trie.
+    pub fn new() -> TrieBackend {
+        TrieBackend::default()
+    }
+
+    /// An inclusion proof for a present `key`, or an exclusion proof for
+    /// an absent one — always succeeds.
+    pub fn prove_key(&self, key: &[u8]) -> MerkleProof {
+        let kh = sha256(key);
+        let mut siblings = Vec::new();
+        let mut cursor = self.root.clone();
+        let mut depth = 0usize;
+        loop {
+            match cursor {
+                None => return MerkleProof { claim: ProofClaim::AbsentEmpty, siblings },
+                Some(node) => match &*node {
+                    Node::Leaf { key_hash, value_hash, .. } => {
+                        let claim = if *key_hash == kh {
+                            let value = self.map.get(key).cloned().expect("map and trie in sync");
+                            ProofClaim::Present(value)
+                        } else {
+                            ProofClaim::AbsentLeaf {
+                                other_key_hash: *key_hash,
+                                other_value_hash: *value_hash,
+                            }
+                        };
+                        return MerkleProof { claim, siblings };
+                    }
+                    Node::Branch { left, right, .. } => {
+                        if bit(&kh, depth) {
+                            siblings.push(child_hash(left));
+                            cursor = right.clone();
+                        } else {
+                            siblings.push(child_hash(right));
+                            cursor = left.clone();
+                        }
+                        depth += 1;
+                    }
+                },
+            }
+        }
+    }
+}
+
+impl StateBackend for TrieBackend {
+    fn name(&self) -> &'static str {
+        "trie"
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.map.get(key).cloned()
+    }
+
+    fn commit(&mut self, batch: &[BatchEntry]) -> Result<(), StoreError> {
+        for (key, value) in batch {
+            let kh = sha256(key);
+            match value {
+                Some(v) => {
+                    self.root = Some(insert(self.root.take(), 0, kh, sha256(v)));
+                    self.map.insert(key.clone(), v.clone());
+                }
+                None => {
+                    let (root, _) = remove(self.root.take(), 0, &kh);
+                    self.root = root;
+                    self.map.remove(key);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn root(&self) -> [u8; 32] {
+        child_hash(&self.root)
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn entries(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    fn prove(&self, key: &[u8]) -> Option<MerkleProof> {
+        Some(self.prove_key(key))
+    }
+
+    fn snapshot_backend(&self) -> Box<dyn StateBackend> {
+        Box::new(self.clone())
+    }
+}
+
+/// Convenience: the scratch root over a plain byte map (what the
+/// non-trie backends use to implement [`StateBackend::root`]).
+pub(crate) fn map_root(map: &BTreeMap<Vec<u8>, Vec<u8>>) -> [u8; 32] {
+    scratch_root(map.iter().map(|(k, v)| (sha256(k), sha256(v))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(i: u32) -> (Vec<u8>, Vec<u8>) {
+        (format!("key-{i}").into_bytes(), format!("value-{i}").into_bytes())
+    }
+
+    #[test]
+    fn empty_root_is_zero_and_single_leaf_matches_scratch() {
+        let mut trie = TrieBackend::new();
+        assert_eq!(trie.root(), EMPTY_ROOT);
+        let (k, v) = kv(1);
+        trie.commit(&[(k.clone(), Some(v.clone()))]).unwrap();
+        assert_eq!(trie.root(), scratch_root([(sha256(&k), sha256(&v))]));
+    }
+
+    #[test]
+    fn incremental_root_matches_scratch_build_under_churn() {
+        let mut trie = TrieBackend::new();
+        let mut model = BTreeMap::new();
+        for i in 0..200u32 {
+            let (k, v) = kv(i);
+            trie.commit(&[(k.clone(), Some(v.clone()))]).unwrap();
+            model.insert(k, v);
+            if i % 3 == 0 {
+                let (dk, _) = kv(i / 2);
+                trie.commit(&[(dk.clone(), None)]).unwrap();
+                model.remove(&dk);
+            }
+            if i % 7 == 0 {
+                // Overwrite an existing key with a new value.
+                let (ok, _) = kv(i.saturating_sub(1));
+                if model.contains_key(&ok) {
+                    let nv = format!("updated-{i}").into_bytes();
+                    trie.commit(&[(ok.clone(), Some(nv.clone()))]).unwrap();
+                    model.insert(ok, nv);
+                }
+            }
+            assert_eq!(trie.root(), map_root(&model), "divergence after op {i}");
+            assert_eq!(trie.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn inclusion_and_exclusion_proofs_verify() {
+        let mut trie = TrieBackend::new();
+        for i in 0..64u32 {
+            let (k, v) = kv(i);
+            trie.commit(&[(k, Some(v))]).unwrap();
+        }
+        let root = trie.root();
+        for i in 0..64u32 {
+            let (k, v) = kv(i);
+            let proof = trie.prove_key(&k);
+            assert!(matches!(proof.claim, ProofClaim::Present(_)));
+            assert_eq!(verify_proof(&root, &k, &proof).unwrap(), Some(v));
+        }
+        for i in 100..164u32 {
+            let (k, _) = kv(i);
+            let proof = trie.prove_key(&k);
+            assert!(!matches!(proof.claim, ProofClaim::Present(_)));
+            assert_eq!(verify_proof(&root, &k, &proof).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn proof_encoding_round_trips() {
+        let mut trie = TrieBackend::new();
+        for i in 0..16u32 {
+            let (k, v) = kv(i);
+            trie.commit(&[(k, Some(v))]).unwrap();
+        }
+        for i in [0u32, 5, 15, 999] {
+            let (k, _) = kv(i);
+            let proof = trie.prove_key(&k);
+            let decoded = MerkleProof::decode(&proof.encode()).unwrap();
+            assert_eq!(decoded, proof);
+            assert!(verify_proof(&trie.root(), &k, &decoded).is_ok());
+        }
+    }
+
+    #[test]
+    fn wrong_value_or_wrong_root_rejected() {
+        let mut trie = TrieBackend::new();
+        let (k, v) = kv(1);
+        trie.commit(&[(k.clone(), Some(v))]).unwrap();
+        let root = trie.root();
+        let mut proof = trie.prove_key(&k);
+        if let ProofClaim::Present(value) = &mut proof.claim {
+            value[0] ^= 1;
+        }
+        assert_eq!(verify_proof(&root, &k, &proof), Err(ProofError::RootMismatch));
+        let good = trie.prove_key(&k);
+        let mut bad_root = root;
+        bad_root[31] ^= 0x80;
+        assert_eq!(verify_proof(&bad_root, &k, &good), Err(ProofError::RootMismatch));
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut trie = TrieBackend::new();
+        let (k, v) = kv(7);
+        trie.commit(&[(k.clone(), Some(v))]).unwrap();
+        let snap = trie.snapshot_backend();
+        let before = snap.root();
+        trie.commit(&[(k, None)]).unwrap();
+        assert_eq!(snap.root(), before, "snapshot mutated by original");
+        assert_ne!(trie.root(), before);
+    }
+}
