@@ -4,7 +4,7 @@
 //! cargo run --release -p pol-bench --bin exec_bench [-- --seed N] [--backend memory|wal|trie]
 //! ```
 //!
-//! Runs two workloads, each under `ExecutionMode::Sequential` and
+//! Runs three workloads, each under `ExecutionMode::Sequential` and
 //! `ExecutionMode::Parallel { workers: 8 }`, asserts every run is
 //! observably identical to the sequential oracle (receipts, burn,
 //! world-state digest), and writes `results/exec_bench.json`:
@@ -21,6 +21,15 @@
 //!   that re-speculates the whole suffix on the first conflict — so the
 //!   JSON quantifies what dependency-aware recovery buys
 //!   (`recovery_speedup_gain`, `respeculations_avoided`).
+//! * `conflict-disjoint` — every user calls `put(user_idx, round)` on
+//!   *one shared* pol-lang contract whose map writes are keyed by a call
+//!   parameter. The compile-time access summaries pin each call to its
+//!   own map slot, so under `ExecutionMode::ParallelStatic` the whole
+//!   block rides static lanes and commits without a single validation
+//!   (`speculation_skipped`, `validation_ns == 0`), side by side with
+//!   plain `Parallel`, which proves the same schedule at runtime by
+//!   validating every commit. The commit-time access sanitizer is
+//!   enabled for all three modes of this workload.
 //!
 //! Two speedup figures are reported honestly per workload:
 //!
@@ -40,6 +49,7 @@ use pol_chainsim::chain::Chain;
 use pol_chainsim::{explorer, presets, ExecStats, ExecutionMode};
 use pol_evm::assembler::Asm;
 use pol_evm::opcode::Op;
+use pol_lang::backend::AbiValue;
 use pol_ledger::ContractId;
 use pol_store::{StateBackend, TrieBackend, WalBackend};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -54,20 +64,60 @@ const WORKERS: usize = 8;
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Workload {
     /// Disjoint state per user: the embarrassingly-parallel best case.
-    ConflictLight,
+    Light,
     /// Half the users share one read-modify-write counter; the other
     /// half stay independent, so recovery has speculations worth saving.
-    ConflictHeavy,
+    Heavy,
+    /// One shared pol-lang contract with param-keyed map writes: the
+    /// access summaries prove every call disjoint, so static lanes can
+    /// skip validation entirely.
+    Disjoint,
 }
 
 impl Workload {
     fn kind(self) -> &'static str {
         match self {
-            Workload::ConflictLight => "conflict-light",
-            Workload::ConflictHeavy => "conflict-heavy",
+            Workload::Light => "conflict-light",
+            Workload::Heavy => "conflict-heavy",
+            Workload::Disjoint => "conflict-disjoint",
         }
     }
 }
+
+/// The shared contract of the `conflict-disjoint` workload: every user
+/// writes their *own* key of several maps, so calls conflict at the
+/// contract granularity but the summaries prove them disjoint at the
+/// slot granularity. Four param-keyed writes per call give each
+/// speculation enough measured work that the critical-path model isn't
+/// dominated by scheduling noise.
+const DISJOINT_CONTRACT: &str = r#"
+contract disjoint_store {
+    participant Creator {
+        slots: uint,
+    }
+
+    global open: uint = field(slots) view;
+    map m0[32];
+    map m1[32];
+    map m2[32];
+    map m3[32];
+
+    phase live while (open > 0) invariant (open >= 0) {
+        api put(key: uint, val: uint) -> open {
+            m0[key] = [val];
+            m1[key] = [(val + 1)];
+            m2[key] = [(val + 2)];
+            m3[key] = [(val + 3)];
+        }
+        api clear(key: uint) -> open {
+            delete m0[key];
+            delete m1[key];
+            delete m2[key];
+            delete m3[key];
+        }
+    }
+}
+"#;
 
 /// A runtime that writes `STORES_PER_CALL` storage slots with values
 /// derived from calldata — enough gas per call for speculation to have
@@ -156,15 +206,43 @@ fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode, backend: &str) -
 
     // Setup phase (not timed): fund the users, deploy one contract each —
     // and, for the conflict-heavy workload, the single shared hot counter
-    // the even-indexed users hammer instead of their own contract.
-    let runtime = storage_heavy_runtime();
+    // the even-indexed users hammer instead of their own contract. The
+    // conflict-disjoint workload instead deploys one shared pol-lang
+    // contract, registers its compile-time access summaries with the
+    // chain, and arms the commit-time sanitizer.
     let mut users: Vec<(pol_crypto::ed25519::Keypair, ContractId)> = Vec::new();
-    for _ in 0..USERS {
-        let (kp, _) = chain.create_funded_account(10u128.pow(20));
-        let receipt = chain.deploy_evm(&kp, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
-        users.push((kp, receipt.created.expect("deployed")));
+    let mut disjoint: Option<pol_lang::backend::CompiledContract> = None;
+    if workload == Workload::Disjoint {
+        let program = pol_lang::parse(DISJOINT_CONTRACT).expect("bundled contract parses");
+        let compiled = pol_lang::backend::compile(&program).expect("bundled contract compiles");
+        let summaries = std::sync::Arc::new(pol_lang::access::summarize(&program));
+        let (creator, _) = chain.create_funded_account(10u128.pow(20));
+        let init =
+            compiled.evm.init_with_args(&[AbiValue::Word(u128::from(USERS as u64))]).unwrap();
+        let receipt = chain.deploy_evm(&creator, init, 5_000_000).unwrap();
+        let contract = receipt.created.expect("deployed");
+        let ContractId::Evm(addr) = contract else { unreachable!("evm preset") };
+        chain.register_access_resolver(
+            contract,
+            Box::new(move |q: &pol_chainsim::AccessQuery<'_>| {
+                summaries.resolve_evm_call(addr, q.sender, q.value, q.calldata)
+            }),
+        );
+        chain.set_access_sanitizer(true);
+        for _ in 0..USERS {
+            let (kp, _) = chain.create_funded_account(10u128.pow(20));
+            users.push((kp, contract));
+        }
+        disjoint = Some(compiled);
+    } else {
+        let runtime = storage_heavy_runtime();
+        for _ in 0..USERS {
+            let (kp, _) = chain.create_funded_account(10u128.pow(20));
+            let receipt = chain.deploy_evm(&kp, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
+            users.push((kp, receipt.created.expect("deployed")));
+        }
     }
-    let hot_contract = if workload == Workload::ConflictHeavy {
+    let hot_contract = if workload == Workload::Heavy {
         let receipt = chain
             .deploy_evm(&users[0].0, Asm::deploy_wrapper(&hot_counter_runtime()), 5_000_000)
             .unwrap();
@@ -181,8 +259,20 @@ fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode, backend: &str) -
     for round in 0..ROUNDS {
         let mut ids = Vec::new();
         for (i, (kp, contract)) in users.iter().enumerate() {
-            let mut data = vec![0u8; 32];
-            data[24..32].copy_from_slice(&(round + 1).to_be_bytes());
+            let data = match &disjoint {
+                Some(compiled) => compiled
+                    .evm
+                    .encode_call(
+                        "put",
+                        &[AbiValue::Word(i as u128), AbiValue::Word(u128::from(round + 1))],
+                    )
+                    .unwrap(),
+                None => {
+                    let mut data = vec![0u8; 32];
+                    data[24..32].copy_from_slice(&(round + 1).to_be_bytes());
+                    data
+                }
+            };
             let target = match hot_contract {
                 Some(hot) if i % 2 == 0 => hot,
                 _ => *contract,
@@ -210,7 +300,9 @@ fn stats_json(s: &ExecStats, indent: &str) -> String {
         "{{\n{indent}  \"blocks\": {},\n{indent}  \"parallel_blocks\": {},\n\
          {indent}  \"committed_txs\": {},\n{indent}  \"speculative_runs\": {},\n\
          {indent}  \"conflicts\": {},\n{indent}  \"revalidations\": {},\n\
-         {indent}  \"respeculations_avoided\": {},\n{indent}  \"rounds\": {}\n{indent}}}",
+         {indent}  \"respeculations_avoided\": {},\n{indent}  \"rounds\": {},\n\
+         {indent}  \"static_lanes\": {},\n{indent}  \"speculation_skipped\": {},\n\
+         {indent}  \"summary_fallbacks\": {},\n{indent}  \"validation_ns\": {}\n{indent}}}",
         s.blocks,
         s.parallel_blocks,
         s.committed_txs,
@@ -219,6 +311,10 @@ fn stats_json(s: &ExecStats, indent: &str) -> String {
         s.revalidations,
         s.respeculations_avoided,
         s.rounds,
+        s.static_lanes,
+        s.speculation_skipped,
+        s.summary_fallbacks,
+        s.validation_ns,
     )
 }
 
@@ -232,7 +328,7 @@ struct WorkloadResult {
 fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult {
     let seq = run_mode(seed, workload, ExecutionMode::Sequential, backend);
     let par = run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS }, backend);
-    let abort = if workload == Workload::ConflictHeavy {
+    let abort = if workload == Workload::Heavy {
         Some(run_mode(
             seed,
             workload,
@@ -242,11 +338,19 @@ fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult 
     } else {
         None
     };
+    let lanes = if workload == Workload::Disjoint {
+        Some(run_mode(seed, workload, ExecutionMode::ParallelStatic { workers: WORKERS }, backend))
+    } else {
+        None
+    };
 
     let mut ok =
         seq.receipts == par.receipts && seq.digest == par.digest && seq.burned == par.burned;
     if let Some(a) = &abort {
         ok = ok && seq.receipts == a.receipts && seq.digest == a.digest && seq.burned == a.burned;
+    }
+    if let Some(l) = &lanes {
+        ok = ok && seq.receipts == l.receipts && seq.digest == l.digest && seq.burned == l.burned;
     }
     let measured = seq.wall_ms / par.wall_ms.max(f64::MIN_POSITIVE);
     let modeled = par.stats.modeled_speedup().unwrap_or(1.0);
@@ -293,6 +397,29 @@ fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult 
             a.stats.speculative_runs, par.stats.speculative_runs, par.stats.respeculations_avoided,
         ));
     }
+    if let Some(l) = &lanes {
+        let static_modeled = l.stats.modeled_speedup().unwrap_or(1.0);
+        json.push_str(&format!(
+            ",\n      \"static_speedup\": {static_modeled:.3},\n      \
+             \"static_wall_ms\": {wall:.3},\n      \
+             \"static_vs_parallel_gain\": {gain:.3},\n      \
+             \"static_stats\": {static_stats}",
+            wall = l.wall_ms,
+            gain = static_modeled / modeled.max(f64::MIN_POSITIVE),
+            static_stats = stats_json(&l.stats, "      "),
+        ));
+        summary.push(format!(
+            "static lanes ({WORKERS} workers): {:.1} ms, modeled {static_modeled:.2}x — \
+             {} lanes, {} validations skipped, {} fallbacks, validation_ns {} (plain parallel: {})",
+            l.wall_ms,
+            l.stats.static_lanes,
+            l.stats.speculation_skipped,
+            l.stats.summary_fallbacks,
+            l.stats.validation_ns,
+            par.stats.validation_ns,
+        ));
+        summary.push(l.report.clone());
+    }
     json.push_str("\n    }");
     WorkloadResult { json, ok, summary, headline_speedup: modeled }
 }
@@ -310,9 +437,10 @@ fn main() {
     let host_cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
 
     println!("=== executor bench (seed {seed}, backend {backend}, {host_cores} host cores) ===");
-    let light = run_workload(seed, Workload::ConflictLight, &backend);
-    let heavy = run_workload(seed, Workload::ConflictHeavy, &backend);
-    for line in light.summary.iter().chain(&heavy.summary) {
+    let light = run_workload(seed, Workload::Light, &backend);
+    let heavy = run_workload(seed, Workload::Heavy, &backend);
+    let disjoint = run_workload(seed, Workload::Disjoint, &backend);
+    for line in light.summary.iter().chain(&heavy.summary).chain(&disjoint.summary) {
         println!("{line}");
     }
 
@@ -327,13 +455,15 @@ fn main() {
   "speedup_model": "critical-path: committed execution work / greedy per-round schedule makespan over the round's live workers, from measured per-tx timings",
   "workloads": [
 {light_json},
-{heavy_json}
+{heavy_json},
+{disjoint_json}
   ]
 }}
 "#,
         headline = light.headline_speedup,
         light_json = light.json,
         heavy_json = heavy.json,
+        disjoint_json = disjoint.json,
     );
 
     let _ = std::fs::create_dir_all("results");
@@ -349,9 +479,9 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    if !light.ok || !heavy.ok {
+    if !light.ok || !heavy.ok || !disjoint.ok {
         eprintln!("FAIL: parallel execution diverged from sequential");
         std::process::exit(1);
     }
-    println!("parallel receipts, burn and state digest match sequential on both workloads");
+    println!("parallel receipts, burn and state digest match sequential on all workloads");
 }

@@ -1,0 +1,101 @@
+//! Registry of per-contract access resolvers: the bridge between the
+//! compiler's static access summaries (`pol-lang`) and the executor's
+//! static scheduler (`pol-ledger`'s [`AccessClaims`]).
+//!
+//! `pol-chainsim` deliberately does not depend on the language crate, so
+//! resolvers are registered as closures: whoever deploys a contract
+//! (e.g. `pol-core`'s deploy script) owns the compiled program, computes
+//! its summaries, and registers a closure that resolves a concrete call
+//! (sender, value, calldata or app args) into claims. The executor
+//! queries the registry when pre-partitioning a block into disjoint
+//! lanes and when the commit-time sanitizer cross-checks observed
+//! read/write sets.
+//!
+//! A resolver may return `None` — "no sound claim for this call" — and
+//! the transaction simply falls back to the optimistic path (counted as
+//! a `summary_fallback`). Returning unsound claims is the one forbidden
+//! move; the sanitizer exists to catch exactly that.
+
+use pol_ledger::{AccessClaims, ContractId};
+use std::collections::HashMap;
+
+/// The concrete call being resolved against a contract's summaries.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessQuery<'a> {
+    /// Transaction sender.
+    pub sender: pol_ledger::Address,
+    /// Attached value (EVM wei or AVM microalgo payment).
+    pub value: u128,
+    /// EVM calldata (selector + ABI-encoded args); empty on AVM calls.
+    pub calldata: &'a [u8],
+    /// AVM application args (dispatch symbol + encoded params); empty on
+    /// EVM calls.
+    pub app_args: &'a [Vec<u8>],
+}
+
+/// A registered resolver: concrete call → sound claims, or `None` when
+/// no sound claim can be made.
+pub type AccessResolver = Box<dyn Fn(&AccessQuery<'_>) -> Option<AccessClaims> + Send + Sync>;
+
+/// Per-contract access resolvers, owned by a [`crate::chain::Chain`].
+#[derive(Default)]
+pub struct AccessRegistry {
+    resolvers: HashMap<ContractId, AccessResolver>,
+}
+
+impl AccessRegistry {
+    /// Registers (or replaces) the resolver for a contract.
+    pub fn register(&mut self, contract: ContractId, resolver: AccessResolver) {
+        self.resolvers.insert(contract, resolver);
+    }
+
+    /// Resolves a call against the contract's registered resolver.
+    pub fn resolve(&self, contract: &ContractId, query: &AccessQuery<'_>) -> Option<AccessClaims> {
+        self.resolvers.get(contract)?(query)
+    }
+
+    /// Whether any resolver is registered.
+    pub fn is_empty(&self) -> bool {
+        self.resolvers.is_empty()
+    }
+
+    /// Number of registered resolvers.
+    pub fn len(&self) -> usize {
+        self.resolvers.len()
+    }
+}
+
+impl std::fmt::Debug for AccessRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessRegistry").field("resolvers", &self.resolvers.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_ledger::{Address, StateKey};
+
+    #[test]
+    fn registry_dispatches_by_contract_and_reports_fallbacks() {
+        let mut reg = AccessRegistry::default();
+        assert!(reg.is_empty());
+        let target = ContractId::Evm(Address([1u8; 20]));
+        reg.register(
+            target,
+            Box::new(|q| {
+                let mut claims = AccessClaims::default();
+                claims.read_write(StateKey::Balance(q.sender));
+                Some(claims)
+            }),
+        );
+        reg.register(ContractId::App(7), Box::new(|_| None));
+        assert_eq!(reg.len(), 2);
+
+        let q = AccessQuery { sender: Address([9u8; 20]), value: 0, calldata: &[], app_args: &[] };
+        let claims = reg.resolve(&target, &q).expect("registered resolver");
+        assert!(claims.is_exact());
+        assert_eq!(reg.resolve(&ContractId::App(7), &q), None, "resolver declined");
+        assert_eq!(reg.resolve(&ContractId::App(8), &q), None, "unregistered contract");
+    }
+}

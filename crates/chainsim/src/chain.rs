@@ -1,5 +1,6 @@
 //! One simulated blockchain: clock, mempool, fee market, consensus, VM.
 
+use crate::access::{AccessRegistry, AccessResolver};
 use crate::congestion::CongestionModel;
 use crate::executor::{self, ExecCtx, ExecStats, ExecutionMode};
 use crate::feemarket;
@@ -104,6 +105,8 @@ pub struct Chain {
     exec_mode: ExecutionMode,
     exec_stats: ExecStats,
     exec_buffers: executor::BufferPool,
+    access: AccessRegistry,
+    sanitize: bool,
 }
 
 struct PendingReceipt {
@@ -171,6 +174,11 @@ impl Chain {
             exec_mode: ExecutionMode::Sequential,
             exec_stats: ExecStats::default(),
             exec_buffers: executor::BufferPool::default(),
+            access: AccessRegistry::default(),
+            // Debug builds (the whole test suite) cross-check every
+            // commit against its static access claims; release builds
+            // (benches) skip the bookkeeping unless asked.
+            sanitize: cfg!(debug_assertions),
         }
     }
 
@@ -189,6 +197,22 @@ impl Chain {
     /// Cumulative executor counters (blocks, speculation, conflicts).
     pub fn exec_stats(&self) -> ExecStats {
         self.exec_stats
+    }
+
+    /// Registers the static access resolver for a deployed contract —
+    /// the compile-time summaries that let
+    /// [`ExecutionMode::ParallelStatic`] prove transactions disjoint and
+    /// the commit-time sanitizer cross-check observed footprints.
+    pub fn register_access_resolver(&mut self, contract: ContractId, resolver: AccessResolver) {
+        self.access.register(contract, resolver);
+    }
+
+    /// Forces the commit-time access sanitizer on or off (default: on in
+    /// debug builds, off in release). With it on, any committed
+    /// transaction whose observed read/write sets escape its static
+    /// claims panics — the summaries' soundness contract.
+    pub fn set_access_sanitizer(&mut self, enabled: bool) {
+        self.sanitize = enabled;
     }
 
     /// The authenticated commitment over the full world state (balances,
@@ -612,6 +636,8 @@ impl Chain {
             height,
             block_time,
             avm_payloads: &self.avm_payloads,
+            access: &self.access,
+            sanitize: self.sanitize,
         };
         let outcome = executor::run_block(
             &ctx,

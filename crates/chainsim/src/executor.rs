@@ -26,13 +26,14 @@
 //! receipts, gas accounting and fee burn the sequential path would have
 //! produced.
 
+use crate::access::{AccessQuery, AccessRegistry};
 use crate::chain::{AvmPayload, PendingTx, VmKind};
 use crate::feemarket;
 use pol_avm::{call_app, create_app, AppCallParams};
 use pol_evm::{call_contract, deploy_contract, CallParams};
 use pol_ledger::{
-    Address, Amount, ContractId, Currency, Overlay, OverlayBuffers, ReadSet, Receipt, StateView,
-    Transaction, TxId, TxKind, TxStatus, WorldState, WriteSet,
+    AccessClaims, Address, Amount, ContractId, Currency, Overlay, OverlayBuffers, ReadSet, Receipt,
+    StateKey, StateView, Transaction, TxId, TxKind, TxStatus, WorldState, WriteSet,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -66,6 +67,19 @@ pub enum ExecutionMode {
     /// quantify what dependency-aware recovery buys on conflict-heavy
     /// workloads.
     ParallelAbortSuffix {
+        /// Worker threads per speculation round (clamped to ≥ 1).
+        workers: usize,
+    },
+    /// [`ExecutionMode::Parallel`] plus static lane partitioning: before
+    /// speculation, each arrived transaction's compile-time access
+    /// claims (resolved through the chain's [`AccessRegistry`]) are
+    /// checked pairwise for commutativity. A transaction proven disjoint
+    /// from every other arrived transaction commits *without* read-set
+    /// validation — the sequential commit-scan work Block-STM pays for
+    /// dynamic conflict discovery. Transactions without claims (or
+    /// overlapping ones) take the ordinary optimistic path. Receipts,
+    /// gas and burn stay byte-identical to [`ExecutionMode::Sequential`].
+    ParallelStatic {
         /// Worker threads per speculation round (clamped to ≥ 1).
         workers: usize,
     },
@@ -105,17 +119,37 @@ pub struct ExecStats {
     /// — see [`modeled_round_ns`]. Meaningful even when the host
     /// serialises the worker threads onto fewer cores.
     pub modeled_parallel_ns: u128,
+    /// Transactions proven pairwise-disjoint by their static access
+    /// claims and placed on a validation-free lane
+    /// ([`ExecutionMode::ParallelStatic`]).
+    pub static_lanes: u64,
+    /// Commit-scan read-set validations skipped because the committing
+    /// transaction rode a static lane.
+    pub speculation_skipped: u64,
+    /// Arrived transactions whose access claims could not be resolved
+    /// (no registered resolver, unknown method, malformed arguments) in
+    /// a [`ExecutionMode::ParallelStatic`] block — they poison lane
+    /// formation for that block and fall back to the optimistic path.
+    pub summary_fallbacks: u64,
+    /// Wall-clock nanoseconds the commit scan spent validating read
+    /// sets (`validates`, commit-version intersection, exact
+    /// re-validation). This is *sequential* critical-path work — the
+    /// scan runs on one thread — so it is charged to the denominator of
+    /// [`ExecStats::modeled_speedup`]; static lanes exist to delete it.
+    pub validation_ns: u128,
 }
 
 impl ExecStats {
     /// The modeled speedup of the parallel schedule over sequential
     /// execution (`committed work ÷ critical path`), or `None` before any
-    /// parallel block has run.
+    /// parallel block has run. The critical path is the modeled makespan
+    /// of the speculation rounds plus the measured single-threaded
+    /// commit-scan validation time.
     pub fn modeled_speedup(&self) -> Option<f64> {
         if self.modeled_parallel_ns == 0 {
             return None;
         }
-        Some(self.committed_exec_ns as f64 / self.modeled_parallel_ns as f64)
+        Some(self.committed_exec_ns as f64 / (self.modeled_parallel_ns + self.validation_ns) as f64)
     }
 }
 
@@ -164,6 +198,14 @@ pub(crate) struct ExecCtx<'a> {
     pub(crate) height: u64,
     pub(crate) block_time: u64,
     pub(crate) avm_payloads: &'a HashMap<TxId, AvmPayload>,
+    /// Per-contract access resolvers for static lane partitioning and
+    /// the commit-time sanitizer.
+    pub(crate) access: &'a AccessRegistry,
+    /// When set, every commit re-resolves the transaction's access
+    /// claims and panics if the observed read/write sets escape them —
+    /// the soundness contract of the static summaries, enforced on
+    /// every test run.
+    pub(crate) sanitize: bool,
 }
 
 /// What one speculative (or sequential) execution produced.
@@ -214,7 +256,110 @@ pub(crate) fn run_block(
             stats.parallel_blocks += 1;
             run_parallel(ctx, world, pool, gas_budget, workers.max(1), false, buffers, stats)
         }
+        ExecutionMode::ParallelStatic { workers } => {
+            stats.parallel_blocks += 1;
+            run_parallel_static(ctx, world, pool, gas_budget, workers.max(1), buffers, stats)
+        }
     }
+}
+
+/// The static access claims of one pending transaction, including the
+/// fee-settlement footprint the executor adds around the VM call, or
+/// `None` when no sound claim can be made (deployments, unresolved
+/// contract calls).
+fn tx_claims(ctx: &ExecCtx<'_>, pending: &PendingTx) -> Option<AccessClaims> {
+    let tx = &pending.tx;
+    // Both fee paths read and write the sender balance: the AVM debits
+    // its flat fee up front, the EVM settles measured gas afterwards.
+    let mut claims = AccessClaims::default();
+    claims.read_write(StateKey::Balance(tx.from));
+    match &tx.kind {
+        TxKind::Transfer => {
+            if let Some(to) = tx.to {
+                claims.read_write(StateKey::Balance(to));
+            }
+            Some(claims)
+        }
+        TxKind::ContractCreate => None,
+        TxKind::ContractCall(cid) => {
+            let (calldata, app_args): (&[u8], &[Vec<u8>]) = match ctx.vm {
+                VmKind::Evm => (&tx.data, &[]),
+                VmKind::Avm => match ctx.avm_payloads.get(&tx.id()) {
+                    Some(AvmPayload::Call { args }) => (&[], args),
+                    // A call without its payload reverts before touching
+                    // the app; only the fee claims remain.
+                    _ => return Some(claims),
+                },
+            };
+            let query = AccessQuery { sender: tx.from, value: tx.value, calldata, app_args };
+            claims.extend(ctx.access.resolve(cid, &query)?);
+            Some(claims)
+        }
+    }
+}
+
+/// Panics if a committing outcome's observed read/write sets escape the
+/// transaction's static claims — the summaries' soundness contract,
+/// checked on every commit while [`ExecCtx::sanitize`] is set.
+fn sanitize_commit(ctx: &ExecCtx<'_>, pending: &PendingTx, out: &TxOutcome) {
+    if !ctx.sanitize {
+        return;
+    }
+    let Some(claims) = tx_claims(ctx, pending) else { return };
+    if let Some(key) = claims.first_uncovered_read(&out.reads) {
+        panic!(
+            "access sanitizer: tx {:?} read {key:?} outside its static summary",
+            pending.tx.id()
+        );
+    }
+    if let Some(key) = claims.first_uncovered_write(&out.writes) {
+        panic!(
+            "access sanitizer: tx {:?} wrote {key:?} outside its static summary",
+            pending.tx.id()
+        );
+    }
+}
+
+/// Computes the static lane assignment for a block: `lane[i]` is set
+/// when transaction `i` has resolved claims and commutes with *every*
+/// other arrived transaction, so its round-one speculation (taken
+/// against the block-start world) provably survives any interleaving of
+/// the block's commits and can commit without validation. One arrived
+/// transaction without claims poisons the whole block: it could write
+/// anything, so nothing is provably disjoint from it.
+fn compute_lanes(ctx: &ExecCtx<'_>, pool: &[PendingTx], stats: &mut ExecStats) -> Vec<bool> {
+    let n = pool.len();
+    let mut lane = vec![false; n];
+    let arrived: Vec<usize> = (0..n).filter(|&i| pool[i].arrival_ms <= ctx.block_time).collect();
+    let claims: Vec<Option<AccessClaims>> =
+        arrived.iter().map(|&i| tx_claims(ctx, &pool[i])).collect();
+    let fallbacks = claims.iter().filter(|c| c.is_none()).count();
+    stats.summary_fallbacks += fallbacks as u64;
+    if fallbacks == 0 {
+        for (a, &i) in arrived.iter().enumerate() {
+            let ca = claims[a].as_ref().expect("checked above");
+            lane[i] = claims
+                .iter()
+                .enumerate()
+                .all(|(b, cb)| b == a || ca.commutes_with(cb.as_ref().expect("checked above")));
+        }
+    }
+    stats.static_lanes += lane.iter().filter(|&&l| l).count() as u64;
+    lane
+}
+
+/// [`run_parallel`] with static lane partitioning enabled.
+fn run_parallel_static(
+    ctx: &ExecCtx<'_>,
+    world: &mut WorldState,
+    pool: Vec<PendingTx>,
+    gas_budget: u64,
+    workers: usize,
+    buffers: &BufferPool,
+    stats: &mut ExecStats,
+) -> BlockOutcome {
+    let lane = compute_lanes(ctx, &pool, stats);
+    run_parallel_with_lanes(ctx, world, pool, gas_budget, workers, true, buffers, stats, lane)
 }
 
 /// Whether a transaction can still be included given the remaining block
@@ -253,6 +398,7 @@ fn run_sequential(
             continue;
         }
         let out = execute_tx(ctx, world, &pending, buffers);
+        sanitize_commit(ctx, &pending, &out);
         buffers.recycle(out.reads, WriteSet::new());
         world.apply(out.writes);
         if ctx.vm == VmKind::Evm {
@@ -309,6 +455,22 @@ fn run_parallel(
     recovery: bool,
     buffers: &BufferPool,
     stats: &mut ExecStats,
+) -> BlockOutcome {
+    let lane = vec![false; pool.len()];
+    run_parallel_with_lanes(ctx, world, pool, gas_budget, workers, recovery, buffers, stats, lane)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_parallel_with_lanes(
+    ctx: &ExecCtx<'_>,
+    world: &mut WorldState,
+    pool: Vec<PendingTx>,
+    gas_budget: u64,
+    workers: usize,
+    recovery: bool,
+    buffers: &BufferPool,
+    stats: &mut ExecStats,
+    lane: Vec<bool>,
 ) -> BlockOutcome {
     let n = pool.len();
     let mut receipts: Vec<Option<Receipt>> = (0..n).map(|_| None).collect();
@@ -384,7 +546,21 @@ fn run_parallel(
                     continue;
                 }
                 let out = spec[i].take().expect("live candidates were speculated");
-                if world.validates(&out.reads) {
+                // Lane transactions commit without validation: every
+                // commit since their speculation base was a provably
+                // commuting transaction, so the recorded reads still
+                // hold by construction.
+                let valid = if lane[i] {
+                    stats.speculation_skipped += 1;
+                    true
+                } else {
+                    let started = Instant::now();
+                    let valid = world.validates(&out.reads);
+                    stats.validation_ns += started.elapsed().as_nanos();
+                    valid
+                };
+                if valid {
+                    sanitize_commit(ctx, &pool[i], &out);
                     buffers.recycle(out.reads, WriteSet::new());
                     world.apply(out.writes);
                     if ctx.vm == VmKind::Evm {
@@ -403,6 +579,12 @@ fn run_parallel(
                     frontier = false;
                 }
             } else if recovery {
+                // A lane speculation survives any interleaving of the
+                // block's commits by construction — keep it without
+                // paying for classification.
+                if lane[i] {
+                    continue;
+                }
                 // Dependency-aware recovery: a suffix speculation whose
                 // read set intersects no write set committed since its
                 // base snapshot (per-key commit versions) provably still
@@ -413,10 +595,14 @@ fn run_parallel(
                 let keep = match spec[i].as_ref() {
                     None => continue,
                     Some(out) => {
-                        !world.reads_intersect_commits_since(&out.reads, out.base_version) || {
-                            stats.revalidations += 1;
-                            world.validates(&out.reads)
-                        }
+                        let started = Instant::now();
+                        let keep =
+                            !world.reads_intersect_commits_since(&out.reads, out.base_version) || {
+                                stats.revalidations += 1;
+                                world.validates(&out.reads)
+                            };
+                        stats.validation_ns += started.elapsed().as_nanos();
+                        keep
                     }
                 };
                 if keep {
@@ -647,6 +833,12 @@ mod tests {
         Address([b; 20])
     }
 
+    fn empty_registry() -> &'static AccessRegistry {
+        use std::sync::OnceLock;
+        static EMPTY: OnceLock<AccessRegistry> = OnceLock::new();
+        EMPTY.get_or_init(AccessRegistry::default)
+    }
+
     fn ctx_evm(payloads: &HashMap<TxId, AvmPayload>) -> ExecCtx<'_> {
         ExecCtx {
             vm: VmKind::Evm,
@@ -656,6 +848,11 @@ mod tests {
             height: 1,
             block_time: 1_000,
             avm_payloads: payloads,
+            access: empty_registry(),
+            // The sanitizer runs on every commit in the executor test
+            // suite: any transfer claim that under-approximates the
+            // observed footprint panics the test.
+            sanitize: true,
         }
     }
 
@@ -793,6 +990,121 @@ mod tests {
         assert_eq!(seq.1, par.1);
         assert!(par.2.conflicts > 0);
         assert!(par.2.speculative_runs >= par.2.committed_txs);
+    }
+
+    /// Pairwise-disjoint transfers: static lane partitioning proves all
+    /// of them commute (transfer claims need no registry), every commit
+    /// skips validation, and the result stays byte-identical to the
+    /// sequential oracle.
+    #[test]
+    fn disjoint_transfers_all_ride_static_lanes() {
+        let run = |mode: ExecutionMode| {
+            let payloads = HashMap::new();
+            let ctx = ctx_evm(&payloads);
+            let mut world = WorldState::new();
+            let mut pool = Vec::new();
+            for i in 1..=8u8 {
+                world.set_balance(addr(i), 1_000_000_000);
+                pool.push(transfer(i, 100 + i, 1_000 + u128::from(i)));
+            }
+            let mut stats = ExecStats::default();
+            let outcome = run_block(
+                &ctx,
+                &mut world,
+                pool,
+                10_000_000,
+                mode,
+                &BufferPool::default(),
+                &mut stats,
+            );
+            let receipts: Vec<String> =
+                outcome.committed.iter().map(|(_, r)| format!("{r:?}")).collect();
+            (receipts, outcome.tx_gas, outcome.burned, world.digest_input(), stats)
+        };
+        let seq = run(ExecutionMode::Sequential);
+        let lanes = run(ExecutionMode::ParallelStatic { workers: 4 });
+        assert_eq!(seq.0, lanes.0, "lane receipts diverge from sequential");
+        assert_eq!((seq.1, seq.2), (lanes.1, lanes.2));
+        assert_eq!(seq.3, lanes.3, "world digests diverge");
+        let stats = lanes.4;
+        assert_eq!(stats.static_lanes, 8, "all disjoint txs must lane: {stats:?}");
+        assert_eq!(stats.speculation_skipped, 8);
+        assert_eq!(stats.summary_fallbacks, 0);
+        assert_eq!(stats.conflicts, 0);
+        assert_eq!(stats.validation_ns, 0, "no commit paid for validation");
+    }
+
+    /// A hot sink poisons lanes only for the transactions that share
+    /// it: the cold half still lanes and skips validation, the hot half
+    /// validates as usual, and everything matches the oracle.
+    #[test]
+    fn overlapping_transfers_fall_back_to_validation() {
+        let run = |mode: ExecutionMode| {
+            let payloads = HashMap::new();
+            let ctx = ctx_evm(&payloads);
+            let mut world = WorldState::new();
+            let mut pool = Vec::new();
+            for i in 1..=8u8 {
+                world.set_balance(addr(i), 1_000_000_000);
+                let to = if i % 2 == 0 { 99 } else { 100 + i };
+                pool.push(transfer(i, to, 1_000 + u128::from(i)));
+            }
+            let mut stats = ExecStats::default();
+            let outcome = run_block(
+                &ctx,
+                &mut world,
+                pool,
+                10_000_000,
+                mode,
+                &BufferPool::default(),
+                &mut stats,
+            );
+            let receipts: Vec<String> =
+                outcome.committed.iter().map(|(_, r)| format!("{r:?}")).collect();
+            (receipts, world.digest_input(), stats)
+        };
+        let seq = run(ExecutionMode::Sequential);
+        let lanes = run(ExecutionMode::ParallelStatic { workers: 4 });
+        assert_eq!(seq.0, lanes.0);
+        assert_eq!(seq.1, lanes.1);
+        let stats = lanes.2;
+        assert_eq!(stats.static_lanes, 4, "only the cold half lanes: {stats:?}");
+        assert_eq!(stats.speculation_skipped, 4);
+        assert!(stats.conflicts > 0, "the hot half still conflicts: {stats:?}");
+        assert_eq!(stats.committed_txs, 8);
+    }
+
+    /// A deployment has no static claims: it poisons lane formation for
+    /// the whole block (it could write anything), every arrived claim
+    /// miss is counted, and execution still matches the oracle.
+    #[test]
+    fn unresolved_claims_poison_the_block_and_count_fallbacks() {
+        let payloads = HashMap::new();
+        let ctx = ctx_evm(&payloads);
+        let mut world = WorldState::new();
+        let mut pool = Vec::new();
+        for i in 1..=3u8 {
+            world.set_balance(addr(i), 1_000_000_000);
+            pool.push(transfer(i, 100 + i, 50));
+        }
+        world.set_balance(addr(9), 1_000_000_000);
+        let deploy =
+            Transaction::create(addr(9), vec![0x00], 0).with_gas_limit(100_000).with_fees(2, 1);
+        pool.push(PendingTx { tx: deploy, submitted_ms: 0, arrival_ms: 0 });
+        let mut stats = ExecStats::default();
+        let outcome = run_block(
+            &ctx,
+            &mut world,
+            pool,
+            10_000_000,
+            ExecutionMode::ParallelStatic { workers: 2 },
+            &BufferPool::default(),
+            &mut stats,
+        );
+        assert_eq!(outcome.committed.len(), 4);
+        assert_eq!(stats.summary_fallbacks, 1, "{stats:?}");
+        assert_eq!(stats.static_lanes, 0, "an unclaimed tx forbids every lane");
+        assert_eq!(stats.speculation_skipped, 0);
     }
 
     #[test]

@@ -84,6 +84,12 @@ pub fn execution_report(chain: &Chain) -> String {
         s.respeculations_avoided,
         s.rounds,
     );
+    if s.static_lanes > 0 || s.summary_fallbacks > 0 {
+        report.push_str(&format!(
+            ", {} static lanes ({} validations skipped, {} summary fallbacks)",
+            s.static_lanes, s.speculation_skipped, s.summary_fallbacks,
+        ));
+    }
     if let Some(speedup) = s.modeled_speedup() {
         report.push_str(&format!(", modeled speedup {speedup:.2}x"));
     }

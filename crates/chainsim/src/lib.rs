@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod chain;
 pub mod congestion;
 pub mod executor;
@@ -43,6 +44,7 @@ pub mod feemarket;
 pub mod presets;
 pub mod provider;
 
+pub use access::{AccessQuery, AccessRegistry, AccessResolver};
 pub use chain::{Chain, ChainConfig, VmKind};
 pub use congestion::CongestionModel;
 pub use executor::{ExecStats, ExecutionMode, MISSING_RECIPIENT};

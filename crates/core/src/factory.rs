@@ -9,9 +9,11 @@
 
 use crate::PolError;
 use pol_crypto::sha256;
+use pol_lang::access::ContractSummaries;
 use pol_lang::backend::{AbiValue, CompiledContract};
 use pol_lang::Program;
 use pol_ledger::ContractId;
+use std::sync::Arc;
 
 /// A record of one deployed instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +32,7 @@ pub struct Factory {
     program: Program,
     compiled: CompiledContract,
     template_digest: [u8; 32],
+    summaries: Arc<ContractSummaries>,
     instances: Vec<Instance>,
 }
 
@@ -45,7 +48,8 @@ impl Factory {
         let mut preimage = compiled.evm.init_code.clone();
         preimage.extend(compiled.avm.teal().into_bytes());
         let template_digest = sha256(&preimage);
-        Ok(Factory { program, compiled, template_digest, instances: Vec::new() })
+        let summaries = Arc::new(pol_lang::access::summarize(&program));
+        Ok(Factory { program, compiled, template_digest, summaries, instances: Vec::new() })
     }
 
     /// The template's compiled artifacts.
@@ -56,6 +60,13 @@ impl Factory {
     /// The verified source program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The template's static access summaries, shared so every deployed
+    /// instance can register a cheap clone of them as its chain-side
+    /// access resolver.
+    pub fn summaries(&self) -> Arc<ContractSummaries> {
+        Arc::clone(&self.summaries)
     }
 
     /// Digest identifying the template build (users trust this one

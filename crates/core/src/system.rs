@@ -16,7 +16,7 @@ use crate::contract::{pol_program, MAX_USERS, POSITION_CAPACITY};
 use crate::factory::Factory;
 use crate::proof::{ProofRequest, SubmittedEntry, ENTRY_CAPACITY};
 use crate::PolError;
-use pol_chainsim::{Chain, VmKind};
+use pol_chainsim::{AccessQuery, Chain, VmKind};
 use pol_dfs::{Cid, DfsNetwork, PeerId};
 use pol_did::{Did, DidRegistry, Identity};
 use pol_geo::{olc, Coordinates, OlcCode};
@@ -462,6 +462,7 @@ impl PolSystem {
                         receipt.status
                     )))
                 })?;
+                self.register_access_resolver(contract);
                 // insert_data by the creator (Fig. 3.1: separate tx).
                 let data = self
                     .factory
@@ -490,6 +491,7 @@ impl PolSystem {
                         receipt.status
                     )))
                 })?;
+                self.register_access_resolver(contract);
                 let app_id = contract.as_app().expect("avm contract");
                 let app_addr = pol_avm::Avm::app_address(app_id);
                 // Algorand connector funding steps: app min balance,
@@ -513,6 +515,32 @@ impl PolSystem {
             }
         };
         Ok(contract)
+    }
+
+    /// Hands the template's static access summaries to the chain so the
+    /// executor can lane-partition calls into this instance and the
+    /// commit-time sanitizer can police the summaries' soundness.
+    fn register_access_resolver(&mut self, contract: ContractId) {
+        let summaries = self.factory.summaries();
+        match contract {
+            ContractId::Evm(addr) => {
+                self.chain.register_access_resolver(
+                    contract,
+                    Box::new(move |q: &AccessQuery<'_>| {
+                        summaries.resolve_evm_call(addr, q.sender, q.value, q.calldata)
+                    }),
+                );
+            }
+            ContractId::App(app_id) => {
+                self.chain.register_access_resolver(
+                    contract,
+                    Box::new(move |q: &AccessQuery<'_>| {
+                        let payment = u64::try_from(q.value).ok()?;
+                        summaries.resolve_app_call(app_id, q.sender, payment, q.app_args)
+                    }),
+                );
+            }
+        }
     }
 
     fn attach_script(

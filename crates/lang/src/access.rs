@@ -1,0 +1,1044 @@
+//! Compile-time read/write-set inference: **access summaries**.
+//!
+//! For every method (and the constructor) this pass abstract-interprets
+//! the lowered CFG (see [`crate::ir`]) into a sound, finite
+//! [`AccessSummary`]: which globals the body may read or write, which
+//! map entries it may touch — classified on the key-pattern lattice
+//! `Const ⊑ Param ⊑ ⊤` using the interval and zone domains to narrow
+//! key expressions — plus balance and transfer effects and whether the
+//! phase counter may advance.
+//!
+//! [`ContractSummaries`] then *resolves* a summary against a concrete
+//! call (sender, value, calldata or app args) into runtime
+//! [`AccessClaims`] over [`pol_ledger::StateKey`]s, replaying the exact
+//! key derivations the backends emit: EVM map slots are
+//! `keccak(key_word ‖ word(MAP_SLOT_BASE + idx))` (see
+//! [`crate::backend::evm`]), AVM map entries are boxes keyed
+//! `"<map>:" ‖ itob(key)` (see [`crate::backend::avm`]). The parallel
+//! executor uses those claims to pre-partition blocks into
+//! provably-disjoint lanes; its sanitizer cross-checks every observed
+//! read/write set against them at commit time, so an unsound summary
+//! fails loudly in every test run.
+//!
+//! # Soundness argument
+//!
+//! The summary is a *may* analysis over the reachable CFG: every
+//! statement and condition the runtime can execute is walked, and every
+//! key a site may touch is either pinned (constant, or a parameter the
+//! resolver evaluates against the actual call data) or widened to the
+//! family/⊤ claim that contains it. Reachability comes from the
+//! interval pass, which over-approximates concrete executions, so a
+//! block it proves unreachable truly never runs. Rolled-back execution
+//! paths (reverts) only shrink the observed sets, never grow them.
+//!
+//! The phase counter needs care: the generated epilogue re-evaluates
+//! the phase's `while` condition and advances the counter when it turned
+//! false. The summary claims a phase write only when the body can
+//! change an input of that condition (a global or map it reads, or —
+//! via transfers — the balance); otherwise the condition still holds at
+//! exit exactly as the entry `require` proved it, and the counter is
+//! provably untouched. Without this refinement every call to a
+//! contract would conflict on the phase slot and no two calls would
+//! ever commute.
+
+use crate::ast::{Expr, Program, Ty};
+use crate::backend::evm::{global_slot, MAP_SLOT_BASE, SLOT_CREATOR, SLOT_PHASE};
+use crate::backend::{avm as avm_backend, evm as evm_backend};
+use crate::dbm;
+use crate::diag::Owner;
+use crate::ir::{self, BodyAnalysis, Inst, Term};
+use pol_avm::app_address;
+use pol_crypto::keccak256;
+use pol_evm::Word;
+use pol_ledger::access::AccessClaims;
+use pol_ledger::codec::encode_key;
+use pol_ledger::{Address, StateKey};
+use std::collections::{BTreeSet, HashMap};
+
+/// How precisely a map-key expression is known. The lattice is
+/// `Const ⊑ Param ⊑ Top`: a constant key pins one entry at compile
+/// time, a parameter key pins one entry per call (resolved against the
+/// call data), ⊤ claims the whole map. (A `sender`-derived arm is
+/// structurally impossible for map keys — the checker types them
+/// strictly `uint` — but sender-derived *addresses* appear in transfer
+/// recipients, see [`AddrPattern::Caller`].)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyPattern {
+    /// The key is this constant (interval/zone domains pinned it).
+    Const(u64),
+    /// The key is exactly this parameter's value.
+    Param(String),
+    /// Unresolvable: claim every entry of the map.
+    Top,
+}
+
+/// How precisely a transfer recipient is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// The calling account (resolved to the tx sender).
+    Caller,
+    /// Exactly this address-typed parameter's value.
+    Param(String),
+    /// Unresolvable: claim every balance.
+    Top,
+}
+
+/// One map access site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapSite {
+    /// Map name.
+    pub map: String,
+    /// Key classification.
+    pub key: KeyPattern,
+    /// Whether the site writes (put/delete) rather than reads.
+    pub write: bool,
+    /// Source statement path of the access (for diagnostics).
+    pub path: Vec<u32>,
+}
+
+/// One transfer site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransferSite {
+    /// Recipient classification.
+    pub to: AddrPattern,
+    /// Source statement path.
+    pub path: Vec<u32>,
+}
+
+/// The sound, finite access summary of one body.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessSummary {
+    /// Globals the body (or the phase condition / pay / return
+    /// expressions evaluated around it) may read.
+    pub globals_read: BTreeSet<String>,
+    /// Globals the body may write.
+    pub globals_written: BTreeSet<String>,
+    /// Map access sites, reads and writes.
+    pub maps: Vec<MapSite>,
+    /// Transfer sites.
+    pub transfers: Vec<TransferSite>,
+    /// Whether the contract balance is read.
+    pub reads_balance: bool,
+    /// Whether the phase counter is read (true for every API — the
+    /// dispatcher checks it — and false for views).
+    pub reads_phase: bool,
+    /// Whether the phase counter may be written (the epilogue advances
+    /// it only when the body can falsify the phase condition).
+    pub writes_phase: bool,
+    /// Whether the method requires an attached payment.
+    pub uses_pay: bool,
+}
+
+/// A site where the summary degrades to ⊤ (lint L0007).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Degradation {
+    /// Source statement path of the offending access.
+    pub path: Vec<u32>,
+    /// Human-readable description of what degraded.
+    pub detail: String,
+}
+
+impl AccessSummary {
+    /// Whether every site is pinned — no whole-map or whole-ledger
+    /// claim anywhere.
+    pub fn is_precise(&self) -> bool {
+        self.degradations().is_empty()
+    }
+
+    /// Every ⊤ site, with the statement path the L0007 lint points at.
+    pub fn degradations(&self) -> Vec<Degradation> {
+        let mut out = Vec::new();
+        for site in &self.maps {
+            if site.key == KeyPattern::Top {
+                let mode = if site.write { "write to" } else { "read of" };
+                out.push(Degradation {
+                    path: site.path.clone(),
+                    detail: format!(
+                        "{mode} map \"{}\" with unresolvable key widens the access summary \
+                         to the whole map",
+                        site.map
+                    ),
+                });
+            }
+        }
+        for site in &self.transfers {
+            if site.to == AddrPattern::Top {
+                out.push(Degradation {
+                    path: site.path.clone(),
+                    detail: "transfer recipient is unresolvable at compile time; the access \
+                             summary widens to every balance"
+                        .to_string(),
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Collects global/balance/map-name reads of an expression — used for
+/// the phase-advance refinement (key precision is irrelevant there).
+#[derive(Debug, Default)]
+struct CondFootprint {
+    globals: BTreeSet<String>,
+    maps: BTreeSet<String>,
+    balance: bool,
+}
+
+fn cond_footprint(expr: &Expr, fp: &mut CondFootprint) {
+    match expr {
+        Expr::Global(g) => {
+            fp.globals.insert(g.clone());
+        }
+        Expr::Balance => fp.balance = true,
+        Expr::MapGet { map, key } | Expr::MapContains { map, key } => {
+            fp.maps.insert(map.clone());
+            cond_footprint(key, fp);
+        }
+        Expr::Hash(parts) => parts.iter().for_each(|p| cond_footprint(p, fp)),
+        Expr::Bin(_, a, b) => {
+            cond_footprint(a, fp);
+            cond_footprint(b, fp);
+        }
+        Expr::Not(inner) => cond_footprint(inner, fp),
+        Expr::UInt(_) | Expr::Param(_) | Expr::Caller => {}
+    }
+}
+
+/// Classifies a map-key expression at a program point: the interval
+/// domain first (guard refinement can pin `require(k == 7)` keys), then
+/// the relational zone (difference bounds can pin keys the intervals
+/// lose through joins), then the syntactic parameter case, then ⊤.
+fn classify_key(
+    key: &Expr,
+    env: Option<&ir::Env>,
+    zone: Option<&dbm::Zone>,
+    default_env: &ir::Env,
+) -> KeyPattern {
+    let env = env.unwrap_or(default_env);
+    if let Some(c) = env.interval_of(key).as_const() {
+        return KeyPattern::Const(c);
+    }
+    if let (Some(zone), Some((Some(var), k))) = (zone, dbm::term(key)) {
+        if let (Some(lo), Some(hi)) = (zone.var_min(&var), zone.var_max(&var)) {
+            if lo == hi {
+                if let Some(v) = i128::from(lo).checked_add(k).and_then(|v| u64::try_from(v).ok()) {
+                    return KeyPattern::Const(v);
+                }
+            }
+        }
+    }
+    if let Expr::Param(p) = key {
+        return KeyPattern::Param(p.clone());
+    }
+    KeyPattern::Top
+}
+
+fn classify_addr(to: &Expr) -> AddrPattern {
+    match to {
+        Expr::Caller => AddrPattern::Caller,
+        Expr::Param(p) => AddrPattern::Param(p.clone()),
+        _ => AddrPattern::Top,
+    }
+}
+
+struct Collector<'a> {
+    flow: &'a BodyAnalysis,
+    default_env: ir::Env,
+    summary: AccessSummary,
+}
+
+impl Collector<'_> {
+    /// Records every read an expression performs; map keys classified
+    /// against the store observed at `path` (or the block terminator's
+    /// replayed store for condition expressions).
+    fn reads(
+        &mut self,
+        expr: &Expr,
+        env: Option<&ir::Env>,
+        zone: Option<&dbm::Zone>,
+        path: &[u32],
+    ) {
+        match expr {
+            Expr::Global(g) => {
+                self.summary.globals_read.insert(g.clone());
+            }
+            Expr::Balance => self.summary.reads_balance = true,
+            Expr::MapGet { map, key } | Expr::MapContains { map, key } => {
+                let pattern = classify_key(key, env, zone, &self.default_env);
+                self.summary.maps.push(MapSite {
+                    map: map.clone(),
+                    key: pattern,
+                    write: false,
+                    path: path.to_vec(),
+                });
+                self.reads(key, env, zone, path);
+            }
+            Expr::Hash(parts) => {
+                for p in parts {
+                    self.reads(p, env, zone, path);
+                }
+            }
+            Expr::Bin(_, a, b) => {
+                self.reads(a, env, zone, path);
+                self.reads(b, env, zone, path);
+            }
+            Expr::Not(inner) => self.reads(inner, env, zone, path),
+            Expr::UInt(_) | Expr::Param(_) | Expr::Caller => {}
+        }
+    }
+
+    fn walk_body(&mut self) {
+        for b in 0..self.flow.cfg.blocks.len() {
+            if !self.flow.reachable(b) {
+                continue;
+            }
+            for inst in &self.flow.cfg.blocks[b].insts.clone() {
+                let path = inst.path().to_vec();
+                let env = self.flow.env_at(&path).cloned();
+                let zone = self.flow.zone_at(&path).cloned();
+                match inst {
+                    Inst::Set { name, value, .. } => {
+                        self.summary.globals_written.insert(name.clone());
+                        self.reads(value, env.as_ref(), zone.as_ref(), &path);
+                    }
+                    Inst::MapPut { map, key, value, .. } => {
+                        let pattern =
+                            classify_key(key, env.as_ref(), zone.as_ref(), &self.default_env);
+                        self.summary.maps.push(MapSite {
+                            map: map.clone(),
+                            key: pattern,
+                            write: true,
+                            path: path.clone(),
+                        });
+                        self.reads(key, env.as_ref(), zone.as_ref(), &path);
+                        for part in value {
+                            self.reads(part, env.as_ref(), zone.as_ref(), &path);
+                        }
+                    }
+                    Inst::MapDel { map, key, .. } => {
+                        let pattern =
+                            classify_key(key, env.as_ref(), zone.as_ref(), &self.default_env);
+                        self.summary.maps.push(MapSite {
+                            map: map.clone(),
+                            key: pattern,
+                            write: true,
+                            path: path.clone(),
+                        });
+                        self.reads(key, env.as_ref(), zone.as_ref(), &path);
+                    }
+                    Inst::Transfer { to, amount, .. } => {
+                        self.summary
+                            .transfers
+                            .push(TransferSite { to: classify_addr(to), path: path.clone() });
+                        self.reads(to, env.as_ref(), zone.as_ref(), &path);
+                        self.reads(amount, env.as_ref(), zone.as_ref(), &path);
+                    }
+                    Inst::Emit { parts, .. } => {
+                        for part in parts {
+                            self.reads(part, env.as_ref(), zone.as_ref(), &path);
+                        }
+                    }
+                }
+            }
+            // Condition expressions in terminators read state too; the
+            // replayed terminator store keeps mid-block assignments
+            // from laundering a stale constant into a key pattern.
+            let term = self.flow.cfg.blocks[b].term.clone();
+            let env = self.flow.term_env(b);
+            match &term {
+                Term::Branch { cond, path, .. } => {
+                    self.reads(cond, env.as_ref(), None, path);
+                }
+                Term::Require { cond, src, .. } => {
+                    let path = match src {
+                        ir::Src::Stmt(p) => p.clone(),
+                        ir::Src::PhaseCond => Vec::new(),
+                    };
+                    self.reads(cond, env.as_ref(), None, &path);
+                }
+                Term::Goto(_) | Term::Return => {}
+            }
+        }
+    }
+}
+
+/// Summarizes the body a [`BodyAnalysis`] was computed for. The flow's
+/// owner decides whether API extras (pay/return expressions, phase
+/// effects) apply — this is the entry point the lint pass reuses so the
+/// CFG is analyzed once per body.
+pub fn summary_for_flow(program: &Program, flow: &BodyAnalysis) -> AccessSummary {
+    let mut c =
+        Collector { flow, default_env: ir::Env::default(), summary: AccessSummary::default() };
+    c.walk_body();
+    let mut summary = c.summary;
+    match flow.cfg.owner {
+        Owner::Constructor => {
+            // The generated constructors write the creator/phase cells
+            // and (on the AVM) every declared global; model all globals
+            // as written — deployment is resolved conservatively at
+            // runtime anyway, so this only affects reporting.
+            summary.writes_phase = true;
+            for g in &program.globals {
+                summary.globals_written.insert(g.name.clone());
+            }
+        }
+        Owner::Api { phase, api } => {
+            let phase_decl = &program.phases[phase as usize];
+            let api_decl = &phase_decl.apis[api as usize];
+            summary.reads_phase = true;
+            summary.uses_pay = api_decl.pay.is_some();
+            let default_env = ir::Env::default();
+            let mut extra = Collector {
+                flow,
+                default_env: ir::Env::default(),
+                summary: AccessSummary::default(),
+            };
+            if let Some(pay) = &api_decl.pay {
+                extra.reads(pay, Some(&default_env), None, &[]);
+            }
+            // The epilogue evaluates the return value and re-checks the
+            // phase condition after the body ran: classify against the
+            // exit stores of nothing in particular — the default (⊤)
+            // store keeps constants and parameters and nothing else.
+            extra.reads(&api_decl.returns, Some(&default_env), None, &[]);
+            let extra = extra.summary;
+            summary.globals_read.extend(extra.globals_read);
+            summary.reads_balance |= extra.reads_balance;
+            summary.maps.extend(extra.maps);
+
+            // Phase-advance refinement: the counter can only move when
+            // the body changes an input of the phase condition.
+            let mut fp = CondFootprint::default();
+            cond_footprint(&phase_decl.while_cond, &mut fp);
+            let writes_cond_global = fp.globals.iter().any(|g| summary.globals_written.contains(g));
+            let writes_cond_map =
+                summary.maps.iter().any(|site| site.write && fp.maps.contains(&site.map));
+            let moves_balance = fp.balance && !summary.transfers.is_empty();
+            summary.writes_phase = writes_cond_global || writes_cond_map || moves_balance;
+        }
+    }
+    summary
+}
+
+/// What kind of dispatch entry a [`MethodSummary`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// A phase API.
+    Api,
+    /// A generated `view_<global>` read-only entry (EVM dispatcher
+    /// only).
+    View,
+    /// The generated `closeContract` entry.
+    Close,
+}
+
+/// One dispatchable method with its summary and the ABI facts needed to
+/// resolve concrete calls.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// Dispatch name (`put`, `view_open`, `closeContract`, …).
+    pub name: String,
+    /// Phase name for APIs, `None` for views/close.
+    pub phase: Option<String>,
+    /// Dispatch kind.
+    pub kind: MethodKind,
+    /// The access summary.
+    pub summary: AccessSummary,
+    selector: [u8; 4],
+    layout: Vec<(String, Ty, usize, usize)>,
+    params: Vec<(String, Ty)>,
+}
+
+/// Compile-time access summaries for every dispatchable method of one
+/// contract, resolvable against concrete calls on either backend.
+#[derive(Debug, Clone)]
+pub struct ContractSummaries {
+    /// Contract name.
+    pub name: String,
+    /// Constructor summary (reporting only; deployments resolve
+    /// conservatively at runtime).
+    pub constructor: AccessSummary,
+    /// Dispatchable methods: phase APIs, EVM views, `closeContract`.
+    pub methods: Vec<MethodSummary>,
+    global_index: HashMap<String, usize>,
+    map_index: HashMap<String, usize>,
+}
+
+/// Runs the access-summary pass over a checked program.
+pub fn summarize(program: &Program) -> ContractSummaries {
+    let mut methods = Vec::new();
+    for (phase_idx, phase) in program.phases.iter().enumerate() {
+        for (api_idx, api) in phase.apis.iter().enumerate() {
+            let flow = ir::analyze_api(program, phase_idx, api_idx);
+            let summary = summary_for_flow(program, &flow);
+            methods.push(MethodSummary {
+                name: api.name.clone(),
+                phase: Some(phase.name.clone()),
+                kind: MethodKind::Api,
+                summary,
+                selector: pol_evm::abi::selector(&evm_backend::signature(&api.name, &api.params)),
+                layout: evm_backend::layout(&api.params),
+                params: api.params.clone(),
+            });
+        }
+    }
+    for global in program.globals.iter().filter(|g| g.viewable) {
+        let name = format!("view_{}", global.name);
+        let mut summary = AccessSummary::default();
+        summary.globals_read.insert(global.name.clone());
+        methods.push(MethodSummary {
+            name: name.clone(),
+            phase: None,
+            kind: MethodKind::View,
+            summary,
+            selector: pol_evm::abi::selector(&evm_backend::signature(&name, &[])),
+            layout: Vec::new(),
+            params: Vec::new(),
+        });
+    }
+    let close = AccessSummary {
+        reads_balance: true,
+        reads_phase: true,
+        transfers: vec![TransferSite { to: AddrPattern::Top, path: Vec::new() }],
+        ..AccessSummary::default()
+    };
+    methods.push(MethodSummary {
+        name: "closeContract".into(),
+        phase: None,
+        kind: MethodKind::Close,
+        summary: close,
+        selector: pol_evm::abi::selector("closeContract()"),
+        layout: Vec::new(),
+        params: Vec::new(),
+    });
+
+    let flow = ir::analyze_constructor(program);
+    let constructor = summary_for_flow(program, &flow);
+    ContractSummaries {
+        name: program.name.clone(),
+        constructor,
+        methods,
+        global_index: program
+            .globals
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.name.clone(), i))
+            .collect(),
+        map_index: program.maps.iter().enumerate().map(|(i, m)| (m.name.clone(), i)).collect(),
+    }
+}
+
+/// The 32-byte big-endian storage-slot word for a reserved/global slot.
+fn slot_word(slot: u64) -> [u8; 32] {
+    Word::from_u128(u128::from(slot)).to_be_bytes()
+}
+
+/// The word CALLDATALOAD observes at `offset` (zero-padded past the
+/// end, exactly like the EVM).
+fn calldata_word(data: &[u8], offset: usize) -> [u8; 32] {
+    let mut word = [0u8; 32];
+    for (i, b) in word.iter_mut().enumerate() {
+        *b = data.get(offset + i).copied().unwrap_or(0);
+    }
+    word
+}
+
+impl ContractSummaries {
+    /// Looks up a method by dispatch name.
+    pub fn method(&self, name: &str) -> Option<&MethodSummary> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// The storage prefix claiming every cell of `contract` (EVM ⊤
+    /// fallback for one contract).
+    fn storage_prefix(contract: Address) -> Vec<u8> {
+        encode_key(&StateKey::Storage(contract, [0u8; 32]))[..21].to_vec()
+    }
+
+    /// The prefix claiming every balance (⊤ transfer recipients).
+    fn balance_prefix() -> Vec<u8> {
+        encode_key(&StateKey::Balance(Address::ZERO))[..1].to_vec()
+    }
+
+    /// The prefix claiming every entry of one AVM map.
+    fn box_prefix(app_id: u64, map: &str) -> Vec<u8> {
+        let mut head = map.as_bytes().to_vec();
+        head.push(b':');
+        encode_key(&StateKey::AppBox(app_id, head))
+    }
+
+    /// Resolves an EVM call against the summaries: returns sound claims
+    /// for the state keys the call may touch, or `None` when no sound
+    /// claim can be made. The caller adds fee-settlement claims.
+    ///
+    /// Mirrors the generated dispatcher: the selector is the first four
+    /// calldata bytes (zero-padded), an unknown selector reverts after
+    /// reading only the code, and attached value moves before dispatch.
+    pub fn resolve_evm_call(
+        &self,
+        contract: Address,
+        sender: Address,
+        value: u128,
+        calldata: &[u8],
+    ) -> Option<AccessClaims> {
+        let mut claims = AccessClaims::default();
+        claims.read(StateKey::Code(contract));
+        if value > 0 {
+            claims.read_write(StateKey::Balance(sender));
+            claims.read_write(StateKey::Balance(contract));
+        }
+        let selector = {
+            let w = calldata_word(calldata, 0);
+            [w[0], w[1], w[2], w[3]]
+        };
+        let Some(method) = self.methods.iter().find(|m| m.selector == selector) else {
+            return Some(claims); // unknown selector: dispatcher reverts
+        };
+        let s = &method.summary;
+        let slot_key = |slot: u64| StateKey::Storage(contract, slot_word(slot));
+
+        if matches!(method.kind, MethodKind::Close) {
+            claims.read(slot_key(SLOT_PHASE));
+            claims.read(slot_key(SLOT_CREATOR));
+            claims.read_write(StateKey::Balance(contract));
+            claims.read_write_prefix(Self::balance_prefix());
+            return Some(claims);
+        }
+        if s.reads_phase {
+            if s.writes_phase {
+                claims.read_write(slot_key(SLOT_PHASE));
+            } else {
+                claims.read(slot_key(SLOT_PHASE));
+            }
+        }
+        for g in &s.globals_read {
+            if !s.globals_written.contains(g) {
+                claims.read(slot_key(global_slot(*self.global_index.get(g)?)));
+            }
+        }
+        for g in &s.globals_written {
+            claims.read_write(slot_key(global_slot(*self.global_index.get(g)?)));
+        }
+        let param_word = |name: &str| -> Option<[u8; 32]> {
+            let (_, _, off, _) = method.layout.iter().find(|(n, _, _, _)| n == name)?;
+            Some(calldata_word(calldata, 4 + off))
+        };
+        for site in &s.maps {
+            let idx = *self.map_index.get(&site.map)?;
+            let key_word = match &site.key {
+                KeyPattern::Const(k) => Some(Word::from_u128(u128::from(*k)).to_be_bytes()),
+                KeyPattern::Param(p) => param_word(p),
+                KeyPattern::Top => None,
+            };
+            match key_word {
+                Some(word) => {
+                    let mut preimage = [0u8; 64];
+                    preimage[..32].copy_from_slice(&word);
+                    preimage[32..].copy_from_slice(&slot_word(MAP_SLOT_BASE + idx as u64));
+                    let key = StateKey::Storage(contract, keccak256(&preimage));
+                    if site.write {
+                        claims.read_write(key);
+                    } else {
+                        claims.read(key);
+                    }
+                }
+                None => {
+                    if site.write {
+                        claims.read_write_prefix(Self::storage_prefix(contract));
+                    } else {
+                        claims.read_prefix(Self::storage_prefix(contract));
+                    }
+                }
+            }
+        }
+        if s.reads_balance || !s.transfers.is_empty() {
+            claims.read(StateKey::Balance(contract));
+        }
+        if !s.transfers.is_empty() {
+            claims.read_write(StateKey::Balance(contract));
+        }
+        for site in &s.transfers {
+            match &site.to {
+                AddrPattern::Caller => claims.read_write(StateKey::Balance(sender)),
+                AddrPattern::Param(p) => {
+                    let word = param_word(p)?;
+                    claims.read_write(StateKey::Balance(Word::from_be_bytes(&word).to_address()));
+                }
+                AddrPattern::Top => claims.read_write_prefix(Self::balance_prefix()),
+            }
+        }
+        Some(claims)
+    }
+
+    /// Resolves an AVM application call against the summaries; the
+    /// first app arg is the dispatch symbol and parameters follow in
+    /// declaration order (`uint` args are 8-byte big-endian, addresses
+    /// raw 20 bytes — see [`crate::backend::avm`]).
+    pub fn resolve_app_call(
+        &self,
+        app_id: u64,
+        sender: Address,
+        payment: u64,
+        args: &[Vec<u8>],
+    ) -> Option<AccessClaims> {
+        let mut claims = AccessClaims::default();
+        claims.read(StateKey::AppProgram(app_id));
+        let escrow = app_address(app_id);
+        if payment > 0 {
+            claims.read_write(StateKey::Balance(sender));
+            claims.read_write(StateKey::Balance(escrow));
+        }
+        let Some(symbol) = args.first() else {
+            return Some(claims); // missing dispatch arg: rejected
+        };
+        let method = self
+            .methods
+            .iter()
+            .filter(|m| !matches!(m.kind, MethodKind::View)) // views are EVM-only entries
+            .find(|m| m.name.as_bytes() == symbol.as_slice());
+        let Some(method) = method else {
+            return Some(claims); // unknown symbol: rejected
+        };
+        let s = &method.summary;
+        let global_key = |name: &[u8]| StateKey::AppGlobal(app_id, name.to_vec());
+
+        if matches!(method.kind, MethodKind::Close) {
+            claims.read(global_key(avm_backend::KEY_PHASE));
+            claims.read(global_key(avm_backend::KEY_CREATOR));
+            claims.read_write(StateKey::Balance(escrow));
+            claims.read_write_prefix(Self::balance_prefix());
+            return Some(claims);
+        }
+        if s.reads_phase {
+            if s.writes_phase {
+                claims.read_write(global_key(avm_backend::KEY_PHASE));
+            } else {
+                claims.read(global_key(avm_backend::KEY_PHASE));
+            }
+        }
+        for g in &s.globals_read {
+            if !s.globals_written.contains(g) {
+                claims.read(global_key(g.as_bytes()));
+            }
+        }
+        for g in &s.globals_written {
+            claims.read_write(global_key(g.as_bytes()));
+        }
+        let param_arg = |name: &str| -> Option<&[u8]> {
+            let pos = method.params.iter().position(|(n, _)| n == name)?;
+            args.get(1 + pos).map(Vec::as_slice)
+        };
+        for site in &s.maps {
+            self.map_index.get(&site.map)?;
+            let key_bytes: Option<[u8; 8]> = match &site.key {
+                KeyPattern::Const(k) => Some(k.to_be_bytes()),
+                // A key argument that is not the 8-byte uint encoding
+                // makes the call's footprint unpredictable from here —
+                // refuse to claim rather than widening.
+                KeyPattern::Param(p) => Some(param_arg(p)?.try_into().ok()?),
+                KeyPattern::Top => None,
+            };
+            match key_bytes {
+                Some(kb) => {
+                    let mut box_key = site.map.as_bytes().to_vec();
+                    box_key.push(b':');
+                    box_key.extend_from_slice(&kb);
+                    let key = StateKey::AppBox(app_id, box_key);
+                    if site.write {
+                        claims.read_write(key);
+                    } else {
+                        claims.read(key);
+                    }
+                }
+                None => {
+                    let prefix = Self::box_prefix(app_id, &site.map);
+                    if site.write {
+                        claims.read_write_prefix(prefix);
+                    } else {
+                        claims.read_prefix(prefix);
+                    }
+                }
+            }
+        }
+        if s.reads_balance || !s.transfers.is_empty() {
+            claims.read(StateKey::Balance(escrow));
+        }
+        if !s.transfers.is_empty() {
+            claims.read_write(StateKey::Balance(escrow));
+        }
+        for site in &s.transfers {
+            match &site.to {
+                AddrPattern::Caller => claims.read_write(StateKey::Balance(sender)),
+                AddrPattern::Param(p) => {
+                    let raw: [u8; 20] = param_arg(p)?.try_into().ok()?;
+                    claims.read_write(StateKey::Balance(Address(raw)));
+                }
+                AddrPattern::Top => claims.read_write_prefix(Self::balance_prefix()),
+            }
+        }
+        Some(claims)
+    }
+}
+
+// ------------------------------------------------------- reporting --
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn key_pattern_label(p: &KeyPattern) -> String {
+    match p {
+        KeyPattern::Const(c) => format!("const:{c}"),
+        KeyPattern::Param(name) => format!("param:{name}"),
+        KeyPattern::Top => "top".to_string(),
+    }
+}
+
+fn addr_pattern_label(p: &AddrPattern) -> String {
+    match p {
+        AddrPattern::Caller => "caller".to_string(),
+        AddrPattern::Param(name) => format!("param:{name}"),
+        AddrPattern::Top => "top".to_string(),
+    }
+}
+
+fn summary_json(s: &AccessSummary, indent: &str) -> String {
+    let list =
+        |items: &BTreeSet<String>| items.iter().map(|g| json_str(g)).collect::<Vec<_>>().join(", ");
+    let maps = s
+        .maps
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"map\": {}, \"key\": {}, \"mode\": {}}}",
+                json_str(&m.map),
+                json_str(&key_pattern_label(&m.key)),
+                json_str(if m.write { "write" } else { "read" }),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let transfers = s
+        .transfers
+        .iter()
+        .map(|t| json_str(&addr_pattern_label(&t.to)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n{indent}  \"globals_read\": [{}],\n{indent}  \"globals_written\": [{}],\n\
+         {indent}  \"maps\": [{maps}],\n{indent}  \"transfers\": [{transfers}],\n\
+         {indent}  \"reads_balance\": {},\n{indent}  \"reads_phase\": {},\n\
+         {indent}  \"writes_phase\": {},\n{indent}  \"precise\": {}\n{indent}}}",
+        list(&s.globals_read),
+        list(&s.globals_written),
+        s.reads_balance,
+        s.reads_phase,
+        s.writes_phase,
+        s.is_precise(),
+    )
+}
+
+impl ContractSummaries {
+    /// Deterministic JSON rendering of the summaries (the
+    /// `polc summaries --json` artifact).
+    pub fn to_json(&self, file: &str, indent: &str) -> String {
+        let methods = self
+            .methods
+            .iter()
+            .map(|m| {
+                format!(
+                    "{indent}    {{\"name\": {}, \"phase\": {}, \"kind\": {}, \"summary\": {}}}",
+                    json_str(&m.name),
+                    m.phase.as_ref().map_or("null".to_string(), |p| json_str(p)),
+                    json_str(match m.kind {
+                        MethodKind::Api => "api",
+                        MethodKind::View => "view",
+                        MethodKind::Close => "close",
+                    }),
+                    summary_json(&m.summary, &format!("{indent}    ")),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{indent}{{\n{indent}  \"file\": {},\n{indent}  \"name\": {},\n\
+             {indent}  \"constructor\": {},\n{indent}  \"methods\": [\n{methods}\n{indent}  ]\n{indent}}}",
+            json_str(file),
+            json_str(&self.name),
+            summary_json(&self.constructor, &format!("{indent}  ")),
+        )
+    }
+
+    /// Human-readable rendering (the `polc summaries` text output).
+    pub fn render_text(&self) -> String {
+        let mut out = format!("contract {}\n", self.name);
+        for m in &self.methods {
+            let s = &m.summary;
+            let mut parts = Vec::new();
+            if !s.globals_read.is_empty() {
+                parts.push(format!(
+                    "reads {{{}}}",
+                    s.globals_read.iter().cloned().collect::<Vec<_>>().join(", ")
+                ));
+            }
+            if !s.globals_written.is_empty() {
+                parts.push(format!(
+                    "writes {{{}}}",
+                    s.globals_written.iter().cloned().collect::<Vec<_>>().join(", ")
+                ));
+            }
+            for site in &s.maps {
+                parts.push(format!(
+                    "{} {}[{}]",
+                    if site.write { "writes" } else { "reads" },
+                    site.map,
+                    key_pattern_label(&site.key),
+                ));
+            }
+            for t in &s.transfers {
+                parts.push(format!("transfers→{}", addr_pattern_label(&t.to)));
+            }
+            if s.reads_balance {
+                parts.push("reads balance".into());
+            }
+            if s.writes_phase {
+                parts.push("may advance phase".into());
+            }
+            let precision = if s.is_precise() { "precise" } else { "⊤" };
+            out.push_str(&format!(
+                "  {:<18} [{precision}] {}\n",
+                m.name,
+                if parts.is_empty() { "pure".to_string() } else { parts.join("; ") },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn pol_v1() -> Program {
+        let src = include_str!("../../core/contracts/proof_of_location.pol");
+        let program = parse(src).expect("parses");
+        assert!(crate::check::check(&program).is_empty());
+        program
+    }
+
+    #[test]
+    fn proof_of_location_methods_are_precise() {
+        let summaries = summarize(&pol_v1());
+        for m in &summaries.methods {
+            // closeContract is conservative by construction (it pays out
+            // to the creator read from state) — every user method must
+            // stay precise.
+            if m.kind == MethodKind::Close {
+                continue;
+            }
+            assert!(m.summary.is_precise(), "{} degraded: {:?}", m.name, m.summary.degradations());
+        }
+        let insert = summaries.method("insert_data").expect("api");
+        assert!(insert.summary.writes_phase, "insert_data decrements availableSits");
+        assert!(insert
+            .summary
+            .maps
+            .iter()
+            .any(|s| s.write && s.key == KeyPattern::Param("did".into())));
+        let money = summaries.method("insert_money").expect("api");
+        assert!(!money.summary.writes_phase, "insert_money cannot falsify toVerify > 0");
+        assert!(money.summary.reads_balance, "returns the balance");
+        let verify = summaries.method("verify").expect("api");
+        assert!(verify.summary.writes_phase);
+        assert!(verify
+            .summary
+            .transfers
+            .iter()
+            .all(|t| t.to == AddrPattern::Param("wallet".into())));
+    }
+
+    #[test]
+    fn evm_resolution_pins_param_keyed_slots() {
+        let program = pol_v1();
+        let summaries = summarize(&program);
+        let compiled = crate::backend::compile(&program).expect("compiles");
+        let contract = Address([7u8; 20]);
+        let sender = Address([9u8; 20]);
+        let calldata = compiled
+            .evm
+            .encode_call(
+                "insert_data",
+                &[
+                    crate::backend::AbiValue::Bytes(vec![1u8; 224]),
+                    crate::backend::AbiValue::Word(42),
+                ],
+            )
+            .expect("encodes");
+        let claims = summaries.resolve_evm_call(contract, sender, 0, &calldata).expect("resolves");
+        assert!(claims.is_exact(), "param-keyed method must resolve exactly: {claims:?}");
+        // Distinct DIDs resolve to distinct map slots → calls commute.
+        let other = compiled
+            .evm
+            .encode_call(
+                "insert_data",
+                &[
+                    crate::backend::AbiValue::Bytes(vec![1u8; 224]),
+                    crate::backend::AbiValue::Word(43),
+                ],
+            )
+            .expect("encodes");
+        let other_claims =
+            summaries.resolve_evm_call(contract, Address([8u8; 20]), 0, &other).expect("resolves");
+        // Both write availableSits/toVerify and the phase slot, so they
+        // do NOT commute — but their map-slot claims must differ.
+        assert_ne!(claims, other_claims);
+        assert!(!claims.commutes_with(&other_claims), "both write the seat counters");
+
+        // Unknown selectors revert after reading only the code.
+        let unknown = summaries
+            .resolve_evm_call(contract, sender, 0, &[0xde, 0xad, 0xbe, 0xef])
+            .expect("resolves");
+        assert!(unknown.writes.is_empty());
+        assert_eq!(unknown.reads.len(), 1);
+    }
+
+    #[test]
+    fn avm_resolution_pins_box_keys_and_rejects_malformed_args() {
+        let summaries = summarize(&pol_v1());
+        let sender = Address([9u8; 20]);
+        let args = vec![b"insert_data".to_vec(), vec![1u8; 224], 42u64.to_be_bytes().to_vec()];
+        let claims = summaries.resolve_app_call(5, sender, 0, &args).expect("resolves");
+        assert!(claims.is_exact(), "{claims:?}");
+        let pinned = claims.writes.iter().any(|c| {
+            matches!(c, pol_ledger::KeyClaim::Exact(StateKey::AppBox(5, k))
+                if k.starts_with(b"provers:"))
+        });
+        assert!(pinned, "box key must be pinned: {claims:?}");
+        // A malformed (non-8-byte) key argument cannot be resolved.
+        let bad = vec![b"insert_data".to_vec(), vec![1u8; 224], vec![1, 2, 3]];
+        assert_eq!(summaries.resolve_app_call(5, sender, 0, &bad), None);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_marks_precision() {
+        let summaries = summarize(&pol_v1());
+        let a = summaries.to_json("x.pol", "");
+        let b = summaries.to_json("x.pol", "");
+        assert_eq!(a, b);
+        assert!(a.contains("\"precise\": true"));
+        assert!(a.contains("\"key\": \"param:did\""));
+    }
+}

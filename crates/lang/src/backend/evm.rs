@@ -158,7 +158,7 @@ struct Ctx<'p> {
 
 /// Computes the `(name, ty, offset, padded_len)` layout for a parameter
 /// or field list (offsets relative to the start of the argument area).
-fn layout(params: &[(String, Ty)]) -> Vec<(String, Ty, usize, usize)> {
+pub(crate) fn layout(params: &[(String, Ty)]) -> Vec<(String, Ty, usize, usize)> {
     let mut out = Vec::with_capacity(params.len());
     let mut off = 0usize;
     for (name, ty) in params {
@@ -173,7 +173,7 @@ fn layout(params: &[(String, Ty)]) -> Vec<(String, Ty, usize, usize)> {
 }
 
 /// The canonical signature used for selector derivation.
-fn signature(name: &str, params: &[(String, Ty)]) -> String {
+pub(crate) fn signature(name: &str, params: &[(String, Ty)]) -> String {
     let tys: Vec<String> = params
         .iter()
         .map(|(_, ty)| match ty {

@@ -13,6 +13,12 @@
 //!                           all files together; print both reports
 //!                           and optionally write solver statistics as
 //!                           JSON.
+//! polc summaries [--json <path>] <file.pol>...
+//!                           run the access-summary analysis and print
+//!                           each method's inferred read/write footprint
+//!                           (globals, map-key patterns, transfers,
+//!                           phase effects); optionally write the
+//!                           machine-readable form as JSON.
 //! polc codes                print the diagnostic-code registry as
 //!                           markdown (published to
 //!                           results/lint_codes.md by CI).
@@ -39,6 +45,9 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "verify" && !rest.is_empty() => {
             verify_files(rest, relational, json_path.as_deref())
         }
+        Some((cmd, rest)) if cmd == "summaries" && !rest.is_empty() => {
+            summarize_files(rest, json_path.as_deref())
+        }
         Some((cmd, rest)) if cmd == "codes" && rest.is_empty() => {
             print!("{}", lint::codes_markdown());
             ExitCode::SUCCESS
@@ -47,6 +56,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: polc lint [--no-relational] <file.pol>...\n\
                  \x20      polc verify [--no-relational] [--json <path>] <file.pol>...\n\
+                 \x20      polc summaries [--json <path>] <file.pol>...\n\
                  \x20      polc codes"
             );
             ExitCode::from(2)
@@ -122,6 +132,49 @@ fn lint_files(files: &[String], relational: bool) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Runs the access-summary analysis over each file and prints the
+/// per-method footprints; `--json` additionally writes the
+/// deterministic machine-readable form (the CI artifact).
+fn summarize_files(files: &[String], json_path: Option<&str>) -> ExitCode {
+    let mut rendered = Vec::new();
+    for file in files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("polc: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match pol_lang::parse::parse(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("polc: {file}:{}:{}: {}", e.line, e.col, e.message);
+                return ExitCode::from(2);
+            }
+        };
+        let type_errors = pol_lang::check::check(&program);
+        if !type_errors.is_empty() {
+            for d in &type_errors {
+                eprintln!("polc: {file}: {d}");
+            }
+            return ExitCode::FAILURE;
+        }
+        let summaries = pol_lang::access::summarize(&program);
+        println!("== {file} ==");
+        print!("{}", summaries.render_text());
+        println!();
+        rendered.push(summaries.to_json(file, "    "));
+    }
+    if let Some(path) = json_path {
+        let json = format!("{{\n  \"contracts\": [\n{}\n  ]\n}}\n", rendered.join(",\n"));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("polc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Per-file theorem verification plus the cross-contract system pass.

@@ -343,6 +343,15 @@ impl Env {
         }
     }
 
+    /// Evaluates an expression to its interval at this store — the
+    /// read-only view the access-summary pass uses to narrow map-key
+    /// expressions (overflow tracking is the analysis's concern, not
+    /// the caller's).
+    pub fn interval_of(&self, expr: &Expr) -> Itv {
+        let mut overflow = false;
+        self.eval(expr, &mut overflow)
+    }
+
     /// Pointwise join; variables known on only one side become TOP.
     fn join(a: &Env, b: &Env) -> Env {
         let mut out = Env::default();
@@ -906,6 +915,32 @@ impl BodyAnalysis {
     /// queries (e.g. the cross-contract conservation check).
     pub fn zone_at(&self, path: &[u32]) -> Option<&Zone> {
         self.stmt_zones.get(path)
+    }
+
+    /// The abstract store observed just before the statement at `path`
+    /// (`None` when the statement is unreachable).
+    pub fn env_at(&self, path: &[u32]) -> Option<&Env> {
+        self.stmt_envs.get(path)
+    }
+
+    /// The abstract store at a block's terminator: the block-entry
+    /// store with the block's assignments replayed — the same transfer
+    /// function `run_flow` applies, minus the relational zone. Lets the
+    /// access-summary pass narrow map keys read inside `if`/`require`
+    /// conditions soundly.
+    pub fn term_env(&self, b: usize) -> Option<Env> {
+        let mut env = self.envs.get(b)?.clone()?;
+        for inst in &self.cfg.blocks[b].insts {
+            match inst {
+                Inst::Set { name, value, .. } => {
+                    let itv = env.interval_of(value);
+                    env.set(Var::Global(name.clone()), itv);
+                }
+                Inst::Transfer { .. } => env.set(Var::Balance, Itv::TOP),
+                _ => {}
+            }
+        }
+        Some(env)
     }
 
     /// Source paths of statements that can never execute, one per

@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod account;
 pub mod address;
 pub mod block;
@@ -19,6 +20,7 @@ pub mod state;
 pub mod tx;
 pub mod units;
 
+pub use access::{AccessClaims, KeyClaim};
 pub use account::Account;
 pub use address::{Address, ContractId};
 pub use block::{Block, BlockHash};

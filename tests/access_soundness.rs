@@ -1,0 +1,308 @@
+//! Differential soundness test for the compile-time access summaries.
+//!
+//! Generates randomized pol-lang contracts (param-keyed, constant-keyed
+//! and deliberately ⊤-keyed map accesses) plus random call storms, then
+//! executes the same workload under the sequential oracle, the plain
+//! optimistic-parallel executor and the static-lane scheduler — with the
+//! commit-time access sanitizer armed, so any transaction whose observed
+//! read/write set escapes its static summary panics the executor. The
+//! property is twofold: the sanitizer never fires, and every mode
+//! produces byte-identical receipts, burn and state digest.
+#![cfg(feature = "proptest")]
+
+use proof_of_location as pol;
+
+use pol::chainsim::{presets, AccessQuery, Chain, ExecutionMode};
+use pol::lang::backend::AbiValue;
+use pol::ledger::ContractId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One call in the generated storm.
+#[derive(Debug, Clone)]
+struct Call {
+    user: usize,
+    api: usize,
+    key: u64,
+    val: u64,
+}
+
+/// The tunables a proptest case picks for the generated contract.
+#[derive(Debug, Clone)]
+struct Shape {
+    /// The constant key the const-keyed API writes.
+    const_key: u64,
+    /// Whether the const-keyed API also bumps a second global.
+    bump_global: bool,
+    /// Whether to include the ⊤-keyed API (computed key), which forces
+    /// the whole-map claim and keeps those calls off the static lanes.
+    top_api: bool,
+}
+
+/// Builds a contract within the summary-friendly fragment: no
+/// subtraction, no transfers, the while-guard global is never written by
+/// an API, keys are parameters or constants (plus an optional computed
+/// key that intentionally degrades to ⊤), and every map has a delete.
+fn contract_source(shape: &Shape) -> String {
+    let bump = if shape.bump_global { "acc = (acc + 1);" } else { "" };
+    let top = if shape.top_api {
+        "api smear(key: uint, val: uint) -> open {\n            boxes[(key + val)] = [val];\n            delete boxes[(key + val)];\n        }"
+    } else {
+        ""
+    };
+    format!(
+        r#"
+contract fuzz_access {{
+    participant Creator {{
+        limit: uint,
+    }}
+
+    global open: uint = field(limit) view;
+    global acc: uint = 0 view;
+    map cells[32];
+    map boxes[32];
+
+    phase live while (open > 0) invariant (open >= 0) {{
+        api put(key: uint, val: uint) -> open {{
+            cells[key] = [val];
+        }}
+        api pin(val: uint) -> open {{
+            boxes[{const_key}] = [val];
+            {bump}
+        }}
+        api clear(key: uint) -> open {{
+            delete cells[key];
+        }}
+        api unpin() -> open {{
+            delete boxes[{const_key}];
+        }}
+        {top}
+    }}
+}}
+"#,
+        const_key = shape.const_key,
+    )
+}
+
+const APIS: [&str; 5] = ["put", "pin", "clear", "unpin", "smear"];
+const USERS: usize = 4;
+const WORKERS: usize = 4;
+
+fn api_args(call: &Call) -> (&'static str, Vec<AbiValue>) {
+    let name = APIS[call.api];
+    let args = match name {
+        "put" | "smear" => {
+            vec![AbiValue::Word(u128::from(call.key)), AbiValue::Word(u128::from(call.val))]
+        }
+        "pin" => vec![AbiValue::Word(u128::from(call.val))],
+        "clear" => vec![AbiValue::Word(u128::from(call.key))],
+        _ => vec![],
+    };
+    (name, args)
+}
+
+struct Outcome {
+    receipts: Vec<String>,
+    burned: u128,
+    digest: [u8; 32],
+    fallbacks: u64,
+    skipped: u64,
+}
+
+/// Runs one storm on a fresh chain in the given mode with the sanitizer
+/// armed, returning everything the differential comparison needs.
+fn run(
+    preset: pol::chainsim::ChainPreset,
+    mode: ExecutionMode,
+    shape: &Shape,
+    calls: &[Call],
+    seed: u64,
+) -> Outcome {
+    let program = pol::lang::parse(&contract_source(shape)).expect("generated contract parses");
+    let compiled = pol::lang::backend::compile(&program).expect("generated contract compiles");
+    let summaries = Arc::new(pol::lang::access::summarize(&program));
+
+    let mut chain: Chain = preset.build(seed);
+    chain.set_execution_mode(mode);
+    chain.set_access_sanitizer(true);
+    let (creator, _) = chain.create_funded_account(10u128.pow(20));
+    let avm = matches!(chain.config.vm, pol::chainsim::VmKind::Avm);
+    let contract = if avm {
+        let args = compiled.avm.encode_create_args(&[AbiValue::Word(USERS as u128)]).unwrap();
+        let receipt = chain.deploy_app(&creator, compiled.avm.program.clone(), args).unwrap();
+        receipt.created.expect("app created")
+    } else {
+        let init = compiled.evm.init_with_args(&[AbiValue::Word(USERS as u128)]).unwrap();
+        let receipt = chain.deploy_evm(&creator, init, 5_000_000).unwrap();
+        receipt.created.expect("contract created")
+    };
+    match contract {
+        ContractId::Evm(addr) => {
+            let s = Arc::clone(&summaries);
+            chain.register_access_resolver(
+                contract,
+                Box::new(move |q: &AccessQuery<'_>| {
+                    s.resolve_evm_call(addr, q.sender, q.value, q.calldata)
+                }),
+            );
+        }
+        ContractId::App(app_id) => {
+            let s = Arc::clone(&summaries);
+            chain.register_access_resolver(
+                contract,
+                Box::new(move |q: &AccessQuery<'_>| {
+                    let payment = u64::try_from(q.value).ok()?;
+                    s.resolve_app_call(app_id, q.sender, payment, q.app_args)
+                }),
+            );
+        }
+    }
+
+    let users: Vec<_> = (0..USERS).map(|_| chain.create_funded_account(10u128.pow(20)).0).collect();
+
+    // Submit the storm in batches so blocks carry several concurrent
+    // calls, then await in submission order.
+    let mut receipts = Vec::new();
+    for batch in calls.chunks(8) {
+        let mut ids = Vec::new();
+        for call in batch {
+            let (name, args) = api_args(call);
+            let kp = &users[call.user];
+            let id = if avm {
+                let call_args = compiled.avm.encode_call(name, &args).unwrap();
+                chain.submit_call_app(kp, contract.as_app().unwrap(), call_args, 0).unwrap()
+            } else {
+                let data = compiled.evm.encode_call(name, &args).unwrap();
+                chain.submit_call_evm(kp, contract, data, 0, 1_000_000).unwrap()
+            };
+            ids.push(id);
+        }
+        for id in ids {
+            receipts.push(format!("{:?}", chain.await_tx(id).unwrap()));
+        }
+    }
+    let stats = chain.exec_stats();
+    Outcome {
+        receipts,
+        burned: chain.total_burned(),
+        digest: chain.state_digest(),
+        fallbacks: stats.summary_fallbacks,
+        skipped: stats.speculation_skipped,
+    }
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    (0u64..6, any::<bool>(), any::<bool>()).prop_map(|(const_key, bump_global, top_api)| Shape {
+        const_key,
+        bump_global,
+        top_api,
+    })
+}
+
+fn calls_strategy() -> impl Strategy<Value = Vec<Call>> {
+    proptest::collection::vec(
+        (0..USERS, 0usize..5, 0u64..6, 0u64..50).prop_map(|(user, api, key, val)| Call {
+            user,
+            api,
+            key,
+            val,
+        }),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// EVM: sequential, optimistic-parallel and static-lane execution
+    /// agree byte-for-byte, and the armed sanitizer never fires — every
+    /// observed read/write stays inside the static summary.
+    #[test]
+    fn evm_summaries_are_sound_and_modes_agree(
+        shape in shape_strategy(),
+        calls in calls_strategy(),
+        seed in 0u64..1000,
+    ) {
+        // The ⊤-keyed API only exists when the shape says so.
+        let mut calls = calls;
+        if !shape.top_api {
+            for c in &mut calls {
+                if c.api == 4 {
+                    c.api %= 4;
+                }
+            }
+        }
+        let seq = run(presets::devnet_evm(), ExecutionMode::Sequential, &shape, &calls, seed);
+        let par = run(
+            presets::devnet_evm(),
+            ExecutionMode::Parallel { workers: WORKERS },
+            &shape,
+            &calls,
+            seed,
+        );
+        let lanes = run(
+            presets::devnet_evm(),
+            ExecutionMode::ParallelStatic { workers: WORKERS },
+            &shape,
+            &calls,
+            seed,
+        );
+        prop_assert_eq!(&seq.receipts, &par.receipts);
+        prop_assert_eq!(&seq.receipts, &lanes.receipts);
+        prop_assert_eq!(seq.burned, par.burned);
+        prop_assert_eq!(seq.burned, lanes.burned);
+        prop_assert_eq!(seq.digest, par.digest);
+        prop_assert_eq!(seq.digest, lanes.digest);
+        // Every call resolves statically: the only claimless tx is the
+        // deploy, so at most one block (the deploy's) may fall back.
+        prop_assert!(lanes.fallbacks <= 1, "fallbacks {}", lanes.fallbacks);
+    }
+
+    /// AVM: the sequential oracle and the static-lane scheduler agree,
+    /// with the sanitizer armed throughout (box-keyed claims).
+    #[test]
+    fn avm_summaries_are_sound_and_modes_agree(
+        shape in shape_strategy(),
+        calls in calls_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let mut calls = calls;
+        if !shape.top_api {
+            for c in &mut calls {
+                if c.api == 4 {
+                    c.api %= 4;
+                }
+            }
+        }
+        let seq = run(presets::devnet_algo(), ExecutionMode::Sequential, &shape, &calls, seed);
+        let lanes = run(
+            presets::devnet_algo(),
+            ExecutionMode::ParallelStatic { workers: WORKERS },
+            &shape,
+            &calls,
+            seed,
+        );
+        prop_assert_eq!(&seq.receipts, &lanes.receipts);
+        prop_assert_eq!(seq.burned, lanes.burned);
+        prop_assert_eq!(seq.digest, lanes.digest);
+        prop_assert!(lanes.fallbacks <= 1, "fallbacks {}", lanes.fallbacks);
+    }
+
+    /// A storm of distinct param-keyed writes from distinct users rides
+    /// the static lanes: validations are actually skipped, not merely
+    /// survived.
+    #[test]
+    fn disjoint_param_keys_ride_static_lanes(seed in 0u64..1000) {
+        let shape = Shape { const_key: 0, bump_global: false, top_api: false };
+        let calls: Vec<Call> =
+            (0..USERS).map(|u| Call { user: u, api: 0, key: u as u64, val: 7 }).collect();
+        let lanes = run(
+            presets::devnet_evm(),
+            ExecutionMode::ParallelStatic { workers: WORKERS },
+            &shape,
+            &calls,
+            seed,
+        );
+        prop_assert!(lanes.skipped > 0, "no validation skipped: {}", lanes.skipped);
+    }
+}
