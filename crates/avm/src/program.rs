@@ -50,6 +50,56 @@ impl AvmProgram {
     }
 }
 
+/// The prepared, cache-resident form of an [`AvmProgram`]: per-instruction
+/// pre-resolved branch targets and pre-computed cost rows, derived once
+/// (via the ledger's `CodeCache`) so the interpreter's hot loop neither
+/// probes the label `HashMap` per branch nor re-matches the cost table
+/// per op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreparedAvm {
+    /// Per-instruction branch target ([`PreparedAvm::UNRESOLVED`] when
+    /// the instruction is not a branch or its label does not exist —
+    /// the latter only fails if the branch is actually taken).
+    targets: Vec<u32>,
+    /// Per-instruction opcode cost (the TEAL cost table, pre-applied).
+    costs: Vec<u64>,
+}
+
+impl PreparedAvm {
+    /// Sentinel for "no target here".
+    pub const UNRESOLVED: u32 = u32::MAX;
+
+    /// Derives the prepared rows from a program.
+    pub fn prepare(program: &AvmProgram) -> PreparedAvm {
+        let targets = program
+            .ops()
+            .iter()
+            .map(|op| match op {
+                AvmOp::B(label) | AvmOp::Bz(label) | AvmOp::Bnz(label) => {
+                    program.resolve(*label).map_or(PreparedAvm::UNRESOLVED, |idx| idx as u32)
+                }
+                _ => PreparedAvm::UNRESOLVED,
+            })
+            .collect();
+        let costs = program.ops().iter().map(crate::cost::op_cost).collect();
+        PreparedAvm { targets, costs }
+    }
+
+    /// The pre-resolved target of the branch at instruction `idx`
+    /// (`None` = the branch's label does not exist).
+    pub fn branch_target(&self, idx: usize) -> Option<usize> {
+        match self.targets[idx] {
+            PreparedAvm::UNRESOLVED => None,
+            target => Some(target as usize),
+        }
+    }
+
+    /// The opcode cost of instruction `idx`.
+    pub fn cost(&self, idx: usize) -> u64 {
+        self.costs[idx]
+    }
+}
+
 /// Programs are stored in the journaled world state as shared blobs, so
 /// speculative executors re-reading an installed app clone an `Arc`, not
 /// the instruction list.

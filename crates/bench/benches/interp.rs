@@ -1,0 +1,161 @@
+//! Interpreter micro-benchmarks: pre-decode cost, superinstruction
+//! fusion, and what the shared code cache buys per call on both VMs.
+//!
+//! ```sh
+//! cargo bench -p pol-bench --bench interp
+//! ```
+//!
+//! `POL_BENCH_SMOKE=1` caps every benchmark at a handful of iterations —
+//! the CI smoke mode that checks the benches still run, not their
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pol_avm::{call_app_with_cache, create_app_with_cache, AppCallParams, AvmProgram};
+use pol_evm::assembler::Asm;
+use pol_evm::opcode::Op;
+use pol_evm::{call_contract_with_cache, deploy_contract_with_cache, CallParams, EvmProgram};
+use pol_ledger::{Address, CodeCache, Overlay, WorldState};
+use std::hint::black_box;
+
+/// A runtime that loops `iters` times over cheap arithmetic — enough
+/// dispatches per call that decode cost is visible beside execution.
+fn loop_runtime(iters: u64) -> Vec<u8> {
+    let mut asm = Asm::new();
+    let top = asm.new_label();
+    // counter on the stack; loop: counter -= 1; jumpi top while != 0
+    asm = asm.push_u64(iters).bind(top);
+    asm = asm.push_u64(1).swap(1).op(Op::Sub);
+    asm = asm.dup(1).jump_if(top);
+    asm.op(Op::Pop).op(Op::Stop).build()
+}
+
+/// Deploys `runtime` into a fresh world, returning the world and the
+/// contract address — the base every measured call overlays.
+fn deployed_world(runtime: &[u8]) -> (WorldState, Address) {
+    let mut world = WorldState::new();
+    let cache = CodeCache::disabled();
+    let (addr, writes) = {
+        let mut view = Overlay::new(&world);
+        let (addr, _) = deploy_contract_with_cache(
+            &mut view,
+            Address::ZERO,
+            &Asm::deploy_wrapper(runtime),
+            30_000_000,
+            &cache,
+        )
+        .expect("bench runtime deploys");
+        (addr, view.into_writes())
+    };
+    world.apply(writes);
+    (world, addr)
+}
+
+fn call_params(addr: Address) -> CallParams {
+    CallParams {
+        caller: Address::ZERO,
+        contract: addr,
+        value: 0,
+        data: Vec::new(),
+        gas_limit: 10_000_000,
+        block_number: 1,
+        timestamp_s: 1,
+    }
+}
+
+fn evm_benches(c: &mut Criterion) {
+    let runtime = loop_runtime(200);
+    let (world, addr) = deployed_world(&runtime);
+
+    let mut group = c.benchmark_group("interp/evm");
+    group.throughput(Throughput::Bytes(runtime.len() as u64));
+    group.bench_function("decode", |b| b.iter(|| EvmProgram::decode(black_box(runtime.clone()))));
+    group.finish();
+
+    let cached = CodeCache::new();
+    c.bench_function("interp/evm/call-cached", |b| {
+        b.iter(|| {
+            let mut view = Overlay::new(&world);
+            call_contract_with_cache(&mut view, call_params(addr), &cached)
+                .expect("bench call succeeds")
+                .gas_used
+        })
+    });
+    let uncached = CodeCache::disabled();
+    c.bench_function("interp/evm/call-uncached", |b| {
+        b.iter(|| {
+            let mut view = Overlay::new(&world);
+            call_contract_with_cache(&mut view, call_params(addr), &uncached)
+                .expect("bench call succeeds")
+                .gas_used
+        })
+    });
+}
+
+/// A loop that stays inside the 700-unit budget while dispatching a few
+/// hundred ops per call.
+fn avm_loop_program() -> AvmProgram {
+    use pol_avm::opcode::AvmOp::*;
+    AvmProgram::new(vec![
+        PushInt(0),
+        Store(0),
+        Label(0),
+        Load(0),
+        PushInt(1),
+        Add,
+        Store(0),
+        Load(0),
+        PushInt(75),
+        Lt,
+        Bnz(0),
+        PushInt(1),
+        Return,
+    ])
+}
+
+fn avm_benches(c: &mut Criterion) {
+    let cached = CodeCache::new();
+    let mut world = WorldState::new();
+    let writes = {
+        let mut view = Overlay::new(&world);
+        create_app_with_cache(&mut view, Address::ZERO, avm_loop_program(), Vec::new(), &cached)
+            .expect("bench app installs");
+        view.into_writes()
+    };
+    world.apply(writes);
+
+    c.bench_function("interp/avm/call-prepared", |b| {
+        b.iter(|| {
+            let mut view = Overlay::new(&world);
+            call_app_with_cache(&mut view, AppCallParams::new(Address::ZERO, 1), &cached)
+                .expect("bench call succeeds")
+                .cost
+        })
+    });
+    let uncached = CodeCache::disabled();
+    c.bench_function("interp/avm/call-unprepared", |b| {
+        b.iter(|| {
+            let mut view = Overlay::new(&world);
+            call_app_with_cache(&mut view, AppCallParams::new(Address::ZERO, 1), &uncached)
+                .expect("bench call succeeds")
+                .cost
+        })
+    });
+}
+
+fn interp(c: &mut Criterion) {
+    evm_benches(c);
+    avm_benches(c);
+}
+
+fn smoke_aware(c: &mut Criterion) {
+    // The vendored criterion has no CLI; smoke mode comes in by env var.
+    if std::env::var_os("POL_BENCH_SMOKE").is_some() {
+        let mut smoke = Criterion::default().sample_size(5);
+        interp(&mut smoke);
+    } else {
+        interp(c);
+    }
+}
+
+criterion_group!(benches, smoke_aware);
+criterion_main!(benches);

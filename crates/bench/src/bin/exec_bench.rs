@@ -194,7 +194,13 @@ fn open_backend(backend: &str) -> Option<Box<dyn StateBackend>> {
     }
 }
 
-fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode, backend: &str) -> RunOutcome {
+fn run_mode(
+    seed: u64,
+    workload: Workload,
+    mode: ExecutionMode,
+    backend: &str,
+    cached: bool,
+) -> RunOutcome {
     let mut preset = presets::devnet_evm();
     preset.config.gas_limit = 60_000_000;
     preset.config.gas_target = 30_000_000;
@@ -203,6 +209,7 @@ fn run_mode(seed: u64, workload: Workload, mode: ExecutionMode, backend: &str) -
         None => preset.build(seed),
     };
     chain.set_execution_mode(mode);
+    chain.set_code_cache_enabled(cached);
 
     // Setup phase (not timed): fund the users, deploy one contract each —
     // and, for the conflict-heavy workload, the single shared hot counter
@@ -302,7 +309,9 @@ fn stats_json(s: &ExecStats, indent: &str) -> String {
          {indent}  \"conflicts\": {},\n{indent}  \"revalidations\": {},\n\
          {indent}  \"respeculations_avoided\": {},\n{indent}  \"rounds\": {},\n\
          {indent}  \"static_lanes\": {},\n{indent}  \"speculation_skipped\": {},\n\
-         {indent}  \"summary_fallbacks\": {},\n{indent}  \"validation_ns\": {}\n{indent}}}",
+         {indent}  \"summary_fallbacks\": {},\n{indent}  \"validation_ns\": {},\n\
+         {indent}  \"code_cache_hits\": {},\n{indent}  \"code_cache_misses\": {},\n\
+         {indent}  \"decode_ns\": {}\n{indent}}}",
         s.blocks,
         s.parallel_blocks,
         s.committed_txs,
@@ -315,6 +324,9 @@ fn stats_json(s: &ExecStats, indent: &str) -> String {
         s.speculation_skipped,
         s.summary_fallbacks,
         s.validation_ns,
+        s.code_cache_hits,
+        s.code_cache_misses,
+        s.decode_ns,
     )
 }
 
@@ -326,26 +338,42 @@ struct WorkloadResult {
 }
 
 fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult {
-    let seq = run_mode(seed, workload, ExecutionMode::Sequential, backend);
-    let par = run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS }, backend);
+    let seq = run_mode(seed, workload, ExecutionMode::Sequential, backend, true);
+    let par = run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS }, backend, true);
+    // The same parallel schedule with the code cache disabled — every
+    // execution re-decodes its program — pins down both what the cache
+    // buys in wall time and that it changes nothing observable.
+    let uncached =
+        run_mode(seed, workload, ExecutionMode::Parallel { workers: WORKERS }, backend, false);
     let abort = if workload == Workload::Heavy {
         Some(run_mode(
             seed,
             workload,
             ExecutionMode::ParallelAbortSuffix { workers: WORKERS },
             backend,
+            true,
         ))
     } else {
         None
     };
     let lanes = if workload == Workload::Disjoint {
-        Some(run_mode(seed, workload, ExecutionMode::ParallelStatic { workers: WORKERS }, backend))
+        Some(run_mode(
+            seed,
+            workload,
+            ExecutionMode::ParallelStatic { workers: WORKERS },
+            backend,
+            true,
+        ))
     } else {
         None
     };
 
     let mut ok =
         seq.receipts == par.receipts && seq.digest == par.digest && seq.burned == par.burned;
+    ok = ok
+        && seq.receipts == uncached.receipts
+        && seq.digest == uncached.digest
+        && seq.burned == uncached.burned;
     if let Some(a) = &abort {
         ok = ok && seq.receipts == a.receipts && seq.digest == a.digest && seq.burned == a.burned;
     }
@@ -367,12 +395,16 @@ fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult 
       "parallel_wall_ms": {par_ms:.3},
       "measured_wall_speedup": {measured:.3},
       "speedup": {modeled:.3},
+      "uncached_parallel_wall_ms": {unc_ms:.3},
+      "cache_wall_gain": {cache_gain:.3},
       "parallel_stats": {par_stats},
       "receipts_match": {ok},
       "state_match": {ok}"#,
         kind = workload.kind(),
         seq_ms = seq.wall_ms,
         par_ms = par.wall_ms,
+        unc_ms = uncached.wall_ms,
+        cache_gain = uncached.wall_ms / par.wall_ms.max(f64::MIN_POSITIVE),
         par_stats = stats_json(&par.stats, "      "),
     );
     let mut summary = vec![
@@ -380,6 +412,15 @@ fn run_workload(seed: u64, workload: Workload, backend: &str) -> WorkloadResult 
         format!("sequential: {:.1} ms", seq.wall_ms),
         format!("parallel ({WORKERS} workers): {:.1} ms (measured {measured:.2}x)", par.wall_ms),
         format!("modeled critical-path speedup: {modeled:.2}x"),
+        format!(
+            "code cache: {} hits / {} misses, decode {} ns (uncached parallel: {:.1} ms, \
+             {:.2}x wall gain)",
+            par.stats.code_cache_hits,
+            par.stats.code_cache_misses,
+            par.stats.decode_ns,
+            uncached.wall_ms,
+            uncached.wall_ms / par.wall_ms.max(f64::MIN_POSITIVE),
+        ),
         par.report.clone(),
     ];
     if let Some(a) = &abort {

@@ -10,8 +10,8 @@ use pol_crypto::ed25519::Keypair;
 use pol_crypto::sha256;
 use pol_evm::EvmView;
 use pol_ledger::{
-    Address, Block, BlockHash, ContractId, Currency, LedgerError, Receipt, Transaction, TxId,
-    WorldState,
+    Address, Block, BlockHash, CodeCache, ContractId, Currency, LedgerError, Receipt, Transaction,
+    TxId, WorldState,
 };
 use pol_store::StateBackend;
 use rand::rngs::StdRng;
@@ -105,6 +105,7 @@ pub struct Chain {
     exec_mode: ExecutionMode,
     exec_stats: ExecStats,
     exec_buffers: executor::BufferPool,
+    code_cache: CodeCache,
     access: AccessRegistry,
     sanitize: bool,
 }
@@ -174,6 +175,7 @@ impl Chain {
             exec_mode: ExecutionMode::Sequential,
             exec_stats: ExecStats::default(),
             exec_buffers: executor::BufferPool::default(),
+            code_cache: CodeCache::new(),
             access: AccessRegistry::default(),
             // Debug builds (the whole test suite) cross-check every
             // commit against its static access claims; release builds
@@ -205,6 +207,15 @@ impl Chain {
     /// the commit-time sanitizer cross-check observed footprints.
     pub fn register_access_resolver(&mut self, contract: ContractId, resolver: AccessResolver) {
         self.access.register(contract, resolver);
+    }
+
+    /// Enables or disables the shared pre-decoded program cache
+    /// (default: on). With it off every execution re-decodes its
+    /// program from scratch — the baseline `exec_bench` measures the
+    /// cache against. Toggling replaces the cache, so previously
+    /// memoized programs are dropped either way.
+    pub fn set_code_cache_enabled(&mut self, enabled: bool) {
+        self.code_cache = if enabled { CodeCache::new() } else { CodeCache::disabled() };
     }
 
     /// Forces the commit-time access sanitizer on or off (default: on in
@@ -638,6 +649,7 @@ impl Chain {
             avm_payloads: &self.avm_payloads,
             access: &self.access,
             sanitize: self.sanitize,
+            cache: &self.code_cache,
         };
         let outcome = executor::run_block(
             &ctx,

@@ -29,11 +29,12 @@
 use crate::access::{AccessQuery, AccessRegistry};
 use crate::chain::{AvmPayload, PendingTx, VmKind};
 use crate::feemarket;
-use pol_avm::{call_app, create_app, AppCallParams};
-use pol_evm::{call_contract, deploy_contract, CallParams};
+use pol_avm::{call_app_with_cache, create_app_with_cache, AppCallParams};
+use pol_evm::{call_contract_with_cache, deploy_contract_with_cache, CallParams};
 use pol_ledger::{
-    AccessClaims, Address, Amount, ContractId, Currency, Overlay, OverlayBuffers, ReadSet, Receipt,
-    StateKey, StateView, Transaction, TxId, TxKind, TxStatus, WorldState, WriteSet,
+    AccessClaims, Address, Amount, CodeCache, ContractId, Currency, Overlay, OverlayBuffers,
+    ReadSet, Receipt, StateKey, StateView, Transaction, TxId, TxKind, TxStatus, WorldState,
+    WriteSet,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -137,6 +138,17 @@ pub struct ExecStats {
     /// scan runs on one thread — so it is charged to the denominator of
     /// [`ExecStats::modeled_speedup`]; static lanes exist to delete it.
     pub validation_ns: u128,
+    /// Code-cache hits: executions that reused a pre-decoded program
+    /// (EVM) or prepared label/cost rows (AVM) instead of re-deriving
+    /// them. Snapshot of the chain's [`CodeCache`] counters, taken after
+    /// each block.
+    pub code_cache_hits: u64,
+    /// Code-cache misses: executions that had to decode/prepare.
+    pub code_cache_misses: u64,
+    /// Wall-clock nanoseconds spent decoding bytecode and preparing
+    /// programs — paid once per distinct program when the cache is on,
+    /// once per execution when it is off.
+    pub decode_ns: u64,
 }
 
 impl ExecStats {
@@ -206,6 +218,10 @@ pub(crate) struct ExecCtx<'a> {
     /// the soundness contract of the static summaries, enforced on
     /// every test run.
     pub(crate) sanitize: bool,
+    /// Shared pre-decoded program cache: one decode per distinct
+    /// program, reused across speculation attempts, execution modes and
+    /// blocks.
+    pub(crate) cache: &'a CodeCache,
 }
 
 /// What one speculative (or sequential) execution produced.
@@ -246,7 +262,7 @@ pub(crate) fn run_block(
     stats: &mut ExecStats,
 ) -> BlockOutcome {
     stats.blocks += 1;
-    match mode {
+    let outcome = match mode {
         ExecutionMode::Sequential => run_sequential(ctx, world, pool, gas_budget, buffers, stats),
         ExecutionMode::Parallel { workers } => {
             stats.parallel_blocks += 1;
@@ -260,7 +276,14 @@ pub(crate) fn run_block(
             stats.parallel_blocks += 1;
             run_parallel_static(ctx, world, pool, gas_budget, workers.max(1), buffers, stats)
         }
-    }
+    };
+    // The cache counters are cumulative on the chain's `CodeCache`;
+    // snapshot them so `exec_stats` stays a single coherent view.
+    let cache_stats = ctx.cache.stats();
+    stats.code_cache_hits = cache_stats.hits;
+    stats.code_cache_misses = cache_stats.misses;
+    stats.decode_ns = cache_stats.decode_ns;
+    outcome
 }
 
 /// The static access claims of one pending transaction, including the
@@ -435,6 +458,13 @@ fn initial_gas_estimate(ctx: &ExecCtx<'_>, tx: &Transaction) -> u64 {
 /// round with fewer candidates than configured workers cannot use the
 /// spare threads, and dividing by the larger number would overstate the
 /// schedule's parallelism.
+/// The host's available parallelism, resolved once.
+fn host_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
 pub(crate) fn modeled_round_ns(durations: &[u128], round_workers: usize) -> u128 {
     let lanes = round_workers.clamp(1, durations.len().max(1));
     let mut free = vec![0u128; lanes];
@@ -498,7 +528,13 @@ fn run_parallel_with_lanes(
         }
         if !todo.is_empty() {
             let round_workers = workers.min(todo.len());
-            if round_workers <= 1 {
+            // Spawn at most as many real threads as the host can run:
+            // extra configured workers only add scheduling overhead on
+            // an oversubscribed host. The *modeled* schedule below still
+            // uses the configured count — it describes the algorithm,
+            // not this machine.
+            let spawn_workers = round_workers.min(host_parallelism());
+            if spawn_workers <= 1 {
                 for &i in &todo {
                     spec[i] = Some(execute_tx(ctx, world, &pool[i], buffers));
                 }
@@ -509,7 +545,7 @@ fn run_parallel_with_lanes(
                 let base: &WorldState = world;
                 let pool_ref: &[PendingTx] = &pool;
                 std::thread::scope(|scope| {
-                    for _ in 0..round_workers {
+                    for _ in 0..spawn_workers {
                         scope.spawn(|| loop {
                             let k = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = todo.get(k) else { break };
@@ -690,7 +726,8 @@ fn execute_tx(
             }
         }
         (VmKind::Evm, TxKind::ContractCreate) => {
-            match deploy_contract(&mut view, tx.from, &tx.data, tx.gas_limit) {
+            match deploy_contract_with_cache(&mut view, tx.from, &tx.data, tx.gas_limit, ctx.cache)
+            {
                 Ok((addr, outcome)) => {
                     gas_used = outcome.gas_used;
                     created = Some(ContractId::Evm(addr));
@@ -717,7 +754,7 @@ fn execute_tx(
                 block_number: ctx.height,
                 timestamp_s: ctx.block_time / 1000,
             };
-            match call_contract(&mut view, params) {
+            match call_contract_with_cache(&mut view, params, ctx.cache) {
                 Ok(outcome) => {
                     gas_used = outcome.gas_used;
                     output = outcome.output.clone();
@@ -740,7 +777,13 @@ fn execute_tx(
         }
         (VmKind::Avm, TxKind::ContractCreate) => match ctx.avm_payloads.get(&id) {
             Some(AvmPayload::Create { program, args }) => {
-                match create_app(&mut view, tx.from, program.clone(), args.clone()) {
+                match create_app_with_cache(
+                    &mut view,
+                    tx.from,
+                    program.clone(),
+                    args.clone(),
+                    ctx.cache,
+                ) {
                     Ok(app_id) => created = Some(ContractId::App(app_id)),
                     Err(e) => status = TxStatus::Reverted(e.to_string()),
                 }
@@ -759,7 +802,7 @@ fn execute_tx(
                         round: ctx.height,
                         timestamp_s: ctx.block_time / 1000,
                     };
-                    match call_app(&mut view, params) {
+                    match call_app_with_cache(&mut view, params, ctx.cache) {
                         Ok(outcome) => {
                             if !outcome.approved {
                                 status = TxStatus::Reverted("application rejected".into());
@@ -839,6 +882,12 @@ mod tests {
         EMPTY.get_or_init(AccessRegistry::default)
     }
 
+    fn shared_cache() -> &'static CodeCache {
+        use std::sync::OnceLock;
+        static CACHE: OnceLock<CodeCache> = OnceLock::new();
+        CACHE.get_or_init(CodeCache::new)
+    }
+
     fn ctx_evm(payloads: &HashMap<TxId, AvmPayload>) -> ExecCtx<'_> {
         ExecCtx {
             vm: VmKind::Evm,
@@ -853,6 +902,7 @@ mod tests {
             // suite: any transfer claim that under-approximates the
             // observed footprint panics the test.
             sanitize: true,
+            cache: shared_cache(),
         }
     }
 

@@ -90,6 +90,12 @@ pub fn execution_report(chain: &Chain) -> String {
             s.static_lanes, s.speculation_skipped, s.summary_fallbacks,
         ));
     }
+    if s.code_cache_hits + s.code_cache_misses > 0 {
+        report.push_str(&format!(
+            ", code cache {} hits / {} misses ({} decode ns)",
+            s.code_cache_hits, s.code_cache_misses, s.decode_ns,
+        ));
+    }
     if let Some(speedup) = s.modeled_speedup() {
         report.push_str(&format!(", modeled speedup {speedup:.2}x"));
     }
@@ -137,5 +143,15 @@ mod tests {
         assert!(report.contains("revalidations"), "{report}");
         assert!(report.contains("respeculations avoided"), "{report}");
         assert!(chain.exec_stats().parallel_blocks > 0);
+
+        // Executing contract code surfaces the code-cache segment.
+        let runtime = Asm::new().op(Op::Stop).build();
+        let receipt = chain.deploy_evm(&alice, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
+        let contract = receipt.created.unwrap();
+        chain.call_evm(&alice, contract, Vec::new(), 0, 100_000).unwrap();
+        chain.call_evm(&alice, contract, Vec::new(), 0, 100_000).unwrap();
+        let report = execution_report(&chain);
+        assert!(report.contains("code cache"), "{report}");
+        assert!(chain.exec_stats().code_cache_hits > 0, "{report}");
     }
 }

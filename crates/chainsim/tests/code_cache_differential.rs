@@ -1,0 +1,228 @@
+//! Differential test of the pre-decoded code cache: randomly generated
+//! contracts (including dead bytes, invalid opcodes and truncated PUSH
+//! immediates after the terminal op) and call storms must produce
+//! byte-identical receipts, burn totals and world-state digests whether
+//! programs are served from the shared [`pol_ledger::CodeCache`] or
+//! fresh-decoded on every execution — under Sequential, Parallel and
+//! ParallelStatic modes, on both VM families, with the commit-time
+//! access sanitizer armed.
+
+use pol_avm::opcode::AvmOp;
+use pol_avm::AvmProgram;
+use pol_chainsim::{presets, ChainPreset, ExecStats, ExecutionMode, VmKind};
+use pol_evm::assembler::Asm;
+use pol_evm::opcode::Op;
+use pol_ledger::ContractId;
+use proptest::prelude::*;
+
+/// The deployed call target: one generated contract or app per run.
+enum Target {
+    Contract(ContractId),
+    App(u64),
+}
+
+/// One randomly parameterised code snippet; a contract is a
+/// concatenation of these, so every generated program still terminates.
+#[derive(Debug, Clone, Copy)]
+struct Snippet {
+    kind: u8,
+    a: u8,
+    b: u8,
+}
+
+/// Builds a random-but-terminating EVM runtime: the snippet bodies, a
+/// `STOP`, then the raw parameter bytes as dead code — which the
+/// pre-decoder must preserve (as `Invalid`/`TruncatedPush` instructions)
+/// without rejecting the program.
+fn evm_runtime(snippets: &[Snippet]) -> Vec<u8> {
+    let mut asm = Asm::new();
+    for s in snippets {
+        asm = match s.kind % 6 {
+            0 => asm.push_u64(u64::from(s.a)).push_u64(u64::from(s.b)).op(Op::Add).op(Op::Pop),
+            1 => asm.push_u64(u64::from(s.a)).push_u64(u64::from(s.b)).op(Op::Mul).op(Op::Pop),
+            2 => asm.push_u64(u64::from(s.b)).push_u64(u64::from(s.a % 16)).op(Op::SStore),
+            3 => asm
+                .push_u64(u64::from(s.a))
+                .push_u64(0)
+                .op(Op::MStore)
+                .push_u64(32)
+                .push_u64(0)
+                .op(Op::Keccak256)
+                .op(Op::Pop),
+            4 => asm.push_u64(u64::from(s.a)).dup(1).swap(1).op(Op::Pop).op(Op::Pop),
+            _ => {
+                // A bounded countdown loop: JUMPDEST resolution and the
+                // fused PUSH+JUMPI path.
+                let top = asm.new_label();
+                asm.push_u64(u64::from(s.a % 4) + 1)
+                    .bind(top)
+                    .push_u64(1)
+                    .swap(1)
+                    .op(Op::Sub)
+                    .dup(1)
+                    .jump_if(top)
+                    .op(Op::Pop)
+            }
+        };
+    }
+    let mut code = asm.op(Op::Stop).build();
+    for s in snippets {
+        code.push(s.a);
+        code.push(s.b);
+    }
+    code
+}
+
+/// Builds a random-but-approving AVM program from the same snippets:
+/// scratch traffic, global-state round trips and forward branches, then
+/// an unconditional approve.
+fn avm_program(snippets: &[Snippet]) -> AvmProgram {
+    let mut ops = Vec::new();
+    for (idx, s) in snippets.iter().enumerate() {
+        match s.kind % 4 {
+            0 => ops.extend([
+                AvmOp::PushInt(u64::from(s.a)),
+                AvmOp::Store(s.b % 8),
+                AvmOp::Load(s.b % 8),
+                AvmOp::Pop,
+            ]),
+            1 => ops.extend([
+                AvmOp::PushInt(u64::from(s.a)),
+                AvmOp::PushInt(u64::from(s.b)),
+                AvmOp::Add,
+                AvmOp::Pop,
+            ]),
+            2 => ops.extend([
+                AvmOp::PushBytes(vec![s.a % 4]),
+                AvmOp::PushInt(u64::from(s.b)),
+                AvmOp::AppGlobalPut,
+            ]),
+            _ => {
+                // Forward branch over a dead push: pre-resolved targets.
+                let label = 100 + idx;
+                ops.extend([
+                    AvmOp::PushInt(1),
+                    AvmOp::Bnz(label),
+                    AvmOp::PushInt(u64::from(s.a)),
+                    AvmOp::Pop,
+                    AvmOp::Label(label),
+                ]);
+            }
+        }
+    }
+    ops.push(AvmOp::PushInt(1));
+    ops.push(AvmOp::Return);
+    AvmProgram::new(ops)
+}
+
+fn preset_for(idx: usize) -> ChainPreset {
+    match idx % 4 {
+        0 => presets::devnet_evm(),
+        1 => presets::goerli(),
+        2 => presets::mumbai(),
+        _ => presets::devnet_algo(),
+    }
+}
+
+/// Deploys the generated contract and runs the call storm, returning
+/// everything observable plus the executor counters.
+fn run(
+    preset_idx: usize,
+    seed: u64,
+    snippets: &[Snippet],
+    calls: &[u8],
+    mode: ExecutionMode,
+    cached: bool,
+) -> (Vec<String>, u128, [u8; 32], ExecStats) {
+    let mut chain = preset_for(preset_idx).build(seed);
+    chain.set_execution_mode(mode);
+    chain.set_code_cache_enabled(cached);
+    chain.set_access_sanitizer(true);
+    const USERS: usize = 3;
+    let mut users = Vec::new();
+    for _ in 0..USERS {
+        users.push(chain.create_funded_account(10u128.pow(20)));
+    }
+
+    let target = match chain.config.vm {
+        VmKind::Evm => {
+            let runtime = evm_runtime(snippets);
+            let receipt =
+                chain.deploy_evm(&users[0].0, Asm::deploy_wrapper(&runtime), 5_000_000).unwrap();
+            Target::Contract(receipt.created.expect("deployed"))
+        }
+        VmKind::Avm => {
+            let receipt = chain.deploy_app(&users[0].0, avm_program(snippets), vec![]).unwrap();
+            Target::App(receipt.created.and_then(|c| c.as_app()).expect("created"))
+        }
+    };
+
+    let mut ids = Vec::new();
+    for &call in calls {
+        let kp = &users[usize::from(call) % USERS].0;
+        match target {
+            Target::Contract(contract) => {
+                let data = vec![call; 32];
+                ids.push(chain.submit_call_evm(kp, contract, data, 0, 1_000_000).unwrap());
+            }
+            Target::App(app_id) => {
+                ids.push(chain.submit_call_app(kp, app_id, vec![vec![call]], 0).unwrap());
+            }
+        }
+    }
+    let receipts = ids.into_iter().map(|id| format!("{:?}", chain.await_tx(id).unwrap())).collect();
+    (receipts, chain.total_burned(), chain.state_digest(), chain.exec_stats())
+}
+
+fn snippet_strategy() -> impl Strategy<Value = Snippet> {
+    (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(kind, a, b)| Snippet { kind, a, b })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Serving programs from the code cache is observationally invisible:
+    /// every mode, cached or fresh-decoding, matches the sequential
+    /// fresh-decode oracle byte for byte — and the cache actually serves
+    /// hits on the cached runs.
+    #[test]
+    fn code_cache_is_observationally_invisible(
+        preset_idx in 0..4usize,
+        seed in any::<u64>(),
+        workers in 2..6usize,
+        snippets in proptest::collection::vec(snippet_strategy(), 1..8),
+        calls in proptest::collection::vec(any::<u8>(), 2..12),
+    ) {
+        let oracle = run(preset_idx, seed, &snippets, &calls, ExecutionMode::Sequential, false);
+        prop_assert_eq!(oracle.3.code_cache_hits, 0, "disabled cache must never hit");
+
+        let runs = [
+            run(preset_idx, seed, &snippets, &calls, ExecutionMode::Sequential, true),
+            run(preset_idx, seed, &snippets, &calls, ExecutionMode::Parallel { workers }, true),
+            run(preset_idx, seed, &snippets, &calls, ExecutionMode::Parallel { workers }, false),
+            run(preset_idx, seed, &snippets, &calls, ExecutionMode::ParallelStatic { workers }, true),
+            run(preset_idx, seed, &snippets, &calls, ExecutionMode::ParallelStatic { workers }, false),
+        ];
+        for (receipts, burned, digest, stats) in runs {
+            prop_assert_eq!(&oracle.0, &receipts);
+            prop_assert_eq!(oracle.1, burned);
+            prop_assert_eq!(oracle.2, digest);
+            if stats.code_cache_misses > 0 || stats.code_cache_hits > 0 {
+                prop_assert!(
+                    stats.decode_ns > 0,
+                    "decoding happened but no decode time was recorded: {:?}",
+                    stats
+                );
+            }
+        }
+
+        // The cached sequential run replays the same program for every
+        // call after the first: it must have hit the cache.
+        let cached_seq = run(preset_idx, seed, &snippets, &calls, ExecutionMode::Sequential, true);
+        prop_assert!(
+            cached_seq.3.code_cache_hits > 0,
+            "repeated calls never hit the cache: {:?}",
+            cached_seq.3
+        );
+    }
+}

@@ -12,11 +12,13 @@
 
 use crate::gas;
 use crate::opcode::Op;
+use crate::program::{EvmProgram, Instr};
 use crate::word::Word;
 use pol_crypto::keccak256;
 use pol_ledger::state::{self, BalancePatchBase, Overlay, StateKey, StateValue, WorldState};
-use pol_ledger::{address, Address, StateView};
+use pol_ledger::{address, Address, CodeCache, OverlayBuffers, StateView, WriteSet};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Hard cap on VM memory to keep simulations bounded.
 const MAX_MEMORY: usize = 1 << 20;
@@ -163,6 +165,25 @@ pub fn deploy_contract(
     init_code: &[u8],
     gas_limit: u64,
 ) -> Result<(Address, ExecOutcome), EvmError> {
+    deploy_contract_with_cache(state, deployer, init_code, gas_limit, &CodeCache::disabled())
+}
+
+/// Like [`deploy_contract`], but decoding the init code through a shared
+/// [`CodeCache`] (keyed by content hash, so repeated deployments of the
+/// same init code — and every speculative retry of this one — decode
+/// once).
+///
+/// # Errors
+///
+/// Machine errors, plus [`EvmError::BadDeploy`] if the init code reverts
+/// or returns nothing.
+pub fn deploy_contract_with_cache(
+    state: &mut dyn StateView,
+    deployer: Address,
+    init_code: &[u8],
+    gas_limit: u64,
+    cache: &CodeCache,
+) -> Result<(Address, ExecOutcome), EvmError> {
     let deploys = state.get(&StateKey::DeployCount).and_then(|v| v.as_u64()).unwrap_or(0);
     let address = address::contract_address(&deployer, deploys);
     let intrinsic = gas::intrinsic_gas(init_code, true);
@@ -182,7 +203,7 @@ pub fn deploy_contract(
         block_number: 1,
         timestamp_s: 1,
     };
-    match execute(state, &params) {
+    match execute(state, &params, cache) {
         Ok(mut outcome) if outcome.success && !outcome.output.is_empty() => {
             let deposit = gas::G_CODEDEPOSIT * outcome.output.len() as u64;
             if intrinsic + outcome.gas_used + deposit > gas_limit {
@@ -226,6 +247,21 @@ pub fn call_contract(
     state: &mut dyn StateView,
     params: CallParams,
 ) -> Result<ExecOutcome, EvmError> {
+    call_contract_with_cache(state, params, &CodeCache::disabled())
+}
+
+/// Like [`call_contract`], but resolving the contract's pre-decoded
+/// program through a shared [`CodeCache`] so repeated calls (and every
+/// speculation attempt across the executor's modes) skip re-decoding.
+///
+/// # Errors
+///
+/// Machine errors ([`EvmError`]); reverts are NOT errors.
+pub fn call_contract_with_cache(
+    state: &mut dyn StateView,
+    params: CallParams,
+    cache: &CodeCache,
+) -> Result<ExecOutcome, EvmError> {
     if state.get(&StateKey::Code(params.contract)).is_none() {
         return Err(EvmError::UnknownContract(params.contract));
     }
@@ -245,7 +281,7 @@ pub fn call_contract(
     }
     let checkpoint = state.checkpoint();
     let inner = CallParams { gas_limit: params.gas_limit - intrinsic, ..params.clone() };
-    match execute(state, &inner) {
+    match execute(state, &inner, cache) {
         Ok(mut outcome) => {
             outcome.gas_used += intrinsic;
             if !outcome.success {
@@ -261,16 +297,35 @@ pub fn call_contract(
     }
 }
 
-#[allow(clippy::too_many_lines)]
-fn execute(state: &mut dyn StateView, params: &CallParams) -> Result<ExecOutcome, EvmError> {
-    let code = match state.get(&StateKey::Code(params.contract)) {
+/// Fetches a contract's code and resolves its pre-decoded program
+/// through the cache, keyed by the keccak-256 content hash of the bytes.
+/// Content addressing is the only sound key: a failed deploy leaves
+/// `DeployCount` unbumped, so the same address can later hold different
+/// code, while identical bytes always decode identically.
+fn load_program(
+    state: &mut dyn StateView,
+    contract: Address,
+    cache: &CodeCache,
+) -> Result<Arc<EvmProgram>, EvmError> {
+    let code = match state.get(&StateKey::Code(contract)) {
         Some(v) => v.as_bytes().map(<[u8]>::to_vec).unwrap_or_default(),
-        None => return Err(EvmError::UnknownContract(params.contract)),
+        None => return Err(EvmError::UnknownContract(contract)),
     };
-    let valid_jumps: HashSet<usize> = jump_destinations(&code);
+    let key = keccak256(&code);
+    Ok(cache.get_or_decode(key, move || EvmProgram::decode(code)))
+}
+
+#[allow(clippy::too_many_lines)]
+fn execute(
+    state: &mut dyn StateView,
+    params: &CallParams,
+    cache: &CodeCache,
+) -> Result<ExecOutcome, EvmError> {
+    let program = load_program(state, params.contract, cache)?;
+    let instrs = program.instrs();
     let mut stack: Vec<Word> = Vec::with_capacity(64);
     let mut memory: Vec<u8> = Vec::new();
-    let mut pc = 0usize;
+    let mut ip = 0usize;
     let mut gas_used = 0u64;
     let mut refund = 0u64;
     let mut warm_slots: HashSet<Word> = HashSet::new();
@@ -311,11 +366,68 @@ fn execute(state: &mut dyn StateView, params: &CallParams) -> Result<ExecOutcome
         Ok((gas::words(new_len) - old_words) * gas::G_MEMORY)
     }
 
-    while pc < code.len() {
-        let byte = code[pc];
-        let (op, variant) = Op::decode(byte).ok_or(EvmError::InvalidOpcode(byte))?;
-        charge!(op.base_gas());
-        pc += 1;
+    while ip < instrs.len() {
+        // Stage 1: indexed dispatch on the pre-decoded instruction.
+        // Superinstructions run their inlined prefix (push immediate /
+        // dup) here and fall through to the shared per-op stage with the
+        // pair's combined static gas already charged — observationally
+        // identical to two charges, since the only effect between the
+        // historical charge points was a local stack push.
+        let instr = &instrs[ip];
+        ip += 1;
+        let (op, variant) = match instr {
+            Instr::Plain(op, variant) => {
+                charge!(op.base_gas());
+                (*op, *variant)
+            }
+            Instr::Push(imm) => {
+                charge!(gas::G_VERYLOW);
+                push!(*imm);
+                continue;
+            }
+            Instr::PushOp(imm, op, variant) => {
+                charge!(gas::G_VERYLOW + op.base_gas());
+                push!(*imm);
+                (*op, *variant)
+            }
+            Instr::PushJump { dest, target } => {
+                charge!(gas::G_VERYLOW + gas::G_MID);
+                match target {
+                    Some(t) => ip = *t as usize,
+                    None => return Err(EvmError::InvalidJump(*dest)),
+                }
+                continue;
+            }
+            Instr::PushJumpI { dest, target } => {
+                charge!(gas::G_VERYLOW + gas::G_HIGH);
+                let cond = pop!();
+                if !cond.is_zero() {
+                    match target {
+                        Some(t) => ip = *t as usize,
+                        None => return Err(EvmError::InvalidJump(*dest)),
+                    }
+                }
+                continue;
+            }
+            Instr::DupOp(n, op, variant) => {
+                charge!(gas::G_VERYLOW + op.base_gas());
+                let n = *n as usize;
+                if stack.len() <= n {
+                    return Err(EvmError::StackError);
+                }
+                let w = stack[stack.len() - 1 - n];
+                push!(w);
+                (*op, *variant)
+            }
+            // Reached-only failures: dead garbage bytes never reject a
+            // program, exactly like the byte-walking interpreter.
+            Instr::Invalid(byte) => return Err(EvmError::InvalidOpcode(*byte)),
+            Instr::TruncatedPush(byte) => {
+                charge!(gas::G_VERYLOW);
+                return Err(EvmError::InvalidOpcode(*byte));
+            }
+        };
+        // Stage 2: shared per-op execution (dynamic gas stays here).
         match op {
             Op::Stop => {
                 return Ok(finish(true, gas_used, refund, Vec::new(), logs));
@@ -398,7 +510,10 @@ fn execute(state: &mut dyn StateView, params: &CallParams) -> Result<ExecOutcome
                 let size = pop!().as_u64() as usize;
                 charge!(gas::G_KECCAK256WORD * gas::words(size));
                 charge!(expand(&mut memory, off + size)?);
-                let digest = keccak256(&memory[off..off + size]);
+                // Map-slot derivations (`keccak(key ‖ base)`) repeat per
+                // call; the cache memoizes short preimages.
+                let preimage = &memory[off..off + size];
+                let digest = cache.keccak_memo(preimage, || keccak256(preimage));
                 push!(Word::from_be_bytes(&digest));
             }
             Op::Address => push!(Word::from(params.contract)),
@@ -422,7 +537,7 @@ fn execute(state: &mut dyn StateView, params: &CallParams) -> Result<ExecOutcome
                 let size = pop!().as_u64() as usize;
                 charge!(gas::G_COPY * gas::words(size));
                 charge!(expand(&mut memory, mem_off + size)?);
-                let src: &[u8] = if op == Op::CallDataCopy { &params.data } else { &code };
+                let src: &[u8] = if op == Op::CallDataCopy { &params.data } else { program.code() };
                 for i in 0..size {
                     memory[mem_off + i] = src.get(src_off + i).copied().unwrap_or(0);
                 }
@@ -482,29 +597,26 @@ fn execute(state: &mut dyn StateView, params: &CallParams) -> Result<ExecOutcome
             }
             Op::Jump => {
                 let dest = pop!().as_u64() as usize;
-                if !valid_jumps.contains(&dest) {
-                    return Err(EvmError::InvalidJump(dest));
+                match program.jump_target(dest) {
+                    Some(t) => ip = t as usize,
+                    None => return Err(EvmError::InvalidJump(dest)),
                 }
-                pc = dest;
             }
             Op::JumpI => {
                 let dest = pop!().as_u64() as usize;
                 let cond = pop!();
                 if !cond.is_zero() {
-                    if !valid_jumps.contains(&dest) {
-                        return Err(EvmError::InvalidJump(dest));
+                    match program.jump_target(dest) {
+                        Some(t) => ip = t as usize,
+                        None => return Err(EvmError::InvalidJump(dest)),
                     }
-                    pc = dest;
                 }
             }
             Op::JumpDest => {}
             Op::Push1 => {
-                let n = variant as usize + 1;
-                if pc + n > code.len() {
-                    return Err(EvmError::InvalidOpcode(byte));
-                }
-                push!(Word::from_be_slice(&code[pc..pc + n]));
-                pc += n;
+                // Pushes decode to `Instr::Push`/fused forms; a plain
+                // `Op::Push1` cannot reach the dispatch loop.
+                return Err(EvmError::InvalidOpcode(0x60 + variant));
             }
             Op::Dup1 => {
                 let n = variant as usize;
@@ -610,6 +722,10 @@ impl<'a> EvmView<'a> {
 #[derive(Debug, Default)]
 pub struct Evm {
     world: WorldState,
+    /// Decoded programs shared across this façade's calls.
+    cache: CodeCache,
+    /// Pooled overlay buffers, recycled call-to-call.
+    spare: OverlayBuffers,
 }
 
 impl Evm {
@@ -633,6 +749,11 @@ impl Evm {
         EvmView::new(&self.world).is_contract(address)
     }
 
+    /// Hit/miss/decode-time counters of the façade's program cache.
+    pub fn code_cache_stats(&self) -> pol_ledger::CodeCacheStats {
+        self.cache.stats()
+    }
+
     /// Runs `init_code` as a deployment from `deployer` (see
     /// [`deploy_contract`]).
     ///
@@ -649,9 +770,13 @@ impl Evm {
     ) -> Result<(Address, ExecOutcome), EvmError> {
         let (result, writes) = {
             let base = BalancePatchBase::new(&self.world, balances);
-            let mut view = Overlay::new(&base);
-            let result = deploy_contract(&mut view, deployer, init_code, gas_limit);
-            (result, view.into_writes())
+            let mut view = Overlay::with_buffers(&base, std::mem::take(&mut self.spare));
+            let result =
+                deploy_contract_with_cache(&mut view, deployer, init_code, gas_limit, &self.cache);
+            let (reads, writes, mut spare) = view.into_parts_reusing();
+            spare.absorb(reads, WriteSet::new());
+            self.spare = spare;
+            (result, writes)
         };
         // Failed paths already rolled their journal back, so the write
         // set only ever holds effects that should stick.
@@ -672,9 +797,12 @@ impl Evm {
     ) -> Result<ExecOutcome, EvmError> {
         let (result, writes) = {
             let base = BalancePatchBase::new(&self.world, balances);
-            let mut view = Overlay::new(&base);
-            let result = call_contract(&mut view, params);
-            (result, view.into_writes())
+            let mut view = Overlay::with_buffers(&base, std::mem::take(&mut self.spare));
+            let result = call_contract_with_cache(&mut view, params, &self.cache);
+            let (reads, writes, mut spare) = view.into_parts_reusing();
+            spare.absorb(reads, WriteSet::new());
+            self.spare = spare;
+            (result, writes)
         };
         state::apply_split(writes, &mut self.world, balances);
         result
@@ -700,23 +828,6 @@ fn bool_word(b: bool) -> Word {
     } else {
         Word::ZERO
     }
-}
-
-/// Scans code for valid `JUMPDEST` positions, skipping push immediates.
-fn jump_destinations(code: &[u8]) -> HashSet<usize> {
-    let mut out = HashSet::new();
-    let mut pc = 0;
-    while pc < code.len() {
-        let byte = code[pc];
-        if byte == Op::JumpDest as u8 {
-            out.insert(pc);
-        }
-        pc += 1;
-        if (0x60..=0x7f).contains(&byte) {
-            pc += (byte - 0x60) as usize + 1;
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -942,6 +1053,29 @@ mod tests {
         let init = Asm::deploy_wrapper(&runtime);
         let (_, out) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
         assert!(out.gas_used >= gas::G_TRANSACTION + gas::G_TXCREATE + gas::G_CODEDEPOSIT);
+    }
+
+    #[test]
+    fn repeated_calls_hit_the_code_cache_with_identical_outcomes() {
+        let runtime = {
+            let mut c =
+                Asm::new().push_u64(1).push_u64(3).op(Op::SStore).push_u64(3).op(Op::SLoad).build();
+            c.extend(return_top().build());
+            c
+        };
+        let mut evm = Evm::new();
+        let mut balances = Balances::new();
+        let init = Asm::deploy_wrapper(&runtime);
+        let (addr, _) = evm.deploy(Address::ZERO, &init, 30_000_000, &mut balances).unwrap();
+        let first = evm.call(CallParams::new(Address::ZERO, addr), &mut balances).unwrap();
+        let second = evm.call(CallParams::new(Address::ZERO, addr), &mut balances).unwrap();
+        // Gas differs legitimately (first store is zero→1, second 1→1);
+        // outputs must not.
+        assert_eq!(first.output, second.output);
+        let third = evm.call(CallParams::new(Address::ZERO, addr), &mut balances).unwrap();
+        assert_eq!(second.gas_used, third.gas_used, "steady-state gas must be stable");
+        let stats = evm.code_cache_stats();
+        assert!(stats.hits > 0, "second call must reuse the decoded program: {stats:?}");
     }
 
     #[test]

@@ -39,10 +39,13 @@ pub mod assembler;
 pub mod gas;
 pub mod interpreter;
 pub mod opcode;
+pub mod program;
 pub mod verifier;
 pub mod word;
 
 pub use interpreter::{
-    call_contract, deploy_contract, Balances, CallParams, Evm, EvmError, EvmView, ExecOutcome,
+    call_contract, call_contract_with_cache, deploy_contract, deploy_contract_with_cache, Balances,
+    CallParams, Evm, EvmError, EvmView, ExecOutcome,
 };
+pub use program::{EvmProgram, Instr};
 pub use word::Word;

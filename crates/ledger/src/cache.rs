@@ -1,0 +1,298 @@
+//! Shared cache of pre-decoded programs and derived storage slots.
+//!
+//! Decoding bytecode (or re-walking an AVM program's label table) on
+//! every call is pure constant-factor overhead that the optimistic
+//! parallel executor pays once *per speculation attempt* — it swamps the
+//! wall-clock wins the scheduler earns. The [`CodeCache`] memoizes the
+//! expensive per-program work behind interior mutability so one decode
+//! serves every speculation, every retry, and every execution mode:
+//!
+//! - **EVM programs**, keyed by the keccak-256 content hash of the raw
+//!   bytecode. Content addressing is the only sound key: a failed deploy
+//!   does not bump `DeployCount`, so the *same address* can later hold
+//!   different code, while identical bytes always decode identically.
+//! - **AVM prepared programs**, keyed by app id and *anchored* to the
+//!   exact `Arc<dyn StateBlob>` stored in state. The cache holds a clone
+//!   of the anchor, so the allocation cannot be freed and its address
+//!   recycled while the entry lives; a pointer mismatch on lookup means
+//!   the app was re-created and the entry is rebuilt.
+//! - **Keccak-derived map slots** (`keccak(key ‖ base)` preimages of at
+//!   most [`CodeCache::MAX_SLOT_PREIMAGE`] bytes), the hottest repeated
+//!   hashing in map-heavy contracts.
+//!
+//! Cached values are stored as `Arc<dyn Any + Send + Sync>` so the
+//! ledger crate stays independent of both VM crates; each VM downcasts
+//! to its own program type (a vtable compare, not a re-decode). A
+//! [`CodeCache::disabled`] cache never stores or serves anything — it is
+//! the fresh-decode-every-call baseline the differential tests and
+//! benches compare against.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use crate::state::StateBlob;
+
+/// A point-in-time snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CodeCacheStats {
+    /// Lookups served from the cache (programs and memoized slots).
+    pub hits: u64,
+    /// Lookups that had to decode/prepare/hash from scratch.
+    pub misses: u64,
+    /// Total nanoseconds spent decoding or preparing programs.
+    pub decode_ns: u64,
+}
+
+struct AppEntry {
+    /// The exact blob the prepared form was derived from. Holding the
+    /// `Arc` pins the allocation, so a pointer-equal blob on lookup is
+    /// *guaranteed* to be the same program.
+    anchor: Arc<dyn StateBlob>,
+    prepared: Arc<dyn Any + Send + Sync>,
+}
+
+/// Interior-mutable, thread-safe memo of decoded programs and derived
+/// slots, shared by every speculation thread of a block (see the module
+/// docs for keying and soundness).
+pub struct CodeCache {
+    enabled: bool,
+    programs: RwLock<HashMap<[u8; 32], Arc<dyn Any + Send + Sync>>>,
+    apps: RwLock<HashMap<u64, AppEntry>>,
+    slots: RwLock<HashMap<Vec<u8>, [u8; 32]>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    decode_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for CodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodeCache")
+            .field("enabled", &self.enabled)
+            .field("programs", &self.programs.read().expect("cache lock").len())
+            .field("apps", &self.apps.read().expect("cache lock").len())
+            .field("slots", &self.slots.read().expect("cache lock").len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for CodeCache {
+    fn default() -> CodeCache {
+        CodeCache::new()
+    }
+}
+
+impl CodeCache {
+    /// Longest keccak preimage the slot memo retains. Map-slot
+    /// derivations hash `key ‖ base` (64 bytes); anything longer is
+    /// arbitrary contract data and is hashed without memoization so the
+    /// cache cannot be grown unboundedly by adversarial inputs.
+    pub const MAX_SLOT_PREIMAGE: usize = 64;
+
+    /// An enabled, empty cache.
+    pub fn new() -> CodeCache {
+        CodeCache::with_enabled(true)
+    }
+
+    /// A cache that never stores or serves entries: every lookup takes
+    /// the decode path, giving the fresh-decode-every-call baseline while
+    /// still counting misses and decode time honestly.
+    pub fn disabled() -> CodeCache {
+        CodeCache::with_enabled(false)
+    }
+
+    fn with_enabled(enabled: bool) -> CodeCache {
+        CodeCache {
+            enabled,
+            programs: RwLock::new(HashMap::new()),
+            apps: RwLock::new(HashMap::new()),
+            slots: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            decode_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether lookups can ever hit (false = baseline mode).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The decoded program stored under the content hash `key`, decoding
+    /// (and timing the decode of) a fresh one on miss. The stored value
+    /// is type-erased; a type mismatch under the same hash is treated as
+    /// a miss and overwritten, never served.
+    pub fn get_or_decode<T, F>(&self, key: [u8; 32], decode: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        if self.enabled {
+            if let Some(hit) = self.programs.read().expect("cache lock").get(&key) {
+                if let Ok(typed) = Arc::clone(hit).downcast::<T>() {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return typed;
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let decoded = Arc::new(decode());
+        self.decode_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if self.enabled {
+            self.programs
+                .write()
+                .expect("cache lock")
+                .insert(key, Arc::clone(&decoded) as Arc<dyn Any + Send + Sync>);
+        }
+        decoded
+    }
+
+    /// The prepared form of application `app_id`'s program, preparing a
+    /// fresh one when the entry is absent or anchored to a different blob
+    /// than `blob` (i.e. the app was re-created under a reused id).
+    pub fn get_or_prepare_app<T, F>(
+        &self,
+        app_id: u64,
+        blob: &Arc<dyn StateBlob>,
+        prepare: F,
+    ) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        if self.enabled {
+            if let Some(entry) = self.apps.read().expect("cache lock").get(&app_id) {
+                if same_blob(&entry.anchor, blob) {
+                    if let Ok(typed) = Arc::clone(&entry.prepared).downcast::<T>() {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return typed;
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let prepared = Arc::new(prepare());
+        self.decode_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if self.enabled {
+            self.apps.write().expect("cache lock").insert(
+                app_id,
+                AppEntry {
+                    anchor: Arc::clone(blob),
+                    prepared: Arc::clone(&prepared) as Arc<dyn Any + Send + Sync>,
+                },
+            );
+        }
+        prepared
+    }
+
+    /// The digest for `preimage`, memoized for preimages of at most
+    /// [`CodeCache::MAX_SLOT_PREIMAGE`] bytes (map-slot derivations);
+    /// longer inputs are hashed directly without touching the counters.
+    pub fn keccak_memo<F>(&self, preimage: &[u8], compute: F) -> [u8; 32]
+    where
+        F: FnOnce() -> [u8; 32],
+    {
+        if !self.enabled || preimage.len() > CodeCache::MAX_SLOT_PREIMAGE {
+            return compute();
+        }
+        if let Some(digest) = self.slots.read().expect("cache lock").get(preimage) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *digest;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let digest = compute();
+        self.slots.write().expect("cache lock").insert(preimage.to_vec(), digest);
+        digest
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CodeCacheStats {
+        CodeCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Pointer identity on the data half of the fat pointer (comparing
+/// vtable halves is both unreliable and a clippy hazard; the data
+/// address alone identifies the allocation, which the held anchor pins).
+fn same_blob(a: &Arc<dyn StateBlob>, b: &Arc<dyn StateBlob>) -> bool {
+    std::ptr::eq(Arc::as_ptr(a) as *const u8, Arc::as_ptr(b) as *const u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Blob(u64);
+
+    impl StateBlob for Blob {
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+
+        fn blob_eq(&self, other: &dyn StateBlob) -> bool {
+            other.as_any().downcast_ref::<Blob>() == Some(self)
+        }
+
+        fn digest_bytes(&self) -> Vec<u8> {
+            self.0.to_be_bytes().to_vec()
+        }
+    }
+
+    #[test]
+    fn program_entries_hit_after_first_decode() {
+        let cache = CodeCache::new();
+        let first: Arc<u64> = cache.get_or_decode([7; 32], || 41 + 1);
+        let second: Arc<u64> = cache.get_or_decode([7; 32], || unreachable!("must hit"));
+        assert_eq!((*first, *second), (42, 42));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let cache = CodeCache::disabled();
+        let _: Arc<u64> = cache.get_or_decode([7; 32], || 1);
+        let again: Arc<u64> = cache.get_or_decode([7; 32], || 2);
+        assert_eq!(*again, 2, "disabled cache must re-decode");
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn app_entries_invalidate_on_anchor_change() {
+        let cache = CodeCache::new();
+        let blob_a: Arc<dyn StateBlob> = Arc::new(Blob(1));
+        let blob_b: Arc<dyn StateBlob> = Arc::new(Blob(2));
+        let first: Arc<u64> = cache.get_or_prepare_app(9, &blob_a, || 10);
+        let hit: Arc<u64> = cache.get_or_prepare_app(9, &blob_a, || unreachable!("must hit"));
+        // Same app id, different blob: the app was re-created — rebuild.
+        let rebuilt: Arc<u64> = cache.get_or_prepare_app(9, &blob_b, || 20);
+        assert_eq!((*first, *hit, *rebuilt), (10, 10, 20));
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn keccak_memo_bounds_preimage_size() {
+        let cache = CodeCache::new();
+        let small = [1u8; 64];
+        let large = [1u8; 65];
+        assert_eq!(cache.keccak_memo(&small, || [9; 32]), [9; 32]);
+        assert_eq!(cache.keccak_memo(&small, || unreachable!("must hit")), [9; 32]);
+        // Oversized preimages bypass the memo entirely.
+        assert_eq!(cache.keccak_memo(&large, || [3; 32]), [3; 32]);
+        assert_eq!(cache.keccak_memo(&large, || [4; 32]), [4; 32]);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+}

@@ -14,6 +14,7 @@ pub mod access;
 pub mod account;
 pub mod address;
 pub mod block;
+pub mod cache;
 pub mod codec;
 pub mod receipt;
 pub mod state;
@@ -24,10 +25,12 @@ pub use access::{AccessClaims, KeyClaim};
 pub use account::Account;
 pub use address::{Address, ContractId};
 pub use block::{Block, BlockHash};
+pub use cache::{CodeCache, CodeCacheStats};
 pub use receipt::{Receipt, TxStatus};
 pub use state::{
-    apply_split, sets_intersect, BalancePatchBase, Checkpoint, Overlay, OverlayBuffers, ReadSet,
-    StateBase, StateBlob, StateKey, StateValue, StateView, WorldState, WriteSet,
+    apply_split, sets_intersect, BalancePatchBase, Checkpoint, FootprintMap, Overlay,
+    OverlayBuffers, ReadSet, StateBase, StateBlob, StateKey, StateValue, StateView, WorldState,
+    WriteSet,
 };
 pub use tx::{Transaction, TxId, TxKind};
 pub use units::{Amount, Currency};

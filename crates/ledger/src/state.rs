@@ -187,12 +187,209 @@ pub trait StateBase: Sync {
     fn load(&self, key: &StateKey) -> Option<StateValue>;
 }
 
+/// A compact map from [`StateKey`] to an observed or written value,
+/// shared by read sets and write sets.
+///
+/// Most transaction footprints are tiny — a fee transfer touches three or
+/// four keys — so the map starts as an inline vector probed linearly
+/// (smallvec-style: no hashing, no heap table). Once it outgrows
+/// [`FootprintMap::INLINE_CAP`] entries it spills into a `HashMap` and
+/// stays spilled (even across [`FootprintMap::clear`]) so pooled buffers
+/// ratchet toward the workload's working-set shape instead of re-paying
+/// the spill every speculation.
+#[derive(Debug, Default, Clone)]
+pub struct FootprintMap {
+    inline: Vec<(StateKey, Option<StateValue>)>,
+    spill: Option<HashMap<StateKey, Option<StateValue>>>,
+}
+
+impl FootprintMap {
+    /// Entries kept in the inline vector before spilling to a hash map.
+    pub const INLINE_CAP: usize = 8;
+
+    /// An empty footprint.
+    pub fn new() -> FootprintMap {
+        FootprintMap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match &self.spill {
+            Some(map) => map.len(),
+            None => self.inline.len(),
+        }
+    }
+
+    /// Whether the footprint holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Retained capacity (the pooling ratchet's comparison key).
+    pub fn capacity(&self) -> usize {
+        match &self.spill {
+            Some(map) => map.capacity(),
+            None => self.inline.capacity(),
+        }
+    }
+
+    /// Clears all entries, keeping allocations (and the spilled
+    /// representation, if reached) for reuse.
+    pub fn clear(&mut self) {
+        self.inline.clear();
+        if let Some(map) = &mut self.spill {
+            map.clear();
+        }
+    }
+
+    /// Looks up the recorded entry for `key` (`Some(None)` = recorded as
+    /// absent/deleted).
+    pub fn get(&self, key: &StateKey) -> Option<&Option<StateValue>> {
+        match &self.spill {
+            Some(map) => map.get(key),
+            None => self.inline.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        }
+    }
+
+    /// Whether `key` has a recorded entry.
+    pub fn contains_key(&self, key: &StateKey) -> bool {
+        match &self.spill {
+            Some(map) => map.contains_key(key),
+            None => self.inline.iter().any(|(k, _)| k == key),
+        }
+    }
+
+    /// Records `value` under `key`, returning the previous entry if any.
+    pub fn insert(
+        &mut self,
+        key: StateKey,
+        value: Option<StateValue>,
+    ) -> Option<Option<StateValue>> {
+        if let Some(map) = &mut self.spill {
+            return map.insert(key, value);
+        }
+        if let Some(slot) = self.inline.iter_mut().find(|(k, _)| *k == key) {
+            return Some(std::mem::replace(&mut slot.1, value));
+        }
+        if self.inline.len() < FootprintMap::INLINE_CAP {
+            self.inline.push((key, value));
+            return None;
+        }
+        let mut map = HashMap::with_capacity(FootprintMap::INLINE_CAP * 2);
+        map.extend(self.inline.drain(..));
+        map.insert(key, value);
+        self.spill = Some(map);
+        None
+    }
+
+    /// Removes the entry for `key`, returning it if present.
+    pub fn remove(&mut self, key: &StateKey) -> Option<Option<StateValue>> {
+        match &mut self.spill {
+            Some(map) => map.remove(key),
+            None => {
+                let pos = self.inline.iter().position(|(k, _)| k == key)?;
+                Some(self.inline.swap_remove(pos).1)
+            }
+        }
+    }
+
+    /// Iterates over recorded keys.
+    pub fn keys(&self) -> impl Iterator<Item = &StateKey> {
+        self.iter().map(|(key, _)| key)
+    }
+
+    /// Iterates over `(key, entry)` pairs. Inline footprints iterate in
+    /// insertion order; spilled ones in hash order — no consumer depends
+    /// on either.
+    pub fn iter(&self) -> FootprintIter<'_> {
+        FootprintIter {
+            inline: self.inline.iter(),
+            spill: self.spill.as_ref().map(|map| map.iter()),
+        }
+    }
+}
+
+/// Borrowing iterator over a [`FootprintMap`].
+#[derive(Debug)]
+pub struct FootprintIter<'a> {
+    inline: std::slice::Iter<'a, (StateKey, Option<StateValue>)>,
+    spill: Option<std::collections::hash_map::Iter<'a, StateKey, Option<StateValue>>>,
+}
+
+impl<'a> Iterator for FootprintIter<'a> {
+    type Item = (&'a StateKey, &'a Option<StateValue>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some((key, value)) = self.inline.next() {
+            return Some((key, value));
+        }
+        self.spill.as_mut()?.next()
+    }
+}
+
+/// Consuming iterator over a [`FootprintMap`].
+#[derive(Debug)]
+pub struct FootprintIntoIter {
+    inline: std::vec::IntoIter<(StateKey, Option<StateValue>)>,
+    spill: Option<std::collections::hash_map::IntoIter<StateKey, Option<StateValue>>>,
+}
+
+impl Iterator for FootprintIntoIter {
+    type Item = (StateKey, Option<StateValue>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some(entry) = self.inline.next() {
+            return Some(entry);
+        }
+        self.spill.as_mut()?.next()
+    }
+}
+
+impl IntoIterator for FootprintMap {
+    type Item = (StateKey, Option<StateValue>);
+    type IntoIter = FootprintIntoIter;
+
+    fn into_iter(self) -> FootprintIntoIter {
+        FootprintIntoIter {
+            inline: self.inline.into_iter(),
+            spill: self.spill.map(HashMap::into_iter),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a FootprintMap {
+    type Item = (&'a StateKey, &'a Option<StateValue>);
+    type IntoIter = FootprintIter<'a>;
+
+    fn into_iter(self) -> FootprintIter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<(StateKey, Option<StateValue>)> for FootprintMap {
+    fn from_iter<I: IntoIterator<Item = (StateKey, Option<StateValue>)>>(iter: I) -> FootprintMap {
+        let mut map = FootprintMap::new();
+        for (key, value) in iter {
+            map.insert(key, value);
+        }
+        map
+    }
+}
+
+impl std::ops::Index<&StateKey> for FootprintMap {
+    type Output = Option<StateValue>;
+
+    fn index(&self, key: &StateKey) -> &Option<StateValue> {
+        self.get(key).expect("no entry found for key")
+    }
+}
+
 /// The set of values a speculative execution observed from its base,
 /// keyed by state key; `None` records "read as absent".
-pub type ReadSet = HashMap<StateKey, Option<StateValue>>;
+pub type ReadSet = FootprintMap;
 
 /// The set of mutations an execution produced; `None` deletes the key.
-pub type WriteSet = HashMap<StateKey, Option<StateValue>>;
+pub type WriteSet = FootprintMap;
 
 /// Whether two read/write sets touch any common key ([`ReadSet`] and
 /// [`WriteSet`] share a representation, so any combination works).
@@ -554,7 +751,7 @@ pub struct Overlay<'a> {
 impl<'a> Overlay<'a> {
     /// Opens an overlay over a base.
     pub fn new(base: &'a dyn StateBase) -> Overlay<'a> {
-        Overlay { base, writes: HashMap::new(), journal: Vec::new(), reads: HashMap::new() }
+        Overlay { base, writes: WriteSet::new(), journal: Vec::new(), reads: ReadSet::new() }
     }
 
     /// Opens an overlay reusing pooled buffers instead of allocating
