@@ -1,0 +1,394 @@
+//! Sustained-load harness for the long-lived `pol-node` service.
+//!
+//! Drives a [`NodeService`] with an *open* workload: per-region Poisson
+//! arrivals of proof-of-location traffic (location reports and
+//! verification queries against per-region EVM contracts), with a bursty
+//! congestion phase in the middle of the run and a small adversarial mix
+//! (fee-overflow caps, underfunded senders, out-of-order nonces) to
+//! exercise typed admission rejections and nonce-gap parking. Arrivals
+//! are drawn from the environment on the virtual clock — unlike the
+//! closed loops of `figures`/`tables`, a slow node here cannot throttle
+//! its own offered load, so queueing and base-fee response are visible.
+//!
+//! Ends with a graceful-shutdown drain and checks the drain invariant:
+//! every admitted transaction reaches a terminal receipt (zero lost).
+//! Writes `results/node_load.json` with sustained throughput,
+//! p50/p95/p99 confirmation latency, per-class rejections and the
+//! periodic metrics series.
+//!
+//! ```text
+//! node_load [--smoke] [--seed N] [--preset NAME] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks the run for CI (same shape, ~1/6 the traffic).
+
+use pol_chainsim::ExecutionMode;
+use pol_crypto::ed25519::Keypair;
+use pol_evm::assembler::Asm;
+use pol_evm::opcode::Op;
+use pol_ledger::{Address, ContractId, Transaction};
+use pol_node::{NodeConfig, NodeService, PoissonArrivals};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Traffic phases as (start fraction of the run, rate multiplier): a
+/// warmup at the base rate, a 3x burst through the middle, recovery.
+const PHASES: [(f64, f64); 3] = [(0.0, 1.0), (0.2, 3.0), (0.5, 1.0)];
+
+struct Region {
+    name: &'static str,
+    /// Base arrival rate, transactions per virtual second.
+    rate_per_s: f64,
+    report: ContractId,
+    verify: ContractId,
+    users: Vec<(Keypair, Address)>,
+}
+
+/// Location report sink: `storage[caller] = calldata[0..32]` — each
+/// device overwrites its own slot, so concurrent reports from different
+/// devices are disjoint and parallelise.
+fn report_runtime() -> Vec<u8> {
+    Asm::new().push_u64(0).op(Op::CallDataLoad).op(Op::Caller).op(Op::SStore).op(Op::Stop).build()
+}
+
+/// Verification query: return `storage[caller]` (the caller's last
+/// reported location).
+fn verify_runtime() -> Vec<u8> {
+    Asm::new()
+        .op(Op::Caller)
+        .op(Op::SLoad)
+        .push_u64(0)
+        .op(Op::MStore)
+        .push_u64(32)
+        .push_u64(0)
+        .op(Op::Return)
+        .build()
+}
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    preset: String,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let value_of =
+        |flag: &str| argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1)).cloned();
+    Args {
+        smoke: argv.iter().any(|a| a == "--smoke"),
+        seed: value_of("--seed").and_then(|s| s.parse().ok()).unwrap_or(2023),
+        preset: value_of("--preset").unwrap_or_else(|| "devnet-evm".to_string()),
+        out: value_of("--out").unwrap_or_else(|| "results/node_load.json".to_string()),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (users_per_region, duration_ms, base_rate) =
+        if args.smoke { (4, 60_000u64, 10.0) } else { (10, 300_000u64, 12.0) };
+
+    let mut config = NodeConfig::default();
+    config.preset = args.preset.clone();
+    config.seed = args.seed;
+    config.metrics_interval_ms = duration_ms / 10;
+    let preset = match config.preset() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("node_load: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut chain = preset.build(args.seed);
+    chain.set_execution_mode(ExecutionMode::Parallel { workers: 4 });
+
+    // Pre-traffic setup (closed-loop, before the service starts): deploy
+    // one report and one verify contract per region and fund its users.
+    let mut regions = Vec::new();
+    for (i, name) in ["eu-west", "us-east", "ap-south"].into_iter().enumerate() {
+        let (deployer, _) = chain.create_funded_account(10u128.pow(24));
+        let report = chain
+            .deploy_evm(&deployer, Asm::deploy_wrapper(&report_runtime()), 5_000_000)
+            .expect("deploy report contract")
+            .created
+            .expect("report contract id");
+        let verify = chain
+            .deploy_evm(&deployer, Asm::deploy_wrapper(&verify_runtime()), 5_000_000)
+            .expect("deploy verify contract")
+            .created
+            .expect("verify contract id");
+        let users =
+            (0..users_per_region).map(|_| chain.create_funded_account(10u128.pow(24))).collect();
+        regions.push(Region {
+            name,
+            rate_per_s: base_rate * (1.0 + i as f64 * 0.25),
+            report,
+            verify,
+            users,
+        });
+    }
+    let setup_end_ms = chain.now_ms();
+    let mut service = NodeService::new(chain, &config);
+    let end_ms = setup_end_ms + duration_ms;
+
+    // Draw every region's Poisson arrival schedule up front (phase
+    // multipliers applied at the boundaries), then merge by time.
+    let mut events: Vec<(u64, usize)> = Vec::new();
+    for (r, region) in regions.iter().enumerate() {
+        let mut arrivals =
+            PoissonArrivals::new(args.seed ^ (0x5245_4700 + r as u64), region.rate_per_s);
+        let mut phase = 0usize;
+        loop {
+            let at = setup_end_ms + arrivals.next_arrival_ms();
+            if at >= end_ms {
+                break;
+            }
+            while phase + 1 < PHASES.len()
+                && at >= setup_end_ms + (PHASES[phase + 1].0 * duration_ms as f64) as u64
+            {
+                phase += 1;
+                arrivals.set_rate_multiplier(PHASES[phase].1);
+            }
+            events.push((at, r));
+        }
+    }
+    events.sort_unstable();
+    let offered = events.len();
+    println!(
+        "node_load: {} regions, {} users, {} offered arrivals over {}s virtual (seed {})",
+        regions.len(),
+        regions.iter().map(|r| r.users.len()).sum::<usize>(),
+        offered,
+        duration_ms / 1000,
+        args.seed,
+    );
+
+    let wall_start = std::time::Instant::now();
+    let mut mix_rng = StdRng::seed_from_u64(args.seed ^ 0x006d_6978_5f72_6e67);
+    let mut submitted = 0u64;
+    for (at_ms, r) in events {
+        let region = &regions[r];
+        let (keypair, from) = &region.users[mix_rng.gen_range(0..region.users.len())];
+        // Catch the loop up first so fees are quoted at the current base
+        // fee, not the one from before the gap.
+        service.run_until(at_ms);
+        let (max_fee, priority) = service.chain().suggested_fees();
+        let nonce = service.chain().next_nonce(*from);
+        let roll: f64 = mix_rng.gen();
+        let send = |service: &mut NodeService, tx: Transaction, submitted: &mut u64| {
+            *submitted += 1;
+            let _ = service.submit_at(at_ms, tx);
+        };
+        if roll < 0.01 {
+            // Adversarial fee cap: must die as a typed FeeOverflow.
+            let tx = Transaction::transfer(*from, Address::ZERO, 1, nonce)
+                .with_fees(u128::MAX, priority)
+                .signed(keypair);
+            send(&mut service, tx, &mut submitted);
+        } else if roll < 0.02 {
+            // Underfunded: the worst-case fee precheck refuses it.
+            let tx = Transaction::transfer(*from, Address::ZERO, u128::MAX / 4, nonce)
+                .with_fees(max_fee, priority)
+                .signed(keypair);
+            send(&mut service, tx, &mut submitted);
+        } else if roll < 0.05 {
+            // Out-of-order pair: nonce+1 parks, then the filler releases.
+            let location = mix_rng.gen_range(0u64..u64::MAX);
+            let ahead = Transaction::call(
+                *from,
+                region.report,
+                location.to_be_bytes().to_vec(),
+                0,
+                nonce + 1,
+            )
+            .with_gas_limit(200_000)
+            .with_fees(max_fee, priority)
+            .signed(keypair);
+            let filler =
+                Transaction::call(*from, region.report, location.to_be_bytes().to_vec(), 0, nonce)
+                    .with_gas_limit(200_000)
+                    .with_fees(max_fee, priority)
+                    .signed(keypair);
+            send(&mut service, ahead, &mut submitted);
+            send(&mut service, filler, &mut submitted);
+        } else if roll < 0.81 {
+            // Location report (~80 % of honest traffic).
+            let location = mix_rng.gen_range(0u64..u64::MAX);
+            let tx =
+                Transaction::call(*from, region.report, location.to_be_bytes().to_vec(), 0, nonce)
+                    .with_gas_limit(200_000)
+                    .with_fees(max_fee, priority)
+                    .signed(keypair);
+            send(&mut service, tx, &mut submitted);
+        } else {
+            // Verification query (~20 %).
+            let tx = Transaction::call(*from, region.verify, Vec::new(), 0, nonce)
+                .with_gas_limit(100_000)
+                .with_fees(max_fee, priority)
+                .signed(keypair);
+            send(&mut service, tx, &mut submitted);
+        }
+    }
+    service.run_until(end_ms);
+    let drain = service.shutdown();
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1000.0;
+
+    let latency = service.latency_summary();
+    let rejected = service.rejections();
+    let sustained_tps = service.confirmed() as f64 / (duration_ms as f64 / 1000.0);
+    println!(
+        "sustained {:.1} tx/s over {}s virtual ({:.0} ms wall): {} submitted, {} admitted, \
+         {} confirmed, {} dropped, {} rejected",
+        sustained_tps,
+        duration_ms / 1000,
+        wall_ms,
+        submitted,
+        service.admitted(),
+        service.confirmed(),
+        service.dropped(),
+        rejected.total(),
+    );
+    println!(
+        "confirmation latency: p50 {} ms, p95 {} ms, p99 {} ms, max {} ms; drain: {} blocks, \
+         {} parked dropped, {} lost",
+        latency.p50_ms,
+        latency.p95_ms,
+        latency.p99_ms,
+        latency.max_ms,
+        drain.drained_blocks,
+        drain.dropped_parked,
+        drain.lost,
+    );
+
+    let snapshots_json = service
+        .snapshots()
+        .iter()
+        .map(|s| {
+            format!(
+                r#"    {{ "at_ms": {}, "height": {}, "mempool": {}, "parked": {}, "base_fee": {}, "block_fullness": {:.4}, "admitted": {}, "confirmed": {} }}"#,
+                s.at_ms,
+                s.height,
+                s.mempool_depth,
+                s.parked,
+                s.base_fee,
+                s.block_fullness,
+                s.admitted,
+                s.confirmed,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let exec = service.chain().exec_stats();
+    let json = format!(
+        r#"{{
+  "bench": "node_load",
+  "preset": "{preset}",
+  "seed": {seed},
+  "smoke": {smoke},
+  "regions": [{region_names}],
+  "users": {users},
+  "duration_virtual_ms": {duration_ms},
+  "wall_ms": {wall_ms:.1},
+  "offered": {offered},
+  "submitted": {submitted},
+  "admitted": {admitted},
+  "confirmed": {confirmed},
+  "dropped": {dropped},
+  "rejected": {{
+    "queue_full": {queue_full},
+    "parking_full": {parking_full},
+    "already_parked": {already_parked},
+    "bad_signature": {bad_signature},
+    "bad_nonce": {bad_nonce},
+    "underfunded": {underfunded},
+    "fee_overflow": {fee_overflow},
+    "fee_too_low": {fee_too_low},
+    "shutting_down": {shutting_down},
+    "other": {other},
+    "total": {rejected_total}
+  }},
+  "sustained_tps": {sustained_tps:.3},
+  "latency_ms": {{
+    "count": {lat_count},
+    "mean": {lat_mean:.1},
+    "p50": {p50},
+    "p95": {p95},
+    "p99": {p99},
+    "max": {lat_max}
+  }},
+  "drain": {{
+    "blocks": {drain_blocks},
+    "dropped_parked": {dropped_parked},
+    "lost": {lost}
+  }},
+  "exec": {{
+    "blocks": {blocks},
+    "parallel_blocks": {parallel_blocks},
+    "committed_txs": {committed_txs},
+    "conflicts": {conflicts}
+  }},
+  "snapshots": [
+{snapshots_json}
+  ]
+}}
+"#,
+        preset = args.preset,
+        seed = args.seed,
+        smoke = args.smoke,
+        region_names =
+            regions.iter().map(|r| format!("\"{}\"", r.name)).collect::<Vec<_>>().join(", "),
+        users = regions.iter().map(|r| r.users.len()).sum::<usize>(),
+        admitted = service.admitted(),
+        confirmed = service.confirmed(),
+        dropped = service.dropped(),
+        queue_full = rejected.queue_full,
+        parking_full = rejected.parking_full,
+        already_parked = rejected.already_parked,
+        bad_signature = rejected.bad_signature,
+        bad_nonce = rejected.bad_nonce,
+        underfunded = rejected.underfunded,
+        fee_overflow = rejected.fee_overflow,
+        fee_too_low = rejected.fee_too_low,
+        shutting_down = rejected.shutting_down,
+        other = rejected.other,
+        rejected_total = rejected.total(),
+        lat_count = latency.count,
+        lat_mean = latency.mean_ms,
+        p50 = latency.p50_ms,
+        p95 = latency.p95_ms,
+        p99 = latency.p99_ms,
+        lat_max = latency.max_ms,
+        drain_blocks = drain.drained_blocks,
+        dropped_parked = drain.dropped_parked,
+        lost = drain.lost,
+        blocks = exec.blocks,
+        parallel_blocks = exec.parallel_blocks,
+        committed_txs = exec.committed_txs,
+        conflicts = exec.conflicts,
+    );
+    let _ = std::fs::create_dir_all(
+        std::path::Path::new(&args.out).parent().unwrap_or(std::path::Path::new(".")),
+    );
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => eprintln!("wrote {}", args.out),
+        Err(e) => eprintln!("warning: could not write {}: {e}", args.out),
+    }
+
+    // The drain invariant is the whole point of a graceful shutdown:
+    // every admitted transaction must have a terminal receipt.
+    if drain.lost > 0 || service.admitted() != service.confirmed() + service.dropped() {
+        eprintln!(
+            "FAIL: drain invariant violated ({} lost, {} admitted vs {} terminal)",
+            drain.lost,
+            service.admitted(),
+            service.confirmed() + service.dropped(),
+        );
+        std::process::exit(1);
+    }
+    if service.confirmed() == 0 {
+        eprintln!("FAIL: no transactions confirmed");
+        std::process::exit(1);
+    }
+    println!("drain invariant holds: every admitted transaction reached a terminal receipt");
+}

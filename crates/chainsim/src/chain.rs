@@ -300,7 +300,8 @@ impl Chain {
 
     /// Suggested `(max_fee_per_gas, priority_fee)` for prompt inclusion.
     pub fn suggested_fees(&self) -> (u128, u128) {
-        (self.base_fee * 2 + self.config.priority_fee, self.config.priority_fee)
+        let max_fee = self.base_fee.saturating_mul(2).saturating_add(self.config.priority_fee);
+        (max_fee, self.config.priority_fee)
     }
 
     /// Read-through to the EVM-owned state (explorer-style inspection).
@@ -319,6 +320,9 @@ impl Chain {
     ///
     /// * [`LedgerError::BadSignature`] — missing/invalid signature;
     /// * [`LedgerError::BadNonce`] — nonce gap;
+    /// * [`LedgerError::FeeOverflow`] — `value + gas_limit ×
+    ///   max_fee_per_gas` exceeds `u128`; wrapping would let an
+    ///   underfunded transaction pass the balance check below;
     /// * [`LedgerError::InsufficientBalance`] — value plus worst-case fee
     ///   exceeds the balance.
     pub fn submit(&mut self, tx: Transaction) -> Result<TxId, LedgerError> {
@@ -329,11 +333,18 @@ impl Chain {
         if tx.nonce != expected {
             return Err(LedgerError::BadNonce { expected, got: tx.nonce });
         }
+        let fee_overflow = || LedgerError::FeeOverflow {
+            value: tx.value,
+            gas_limit: tx.gas_limit,
+            max_fee_per_gas: tx.max_fee_per_gas,
+        };
         let worst_fee = match self.config.vm {
-            VmKind::Evm => u128::from(tx.gas_limit) * tx.max_fee_per_gas,
+            VmKind::Evm => {
+                u128::from(tx.gas_limit).checked_mul(tx.max_fee_per_gas).ok_or_else(fee_overflow)?
+            }
             VmKind::Avm => self.config.flat_fee,
         };
-        let needed = tx.value + worst_fee;
+        let needed = tx.value.checked_add(worst_fee).ok_or_else(fee_overflow)?;
         let available = self.balance(tx.from);
         if available < needed {
             return Err(LedgerError::InsufficientBalance { address: tx.from, needed, available });
@@ -350,6 +361,42 @@ impl Chain {
         Ok(id)
     }
 
+    /// Non-blocking receipt lookup: the confirmed receipt of `id`, or
+    /// `None` while the transaction is still pending (in the mempool, or
+    /// included but short of its confirmation depth). Unlike
+    /// [`Chain::await_tx`] this never produces blocks, never advances the
+    /// clock and adds no client-side observation delay — the entry point
+    /// a long-lived node's run loop polls between ticks instead of
+    /// busy-waiting inside `await_tx`.
+    pub fn poll_receipt(&self, id: TxId) -> Option<Receipt> {
+        let pending = self.receipts.get(&id)?;
+        let confirm_height = pending.included_height + self.config.confirmations;
+        if self.height() < confirm_height {
+            return None;
+        }
+        let mut receipt = pending.receipt.clone();
+        receipt.confirmed_ms = self.blocks[confirm_height as usize].timestamp_ms;
+        Some(receipt)
+    }
+
+    /// Whether `id` is known to the chain: waiting in the mempool, or
+    /// already included (confirmed or not).
+    pub fn knows_tx(&self, id: TxId) -> bool {
+        self.receipts.contains_key(&id) || self.mempool.iter().any(|p| p.tx.id() == id)
+    }
+
+    /// Transactions currently waiting in the chain's mempool.
+    pub fn mempool_depth(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Produces exactly one block (possibly empty) on the chain's slot
+    /// grid, advancing the virtual clock past it — the run-loop tick of a
+    /// long-lived node service.
+    pub fn step_block(&mut self) {
+        self.produce_block();
+    }
+
     /// Advances the chain until `id` is confirmed, returning its receipt.
     ///
     /// # Errors
@@ -359,18 +406,14 @@ impl Chain {
     pub fn await_tx(&mut self, id: TxId) -> Result<Receipt, LedgerError> {
         let mut guard = 0;
         loop {
-            if let Some(pending) = self.receipts.get(&id) {
-                let confirm_height = pending.included_height + self.config.confirmations;
-                if self.height() >= confirm_height {
-                    let mut receipt = self.receipts[&id].receipt.clone();
-                    receipt.confirmed_ms = self.blocks[confirm_height as usize].timestamp_ms;
-                    // Client-side observation overhead (RPC polling etc.).
-                    let (lo, hi) = self.config.client_delay_ms;
-                    let delay = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
-                    self.now_ms = self.now_ms.max(receipt.confirmed_ms) + delay;
-                    return Ok(receipt);
-                }
-            } else if !self.mempool.iter().any(|p| p.tx.id() == id) {
+            if let Some(receipt) = self.poll_receipt(id) {
+                // Client-side observation overhead (RPC polling etc.).
+                let (lo, hi) = self.config.client_delay_ms;
+                let delay = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+                self.now_ms = self.now_ms.max(receipt.confirmed_ms) + delay;
+                return Ok(receipt);
+            }
+            if !self.knows_tx(id) {
                 return Err(LedgerError::ExecutionFailed(format!("unknown transaction {id}")));
             }
             self.produce_block();
@@ -754,6 +797,88 @@ mod tests {
             .with_fees(max_fee, prio)
             .signed(&alice);
         assert!(matches!(chain.submit(tx), Err(LedgerError::InsufficientBalance { .. })));
+    }
+
+    /// Regression: `submit` computed `gas_limit × max_fee_per_gas`
+    /// unchecked — an adversarial fee cap panicked debug builds and
+    /// wrapped past the balance check in release, admitting a transaction
+    /// that could never pay its worst-case fee. It must reject with the
+    /// typed overflow error instead (this test panics on the pre-fix
+    /// code).
+    #[test]
+    fn adversarial_fee_cap_rejected_with_typed_overflow() {
+        let mut chain = presets::goerli().build(40);
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, 1, 0)
+            .with_fees(u128::MAX, 0)
+            .signed(&alice);
+        assert!(matches!(chain.submit(tx), Err(LedgerError::FeeOverflow { .. })));
+        // The rejected transaction must not have consumed the nonce.
+        assert_eq!(chain.next_nonce(alice_addr), 0);
+    }
+
+    /// Regression: `value + worst_fee` also wrapped — a `u128::MAX` value
+    /// plus any fee wrapped to a tiny `needed`, passing the balance check
+    /// while promising more than the sender holds.
+    #[test]
+    fn adversarial_value_plus_fee_rejected_with_typed_overflow() {
+        let mut chain = presets::goerli().build(41);
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let (max_fee, prio) = chain.suggested_fees();
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, u128::MAX, 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        assert!(matches!(chain.submit(tx), Err(LedgerError::FeeOverflow { .. })));
+        // A merely-too-large (but non-overflowing) value still gets the
+        // ordinary insufficient-balance rejection.
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, 10u128.pow(19), 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        assert!(matches!(chain.submit(tx), Err(LedgerError::InsufficientBalance { .. })));
+    }
+
+    /// The same overflow on the AVM side: the flat fee can't overflow the
+    /// multiply, but `value + flat_fee` still wraps at the extreme.
+    #[test]
+    fn avm_value_overflow_rejected() {
+        let mut chain = presets::devnet_algo().build(42);
+        let (alice, alice_addr) = chain.create_funded_account(10_000_000);
+        let tx = Transaction::transfer(alice_addr, Address::ZERO, u128::MAX, 0).signed(&alice);
+        assert!(matches!(chain.submit(tx), Err(LedgerError::FeeOverflow { .. })));
+    }
+
+    #[test]
+    fn poll_receipt_is_non_blocking_and_matches_await() {
+        let mut chain = presets::devnet_evm().build(43);
+        let (alice, alice_addr) = chain.create_funded_account(10u128.pow(18));
+        let (_, bob_addr) = chain.create_funded_account(0);
+        let (max_fee, prio) = chain.suggested_fees();
+        let tx = Transaction::transfer(alice_addr, bob_addr, 9, 0)
+            .with_fees(max_fee, prio)
+            .signed(&alice);
+        let id = chain.submit(tx).unwrap();
+        // Nothing confirmed yet, and polling must not mint blocks.
+        let height = chain.height();
+        assert!(chain.poll_receipt(id).is_none());
+        assert_eq!(chain.height(), height);
+        assert!(chain.knows_tx(id));
+        assert_eq!(chain.mempool_depth(), 1);
+        // Tick the run loop until the receipt surfaces.
+        let mut guard = 0;
+        let receipt = loop {
+            if let Some(r) = chain.poll_receipt(id) {
+                break r;
+            }
+            chain.step_block();
+            guard += 1;
+            assert!(guard < 100, "transfer starved on the devnet");
+        };
+        assert!(receipt.status.is_success());
+        assert_eq!(chain.mempool_depth(), 0);
+        assert_eq!(chain.balance(bob_addr), 9);
+        // Polling again returns the same confirmed receipt.
+        assert_eq!(format!("{receipt:?}"), format!("{:?}", chain.poll_receipt(id).unwrap()));
+        assert!(!chain.knows_tx(TxId([0xee; 32])));
     }
 
     #[test]

@@ -833,11 +833,15 @@ fn execute_tx(
                 tx.max_priority_fee_per_gas,
             )
             .unwrap_or(ctx.base_fee);
-            let fee = u128::from(gas_used) * price;
+            // `gas_used × price` fits in u128 for any admitted transaction
+            // (submission rejects `gas_limit × max_fee_per_gas` overflow
+            // with `FeeOverflow`); saturating keeps that invariant local
+            // instead of trusting every caller forever.
+            let fee = u128::from(gas_used).saturating_mul(price);
             let balance = view.balance_of(tx.from);
             let charged = fee.min(balance);
             view.set_balance_of(tx.from, balance - charged);
-            burned += (u128::from(gas_used) * ctx.base_fee.min(price)).min(charged);
+            burned += u128::from(gas_used).saturating_mul(ctx.base_fee.min(price)).min(charged);
             charged
         }
         VmKind::Avm => charged_upfront,

@@ -67,6 +67,18 @@ pub enum LedgerError {
     },
     /// A transaction signature was missing or invalid.
     BadSignature,
+    /// The transaction's worst-case fee arithmetic (`value + gas_limit ×
+    /// max_fee_per_gas`) does not fit in a `u128`. Such a transaction can
+    /// never pay what it promises: wrapping arithmetic would let it slip
+    /// past the balance precheck, so it is rejected outright.
+    FeeOverflow {
+        /// Value the transaction moves (base units).
+        value: u128,
+        /// Gas the transaction may buy.
+        gas_limit: u64,
+        /// Fee cap per gas (base units).
+        max_fee_per_gas: u128,
+    },
     /// Execution failed inside a virtual machine.
     ExecutionFailed(String),
 }
@@ -87,6 +99,11 @@ impl std::fmt::Display for LedgerError {
                 write!(f, "fee cap {max_fee} below base fee {base_fee}")
             }
             LedgerError::BadSignature => write!(f, "missing or invalid transaction signature"),
+            LedgerError::FeeOverflow { value, gas_limit, max_fee_per_gas } => write!(
+                f,
+                "fee arithmetic overflow: value {value} + {gas_limit} gas × {max_fee_per_gas} \
+                 per gas exceeds u128"
+            ),
             LedgerError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
         }
     }

@@ -1,0 +1,25 @@
+//! `pol-node` — the long-lived proof-of-location node service.
+//!
+//! Where `pol-chainsim` models a chain and `pol-bench` measures closed
+//! scenarios end-to-end, this crate runs the chain *as a service*: a
+//! continuous run loop on the block cadence, an ingestion front door
+//! with bounded admission and nonce-gap parking, layered configuration
+//! (CLI > env > file > defaults) and a periodic metrics surface. The
+//! `pol-node` binary wires these together; `pol-bench`'s `node_load`
+//! harness drives the same [`NodeService`] under an open Poisson
+//! workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod config;
+pub mod mempool;
+pub mod metrics;
+pub mod service;
+
+pub use arrivals::PoissonArrivals;
+pub use config::{ConfigError, Layer, NodeConfig};
+pub use mempool::{Admission, AdmissionError, ParkingLot, RejectionCounts};
+pub use metrics::{LatencySummary, MetricsSnapshot};
+pub use service::{DrainReport, DropReason, NodeService, TxTerminal};

@@ -25,3 +25,4 @@ pub use pol_hypercube as hypercube;
 pub use pol_lang as lang;
 pub use pol_ledger as ledger;
 pub use pol_net as net;
+pub use pol_node as node;
