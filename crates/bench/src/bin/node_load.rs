@@ -4,7 +4,10 @@
 //! arrivals of proof-of-location traffic (location reports and
 //! verification queries against per-region EVM contracts), with a bursty
 //! congestion phase in the middle of the run and a small adversarial mix
-//! (fee-overflow caps, underfunded senders, out-of-order nonces) to
+//! (fee-overflow caps, underfunded senders, out-of-order nonces, and gas
+//! griefing against a gas-certified per-region contract — limits far
+//! above the proven worst case get their fee precheck clamped to the
+//! certificate, limits below it die as typed over-budget rejections) to
 //! exercise typed admission rejections and nonce-gap parking. Arrivals
 //! are drawn from the environment on the virtual clock — unlike the
 //! closed loops of `figures`/`tables`, a slow node here cannot throttle
@@ -26,6 +29,7 @@ use pol_chainsim::ExecutionMode;
 use pol_crypto::ed25519::Keypair;
 use pol_evm::assembler::Asm;
 use pol_evm::opcode::Op;
+use pol_lang::backend::AbiValue;
 use pol_ledger::{Address, ContractId, Transaction};
 use pol_node::{NodeConfig, NodeService, PoissonArrivals};
 use rand::rngs::StdRng;
@@ -41,8 +45,36 @@ struct Region {
     rate_per_s: f64,
     report: ContractId,
     verify: ContractId,
+    /// The gas-certified pol-lang contract the griefing classes target.
+    sink: ContractId,
     users: Vec<(Keypair, Address)>,
 }
+
+/// The certified contract of the gas-griefing classes: a single `bump`
+/// API whose worst-case gas certificate the chain registers at setup, so
+/// admission can price and police the griefers' gas limits against a
+/// proven bound instead of taking them at face value.
+const SINK_CONTRACT: &str = r#"
+contract gas_sink {
+    participant Creator {
+        slots: uint,
+    }
+
+    global open: uint = field(slots) view;
+    global acc: uint = 0 view;
+    map m0[32];
+
+    phase live while open > 0 invariant open >= 0 {
+        api bump(key: uint, val: uint) -> acc {
+            acc = acc + val;
+            m0[key] = [val];
+        }
+        api clear(key: uint) -> acc {
+            delete m0[key];
+        }
+    }
+}
+"#;
 
 /// Location report sink: `storage[caller] = calldata[0..32]` — each
 /// device overwrites its own slot, so concurrent reports from different
@@ -104,7 +136,14 @@ fn main() {
     chain.set_execution_mode(ExecutionMode::Parallel { workers: 4 });
 
     // Pre-traffic setup (closed-loop, before the service starts): deploy
-    // one report and one verify contract per region and fund its users.
+    // one report, one verify and one gas-certified sink contract per
+    // region, register the sink's static worst-case gas bounds as its
+    // chain-side resolver, and fund the region's users.
+    let sink_program = pol_lang::parse(SINK_CONTRACT).expect("sink contract parses");
+    let sink_compiled = pol_lang::backend::compile(&sink_program).expect("sink contract compiles");
+    let sink_bounds = std::sync::Arc::new(
+        pol_lang::gas::certify(&sink_program).expect("sink contract certifies"),
+    );
     let mut regions = Vec::new();
     for (i, name) in ["eu-west", "us-east", "ap-south"].into_iter().enumerate() {
         let (deployer, _) = chain.create_funded_account(10u128.pow(24));
@@ -118,6 +157,18 @@ fn main() {
             .expect("deploy verify contract")
             .created
             .expect("verify contract id");
+        let sink_init =
+            sink_compiled.evm.init_with_args(&[AbiValue::Word(1)]).expect("sink init code");
+        let sink = chain
+            .deploy_evm(&deployer, sink_init, 5_000_000)
+            .expect("deploy sink contract")
+            .created
+            .expect("sink contract id");
+        let bounds = std::sync::Arc::clone(&sink_bounds);
+        chain.register_gas_resolver(
+            sink,
+            Box::new(move |q: &pol_chainsim::GasQuery<'_>| bounds.resolve_evm_call(q.calldata)),
+        );
         let users =
             (0..users_per_region).map(|_| chain.create_funded_account(10u128.pow(24))).collect();
         regions.push(Region {
@@ -125,9 +176,19 @@ fn main() {
             rate_per_s: base_rate * (1.0 + i as f64 * 0.25),
             report,
             verify,
+            sink,
             users,
         });
     }
+    // Gas limits for the griefing classes, derived from the certificate
+    // itself: far above the proven worst case (the clamped precheck must
+    // absorb it) and safely below it (admission must refuse it). The
+    // 5 000 margin covers the calldata-dependent intrinsic-gas spread.
+    let sample_call =
+        sink_compiled.evm.encode_call("bump", &[AbiValue::Word(0), AbiValue::Word(0)]).unwrap();
+    let sink_bound = sink_bounds.resolve_evm_call(&sample_call).expect("bump is certified");
+    let griefer_gas = sink_bound * 20;
+    let starved_gas = sink_bound - 5_000;
     let setup_end_ms = chain.now_ms();
     let mut service = NodeService::new(chain, &config);
     let end_ms = setup_end_ms + duration_ms;
@@ -167,6 +228,8 @@ fn main() {
     let wall_start = std::time::Instant::now();
     let mut mix_rng = StdRng::seed_from_u64(args.seed ^ 0x006d_6978_5f72_6e67);
     let mut submitted = 0u64;
+    let mut griefers = 0u64;
+    let mut starved = 0u64;
     for (at_ms, r) in events {
         let region = &regions[r];
         let (keypair, from) = &region.users[mix_rng.gen_range(0..region.users.len())];
@@ -192,7 +255,31 @@ fn main() {
                 .with_fees(max_fee, priority)
                 .signed(keypair);
             send(&mut service, tx, &mut submitted);
-        } else if roll < 0.05 {
+        } else if roll < 0.035 {
+            // Gas griefer: a certified call provisioned at 20x its proven
+            // worst case. Admission accepts it but prices the worst-case
+            // fee from the certificate, not the inflated limit.
+            let args = [AbiValue::Word(mix_rng.gen_range(0..64u128)), AbiValue::Word(1)];
+            let data = sink_compiled.evm.encode_call("bump", &args).unwrap();
+            let tx = Transaction::call(*from, region.sink, data, 0, nonce)
+                .with_gas_limit(griefer_gas)
+                .with_fees(max_fee, priority)
+                .signed(keypair);
+            griefers += 1;
+            send(&mut service, tx, &mut submitted);
+        } else if roll < 0.045 {
+            // Starved certified call: the gas limit undercuts the static
+            // certificate, so the call is provably over budget and must
+            // die as a typed GasOverBudget rejection.
+            let args = [AbiValue::Word(mix_rng.gen_range(0..64u128)), AbiValue::Word(1)];
+            let data = sink_compiled.evm.encode_call("bump", &args).unwrap();
+            let tx = Transaction::call(*from, region.sink, data, 0, nonce)
+                .with_gas_limit(starved_gas)
+                .with_fees(max_fee, priority)
+                .signed(keypair);
+            starved += 1;
+            send(&mut service, tx, &mut submitted);
+        } else if roll < 0.075 {
             // Out-of-order pair: nonce+1 parks, then the filler releases.
             let location = mix_rng.gen_range(0u64..u64::MAX);
             let ahead = Transaction::call(
@@ -249,6 +336,13 @@ fn main() {
         service.dropped(),
         rejected.total(),
     );
+    let clamped = service.chain().gas_precheck_clamps();
+    println!(
+        "gas griefing: {griefers} overprovisioned calls admitted with fee prechecks clamped to \
+         their certificates ({clamped} clamps), {starved} starved calls rejected as provably \
+         over budget ({} over-budget rejections)",
+        rejected.over_budget,
+    );
     println!(
         "confirmation latency: p50 {} ms, p95 {} ms, p99 {} ms, max {} ms; drain: {} blocks, \
          {} parked dropped, {} lost",
@@ -304,9 +398,16 @@ fn main() {
     "underfunded": {underfunded},
     "fee_overflow": {fee_overflow},
     "fee_too_low": {fee_too_low},
+    "over_budget": {over_budget},
     "shutting_down": {shutting_down},
     "other": {other},
     "total": {rejected_total}
+  }},
+  "gas_griefing": {{
+    "overprovisioned_submitted": {griefers},
+    "clamped_prechecks": {clamped},
+    "starved_submitted": {starved},
+    "over_budget_rejected": {over_budget}
   }},
   "sustained_tps": {sustained_tps:.3},
   "latency_ms": {{
@@ -350,6 +451,7 @@ fn main() {
         underfunded = rejected.underfunded,
         fee_overflow = rejected.fee_overflow,
         fee_too_low = rejected.fee_too_low,
+        over_budget = rejected.over_budget,
         shutting_down = rejected.shutting_down,
         other = rejected.other,
         rejected_total = rejected.total(),
@@ -388,6 +490,22 @@ fn main() {
     }
     if service.confirmed() == 0 {
         eprintln!("FAIL: no transactions confirmed");
+        std::process::exit(1);
+    }
+    // The griefing classes must be policed by the certificates — and
+    // only them: honest traffic targets uncertified contracts, so every
+    // clamp and every over-budget rejection is attributable to a griefer
+    // (a queue-full burst may reject some griefers before the gas checks
+    // run, hence the upper bounds rather than equalities).
+    if clamped == 0 || clamped > griefers {
+        eprintln!("FAIL: {clamped} clamped prechecks for {griefers} overprovisioned calls");
+        std::process::exit(1);
+    }
+    if rejected.over_budget == 0 || rejected.over_budget > starved {
+        eprintln!(
+            "FAIL: {} over-budget rejections for {starved} starved calls",
+            rejected.over_budget
+        );
         std::process::exit(1);
     }
     println!("drain invariant holds: every admitted transaction reached a terminal receipt");

@@ -4,6 +4,7 @@ use crate::access::{AccessRegistry, AccessResolver};
 use crate::congestion::CongestionModel;
 use crate::executor::{self, ExecCtx, ExecStats, ExecutionMode};
 use crate::feemarket;
+use crate::gas::{GasQuery, GasRegistry, GasResolver};
 use pol_avm::{AvmProgram, AvmView};
 use pol_consensus::{pos, ppos, StakeRegistry};
 use pol_crypto::ed25519::Keypair;
@@ -108,6 +109,9 @@ pub struct Chain {
     code_cache: CodeCache,
     access: AccessRegistry,
     sanitize: bool,
+    gas: GasRegistry,
+    gas_sanitize: bool,
+    gas_precheck_clamps: u64,
 }
 
 struct PendingReceipt {
@@ -181,6 +185,9 @@ impl Chain {
             // commit against its static access claims; release builds
             // (benches) skip the bookkeeping unless asked.
             sanitize: cfg!(debug_assertions),
+            gas: GasRegistry::default(),
+            gas_sanitize: cfg!(debug_assertions),
+            gas_precheck_clamps: 0,
         }
     }
 
@@ -224,6 +231,31 @@ impl Chain {
     /// claims panics — the summaries' soundness contract.
     pub fn set_access_sanitizer(&mut self, enabled: bool) {
         self.sanitize = enabled;
+    }
+
+    /// Registers the static worst-case gas resolver for a deployed
+    /// contract. Certified calls seed the parallel scheduler's gas
+    /// estimates, shrink the worst-case-fee admission precheck, and are
+    /// rejected outright when provisioned below their proven need; the
+    /// commit-time gas sanitizer cross-checks observed spends against
+    /// the certificates.
+    pub fn register_gas_resolver(&mut self, contract: ContractId, resolver: GasResolver) {
+        self.gas.register(contract, resolver);
+    }
+
+    /// Forces the commit-time gas-certificate sanitizer on or off
+    /// (default: on in debug builds, off in release). With it on, any
+    /// committed transaction whose observed `gas_used` exceeds its
+    /// static certificate panics — the certificates' soundness
+    /// contract.
+    pub fn set_gas_sanitizer(&mut self, enabled: bool) {
+        self.gas_sanitize = enabled;
+    }
+
+    /// How many admitted transactions had their worst-case-fee precheck
+    /// priced from a static gas certificate below their `gas_limit`.
+    pub fn gas_precheck_clamps(&self) -> u64 {
+        self.gas_precheck_clamps
     }
 
     /// The authenticated commitment over the full world state (balances,
@@ -314,6 +346,22 @@ impl Chain {
         AvmView::new(&self.world)
     }
 
+    /// The proven worst-case gas of a contract call, resolved through
+    /// the registered gas certificates (`None` when no certificate
+    /// covers the call). AVM payloads are consulted by transaction id,
+    /// so callers must have stashed them before asking.
+    fn static_gas_bound(&self, tx: &Transaction) -> Option<u64> {
+        let pol_ledger::TxKind::ContractCall(cid) = &tx.kind else { return None };
+        let (calldata, app_args): (&[u8], &[Vec<u8>]) = match self.config.vm {
+            VmKind::Evm => (&tx.data, &[]),
+            VmKind::Avm => match self.avm_payloads.get(&tx.id()) {
+                Some(AvmPayload::Call { args }) => (&[], args),
+                _ => return None,
+            },
+        };
+        self.gas.resolve(cid, &GasQuery { calldata, app_args })
+    }
+
     /// Submits a signed transaction to the mempool.
     ///
     /// # Errors
@@ -323,8 +371,10 @@ impl Chain {
     /// * [`LedgerError::FeeOverflow`] — `value + gas_limit ×
     ///   max_fee_per_gas` exceeds `u128`; wrapping would let an
     ///   underfunded transaction pass the balance check below;
+    /// * [`LedgerError::GasOverBudget`] — a certified call provisioned
+    ///   less gas than its static worst-case certificate;
     /// * [`LedgerError::InsufficientBalance`] — value plus worst-case fee
-    ///   exceeds the balance.
+    ///   (certificate-priced for certified calls) exceeds the balance.
     pub fn submit(&mut self, tx: Transaction) -> Result<TxId, LedgerError> {
         if !tx.verify_signature() {
             return Err(LedgerError::BadSignature);
@@ -338,9 +388,29 @@ impl Chain {
             gas_limit: tx.gas_limit,
             max_fee_per_gas: tx.max_fee_per_gas,
         };
+        // Admission against the static gas certificates: a certified
+        // call provisioned below its proven worst-case need can only
+        // run out of gas, so it is rejected before execution; a
+        // certified call provisioned above it has its worst-case fee
+        // priced from the certificate instead of the full `gas_limit`.
+        let bound = self.static_gas_bound(&tx);
+        let mut clamped = false;
         let worst_fee = match self.config.vm {
             VmKind::Evm => {
-                u128::from(tx.gas_limit).checked_mul(tx.max_fee_per_gas).ok_or_else(fee_overflow)?
+                let priced_gas = match bound {
+                    Some(certified) if tx.gas_limit < certified => {
+                        return Err(LedgerError::GasOverBudget {
+                            certified,
+                            gas_limit: tx.gas_limit,
+                        });
+                    }
+                    Some(certified) => {
+                        clamped = certified < tx.gas_limit;
+                        certified
+                    }
+                    None => tx.gas_limit,
+                };
+                u128::from(priced_gas).checked_mul(tx.max_fee_per_gas).ok_or_else(fee_overflow)?
             }
             VmKind::Avm => self.config.flat_fee,
         };
@@ -348,6 +418,9 @@ impl Chain {
         let available = self.balance(tx.from);
         if available < needed {
             return Err(LedgerError::InsufficientBalance { address: tx.from, needed, available });
+        }
+        if clamped {
+            self.gas_precheck_clamps += 1;
         }
         let id = tx.id();
         let (lo, hi) = self.config.propagation_ms;
@@ -692,6 +765,8 @@ impl Chain {
             avm_payloads: &self.avm_payloads,
             access: &self.access,
             sanitize: self.sanitize,
+            gas: &self.gas,
+            gas_sanitize: self.gas_sanitize,
             cache: &self.code_cache,
         };
         let outcome = executor::run_block(

@@ -29,6 +29,7 @@
 use crate::access::{AccessQuery, AccessRegistry};
 use crate::chain::{AvmPayload, PendingTx, VmKind};
 use crate::feemarket;
+use crate::gas::{GasQuery, GasRegistry};
 use pol_avm::{call_app_with_cache, create_app_with_cache, AppCallParams};
 use pol_evm::{call_contract_with_cache, deploy_contract_with_cache, CallParams};
 use pol_ledger::{
@@ -149,6 +150,13 @@ pub struct ExecStats {
     /// programs — paid once per distinct program when the cache is on,
     /// once per execution when it is off.
     pub decode_ns: u64,
+    /// Never-executed transactions whose scheduler priority was seeded
+    /// from a static worst-case gas certificate (resolved through the
+    /// chain's [`GasRegistry`]) instead of a tx-kind default.
+    pub static_gas_seeded: u64,
+    /// Never-executed transactions that fell back to the tx-kind default
+    /// estimate (no certificate registered, or the resolver declined).
+    pub default_seeded: u64,
 }
 
 impl ExecStats {
@@ -213,11 +221,19 @@ pub(crate) struct ExecCtx<'a> {
     /// Per-contract access resolvers for static lane partitioning and
     /// the commit-time sanitizer.
     pub(crate) access: &'a AccessRegistry,
+    /// Per-contract gas-certificate resolvers: seed the scheduler's
+    /// priority estimates and back the gas soundness sanitizer.
+    pub(crate) gas: &'a GasRegistry,
     /// When set, every commit re-resolves the transaction's access
     /// claims and panics if the observed read/write sets escape them —
     /// the soundness contract of the static summaries, enforced on
     /// every test run.
     pub(crate) sanitize: bool,
+    /// When set, every commit re-resolves the transaction's static gas
+    /// certificate and panics if the observed `gas_used` exceeds it —
+    /// the soundness contract of the cost pass, enforced on every test
+    /// run.
+    pub(crate) gas_sanitize: bool,
     /// Shared pre-decoded program cache: one decode per distinct
     /// program, reused across speculation attempts, execution modes and
     /// blocks.
@@ -321,10 +337,41 @@ fn tx_claims(ctx: &ExecCtx<'_>, pending: &PendingTx) -> Option<AccessClaims> {
     }
 }
 
+/// The proven worst-case gas of one pending contract call, resolved
+/// through the chain's [`GasRegistry`], or `None` when no certificate
+/// covers it (no resolver, deployments, transfers, missing payloads).
+pub(crate) fn tx_gas_bound(ctx: &ExecCtx<'_>, tx: &Transaction) -> Option<u64> {
+    let TxKind::ContractCall(cid) = &tx.kind else { return None };
+    let (calldata, app_args): (&[u8], &[Vec<u8>]) = match ctx.vm {
+        VmKind::Evm => (&tx.data, &[]),
+        VmKind::Avm => match ctx.avm_payloads.get(&tx.id()) {
+            Some(AvmPayload::Call { args }) => (&[], args),
+            _ => return None,
+        },
+    };
+    ctx.gas.resolve(cid, &GasQuery { calldata, app_args })
+}
+
 /// Panics if a committing outcome's observed read/write sets escape the
 /// transaction's static claims — the summaries' soundness contract,
-/// checked on every commit while [`ExecCtx::sanitize`] is set.
+/// checked on every commit while [`ExecCtx::sanitize`] is set — or if
+/// its observed `gas_used` exceeds the transaction's static gas
+/// certificate while [`ExecCtx::gas_sanitize`] is set.
 fn sanitize_commit(ctx: &ExecCtx<'_>, pending: &PendingTx, out: &TxOutcome) {
+    if ctx.gas_sanitize {
+        // A machine error reports `gas_used = gas_limit` (not a metered
+        // spend), so the certificate says nothing about it.
+        if out.gas_used < pending.tx.gas_limit {
+            if let Some(bound) = tx_gas_bound(ctx, &pending.tx) {
+                assert!(
+                    out.gas_used <= bound,
+                    "gas sanitizer: tx {:?} used {} gas, exceeding its static certificate {bound}",
+                    pending.tx.id(),
+                    out.gas_used,
+                );
+            }
+        }
+    }
     if !ctx.sanitize {
         return;
     }
@@ -437,9 +484,22 @@ fn run_sequential(
 }
 
 /// The gas estimate used to prioritise a transaction that has never
-/// executed: a tx-kind default, replaced by the last observed `gas_used`
-/// once a (possibly discarded) speculation has run.
-fn initial_gas_estimate(ctx: &ExecCtx<'_>, tx: &Transaction) -> u64 {
+/// executed: the static worst-case certificate when the chain's
+/// [`GasRegistry`] resolves one (counted as `static_gas_seeded`),
+/// otherwise a tx-kind default (counted as `default_seeded`). Either
+/// way the estimate is replaced by the last observed `gas_used` once a
+/// (possibly discarded) speculation has run.
+fn initial_gas_estimate(ctx: &ExecCtx<'_>, tx: &Transaction, stats: &mut ExecStats) -> u64 {
+    if let Some(bound) = tx_gas_bound(ctx, tx) {
+        stats.static_gas_seeded += 1;
+        // A certificate larger than the provisioned gas is clamped: the
+        // transaction can never spend past its limit.
+        return match ctx.vm {
+            VmKind::Evm => bound.min(tx.gas_limit),
+            VmKind::Avm => bound,
+        };
+    }
+    stats.default_seeded += 1;
     match (ctx.vm, &tx.kind) {
         (_, TxKind::Transfer) => 21_000,
         (VmKind::Evm, _) => tx.gas_limit,
@@ -507,7 +567,8 @@ fn run_parallel_with_lanes(
     let mut spec: Vec<Option<TxOutcome>> = (0..n).map(|_| None).collect();
     let mut skipped = vec![false; n];
     let mut done = vec![false; n];
-    let mut est_gas: Vec<u64> = pool.iter().map(|p| initial_gas_estimate(ctx, &p.tx)).collect();
+    let mut est_gas: Vec<u64> =
+        pool.iter().map(|p| initial_gas_estimate(ctx, &p.tx, stats)).collect();
     let mut remaining = gas_budget;
     let mut tx_gas = 0u64;
     let mut burned = 0u128;
@@ -807,6 +868,10 @@ fn execute_tx(
                             if !outcome.approved {
                                 status = TxStatus::Reverted("application rejected".into());
                             }
+                            // The AVM's opcode budget spend; the flat fee
+                            // is unaffected, but the scheduler and the gas
+                            // sanitizer both consume the measurement.
+                            gas_used = outcome.cost;
                             logs = outcome
                                 .logs
                                 .iter()
@@ -886,6 +951,12 @@ mod tests {
         EMPTY.get_or_init(AccessRegistry::default)
     }
 
+    fn empty_gas_registry() -> &'static GasRegistry {
+        use std::sync::OnceLock;
+        static EMPTY: OnceLock<GasRegistry> = OnceLock::new();
+        EMPTY.get_or_init(GasRegistry::default)
+    }
+
     fn shared_cache() -> &'static CodeCache {
         use std::sync::OnceLock;
         static CACHE: OnceLock<CodeCache> = OnceLock::new();
@@ -906,6 +977,8 @@ mod tests {
             // suite: any transfer claim that under-approximates the
             // observed footprint panics the test.
             sanitize: true,
+            gas: empty_gas_registry(),
+            gas_sanitize: true,
             cache: shared_cache(),
         }
     }
@@ -944,13 +1017,41 @@ mod tests {
     fn gas_estimates_fall_back_to_tx_kind_defaults() {
         let payloads = HashMap::new();
         let ctx = ctx_evm(&payloads);
+        let mut stats = ExecStats::default();
         let t = Transaction::transfer(addr(1), addr(2), 1, 0);
-        assert_eq!(initial_gas_estimate(&ctx, &t), 21_000);
+        assert_eq!(initial_gas_estimate(&ctx, &t, &mut stats), 21_000);
         let c = Transaction::call(addr(1), ContractId::Evm(addr(9)), vec![], 0, 0)
             .with_gas_limit(777_000);
-        assert_eq!(initial_gas_estimate(&ctx, &c), 777_000);
+        assert_eq!(initial_gas_estimate(&ctx, &c, &mut stats), 777_000);
         let avm_ctx = ExecCtx { vm: VmKind::Avm, ..ctx_evm(&payloads) };
-        assert_eq!(initial_gas_estimate(&avm_ctx, &c), 10_000);
+        assert_eq!(initial_gas_estimate(&avm_ctx, &c, &mut stats), 10_000);
+        assert_eq!(stats.static_gas_seeded, 0);
+        assert_eq!(stats.default_seeded, 3);
+    }
+
+    #[test]
+    fn gas_estimates_seed_from_static_certificates() {
+        let payloads = HashMap::new();
+        let target = ContractId::Evm(addr(9));
+        let mut reg = GasRegistry::default();
+        reg.register(target, Box::new(|_| Some(130_000)));
+        let mut ctx = ctx_evm(&payloads);
+        ctx.gas = &reg;
+        let mut stats = ExecStats::default();
+        let c = Transaction::call(addr(1), target, vec![0xab; 4], 0, 0).with_gas_limit(777_000);
+        // A certified call is seeded from its proven bound, not the
+        // EVM's gas-limit default.
+        assert_eq!(initial_gas_estimate(&ctx, &c, &mut stats), 130_000);
+        // A certificate above the provisioned gas is clamped: the tx can
+        // never spend past its limit.
+        let tight = Transaction::call(addr(1), target, vec![0xab; 4], 0, 1).with_gas_limit(100_000);
+        assert_eq!(initial_gas_estimate(&ctx, &tight, &mut stats), 100_000);
+        // Uncertified contracts still fall back to the default.
+        let other = Transaction::call(addr(1), ContractId::Evm(addr(8)), vec![], 0, 0)
+            .with_gas_limit(777_000);
+        assert_eq!(initial_gas_estimate(&ctx, &other, &mut stats), 777_000);
+        assert_eq!(stats.static_gas_seeded, 2);
+        assert_eq!(stats.default_seeded, 1);
     }
 
     /// A hot-key block: even-indexed senders all credit one shared sink

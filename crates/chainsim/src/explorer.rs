@@ -90,6 +90,12 @@ pub fn execution_report(chain: &Chain) -> String {
             s.static_lanes, s.speculation_skipped, s.summary_fallbacks,
         ));
     }
+    if s.static_gas_seeded + s.default_seeded > 0 {
+        report.push_str(&format!(
+            ", gas estimates {} certificate-seeded / {} default-seeded",
+            s.static_gas_seeded, s.default_seeded,
+        ));
+    }
     if s.code_cache_hits + s.code_cache_misses > 0 {
         report.push_str(&format!(
             ", code cache {} hits / {} misses ({} decode ns)",
@@ -142,6 +148,10 @@ mod tests {
         assert!(report.contains("parallel"), "{report}");
         assert!(report.contains("revalidations"), "{report}");
         assert!(report.contains("respeculations avoided"), "{report}");
+        // No gas certificates are registered, so every scheduler
+        // estimate fell back to its tx-kind default.
+        assert!(report.contains("gas estimates 0 certificate-seeded"), "{report}");
+        assert!(chain.exec_stats().default_seeded > 0, "{report}");
         assert!(chain.exec_stats().parallel_blocks > 0);
 
         // Executing contract code surfaces the code-cache segment.

@@ -1,0 +1,96 @@
+//! Registry of per-contract gas resolvers: the bridge between the
+//! compiler's static worst-case gas certificates (`pol-lang`'s `gas`
+//! pass) and the runtime's two certificate consumers — the executor's
+//! gas-priority scheduler (which seeds estimates from proven bounds
+//! instead of tx-kind defaults) and `Chain::submit` admission (which
+//! prices worst-case fees from the certificate instead of the
+//! caller-supplied `gas_limit`, and rejects certified calls provisioned
+//! below their proven need).
+//!
+//! `pol-chainsim` deliberately does not depend on the language crate, so
+//! resolvers are registered as closures, exactly like
+//! [`crate::access::AccessRegistry`]: whoever deploys a contract owns
+//! the compiled program, runs the certificate pass, and registers a
+//! closure that resolves a concrete call into its proven worst-case
+//! gas. A resolver may return `None` — "no certificate for this call" —
+//! and the runtime falls back to the pre-certificate behaviour
+//! (tx-kind default estimates, `gas_limit`-priced admission).
+//! Returning an unsound (too small) bound is the one forbidden move;
+//! the commit-time sanitizer exists to catch exactly that.
+
+use pol_ledger::ContractId;
+use std::collections::HashMap;
+
+/// The concrete call being resolved against a contract's certificates.
+///
+/// Mirrors [`crate::access::AccessQuery`], minus the fields the cost
+/// pass proved irrelevant (sender and value never change a worst-case
+/// bound).
+#[derive(Debug, Clone, Copy)]
+pub struct GasQuery<'a> {
+    /// EVM calldata (selector + ABI-encoded args); empty on AVM calls.
+    pub calldata: &'a [u8],
+    /// AVM application args (dispatch symbol + encoded params); empty on
+    /// EVM calls.
+    pub app_args: &'a [Vec<u8>],
+}
+
+/// A registered resolver: concrete call → proven worst-case gas
+/// (execution + intrinsic for EVM calls, opcode budget for AVM calls),
+/// or `None` when no certificate covers the call.
+pub type GasResolver = Box<dyn Fn(&GasQuery<'_>) -> Option<u64> + Send + Sync>;
+
+/// Per-contract gas resolvers, owned by a [`crate::chain::Chain`].
+#[derive(Default)]
+pub struct GasRegistry {
+    resolvers: HashMap<ContractId, GasResolver>,
+}
+
+impl GasRegistry {
+    /// Registers (or replaces) the resolver for a contract.
+    pub fn register(&mut self, contract: ContractId, resolver: GasResolver) {
+        self.resolvers.insert(contract, resolver);
+    }
+
+    /// Resolves a call against the contract's registered resolver.
+    pub fn resolve(&self, contract: &ContractId, query: &GasQuery<'_>) -> Option<u64> {
+        self.resolvers.get(contract)?(query)
+    }
+
+    /// Whether any resolver is registered.
+    pub fn is_empty(&self) -> bool {
+        self.resolvers.is_empty()
+    }
+
+    /// Number of registered resolvers.
+    pub fn len(&self) -> usize {
+        self.resolvers.len()
+    }
+}
+
+impl std::fmt::Debug for GasRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GasRegistry").field("resolvers", &self.resolvers.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pol_ledger::Address;
+
+    #[test]
+    fn registry_dispatches_by_contract() {
+        let mut reg = GasRegistry::default();
+        assert!(reg.is_empty());
+        let target = ContractId::Evm(Address([1u8; 20]));
+        reg.register(target, Box::new(|q| Some(21_000 + q.calldata.len() as u64 * 16)));
+        reg.register(ContractId::App(7), Box::new(|_| None));
+        assert_eq!(reg.len(), 2);
+
+        let q = GasQuery { calldata: &[0xab; 4], app_args: &[] };
+        assert_eq!(reg.resolve(&target, &q), Some(21_064));
+        assert_eq!(reg.resolve(&ContractId::App(7), &q), None, "resolver declined");
+        assert_eq!(reg.resolve(&ContractId::App(8), &q), None, "unregistered contract");
+    }
+}

@@ -41,6 +41,7 @@ pub mod executor;
 pub mod explorer;
 pub mod faucet;
 pub mod feemarket;
+pub mod gas;
 pub mod presets;
 pub mod provider;
 
@@ -48,6 +49,7 @@ pub use access::{AccessQuery, AccessRegistry, AccessResolver};
 pub use chain::{Chain, ChainConfig, VmKind};
 pub use congestion::CongestionModel;
 pub use executor::{ExecStats, ExecutionMode, MISSING_RECIPIENT};
+pub use gas::{GasQuery, GasRegistry, GasResolver};
 pub use pol_store::{BackendConfig, StateBackend};
 pub use presets::ChainPreset;
 pub use provider::NodeProvider;

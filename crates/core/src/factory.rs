@@ -11,6 +11,7 @@ use crate::PolError;
 use pol_crypto::sha256;
 use pol_lang::access::ContractSummaries;
 use pol_lang::backend::{AbiValue, CompiledContract};
+use pol_lang::gas::ContractGasBounds;
 use pol_lang::Program;
 use pol_ledger::ContractId;
 use std::sync::Arc;
@@ -33,6 +34,7 @@ pub struct Factory {
     compiled: CompiledContract,
     template_digest: [u8; 32],
     summaries: Arc<ContractSummaries>,
+    gas_bounds: Arc<ContractGasBounds>,
     instances: Vec<Instance>,
 }
 
@@ -49,7 +51,15 @@ impl Factory {
         preimage.extend(compiled.avm.teal().into_bytes());
         let template_digest = sha256(&preimage);
         let summaries = Arc::new(pol_lang::access::summarize(&program));
-        Ok(Factory { program, compiled, template_digest, summaries, instances: Vec::new() })
+        let gas_bounds = Arc::new(pol_lang::gas::certify(&program)?);
+        Ok(Factory {
+            program,
+            compiled,
+            template_digest,
+            summaries,
+            gas_bounds,
+            instances: Vec::new(),
+        })
     }
 
     /// The template's compiled artifacts.
@@ -67,6 +77,14 @@ impl Factory {
     /// access resolver.
     pub fn summaries(&self) -> Arc<ContractSummaries> {
         Arc::clone(&self.summaries)
+    }
+
+    /// The template's static worst-case gas certificates, shared so
+    /// every deployed instance can register a cheap clone of them as
+    /// its chain-side gas resolver (scheduler seeding, admission
+    /// pricing, commit-time soundness checks).
+    pub fn gas_bounds(&self) -> Arc<ContractGasBounds> {
+        Arc::clone(&self.gas_bounds)
     }
 
     /// Digest identifying the template build (users trust this one

@@ -16,7 +16,7 @@ use crate::contract::{pol_program, MAX_USERS, POSITION_CAPACITY};
 use crate::factory::Factory;
 use crate::proof::{ProofRequest, SubmittedEntry, ENTRY_CAPACITY};
 use crate::PolError;
-use pol_chainsim::{AccessQuery, Chain, VmKind};
+use pol_chainsim::{AccessQuery, Chain, GasQuery, VmKind};
 use pol_dfs::{Cid, DfsNetwork, PeerId};
 use pol_did::{Did, DidRegistry, Identity};
 use pol_geo::{olc, Coordinates, OlcCode};
@@ -462,7 +462,7 @@ impl PolSystem {
                         receipt.status
                     )))
                 })?;
-                self.register_access_resolver(contract);
+                self.register_static_resolvers(contract);
                 // insert_data by the creator (Fig. 3.1: separate tx).
                 let data = self
                     .factory
@@ -491,7 +491,7 @@ impl PolSystem {
                         receipt.status
                     )))
                 })?;
-                self.register_access_resolver(contract);
+                self.register_static_resolvers(contract);
                 let app_id = contract.as_app().expect("avm contract");
                 let app_addr = pol_avm::Avm::app_address(app_id);
                 // Algorand connector funding steps: app min balance,
@@ -517,11 +517,15 @@ impl PolSystem {
         Ok(contract)
     }
 
-    /// Hands the template's static access summaries to the chain so the
-    /// executor can lane-partition calls into this instance and the
-    /// commit-time sanitizer can police the summaries' soundness.
-    fn register_access_resolver(&mut self, contract: ContractId) {
+    /// Hands the template's static access summaries and worst-case gas
+    /// certificates to the chain: summaries let the executor
+    /// lane-partition calls into this instance and the commit-time
+    /// sanitizer police their soundness; certificates seed the
+    /// scheduler's gas estimates, price admission, and are policed by
+    /// the gas sanitizer the same way.
+    fn register_static_resolvers(&mut self, contract: ContractId) {
         let summaries = self.factory.summaries();
+        let bounds = self.factory.gas_bounds();
         match contract {
             ContractId::Evm(addr) => {
                 self.chain.register_access_resolver(
@@ -529,6 +533,10 @@ impl PolSystem {
                     Box::new(move |q: &AccessQuery<'_>| {
                         summaries.resolve_evm_call(addr, q.sender, q.value, q.calldata)
                     }),
+                );
+                self.chain.register_gas_resolver(
+                    contract,
+                    Box::new(move |q: &GasQuery<'_>| bounds.resolve_evm_call(q.calldata)),
                 );
             }
             ContractId::App(app_id) => {
@@ -538,6 +546,10 @@ impl PolSystem {
                         let payment = u64::try_from(q.value).ok()?;
                         summaries.resolve_app_call(app_id, q.sender, payment, q.app_args)
                     }),
+                );
+                self.chain.register_gas_resolver(
+                    contract,
+                    Box::new(move |q: &GasQuery<'_>| bounds.resolve_app_call(q.app_args)),
                 );
             }
         }

@@ -145,15 +145,35 @@ fn verify_bytecode(
             if let Ok(fragment) = evm::api_fragment(program, phase_idx, api) {
                 match pol_evm::verifier::verify(&fragment, &cfg) {
                     Ok(report) => {
+                        // Two-sided gate: the bytecode verifier's
+                        // observed worst path must stay under the static
+                        // certificate, which in turn must stay under the
+                        // straight-line opcode sum. Either violation
+                        // means a cost model drifted from the emitter.
+                        let stat =
+                            crate::gas::evm_fragment_bound(program, phase_idx, api_idx, payload);
                         let bound = evm_linear_bound(&fragment, payload);
-                        if report.worst_case_gas > bound {
+                        if report.worst_case_gas > stat {
                             diags.push(
                                 Diagnostic::error(
                                     "X0401",
                                     format!(
                                         "api {:?}: verified worst-case gas {} exceeds the \
-                                         conservative bound {bound}",
+                                         static certificate {stat} (bytecode side)",
                                         api.name, report.worst_case_gas
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                        if stat > bound {
+                            diags.push(
+                                Diagnostic::error(
+                                    "X0401",
+                                    format!(
+                                        "api {:?}: static certificate {stat} exceeds the \
+                                         conservative bound {bound} (static side)",
+                                        api.name
                                     ),
                                 )
                                 .at(at),
@@ -188,15 +208,31 @@ fn verify_bytecode(
                                 .at(at),
                             );
                         }
+                        // Two-sided gate, AVM flavour: verifier worst
+                        // path <= static certificate <= linear opcode sum.
+                        let stat = crate::gas::avm_fragment_bound(program, phase_idx, api_idx);
                         let bound = pol_avm::cost::program_cost(fragment.ops());
-                        if report.worst_case_cost > bound {
+                        if report.worst_case_cost > stat {
                             diags.push(
                                 Diagnostic::error(
                                     "X0402",
                                     format!(
                                         "api {:?}: verified worst-case cost {} exceeds the \
-                                         conservative bound {bound}",
+                                         static certificate {stat} (bytecode side)",
                                         api.name, report.worst_case_cost
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                        if stat > bound {
+                            diags.push(
+                                Diagnostic::error(
+                                    "X0402",
+                                    format!(
+                                        "api {:?}: static certificate {stat} exceeds the \
+                                         conservative bound {bound} (static side)",
+                                        api.name
                                     ),
                                 )
                                 .at(at),
@@ -222,7 +258,7 @@ fn verify_bytecode(
 /// loop-free code this backend emits, every execution path is a
 /// subsequence of the instruction stream, so the verified worst path can
 /// never exceed this.
-fn evm_linear_bound(code: &[u8], payload_bytes: u64) -> u64 {
+pub(crate) fn evm_linear_bound(code: &[u8], payload_bytes: u64) -> u64 {
     let mut total = 0u64;
     let mut pc = 0usize;
     while pc < code.len() {

@@ -19,6 +19,12 @@
 //!                           (globals, map-key patterns, transfers,
 //!                           phase effects); optionally write the
 //!                           machine-readable form as JSON.
+//! polc gas [--json <path>] <file.pol>...
+//!                           run the static worst-case gas pass and
+//!                           print each method's certified bound for
+//!                           both backends (EVM affine-in-calldata,
+//!                           AVM opcode budget); optionally write the
+//!                           machine-readable form as JSON.
 //! polc codes                print the diagnostic-code registry as
 //!                           markdown (published to
 //!                           results/lint_codes.md by CI).
@@ -48,6 +54,9 @@ fn main() -> ExitCode {
         Some((cmd, rest)) if cmd == "summaries" && !rest.is_empty() => {
             summarize_files(rest, json_path.as_deref())
         }
+        Some((cmd, rest)) if cmd == "gas" && !rest.is_empty() => {
+            gas_files(rest, json_path.as_deref())
+        }
         Some((cmd, rest)) if cmd == "codes" && rest.is_empty() => {
             print!("{}", lint::codes_markdown());
             ExitCode::SUCCESS
@@ -57,6 +66,7 @@ fn main() -> ExitCode {
                 "usage: polc lint [--no-relational] <file.pol>...\n\
                  \x20      polc verify [--no-relational] [--json <path>] <file.pol>...\n\
                  \x20      polc summaries [--json <path>] <file.pol>...\n\
+                 \x20      polc gas [--json <path>] <file.pol>...\n\
                  \x20      polc codes"
             );
             ExitCode::from(2)
@@ -166,6 +176,55 @@ fn summarize_files(files: &[String], json_path: Option<&str>) -> ExitCode {
         print!("{}", summaries.render_text());
         println!();
         rendered.push(summaries.to_json(file, "    "));
+    }
+    if let Some(path) = json_path {
+        let json = format!("{{\n  \"contracts\": [\n{}\n  ]\n}}\n", rendered.join(",\n"));
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("polc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs the static gas-certificate pass over each file and prints the
+/// per-method worst-case bounds; `--json` additionally writes the
+/// deterministic machine-readable form (the CI artifact).
+fn gas_files(files: &[String], json_path: Option<&str>) -> ExitCode {
+    let mut rendered = Vec::new();
+    for file in files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("polc: cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let program = match pol_lang::parse::parse(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("polc: {file}:{}:{}: {}", e.line, e.col, e.message);
+                return ExitCode::from(2);
+            }
+        };
+        let type_errors = pol_lang::check::check(&program);
+        if !type_errors.is_empty() {
+            for d in &type_errors {
+                eprintln!("polc: {file}: {d}");
+            }
+            return ExitCode::FAILURE;
+        }
+        let bounds = match pol_lang::gas::certify(&program) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("polc: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("== {file} ==");
+        print!("{}", bounds.render_text());
+        println!();
+        rendered.push(bounds.to_json(file, "    "));
     }
     if let Some(path) = json_path {
         let json = format!("{{\n  \"contracts\": [\n{}\n  ]\n}}\n", rendered.join(",\n"));

@@ -43,6 +43,7 @@ pub mod backend;
 pub mod check;
 pub mod dbm;
 pub mod diag;
+pub mod gas;
 pub mod ir;
 pub mod lint;
 pub mod parse;

@@ -86,7 +86,65 @@ fn codes_registry_includes_the_relational_codes() {
     let out = polc(&["codes"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for code in ["L0006", "X0501", "X0502", "X0503", "X0504"] {
+    for code in ["L0006", "L0008", "X0501", "X0502", "X0503", "X0504"] {
         assert!(stdout.contains(code), "missing {code} in:\n{stdout}");
     }
+}
+
+#[test]
+fn gas_certifies_the_v2_contract() {
+    let out = polc(&["gas", &contract("proof_of_location_v2.pol")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}\n{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("contract proof_of_location_v2"), "{stdout}");
+    // Every API, view and closeContract carries a certified (non-⊤)
+    // bound on both backends...
+    for method in [
+        "insert_data",
+        "insert_money",
+        "verify",
+        "set_reward_gap",
+        "view_position",
+        "closeContract",
+    ] {
+        assert!(stdout.contains(method), "missing {method} in:\n{stdout}");
+    }
+    assert!(!stdout.contains('⊤'), "uncertified method:\n{stdout}");
+    // ...and every AVM bound fits the per-call budget, so no method is
+    // flagged against its budget.
+    assert!(!stdout.contains("!avm-budget"), "{stdout}");
+    assert!(!stdout.contains("!block-budget"), "{stdout}");
+}
+
+#[test]
+fn gas_writes_machine_readable_bounds() {
+    let json_path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("gas_bounds.json");
+    let out = polc(&[
+        "gas",
+        "--json",
+        &json_path.to_string_lossy(),
+        &contract("proof_of_location.pol"),
+        &contract("proof_of_location_v2.pol"),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let json = std::fs::read_to_string(&json_path).expect("JSON written");
+    assert!(json.contains("\"contracts\": ["), "{json}");
+    assert!(json.contains("\"name\": \"proof_of_location\""), "{json}");
+    assert!(json.contains("\"name\": \"proof_of_location_v2\""), "{json}");
+    assert!(json.contains("\"block_gas_budget\": 30000000"), "{json}");
+    assert!(json.contains("\"avm_call_budget\": 700"), "{json}");
+    // Affine constructor bounds and constant call bounds both render;
+    // nothing degrades to ⊤ on the shipped contracts.
+    assert!(json.contains("\"form\": \"affine\""), "{json}");
+    assert!(json.contains("\"form\": \"const\""), "{json}");
+    assert!(!json.contains("\"form\": \"top\""), "{json}");
+}
+
+#[test]
+fn gas_rejects_unparseable_and_unchecked_input() {
+    let bogus = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("bogus.pol");
+    std::fs::write(&bogus, "contract {").expect("fixture written");
+    let out = polc(&["gas", &bogus.to_string_lossy()]);
+    assert_eq!(out.status.code(), Some(2), "parse errors exit 2");
 }

@@ -79,6 +79,16 @@ pub enum LedgerError {
         /// Fee cap per gas (base units).
         max_fee_per_gas: u128,
     },
+    /// A certified contract call provisioned less gas than its static
+    /// worst-case certificate proves it may need. The call is provably
+    /// over budget — admission rejects it before execution instead of
+    /// letting it burn its whole limit and revert out-of-gas.
+    GasOverBudget {
+        /// The proven worst-case gas of this exact call.
+        certified: u64,
+        /// What the transaction provisioned.
+        gas_limit: u64,
+    },
     /// Execution failed inside a virtual machine.
     ExecutionFailed(String),
 }
@@ -103,6 +113,11 @@ impl std::fmt::Display for LedgerError {
                 f,
                 "fee arithmetic overflow: value {value} + {gas_limit} gas × {max_fee_per_gas} \
                  per gas exceeds u128"
+            ),
+            LedgerError::GasOverBudget { certified, gas_limit } => write!(
+                f,
+                "gas limit {gas_limit} below the static worst-case certificate {certified}: \
+                 the call is provably over budget"
             ),
             LedgerError::ExecutionFailed(msg) => write!(f, "execution failed: {msg}"),
         }

@@ -108,6 +108,9 @@ pub struct RejectionCounts {
     pub fee_overflow: u64,
     /// Fee cap below the protocol minimum.
     pub fee_too_low: u64,
+    /// Certified calls provisioned below their static worst-case gas
+    /// certificate — provably over budget, refused before execution.
+    pub over_budget: u64,
     /// Submissions refused because the node was draining.
     pub shutting_down: u64,
     /// Anything else the chain refused.
@@ -128,6 +131,7 @@ impl RejectionCounts {
                 LedgerError::InsufficientBalance { .. } => self.underfunded += 1,
                 LedgerError::FeeOverflow { .. } => self.fee_overflow += 1,
                 LedgerError::FeeTooLow { .. } => self.fee_too_low += 1,
+                LedgerError::GasOverBudget { .. } => self.over_budget += 1,
                 _ => self.other += 1,
             },
         }
@@ -143,6 +147,7 @@ impl RejectionCounts {
             + self.underfunded
             + self.fee_overflow
             + self.fee_too_low
+            + self.over_budget
             + self.shutting_down
             + self.other
     }
@@ -279,10 +284,15 @@ mod tests {
             gas_limit: 2,
             max_fee_per_gas: u128::MAX,
         }));
+        counts.record(&AdmissionError::Rejected(LedgerError::GasOverBudget {
+            certified: 130_000,
+            gas_limit: 30_000,
+        }));
         assert_eq!(counts.queue_full, 1);
         assert_eq!(counts.shutting_down, 1);
         assert_eq!(counts.bad_signature, 1);
         assert_eq!(counts.fee_overflow, 1);
-        assert_eq!(counts.total(), 4);
+        assert_eq!(counts.over_budget, 1);
+        assert_eq!(counts.total(), 5);
     }
 }
